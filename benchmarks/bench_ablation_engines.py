@@ -1,0 +1,75 @@
+"""E-ABL — ablations over the design choices called out in DESIGN.md.
+
+Two ablations:
+
+* the same vsf,fl query evaluated through its three semantically equivalent
+  routes — the decomposed Lemma 3 engine, the Theorem 6 image-enumeration
+  engine, and the Lemma 13 translation to a union of ECRPQ^er — quantifying
+  the cost of the "compile to a classical formalism" detours the paper
+  discusses in Section 7.1;
+* normal-form precomputation on/off for the vsf engine (the query-constant
+  treatment behind the data-complexity view of Theorem 2).
+"""
+
+import pytest
+
+from repro.core.alphabet import Alphabet
+from repro.engine.bounded import evaluate_bounded
+from repro.engine.engine import evaluate_union
+from repro.engine.normal_form import normal_form
+from repro.engine.vsf import evaluate_vsf
+from repro.queries import CXRPQ
+from repro.translations import cxrpq_vsf_to_union_ecrpq
+
+from benchmarks.common import cached_random_db, print_table
+
+ABC = Alphabet("abc")
+_QUERY = CXRPQ([("x", "w{a|b}", "y"), ("y", "&w|c", "z")], ("x", "z"))
+_UNION = cxrpq_vsf_to_union_ecrpq(_QUERY, ABC)
+_NORMAL_FORM = normal_form(_QUERY.conjunctive_xregex)
+_DB_NODES = 40
+
+
+@pytest.mark.parametrize("route", ["vsf_engine", "bounded_engine", "union_of_ecrpq"])
+def test_equivalent_routes(benchmark, route):
+    db = cached_random_db(_DB_NODES, seed=19)
+
+    def run():
+        if route == "vsf_engine":
+            return evaluate_vsf(_QUERY, db, boolean_short_circuit=False).tuples
+        if route == "bounded_engine":
+            return evaluate_bounded(_QUERY, db, bound=1, boolean_short_circuit=False).tuples
+        return evaluate_union(_UNION, db, boolean_short_circuit=False).tuples
+
+    tuples = benchmark.pedantic(run, rounds=2, iterations=1)
+    reference = evaluate_bounded(_QUERY, db, bound=1, boolean_short_circuit=False).tuples
+    assert tuples == reference
+
+
+@pytest.mark.parametrize("precomputed", [True, False])
+def test_normal_form_amortisation(benchmark, precomputed):
+    db = cached_random_db(_DB_NODES, seed=19)
+
+    def run():
+        if precomputed:
+            return evaluate_vsf(_QUERY, db, precomputed_normal_form=_NORMAL_FORM).boolean
+        return evaluate_vsf(_QUERY, db).boolean
+
+    assert isinstance(benchmark(run), bool)
+
+
+def test_route_agreement_table(benchmark):
+    def build_rows():
+        db = cached_random_db(_DB_NODES, seed=19)
+        vsf = evaluate_vsf(_QUERY, db, boolean_short_circuit=False).tuples
+        bounded = evaluate_bounded(_QUERY, db, bound=1, boolean_short_circuit=False).tuples
+        union = evaluate_union(_UNION, db, boolean_short_circuit=False).tuples
+        return [
+            ["vsf engine (Theorem 2)", len(vsf)],
+            ["bounded engine (Theorem 6, k=1)", len(bounded)],
+            ["union of ECRPQ^er (Lemma 13)", len(union)],
+        ]
+
+    rows = benchmark.pedantic(build_rows, rounds=1, iterations=1)
+    print_table("Ablation — answer counts of the equivalent routes", ["route", "#answers"], rows)
+    assert len({row[1] for row in rows}) == 1

@@ -1,0 +1,52 @@
+"""E-F1 — Figure 1: the introductory RPQ/CRPQ examples on genealogy graphs.
+
+Reproduces the qualitative claim that RPQs and CRPQs are efficiently
+evaluable (Lemma 1): evaluation time of the four Figure 1 patterns grows
+smoothly with the database size.
+"""
+
+import pytest
+
+from repro.engine.crpq import evaluate_crpq
+from repro.paperlib import figures
+
+from benchmarks.common import cached_genealogy, print_table
+
+SIZES = [(4, 3), (8, 4), (12, 5)]
+QUERIES = {
+    "G1": figures.figure1_g1,
+    "G2": figures.figure1_g2,
+    "G3": figures.figure1_g3,
+    "G4": figures.figure1_g4,
+}
+
+
+@pytest.mark.parametrize("families,generations", SIZES)
+@pytest.mark.parametrize("name", sorted(QUERIES))
+def test_figure1_query(benchmark, name, families, generations):
+    db = cached_genealogy(families, generations, seed=1)
+    query = QUERIES[name]()
+    result = benchmark(lambda: evaluate_crpq(query, db, boolean_short_circuit=False))
+    assert isinstance(result.tuples, set)
+
+
+def test_figure1_answer_table(benchmark):
+    """Emit the answer counts per query and database size (the 'figure')."""
+
+    def build_rows():
+        rows = []
+        for families, generations in SIZES:
+            db = cached_genealogy(families, generations, seed=1)
+            counts = {
+                name: len(evaluate_crpq(factory(), db, boolean_short_circuit=False).tuples)
+                for name, factory in QUERIES.items()
+            }
+            rows.append([db.num_nodes(), db.num_edges(), counts["G1"], counts["G2"], counts["G3"], counts["G4"]])
+        return rows
+
+    rows = benchmark.pedantic(build_rows, rounds=1, iterations=1)
+    print_table(
+        "Figure 1 — answers on genealogy graphs",
+        ["persons", "edges", "G1", "G2", "G3", "G4"],
+        rows,
+    )

@@ -1,0 +1,66 @@
+"""E-NF — Section 5.1/5.3 and Figure 3: the size of the normal form.
+
+Reproduces the two size claims:
+
+* the chained-definition family of Section 5.3 blows up exponentially in the
+  number of variables (the reason CXRPQ^vsf evaluation is ExpSpace), and
+* queries with only flat variables stay quadratic (Lemma 8, the basis of the
+  PSpace bound for CXRPQ^vsf,fl — Theorem 5).
+"""
+
+import pytest
+
+from repro.engine.normal_form import normal_form_with_report
+from repro.paperlib.figures import section53_chain_xregex, section53_flat_xregex
+from repro.regex.conjunctive import ConjunctiveXregex
+
+from benchmarks.common import print_table
+
+CHAIN_SIZES = [2, 3, 4, 5, 6, 7]
+
+
+@pytest.mark.parametrize("n", CHAIN_SIZES)
+def test_chain_normal_form(benchmark, n):
+    conjunctive = ConjunctiveXregex.single(section53_chain_xregex(n))
+    _result, report = benchmark(lambda: normal_form_with_report(conjunctive))
+    assert report.after_step3 >= report.input_size
+
+
+@pytest.mark.parametrize("n", CHAIN_SIZES)
+def test_flat_normal_form(benchmark, n):
+    conjunctive = ConjunctiveXregex.single(section53_flat_xregex(n))
+    _result, report = benchmark(lambda: normal_form_with_report(conjunctive))
+    assert report.after_step3 >= report.input_size
+
+
+def test_blowup_table(benchmark):
+    def build_rows():
+        rows = []
+        for n in CHAIN_SIZES:
+            chain = ConjunctiveXregex.single(section53_chain_xregex(n))
+            flat = ConjunctiveXregex.single(section53_flat_xregex(n))
+            _c, chain_report = normal_form_with_report(chain)
+            _f, flat_report = normal_form_with_report(flat)
+            rows.append(
+                [
+                    n,
+                    chain_report.input_size,
+                    chain_report.after_step3,
+                    round(chain_report.blowup, 1),
+                    flat_report.input_size,
+                    flat_report.after_step3,
+                    round(flat_report.blowup, 1),
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(build_rows, rounds=1, iterations=1)
+    print_table(
+        "Section 5.3 — normal-form size: chained vs. flat variables",
+        ["n", "chain |input|", "chain |NF|", "chain blowup", "flat |input|", "flat |NF|", "flat blowup"],
+        rows,
+    )
+    # The exponential/polynomial separation is the reproduced shape.
+    chain_growth = rows[-1][2] / rows[0][2]
+    flat_growth = rows[-1][5] / rows[0][5]
+    assert chain_growth > 4 * flat_growth

@@ -1,0 +1,78 @@
+"""E-T1 — Theorem 1: the fixed xregex alpha_ni encodes NFA intersection.
+
+The reduction is PSpace-hardness evidence, so no efficient algorithm exists;
+the benchmark shows the *shape*: evaluating the single fixed query alpha_ni
+with the sound bounded oracle gets rapidly more expensive as the number of
+chained NFAs grows, while the direct product-automaton baseline (the problem
+the database encodes) stays cheap.  Correctness against the baseline is
+asserted for every instance.
+
+Note: following DESIGN.md, evaluation is anchored at the endpoints (s, t) of
+the construction (the Check problem) because the paper's "any path" phrasing
+admits spurious matches that start inside the ``##`` connector paths.
+"""
+
+import pytest
+
+from repro.engine.generic import evaluate_generic
+from repro.reductions.nfa_intersection import (
+    nfa_intersection_database,
+    nfa_intersection_nonempty,
+    nfa_intersection_query,
+    shared_word,
+)
+
+from benchmarks.common import cached_nfa_workload, print_table
+
+NUM_NFAS = [2, 3, 4]
+
+
+def _anchored_path_bound(nfas, num_nfas: int) -> int:
+    word = shared_word(nfas)
+    witness = len(word) if word is not None else 4
+    return (witness + 2) * num_nfas + 4
+
+
+@pytest.mark.parametrize("num_nfas", NUM_NFAS)
+def test_alpha_ni_bounded_oracle(benchmark, num_nfas):
+    db, query, nfas = cached_nfa_workload(num_nfas, 4, seed=1)
+    source, sink = "s", "t"
+    expected = nfa_intersection_nonempty(nfas)
+    bound = _anchored_path_bound(nfas, num_nfas)
+
+    def run():
+        return evaluate_generic(
+            query, db, max_path_length=bound, fixed={"x": source, "y": sink}
+        ).boolean
+
+    observed = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert observed == expected
+
+
+@pytest.mark.parametrize("num_nfas", NUM_NFAS)
+def test_direct_product_baseline(benchmark, num_nfas):
+    _db, _query, nfas = cached_nfa_workload(num_nfas, 4, seed=1)
+    benchmark(lambda: nfa_intersection_nonempty(nfas))
+
+
+def test_theorem1_summary_table(benchmark):
+    def build_rows():
+        rows = []
+        for num_nfas in NUM_NFAS:
+            db, _query, nfas = cached_nfa_workload(num_nfas, 4, seed=1)
+            rows.append(
+                [
+                    num_nfas,
+                    db.size(),
+                    nfa_intersection_nonempty(nfas),
+                    shared_word(nfas),
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(build_rows, rounds=1, iterations=1)
+    print_table(
+        "Theorem 1 — NFA-intersection instances encoded as databases",
+        ["#NFAs", "|D|", "intersection non-empty", "shortest common word"],
+        rows,
+    )

@@ -1,0 +1,44 @@
+"""E-T3 — Theorem 3: combined-complexity hardness of CXRPQ^vsf.
+
+The vstar-free query alpha_ni^k grows with the number of chained NFAs; the
+benchmark measures how the Theorem 2 evaluation algorithm scales with k
+(combined complexity — the paper's lower bound is PSpace) while each instance
+is checked against the direct product baseline.
+"""
+
+import pytest
+
+from repro.engine.vsf import evaluate_vsf
+from repro.reductions.nfa_intersection import nfa_intersection_nonempty
+
+from benchmarks.common import cached_nfa_workload, print_table
+
+NUM_NFAS = [2, 3, 4]
+
+
+@pytest.mark.parametrize("num_nfas", NUM_NFAS)
+def test_alpha_ni_k_vsf_evaluation(benchmark, num_nfas):
+    db, query, nfas = cached_nfa_workload(num_nfas, 4, seed=3, vstar_free=True)
+    expected = nfa_intersection_nonempty(nfas)
+
+    def run():
+        return evaluate_vsf(query, db, fixed={"x": "s", "y": "t"}).boolean
+
+    observed = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert observed == expected
+
+
+def test_query_size_growth_table(benchmark):
+    def build_rows():
+        rows = []
+        for num_nfas in NUM_NFAS:
+            db, query, nfas = cached_nfa_workload(num_nfas, 4, seed=3, vstar_free=True)
+            rows.append([num_nfas, query.size(), db.size(), nfa_intersection_nonempty(nfas)])
+        return rows
+
+    rows = benchmark.pedantic(build_rows, rounds=1, iterations=1)
+    print_table(
+        "Theorem 3 — alpha_ni^k instances (combined complexity grows with k)",
+        ["#NFAs (k)", "|q|", "|D|", "intersection non-empty"],
+        rows,
+    )

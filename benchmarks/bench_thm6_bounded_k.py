@@ -1,0 +1,83 @@
+"""E-T6 — Theorem 6: evaluation of CXRPQ^<=k.
+
+Three series reproduce the theorem's shape:
+
+* data complexity: a fixed query with k = 1 over growing databases
+  (polynomial growth — NL in the paper),
+* combined complexity: the same database with growing image bound k and with
+  a growing number of string variables (the exponential ``(|Σ|+1)^{nk}``
+  guess space of the NP algorithm),
+* ablation: blind enumeration of the guess space versus the pruned
+  enumeration that only proposes definition-generable images.
+"""
+
+import pytest
+
+from repro.engine.bounded import enumerate_image_mappings, evaluate_bounded
+from repro.workloads import bounded_scaling_query
+
+from benchmarks.common import cached_random_db, print_table
+
+DATA_SIZES = [20, 40, 80, 160]
+BOUNDS = [1, 2, 3]
+
+
+@pytest.mark.parametrize("nodes", DATA_SIZES)
+def test_bounded_fixed_query_data_scaling(benchmark, nodes):
+    query = bounded_scaling_query(1)
+    db = cached_random_db(nodes, seed=11)
+    result = benchmark.pedantic(
+        lambda: evaluate_bounded(query, db, bound=1), rounds=3, iterations=1
+    )
+    assert isinstance(result.boolean, bool)
+
+
+@pytest.mark.parametrize("bound", BOUNDS)
+def test_bounded_growing_image_bound(benchmark, bound):
+    query = bounded_scaling_query(2)
+    db = cached_random_db(30, seed=11)
+    result = benchmark.pedantic(
+        lambda: evaluate_bounded(query, db, bound=bound), rounds=2, iterations=1
+    )
+    assert isinstance(result.boolean, bool)
+
+
+@pytest.mark.parametrize("num_variables", [1, 2, 3])
+def test_bounded_growing_variable_count(benchmark, num_variables):
+    query = bounded_scaling_query(num_variables)
+    db = cached_random_db(30, seed=11)
+    result = benchmark.pedantic(
+        lambda: evaluate_bounded(query, db, bound=2), rounds=2, iterations=1
+    )
+    assert isinstance(result.boolean, bool)
+
+
+@pytest.mark.parametrize("strategy", ["blind", "pruned"])
+def test_enumeration_strategy_ablation(benchmark, strategy):
+    query = bounded_scaling_query(2)
+    db = cached_random_db(30, seed=11)
+    result = benchmark.pedantic(
+        lambda: evaluate_bounded(query, db, bound=2, strategy=strategy), rounds=2, iterations=1
+    )
+    assert isinstance(result.boolean, bool)
+
+
+def test_guess_space_table(benchmark):
+    def build_rows():
+        db = cached_random_db(30, seed=11)
+        alphabet = db.alphabet()
+        rows = []
+        for num_variables in (1, 2, 3):
+            query = bounded_scaling_query(num_variables)
+            for bound in BOUNDS:
+                blind = sum(1 for _ in enumerate_image_mappings(query, alphabet, bound, strategy="blind"))
+                pruned = sum(1 for _ in enumerate_image_mappings(query, alphabet, bound, strategy="pruned"))
+                rows.append([num_variables, bound, blind, pruned])
+        return rows
+
+    rows = benchmark.pedantic(build_rows, rounds=1, iterations=1)
+    print_table(
+        "Theorem 6 — size of the image-mapping guess space",
+        ["#variables", "k", "blind mappings", "pruned mappings"],
+        rows,
+    )

@@ -1,0 +1,65 @@
+"""E-T7 — Theorem 7 / Figure 4: NP-hardness of CXRPQ^<=1 via Hitting Set.
+
+Every instance is solved twice: through the reduction (single-edge CXRPQ^<=1
+query on the Figure 4 database) and by the brute-force Hitting-Set solver;
+the answers must agree.  The benchmark series over the universe size shows
+how quickly the combined complexity grows even for single-edge queries —
+the behaviour that separates CXRPQ^<=k from CRPQ (which is polynomial on
+acyclic patterns).
+"""
+
+import pytest
+
+from repro.engine.engine import evaluate
+from repro.reductions.hitting_set import brute_force_hitting_set
+
+from benchmarks.common import cached_hitting_set, print_table
+
+INSTANCES = [
+    (2, 2, 1),
+    (3, 2, 1),
+    (4, 2, 1),
+]
+
+
+@pytest.mark.parametrize("universe,sets,budget", INSTANCES)
+def test_hitting_set_reduction(benchmark, universe, sets, budget):
+    db, query, instance = cached_hitting_set(universe, sets, budget, seed=5)
+    expected = brute_force_hitting_set(instance) is not None
+
+    def run():
+        return evaluate(query, db).boolean
+
+    observed = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert observed == expected
+
+
+@pytest.mark.parametrize("universe,sets,budget", INSTANCES)
+def test_brute_force_baseline(benchmark, universe, sets, budget):
+    _db, _query, instance = cached_hitting_set(universe, sets, budget, seed=5)
+    benchmark(lambda: brute_force_hitting_set(instance))
+
+
+def test_hitting_set_table(benchmark):
+    def build_rows():
+        rows = []
+        for universe, sets, budget in INSTANCES:
+            db, query, instance = cached_hitting_set(universe, sets, budget, seed=5)
+            rows.append(
+                [
+                    universe,
+                    sets,
+                    budget,
+                    db.size(),
+                    query.size(),
+                    brute_force_hitting_set(instance) is not None,
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(build_rows, rounds=1, iterations=1)
+    print_table(
+        "Theorem 7 — Hitting-Set instances encoded as CXRPQ^<=1 evaluation",
+        ["|U|", "#sets", "k", "|D|", "|q|", "hitting set exists"],
+        rows,
+    )

@@ -1,0 +1,13 @@
+"""Pytest bootstrap: make ``src/`` importable without an installed wheel.
+
+The package is laid out with a ``src/`` directory; ``pip install -e .`` is
+the normal route, but this fallback keeps ``pytest`` working in offline
+environments where the editable install cannot build a wheel.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(__file__), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

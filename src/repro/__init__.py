@@ -1,0 +1,83 @@
+"""repro — a reproduction of *Conjunctive Regular Path Queries with String
+Variables* (Markus L. Schmid, PODS 2020).
+
+The package implements, from scratch:
+
+* xregex (regular expressions with string variables / backreferences),
+  ref-words and conjunctive xregex (Sections 2–3),
+* graph databases and the query classes RPQ, CRPQ, ECRPQ, CXRPQ and their
+  unions (Sections 2.3, 4 and 7),
+* the evaluation algorithms for the tractable fragments
+  ``CXRPQ^vsf``, ``CXRPQ^vsf,fl``, ``CXRPQ^<=k`` and ``CXRPQ^log``
+  (Sections 5 and 6), plus the normal-form construction and the
+  v̄-instantiation they rest on,
+* the hardness reductions (Theorems 1, 3 and 7) and the expressiveness
+  constructions behind Figure 5 (Section 7).
+
+Quickstart
+----------
+>>> from repro import GraphDatabase, CXRPQ, evaluate
+>>> db = GraphDatabase.from_edges([(1, "a", 2), (2, "a", 3), (1, "b", 3), (3, "c", 4)])
+>>> query = CXRPQ([("x", "w{a|b}", "y"), ("y", "&w|c", "z")], output_variables=("x", "z"))
+>>> result = evaluate(query, db)
+>>> result.boolean
+True
+"""
+
+from repro.core.alphabet import Alphabet
+from repro.core.errors import (
+    ReproError,
+    AlphabetError,
+    XregexSyntaxError,
+    XregexSemanticsError,
+    FragmentError,
+    EvaluationError,
+)
+from repro.regex.parser import parse_xregex
+from repro.regex.conjunctive import ConjunctiveXregex
+from repro.graphdb.database import GraphDatabase
+from repro.queries import CRPQ, CXRPQ, ECRPQ, RPQ, UnionQuery, Fragment
+from repro.engine import (
+    evaluate,
+    evaluate_union,
+    evaluate_crpq,
+    evaluate_ecrpq,
+    evaluate_simple,
+    evaluate_vsf,
+    evaluate_bounded,
+    evaluate_generic,
+    normal_form,
+    EvaluationResult,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Alphabet",
+    "ReproError",
+    "AlphabetError",
+    "XregexSyntaxError",
+    "XregexSemanticsError",
+    "FragmentError",
+    "EvaluationError",
+    "parse_xregex",
+    "ConjunctiveXregex",
+    "GraphDatabase",
+    "RPQ",
+    "CRPQ",
+    "ECRPQ",
+    "CXRPQ",
+    "UnionQuery",
+    "Fragment",
+    "evaluate",
+    "evaluate_union",
+    "evaluate_crpq",
+    "evaluate_ecrpq",
+    "evaluate_simple",
+    "evaluate_vsf",
+    "evaluate_bounded",
+    "evaluate_generic",
+    "normal_form",
+    "EvaluationResult",
+    "__version__",
+]

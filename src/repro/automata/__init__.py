@@ -1,0 +1,27 @@
+"""Nondeterministic finite automata and regular relations.
+
+The paper treats NFAs as graph databases with a start state and final states
+(Section 2.2); here they are a stand-alone substrate used by every evaluation
+algorithm: classical regular expressions are compiled to NFAs (Thompson
+construction), graph databases are interpreted as NFAs between node pairs,
+and synchronisation constraints are decided via product automata.
+"""
+
+from repro.automata.nfa import NFA, EPSILON_LABEL
+from repro.automata.relations import (
+    RegularRelation,
+    EqualityRelation,
+    EqualLengthRelation,
+    RelationAutomaton,
+    PAD,
+)
+
+__all__ = [
+    "NFA",
+    "EPSILON_LABEL",
+    "RegularRelation",
+    "EqualityRelation",
+    "EqualLengthRelation",
+    "RelationAutomaton",
+    "PAD",
+]

@@ -1,0 +1,442 @@
+"""Nondeterministic finite automata over arbitrary hashable labels.
+
+States are small integers; transition labels are arbitrary hashable objects
+(terminal symbols, ref-word tokens, tuples for regular relations).  The label
+``None`` denotes an epsilon transition.
+
+The module provides the Thompson construction from classical regular
+expression ASTs (:func:`NFA.from_regex`), language operations (union,
+concatenation, iteration), the product construction for intersections, and
+the queries needed by the evaluation algorithms of the paper: membership,
+emptiness, shortest accepted word, and bounded word enumeration.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.core.alphabet import Alphabet
+from repro.core.errors import EvaluationError, XregexSyntaxError
+from repro.regex import syntax as rx
+
+#: The label used for epsilon transitions.
+EPSILON_LABEL = None
+
+Label = Hashable
+State = int
+
+
+class NFA:
+    """A nondeterministic finite automaton with epsilon transitions."""
+
+    __slots__ = ("_transitions", "start", "accepting", "_num_states")
+
+    def __init__(self) -> None:
+        self._transitions: List[List[Tuple[Label, State]]] = []
+        self.start: State = self.add_state()
+        self.accepting: Set[State] = set()
+        # ``_num_states`` is tracked via the transitions list length.
+
+    # -- construction ---------------------------------------------------------
+
+    def add_state(self) -> State:
+        """Add a fresh state and return its identifier."""
+        self._transitions.append([])
+        return len(self._transitions) - 1
+
+    def add_transition(self, source: State, label: Label, target: State) -> None:
+        """Add a transition ``source --label--> target`` (``None`` = epsilon)."""
+        self._transitions[source].append((label, target))
+
+    def set_accepting(self, state: State) -> None:
+        """Mark ``state`` as accepting."""
+        self.accepting.add(state)
+
+    @property
+    def num_states(self) -> int:
+        """The number of states."""
+        return len(self._transitions)
+
+    def transitions_from(self, state: State) -> Sequence[Tuple[Label, State]]:
+        """All outgoing transitions of ``state`` as ``(label, target)`` pairs."""
+        return self._transitions[state]
+
+    def labels(self) -> Set[Label]:
+        """All non-epsilon labels occurring on transitions."""
+        found: Set[Label] = set()
+        for outgoing in self._transitions:
+            for label, _target in outgoing:
+                if label is not EPSILON_LABEL:
+                    found.add(label)
+        return found
+
+    def iter_transitions(self) -> Iterator[Tuple[State, Label, State]]:
+        """Yield every transition as ``(source, label, target)``."""
+        for source, outgoing in enumerate(self._transitions):
+            for label, target in outgoing:
+                yield source, label, target
+
+    # -- regex compilation ----------------------------------------------------
+
+    @classmethod
+    def from_regex(cls, expr: rx.Xregex, alphabet: Optional[Alphabet] = None) -> "NFA":
+        """Thompson construction for a classical regular expression AST.
+
+        ``alphabet`` is required when the expression contains wildcards or
+        negated symbol classes, because those only denote a concrete symbol
+        set relative to an alphabet.
+        """
+        if not expr.is_classical():
+            raise XregexSyntaxError(
+                "from_regex expects a classical regular expression; "
+                "compile xregex via the evaluation algorithms instead"
+            )
+        nfa = cls()
+        final = nfa.add_state()
+        nfa._build(expr, nfa.start, final, alphabet)
+        nfa.set_accepting(final)
+        return nfa
+
+    @classmethod
+    def for_word(cls, word: Sequence[Label]) -> "NFA":
+        """An NFA accepting exactly ``word``."""
+        nfa = cls()
+        current = nfa.start
+        for label in word:
+            nxt = nfa.add_state()
+            nfa.add_transition(current, label, nxt)
+            current = nxt
+        nfa.set_accepting(current)
+        return nfa
+
+    @classmethod
+    def universal(cls, symbols: Iterable[Label]) -> "NFA":
+        """An NFA accepting every word over ``symbols`` (including epsilon)."""
+        nfa = cls()
+        nfa.set_accepting(nfa.start)
+        for symbol in symbols:
+            nfa.add_transition(nfa.start, symbol, nfa.start)
+        return nfa
+
+    @classmethod
+    def empty_language(cls) -> "NFA":
+        """An NFA accepting no word at all."""
+        return cls()
+
+    @classmethod
+    def epsilon_only(cls) -> "NFA":
+        """An NFA accepting exactly the empty word."""
+        nfa = cls()
+        nfa.set_accepting(nfa.start)
+        return nfa
+
+    def _symbols_of(self, expr: rx.Xregex, alphabet: Optional[Alphabet]) -> FrozenSet[str]:
+        if isinstance(expr, rx.AnySymbol):
+            if alphabet is None:
+                raise EvaluationError("a wildcard '.' requires an explicit alphabet")
+            return frozenset(alphabet.symbols)
+        if isinstance(expr, rx.SymbolClass):
+            if expr.negated:
+                if alphabet is None:
+                    raise EvaluationError("a negated symbol class requires an explicit alphabet")
+                return expr.resolve(alphabet)
+            return frozenset(expr.symbols)
+        raise EvaluationError(f"not a symbol-set expression: {expr!r}")
+
+    def _build(
+        self,
+        expr: rx.Xregex,
+        entry: State,
+        exit_state: State,
+        alphabet: Optional[Alphabet],
+    ) -> None:
+        if isinstance(expr, rx.Epsilon):
+            self.add_transition(entry, EPSILON_LABEL, exit_state)
+        elif isinstance(expr, rx.EmptySet):
+            pass  # no path from entry to exit
+        elif isinstance(expr, rx.Symbol):
+            self.add_transition(entry, expr.char, exit_state)
+        elif isinstance(expr, (rx.AnySymbol, rx.SymbolClass)):
+            for symbol in sorted(self._symbols_of(expr, alphabet)):
+                self.add_transition(entry, symbol, exit_state)
+        elif isinstance(expr, rx.Concat):
+            current = entry
+            for part in expr.parts[:-1]:
+                nxt = self.add_state()
+                self._build(part, current, nxt, alphabet)
+                current = nxt
+            self._build(expr.parts[-1], current, exit_state, alphabet)
+        elif isinstance(expr, rx.Alternation):
+            for option in expr.options:
+                self._build(option, entry, exit_state, alphabet)
+        elif isinstance(expr, rx.Plus):
+            inner_entry = self.add_state()
+            inner_exit = self.add_state()
+            self.add_transition(entry, EPSILON_LABEL, inner_entry)
+            self._build(expr.inner, inner_entry, inner_exit, alphabet)
+            self.add_transition(inner_exit, EPSILON_LABEL, inner_entry)
+            self.add_transition(inner_exit, EPSILON_LABEL, exit_state)
+        elif isinstance(expr, rx.Star):
+            inner_entry = self.add_state()
+            inner_exit = self.add_state()
+            self.add_transition(entry, EPSILON_LABEL, inner_entry)
+            self.add_transition(entry, EPSILON_LABEL, exit_state)
+            self._build(expr.inner, inner_entry, inner_exit, alphabet)
+            self.add_transition(inner_exit, EPSILON_LABEL, inner_entry)
+            self.add_transition(inner_exit, EPSILON_LABEL, exit_state)
+        elif isinstance(expr, rx.Optional):
+            self.add_transition(entry, EPSILON_LABEL, exit_state)
+            self._build(expr.inner, entry, exit_state, alphabet)
+        else:
+            raise EvaluationError(f"unsupported node in classical regex: {expr!r}")
+
+    # -- language operations ---------------------------------------------------
+
+    def epsilon_closure(self, states: Iterable[State]) -> FrozenSet[State]:
+        """The set of states reachable from ``states`` by epsilon transitions."""
+        closure: Set[State] = set(states)
+        stack = list(closure)
+        while stack:
+            state = stack.pop()
+            for label, target in self._transitions[state]:
+                if label is EPSILON_LABEL and target not in closure:
+                    closure.add(target)
+                    stack.append(target)
+        return frozenset(closure)
+
+    def step(self, states: Iterable[State], label: Label) -> FrozenSet[State]:
+        """One subset-construction step: epsilon-closure after reading ``label``."""
+        moved: Set[State] = set()
+        for state in states:
+            for transition_label, target in self._transitions[state]:
+                if transition_label == label:
+                    moved.add(target)
+        return self.epsilon_closure(moved)
+
+    def accepts(self, word: Sequence[Label]) -> bool:
+        """True if the automaton accepts ``word`` (a string or label sequence)."""
+        current = self.epsilon_closure({self.start})
+        for label in word:
+            current = self.step(current, label)
+            if not current:
+                return False
+        return bool(current & self.accepting)
+
+    def is_empty(self) -> bool:
+        """True if the accepted language is empty."""
+        return self.shortest_word() is None
+
+    def accepts_epsilon(self) -> bool:
+        """True if the empty word is accepted."""
+        return bool(self.epsilon_closure({self.start}) & self.accepting)
+
+    def shortest_word(self) -> Optional[Tuple[Label, ...]]:
+        """A shortest accepted word, or ``None`` if the language is empty."""
+        start_closure = self.epsilon_closure({self.start})
+        if start_closure & self.accepting:
+            return ()
+        visited: Set[State] = set(start_closure)
+        queue: deque = deque((state, ()) for state in start_closure)
+        while queue:
+            state, word = queue.popleft()
+            for label, target in self._transitions[state]:
+                if label is EPSILON_LABEL:
+                    if target not in visited:
+                        visited.add(target)
+                        queue.append((target, word))
+                    continue
+                if target in visited:
+                    # A shorter or equal word already reaches ``target``.
+                    continue
+                new_word = word + (label,)
+                closure = self.epsilon_closure({target})
+                if closure & self.accepting:
+                    return new_word
+                for closed in closure:
+                    if closed not in visited:
+                        visited.add(closed)
+                        queue.append((closed, new_word))
+        return None
+
+    def enumerate_words(self, max_length: int) -> Iterator[Tuple[Label, ...]]:
+        """Yield every accepted word of length at most ``max_length``.
+
+        Words are yielded in order of increasing length; within a length the
+        order follows the transition order, with duplicates removed.
+        """
+        seen: Set[Tuple[Label, ...]] = set()
+        start = self.epsilon_closure({self.start})
+        frontier: Dict[Tuple[Label, ...], FrozenSet[State]] = {(): start}
+        for length in range(max_length + 1):
+            for word, states in sorted(frontier.items(), key=lambda item: item[0].__repr__()):
+                if word not in seen and states & self.accepting:
+                    seen.add(word)
+                    yield word
+            if length == max_length:
+                break
+            next_frontier: Dict[Tuple[Label, ...], FrozenSet[State]] = {}
+            for word, states in frontier.items():
+                labels = {
+                    label
+                    for state in states
+                    for label, _target in self._transitions[state]
+                    if label is not EPSILON_LABEL
+                }
+                for label in labels:
+                    target_states = self.step(states, label)
+                    if target_states:
+                        next_frontier[word + (label,)] = target_states
+            frontier = next_frontier
+
+    def enumerate_strings(self, max_length: int) -> Iterator[str]:
+        """Like :meth:`enumerate_words`, but joins character labels into strings."""
+        for word in self.enumerate_words(max_length):
+            yield "".join(word)
+
+    # -- combinations -----------------------------------------------------------
+
+    def intersect(self, other: "NFA") -> "NFA":
+        """The product automaton accepting the intersection of both languages."""
+        return intersect_all([self, other])
+
+    def union(self, other: "NFA") -> "NFA":
+        """An NFA accepting the union of both languages."""
+        result = NFA()
+        offset_self = result.num_states
+        mapping_self = _copy_into(self, result)
+        mapping_other = _copy_into(other, result)
+        del offset_self
+        result.add_transition(result.start, EPSILON_LABEL, mapping_self[self.start])
+        result.add_transition(result.start, EPSILON_LABEL, mapping_other[other.start])
+        for state in self.accepting:
+            result.set_accepting(mapping_self[state])
+        for state in other.accepting:
+            result.set_accepting(mapping_other[state])
+        return result
+
+    def concatenate(self, other: "NFA") -> "NFA":
+        """An NFA accepting the concatenation of both languages."""
+        result = NFA()
+        mapping_self = _copy_into(self, result)
+        mapping_other = _copy_into(other, result)
+        result.add_transition(result.start, EPSILON_LABEL, mapping_self[self.start])
+        for state in self.accepting:
+            result.add_transition(mapping_self[state], EPSILON_LABEL, mapping_other[other.start])
+        for state in other.accepting:
+            result.set_accepting(mapping_other[state])
+        return result
+
+    def reverse(self) -> "NFA":
+        """An NFA accepting the reversal of the language."""
+        result = NFA()
+        mapping = {state: result.add_state() for state in range(self.num_states)}
+        for source, label, target in self.iter_transitions():
+            result.add_transition(mapping[target], label, mapping[source])
+        for state in self.accepting:
+            result.add_transition(result.start, EPSILON_LABEL, mapping[state])
+        result.set_accepting(mapping[self.start])
+        return result
+
+    def trim(self) -> "NFA":
+        """An equivalent NFA with only useful (reachable and co-reachable) states."""
+        reachable = self._reachable_from({self.start})
+        co_reachable = self._co_reachable(self.accepting)
+        useful = reachable & co_reachable
+        result = NFA()
+        mapping: Dict[State, State] = {}
+        if self.start in useful:
+            mapping[self.start] = result.start
+        for state in sorted(useful):
+            if state not in mapping:
+                mapping[state] = result.add_state()
+        for source, label, target in self.iter_transitions():
+            if source in useful and target in useful:
+                result.add_transition(mapping[source], label, mapping[target])
+        for state in self.accepting:
+            if state in useful:
+                result.set_accepting(mapping[state])
+        return result
+
+    def _reachable_from(self, sources: Iterable[State]) -> Set[State]:
+        seen = set(sources)
+        stack = list(seen)
+        while stack:
+            state = stack.pop()
+            for _label, target in self._transitions[state]:
+                if target not in seen:
+                    seen.add(target)
+                    stack.append(target)
+        return seen
+
+    def _co_reachable(self, targets: Iterable[State]) -> Set[State]:
+        predecessors: Dict[State, Set[State]] = {state: set() for state in range(self.num_states)}
+        for source, _label, target in self.iter_transitions():
+            predecessors[target].add(source)
+        seen = set(targets)
+        stack = list(seen)
+        while stack:
+            state = stack.pop()
+            for pred in predecessors[state]:
+                if pred not in seen:
+                    seen.add(pred)
+                    stack.append(pred)
+        return seen
+
+    def __repr__(self) -> str:
+        return (
+            f"NFA(states={self.num_states}, transitions={sum(len(t) for t in self._transitions)}, "
+            f"accepting={sorted(self.accepting)})"
+        )
+
+
+def _copy_into(source: NFA, destination: NFA) -> Dict[State, State]:
+    """Copy the states and transitions of ``source`` into ``destination``."""
+    mapping = {state: destination.add_state() for state in range(source.num_states)}
+    for src, label, target in source.iter_transitions():
+        destination.add_transition(mapping[src], label, mapping[target])
+    return mapping
+
+
+def intersect_all(automata: Sequence[NFA]) -> NFA:
+    """The synchronous product of ``automata`` (intersection of their languages).
+
+    The product is built lazily from the start-state tuple so that only
+    reachable product states are materialised — this is the construction used
+    by the NFA-intersection baseline of the Theorem 1 benchmark.
+    """
+    if not automata:
+        raise EvaluationError("intersect_all requires at least one automaton")
+    product = NFA()
+    start_tuple = tuple(nfa.epsilon_closure({nfa.start}) for nfa in automata)
+    state_index: Dict[Tuple[FrozenSet[State], ...], State] = {start_tuple: product.start}
+    queue: deque = deque([start_tuple])
+    if all(closure & nfa.accepting for closure, nfa in zip(start_tuple, automata)):
+        product.set_accepting(product.start)
+    while queue:
+        current = queue.popleft()
+        current_state = state_index[current]
+        labels: Set[Label] = set()
+        first = True
+        for closure, nfa in zip(current, automata):
+            local = {
+                label
+                for state in closure
+                for label, _t in nfa.transitions_from(state)
+                if label is not EPSILON_LABEL
+            }
+            labels = local if first else labels & local
+            first = False
+            if not labels:
+                break
+        for label in labels:
+            successor = tuple(nfa.step(closure, label) for closure, nfa in zip(current, automata))
+            if any(not part for part in successor):
+                continue
+            if successor not in state_index:
+                state_index[successor] = product.add_state()
+                queue.append(successor)
+                if all(part & nfa.accepting for part, nfa in zip(successor, automata)):
+                    product.set_accepting(state_index[successor])
+            product.add_transition(current_state, label, state_index[successor])
+    return product

@@ -1,0 +1,83 @@
+"""Additional automata operations: state elimination and language helpers.
+
+``regex_from_nfa`` converts an NFA over single-character labels back into a
+classical regular expression (Kleene's state-elimination construction).  The
+paper's Lemma 12 translation (ECRPQ^er → CXRPQ^vsf,fl) needs a regular
+expression for an intersection of regular languages; we obtain it by building
+the product NFA and eliminating its states.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.alphabet import Alphabet
+from repro.automata.nfa import EPSILON_LABEL, NFA, intersect_all
+from repro.regex import syntax as rx
+
+
+def regex_from_nfa(nfa: NFA) -> rx.Xregex:
+    """A classical regular expression for ``L(nfa)`` via state elimination.
+
+    The NFA must use single-character (or epsilon) labels.  The resulting
+    expression can be large; it is meant for query translations and tests,
+    not as a pretty-printer.
+    """
+    trimmed = nfa.trim()
+    if trimmed.num_states == 0 or not trimmed.accepting:
+        return rx.EMPTY
+
+    new_start = "start"
+    new_accept = "accept"
+    transitions: Dict[Tuple[object, object], rx.Xregex] = {}
+
+    def add(source: object, target: object, expr: rx.Xregex) -> None:
+        if isinstance(expr, rx.EmptySet):
+            return
+        key = (source, target)
+        if key in transitions:
+            transitions[key] = rx.alternation(transitions[key], expr)
+        else:
+            transitions[key] = expr
+
+    for source, label, target in trimmed.iter_transitions():
+        if label is EPSILON_LABEL:
+            add(source, target, rx.EPSILON)
+        else:
+            if not isinstance(label, str) or len(label) != 1:
+                raise ValueError("regex_from_nfa requires single-character labels")
+            add(source, target, rx.Symbol(label))
+    add(new_start, trimmed.start, rx.EPSILON)
+    for state in trimmed.accepting:
+        add(state, new_accept, rx.EPSILON)
+
+    states_to_eliminate = list(range(trimmed.num_states))
+    for state in states_to_eliminate:
+        loop = transitions.pop((state, state), None)
+        incoming = [(source, expr) for (source, target), expr in transitions.items() if target == state and source != state]
+        outgoing = [(target, expr) for (source, target), expr in transitions.items() if source == state and target != state]
+        for source, _expr in incoming:
+            transitions.pop((source, state), None)
+        for target, _expr in outgoing:
+            transitions.pop((state, target), None)
+        for source, in_expr in incoming:
+            for target, out_expr in outgoing:
+                middle = rx.star(loop) if loop is not None else rx.EPSILON
+                add(source, target, rx.concat(in_expr, middle, out_expr))
+
+    return transitions.get((new_start, new_accept), rx.EMPTY)
+
+
+def regex_intersection(regexes: Sequence[rx.Xregex], alphabet: Alphabet) -> rx.Xregex:
+    """A classical regular expression for the intersection of the given languages."""
+    if not regexes:
+        raise ValueError("regex_intersection requires at least one expression")
+    automata = [NFA.from_regex(regex, alphabet) for regex in regexes]
+    return regex_from_nfa(intersect_all(automata))
+
+
+def languages_equal_up_to(first: NFA, second: NFA, max_length: int) -> bool:
+    """Compare two NFA languages up to a word-length bound (test helper)."""
+    first_words = set(first.enumerate_words(max_length))
+    second_words = set(second.enumerate_words(max_length))
+    return first_words == second_words

@@ -1,0 +1,152 @@
+"""Regular relations over words, as used by ECRPQs (Section 7, after [8]).
+
+A regular relation of arity ``k`` is a set of ``k``-tuples of words accepted
+by a synchronous automaton over the padded tuple alphabet
+``(Sigma ∪ {⊥})^k``: the ``k`` words are read in lock-step, shorter words
+padded at the end with the padding symbol ``⊥``.
+
+The library ships the two relations the paper actually uses —
+:class:`EqualityRelation` (all words equal) and :class:`EqualLengthRelation`
+(all words of equal length, used in the separating query ``q_{a^n b^n}`` of
+Theorem 9) — plus :class:`RelationAutomaton` for arbitrary user-supplied
+synchronous automata.
+"""
+
+from __future__ import annotations
+
+from itertools import product as iter_product
+from typing import Iterable, Sequence, Tuple
+
+from repro.core.alphabet import Alphabet
+from repro.automata.nfa import NFA
+
+
+class _Pad:
+    """Singleton padding symbol ``⊥`` for synchronous relation encodings."""
+
+    _instance = None
+
+    def __new__(cls) -> "_Pad":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "⊥"
+
+
+#: The padding symbol used in tuple labels.
+PAD = _Pad()
+
+
+class RegularRelation:
+    """Base class for regular relations of a fixed arity."""
+
+    def __init__(self, arity: int):
+        if arity < 1:
+            raise ValueError("a regular relation needs arity at least 1")
+        self.arity = arity
+
+    def automaton(self, alphabet: Alphabet) -> NFA:
+        """The synchronous automaton over padded tuple labels."""
+        raise NotImplementedError
+
+    def contains(self, words: Sequence[str], alphabet: Alphabet) -> bool:
+        """Decide membership of a tuple of words in the relation."""
+        if len(words) != self.arity:
+            raise ValueError(f"expected {self.arity} words, got {len(words)}")
+        encoded = encode_tuple(words)
+        return self.automaton(alphabet).accepts(encoded)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(arity={self.arity})"
+
+
+def encode_tuple(words: Sequence[str]) -> Tuple[Tuple[object, ...], ...]:
+    """Encode a tuple of words as a padded synchronous word over tuple labels."""
+    max_len = max((len(word) for word in words), default=0)
+    encoded = []
+    for position in range(max_len):
+        encoded.append(
+            tuple(word[position] if position < len(word) else PAD for word in words)
+        )
+    return tuple(encoded)
+
+
+class EqualityRelation(RegularRelation):
+    """The relation ``{(u, …, u)}`` requiring all components to be equal."""
+
+    def automaton(self, alphabet: Alphabet) -> NFA:
+        nfa = NFA()
+        nfa.set_accepting(nfa.start)
+        for symbol in alphabet:
+            nfa.add_transition(nfa.start, tuple([symbol] * self.arity), nfa.start)
+        return nfa
+
+
+class EqualLengthRelation(RegularRelation):
+    """The relation requiring all components to have the same length."""
+
+    def automaton(self, alphabet: Alphabet) -> NFA:
+        nfa = NFA()
+        nfa.set_accepting(nfa.start)
+        for combo in iter_product(sorted(alphabet.symbols), repeat=self.arity):
+            nfa.add_transition(nfa.start, tuple(combo), nfa.start)
+        return nfa
+
+
+class PrefixRelation(RegularRelation):
+    """The binary relation ``{(u, v) : u is a prefix of v}``."""
+
+    def __init__(self) -> None:
+        super().__init__(arity=2)
+
+    def automaton(self, alphabet: Alphabet) -> NFA:
+        nfa = NFA()
+        same = nfa.start
+        diverged = nfa.add_state()
+        nfa.set_accepting(same)
+        nfa.set_accepting(diverged)
+        for symbol in alphabet:
+            nfa.add_transition(same, (symbol, symbol), same)
+            nfa.add_transition(same, (PAD, symbol), diverged)
+            nfa.add_transition(diverged, (PAD, symbol), diverged)
+        return nfa
+
+
+class RelationAutomaton(RegularRelation):
+    """A regular relation given directly by a synchronous automaton.
+
+    The automaton must read padded tuple labels of the declared arity whose
+    components are alphabet symbols or :data:`PAD`; padding may only occur as
+    a suffix of a component (this is not re-checked here).
+    """
+
+    def __init__(self, arity: int, nfa: NFA):
+        super().__init__(arity)
+        self._nfa = nfa
+
+    def automaton(self, alphabet: Alphabet) -> NFA:
+        return self._nfa
+
+
+def relation_from_tuples(tuples: Iterable[Sequence[str]]) -> RelationAutomaton:
+    """A (finite) regular relation containing exactly the given word tuples."""
+    tuples = [tuple(words) for words in tuples]
+    if not tuples:
+        raise ValueError("relation_from_tuples requires at least one tuple")
+    arity = len(tuples[0])
+    nfa = NFA()
+    final = nfa.add_state()
+    nfa.set_accepting(final)
+    for words in tuples:
+        if len(words) != arity:
+            raise ValueError("all tuples must have the same arity")
+        encoded = encode_tuple(words)
+        current = nfa.start
+        for label in encoded:
+            nxt = nfa.add_state()
+            nfa.add_transition(current, label, nxt)
+            current = nxt
+        nfa.add_transition(current, None, final)
+    return RelationAutomaton(arity, nfa)

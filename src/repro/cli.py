@@ -1,0 +1,126 @@
+"""A small command-line interface for evaluating queries against graph files.
+
+Usage examples::
+
+    python -m repro.cli classify "x{a|b}(&x|c)+"
+    python -m repro.cli evaluate graph.edges --edge "x w{a|b} y" --edge "y &w z" --output x z
+    python -m repro.cli evaluate graph.json  --edge "x a+b y" --boolean --image-bound 2
+
+Each ``--edge`` takes three whitespace-separated fields: the source node
+variable, the xregex label (surface syntax of :mod:`repro.regex.parser`, so
+labels themselves must not contain whitespace), and the target node variable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.core.errors import ReproError
+from repro.engine.engine import evaluate
+from repro.graphdb.io import load_database
+from repro.queries.cxrpq import CXRPQ
+from repro.regex import properties as props
+from repro.regex.parser import parse_xregex
+
+
+def _parse_edge_argument(argument: str):
+    parts = argument.split()
+    if len(parts) != 3:
+        raise argparse.ArgumentTypeError(
+            f"--edge expects 'source label target', got {argument!r}"
+        )
+    return parts[0], parts[1], parts[2]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Evaluate conjunctive xregex path queries (CXRPQs) on graph databases.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    classify = commands.add_parser("classify", help="classify an xregex / fragment membership")
+    classify.add_argument("xregex", help="an xregex in the surface syntax")
+
+    run = commands.add_parser("evaluate", help="evaluate a CXRPQ on a graph file")
+    run.add_argument("database", help="path to an edge-list (.edges/.txt) or JSON (.json) graph file")
+    run.add_argument(
+        "--edge",
+        dest="edges",
+        action="append",
+        required=True,
+        type=_parse_edge_argument,
+        help="a pattern edge: 'source label target' (repeatable)",
+    )
+    run.add_argument("--output", nargs="*", default=None, help="output node variables (default: Boolean query)")
+    run.add_argument("--boolean", action="store_true", help="force Boolean evaluation")
+    run.add_argument("--image-bound", type=int, default=None, help="interpret under CXRPQ^<=k semantics")
+    run.add_argument("--log-bound", action="store_true", help="interpret under CXRPQ^log semantics")
+    run.add_argument(
+        "--generic-path-bound",
+        type=int,
+        default=None,
+        help="opt into the bounded oracle for unrestricted queries (max path length)",
+    )
+    run.add_argument("--limit", type=int, default=20, help="maximum number of answer tuples to print")
+    return parser
+
+
+def command_classify(arguments: argparse.Namespace) -> int:
+    expr = parse_xregex(arguments.xregex)
+    print("xregex       :", expr.to_string())
+    print("variables    :", ", ".join(sorted(expr.variables())) or "(none)")
+    print("classical    :", expr.is_classical())
+    print("sequential   :", props.is_sequential(expr))
+    print("vstar-free   :", props.is_vstar_free(expr))
+    print("valt-free    :", props.is_valt_free(expr))
+    print("simple       :", props.is_simple(expr))
+    print("normal form  :", props.is_normal_form(expr))
+    print("flat vars    :", props.all_variables_flat(expr))
+    return 0
+
+
+def command_evaluate(arguments: argparse.Namespace) -> int:
+    db = load_database(arguments.database)
+    output = tuple(arguments.output or ())
+    if arguments.boolean:
+        output = ()
+    image_bound = "log" if arguments.log_bound else arguments.image_bound
+    query = CXRPQ(
+        [(source, parse_xregex(label), target) for source, label, target in arguments.edges],
+        output_variables=output,
+        image_bound=image_bound,
+    )
+    print(f"database : {db}")
+    print(f"fragment : {query.fragment().value}")
+    result = evaluate(
+        query,
+        db,
+        generic_path_bound=arguments.generic_path_bound,
+        boolean_short_circuit=query.is_boolean,
+    )
+    if query.is_boolean:
+        print("satisfied:", result.boolean)
+    else:
+        print(f"answers  : {len(result.tuples)}")
+        for row in sorted(result.tuples, key=repr)[: arguments.limit]:
+            print("  ", row)
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    arguments = parser.parse_args(argv)
+    try:
+        if arguments.command == "classify":
+            return command_classify(arguments)
+        return command_evaluate(arguments)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests calling main()
+    sys.exit(main())

@@ -1,0 +1,24 @@
+"""Core utilities shared by every subsystem: alphabets, words and errors."""
+
+from repro.core.alphabet import Alphabet
+from repro.core.errors import (
+    ReproError,
+    AlphabetError,
+    XregexSyntaxError,
+    XregexSemanticsError,
+    FragmentError,
+    EvaluationError,
+)
+from repro.core.words import all_words_up_to, is_word_over
+
+__all__ = [
+    "Alphabet",
+    "ReproError",
+    "AlphabetError",
+    "XregexSyntaxError",
+    "XregexSemanticsError",
+    "FragmentError",
+    "EvaluationError",
+    "all_words_up_to",
+    "is_word_over",
+]

@@ -1,0 +1,85 @@
+"""Terminal alphabets (the set Sigma of Section 2).
+
+The paper fixes a finite terminal alphabet ``Sigma`` whose elements label the
+edges of graph databases and appear as terminal symbols of xregex.  The
+library represents symbols as single-character strings and words over the
+alphabet as ordinary Python strings, which keeps examples readable
+(``"abba"``) while remaining faithful to the formal model.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.core.errors import AlphabetError
+
+
+class Alphabet:
+    """A finite, non-empty set of single-character terminal symbols."""
+
+    __slots__ = ("_symbols",)
+
+    def __init__(self, symbols: Iterable[str]):
+        symbol_set = frozenset(symbols)
+        if not symbol_set:
+            raise AlphabetError("an alphabet must contain at least one symbol")
+        for symbol in symbol_set:
+            if not isinstance(symbol, str) or len(symbol) != 1:
+                raise AlphabetError(
+                    f"alphabet symbols must be single-character strings, got {symbol!r}"
+                )
+        self._symbols = symbol_set
+
+    @classmethod
+    def from_word(cls, word: str, extra: Iterable[str] = ()) -> "Alphabet":
+        """Build the smallest alphabet containing ``word`` and ``extra``."""
+        symbols = set(word) | set(extra)
+        if not symbols:
+            raise AlphabetError("cannot infer an alphabet from the empty word")
+        return cls(symbols)
+
+    @property
+    def symbols(self) -> frozenset:
+        """The symbols of the alphabet as a frozenset."""
+        return self._symbols
+
+    def __contains__(self, symbol: object) -> bool:
+        return symbol in self._symbols
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._symbols))
+
+    def __len__(self) -> int:
+        return len(self._symbols)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Alphabet):
+            return self._symbols == other._symbols
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._symbols)
+
+    def __repr__(self) -> str:
+        return f"Alphabet({''.join(sorted(self._symbols))!r})"
+
+    def contains_word(self, word: str) -> bool:
+        """Return True if every symbol of ``word`` belongs to the alphabet."""
+        return all(symbol in self._symbols for symbol in word)
+
+    def require_word(self, word: str) -> str:
+        """Validate ``word`` and return it; raise :class:`AlphabetError` otherwise."""
+        if not self.contains_word(word):
+            offending = sorted(set(word) - self._symbols)
+            raise AlphabetError(
+                f"word {word!r} uses symbols {offending} outside alphabet {sorted(self._symbols)}"
+            )
+        return word
+
+    def union(self, other: "Alphabet") -> "Alphabet":
+        """The alphabet containing the symbols of both alphabets."""
+        return Alphabet(self._symbols | other._symbols)
+
+    def extend(self, symbols: Iterable[str]) -> "Alphabet":
+        """A new alphabet with ``symbols`` added."""
+        return Alphabet(self._symbols | set(symbols))

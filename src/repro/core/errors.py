@@ -1,0 +1,43 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without catching unrelated exceptions.
+"""
+
+
+class ReproError(Exception):
+    """Base class of all exceptions raised by the repro library."""
+
+
+class AlphabetError(ReproError):
+    """A word or symbol is not compatible with the expected alphabet."""
+
+
+class XregexSyntaxError(ReproError):
+    """An xregex string or AST violates the syntax of Definition 3."""
+
+
+class XregexSemanticsError(ReproError):
+    """An xregex or conjunctive xregex violates a semantic requirement.
+
+    Examples: the expression is not sequential, the variable-dependency
+    relation is cyclic, or a tuple of xregex is not a valid conjunctive
+    xregex (Definition 4).
+    """
+
+
+class FragmentError(ReproError):
+    """A query does not belong to the fragment required by an algorithm.
+
+    For instance, the normal-form construction of Section 5.1 requires a
+    variable-star free conjunctive xregex; handing it a query with a variable
+    reference under ``+`` raises this error.
+    """
+
+
+class EvaluationError(ReproError):
+    """An evaluation algorithm was used outside its supported setting."""
+
+
+class ReductionError(ReproError):
+    """A hardness-reduction construction received an invalid instance."""

@@ -1,0 +1,64 @@
+"""Word utilities used across the library.
+
+The paper writes ``A^{<=k}`` for the set of words over ``A`` of length at most
+``k`` (Section 2); :func:`all_words_up_to` enumerates that set.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Iterable, Iterator, List, Sequence
+
+from repro.core.alphabet import Alphabet
+
+
+def all_words_up_to(alphabet: Alphabet | Iterable[str], max_length: int) -> Iterator[str]:
+    """Yield every word over ``alphabet`` of length at most ``max_length``.
+
+    Words are yielded in order of increasing length and, within a length,
+    in lexicographic order of the sorted alphabet.  The empty word is always
+    yielded first (``max_length`` may be zero).
+    """
+    symbols: Sequence[str]
+    if isinstance(alphabet, Alphabet):
+        symbols = list(alphabet)
+    else:
+        symbols = sorted(set(alphabet))
+    if max_length < 0:
+        return
+    yield ""
+    for length in range(1, max_length + 1):
+        for combo in product(symbols, repeat=length):
+            yield "".join(combo)
+
+
+def count_words_up_to(alphabet_size: int, max_length: int) -> int:
+    """The number of words of length at most ``max_length`` over an alphabet."""
+    if max_length < 0:
+        return 0
+    if alphabet_size == 1:
+        return max_length + 1
+    return (alphabet_size ** (max_length + 1) - 1) // (alphabet_size - 1)
+
+
+def is_word_over(word: str, alphabet: Alphabet) -> bool:
+    """True if ``word`` only uses symbols from ``alphabet``."""
+    return alphabet.contains_word(word)
+
+
+def occurrences(word: str, symbol: str) -> int:
+    """The number of occurrences ``|w|_b`` of ``symbol`` in ``word`` (Section 2)."""
+    return word.count(symbol)
+
+
+def factors(word: str) -> List[str]:
+    """All factors (substrings) of ``word``, deduplicated, shortest first."""
+    seen = set()
+    result: List[str] = []
+    for length in range(len(word) + 1):
+        for start in range(len(word) - length + 1):
+            factor = word[start:start + length]
+            if factor not in seen:
+                seen.add(factor)
+                result.append(factor)
+    return result

@@ -1,0 +1,189 @@
+"""Evaluation of ``CXRPQ^<=k`` and ``CXRPQ^log`` (Theorem 6, Corollary 1).
+
+The algorithm of Theorem 6 is:
+
+1. nondeterministically guess a variable mapping ``v̄ ∈ (Σ^{<=k})^n``,
+2. compute the CRPQ ``q[v̄]`` with ``q[v̄](D) = q^{v̄}(D)`` (Lemma 11),
+3. evaluate the CRPQ (Lemma 1).
+
+The nondeterministic guess is realised by enumeration.  Two enumeration
+strategies are provided:
+
+* ``blind`` — enumerate all of ``(Σ^{<=k})^n`` (the literal reading of the
+  proof; exponential in ``n·k``),
+* ``pruned`` — walk the variable dependency DAG and only propose images that
+  the definitions can actually generate (a superset of the feasible images;
+  Lemma 10 remains the correctness filter).  This is the practical default
+  and the ablation benchmark compares the two.
+
+For Boolean queries the enumeration short-circuits on the first match, which
+mirrors the NP guess; for non-Boolean queries the union over all mappings is
+returned, which also realises the ``CXRPQ^<=k ⊆ ∪-CRPQ`` translation of
+Lemma 14.
+"""
+
+from __future__ import annotations
+
+import math
+from itertools import product as iter_product
+from typing import Dict, Hashable, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.core.alphabet import Alphabet
+from repro.core.errors import EvaluationError
+from repro.core.words import all_words_up_to
+from repro.automata.nfa import NFA
+from repro.engine.crpq import evaluate_crpq
+from repro.engine.instantiation import instantiate_query
+from repro.engine.results import DEFAULT_MATCH_LIMIT, EvaluationResult
+from repro.graphdb.database import GraphDatabase
+from repro.queries.cxrpq import CXRPQ
+from repro.regex import properties as props
+from repro.regex import syntax as rx
+
+Node = Hashable
+
+
+def enumerate_image_mappings(
+    query: CXRPQ,
+    alphabet: Alphabet,
+    bound: int,
+    strategy: str = "pruned",
+) -> Iterator[Dict[str, str]]:
+    """Enumerate candidate variable mappings ``v̄ ∈ (Σ^{<=k})^n``.
+
+    The ``pruned`` strategy only proposes, for a variable with definitions,
+    images that some definition can generate once the images of the variables
+    it depends on are substituted (plus the empty word, which corresponds to
+    an uninstantiated definition).  The ``blind`` strategy enumerates the full
+    cube, exactly as in the proof of Theorem 6.
+    """
+    conjunctive = query.conjunctive_xregex
+    variables = sorted(conjunctive.variables())
+    if not variables:
+        yield {}
+        return
+    if strategy == "blind":
+        words = list(all_words_up_to(alphabet, bound))
+        for combo in iter_product(words, repeat=len(variables)):
+            yield dict(zip(variables, combo))
+        return
+    if strategy != "pruned":
+        raise EvaluationError(f"unknown enumeration strategy {strategy!r}")
+    order = props.topological_variable_order(conjunctive.concatenation())
+    if order is None:  # pragma: no cover - excluded by validation
+        raise EvaluationError("cyclic variable dependencies")
+    ordered = [variable for variable in order if variable in set(variables)]
+    definitions: Dict[str, List[rx.VarDef]] = {
+        variable: [
+            definition
+            for component in conjunctive.components
+            for definition in component.definitions_of(variable)
+        ]
+        for variable in ordered
+    }
+
+    def candidates(variable: str, assignment: Dict[str, str]) -> List[str]:
+        defs = definitions[variable]
+        if not defs:
+            return list(all_words_up_to(alphabet, bound))
+        found: Set[str] = {""}
+        for definition in defs:
+            body = _replace_variables_by_images(definition.body, assignment)
+            nfa = NFA.from_regex(body, alphabet)
+            found.update(nfa.enumerate_strings(bound))
+        return sorted(found, key=lambda word: (len(word), word))
+
+    def recurse(index: int, assignment: Dict[str, str]) -> Iterator[Dict[str, str]]:
+        if index == len(ordered):
+            yield dict(assignment)
+            return
+        variable = ordered[index]
+        for image in candidates(variable, assignment):
+            assignment[variable] = image
+            yield from recurse(index + 1, assignment)
+            del assignment[variable]
+
+    yield from recurse(0, {})
+
+
+def _replace_variables_by_images(node: rx.Xregex, assignment: Mapping[str, str]) -> rx.Xregex:
+    """Replace references and definitions of already-assigned variables by literals.
+
+    Variables not yet assigned (which can only happen for non-topological
+    inputs) are replaced by the empty word, keeping the candidate set a
+    superset heuristic — Lemma 10 filters infeasible mappings later.
+    """
+
+    def replace(inner: rx.Xregex) -> rx.Xregex:
+        if isinstance(inner, (rx.VarRef, rx.VarDef)):
+            return rx.literal(assignment.get(inner.name, ""))
+        return inner
+
+    return node.transform_bottom_up(replace)
+
+
+def evaluate_bounded(
+    query: CXRPQ,
+    db: GraphDatabase,
+    bound: Optional[int] = None,
+    alphabet: Optional[Alphabet] = None,
+    *,
+    strategy: str = "pruned",
+    boolean_short_circuit: bool = True,
+    collect_witnesses: bool = False,
+    match_limit: int = DEFAULT_MATCH_LIMIT,
+    fixed: Optional[Dict[str, Node]] = None,
+) -> EvaluationResult:
+    """Evaluate a query under ``CXRPQ^<=k`` semantics (Theorem 6).
+
+    ``bound`` defaults to the query's own ``image_bound`` (which may be the
+    string ``"log"``, giving Corollary 1 semantics).
+    """
+    alphabet = alphabet or db.alphabet()
+    if bound is None:
+        bound = query.resolve_image_bound(db.size())
+    if bound is None:
+        raise EvaluationError(
+            "evaluate_bounded needs an image bound: pass bound=k or use "
+            "query.with_image_bound(k)"
+        )
+    result = EvaluationResult()
+    for images in enumerate_image_mappings(query, alphabet, bound, strategy=strategy):
+        crpq = instantiate_query(query, images, alphabet)
+        if all(isinstance(label, rx.EmptySet) for label in crpq.regexes()) and crpq.regexes():
+            continue
+        partial = evaluate_crpq(
+            crpq,
+            db,
+            alphabet,
+            boolean_short_circuit=boolean_short_circuit,
+            collect_witnesses=collect_witnesses,
+            match_limit=match_limit,
+            fixed=fixed,
+        )
+        result.merge(partial)
+        if query.is_boolean and boolean_short_circuit and result.boolean:
+            return result
+    return result
+
+
+def evaluate_log_bounded(
+    query: CXRPQ,
+    db: GraphDatabase,
+    alphabet: Optional[Alphabet] = None,
+    **kwargs,
+) -> EvaluationResult:
+    """Evaluation with image bound ``log |D|`` (Corollary 1)."""
+    bound = max(1, int(math.ceil(math.log2(max(2, db.size())))))
+    return evaluate_bounded(query, db, bound=bound, alphabet=alphabet, **kwargs)
+
+
+def bounded_holds(
+    query: CXRPQ,
+    db: GraphDatabase,
+    bound: int,
+    alphabet: Optional[Alphabet] = None,
+    strategy: str = "pruned",
+) -> bool:
+    """Boolean evaluation ``D |=^{<=k} q``."""
+    return evaluate_bounded(query, db, bound=bound, alphabet=alphabet, strategy=strategy).boolean

@@ -1,0 +1,111 @@
+"""Evaluation of CRPQs (Lemma 1).
+
+For each pattern edge, the classical regular expression is compiled to an
+NFA and the set of database node pairs connected by a matching path is
+computed with the product construction; a backtracking join then assembles
+matching morphisms.  This is the standard algorithm giving NP combined
+complexity and NL data complexity, and it is the workhorse that the
+``CXRPQ^<=k`` algorithm of Theorem 6 reduces to.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.alphabet import Alphabet
+from repro.automata.nfa import NFA
+from repro.engine.joins import EdgeRelation, join_morphisms
+from repro.engine.results import DEFAULT_MATCH_LIMIT, EvaluationResult, Match
+from repro.graphdb.database import GraphDatabase
+from repro.graphdb.paths import find_path_word, reachable_pairs
+from repro.queries.crpq import CRPQ
+
+Node = Hashable
+
+
+def edge_relations(
+    query: CRPQ,
+    db: GraphDatabase,
+    alphabet: Optional[Alphabet] = None,
+) -> Tuple[List[EdgeRelation], List[NFA]]:
+    """Per-edge reachability relations and the compiled edge NFAs."""
+    alphabet = alphabet or db.alphabet()
+    relations: List[EdgeRelation] = []
+    nfas: List[NFA] = []
+    for edge in query.pattern.edges:
+        nfa = NFA.from_regex(edge.label, alphabet)
+        nfas.append(nfa)
+        relations.append(EdgeRelation(reachable_pairs(db, nfa)))
+    return relations, nfas
+
+
+def morphisms(
+    query: CRPQ,
+    db: GraphDatabase,
+    alphabet: Optional[Alphabet] = None,
+    fixed: Optional[Dict[str, Node]] = None,
+) -> Iterator[Dict[str, Node]]:
+    """Enumerate every matching morphism of ``query`` into ``db``."""
+    relations, _nfas = edge_relations(query, db, alphabet)
+    endpoints = [(edge.source, edge.target) for edge in query.pattern.edges]
+    yield from join_morphisms(
+        endpoints,
+        relations,
+        query.pattern.nodes,
+        sorted(db.nodes, key=repr),
+        fixed=fixed,
+    )
+
+
+def evaluate_crpq(
+    query: CRPQ,
+    db: GraphDatabase,
+    alphabet: Optional[Alphabet] = None,
+    *,
+    boolean_short_circuit: bool = True,
+    collect_witnesses: bool = False,
+    match_limit: int = DEFAULT_MATCH_LIMIT,
+    fixed: Optional[Dict[str, Node]] = None,
+) -> EvaluationResult:
+    """Evaluate a CRPQ, returning ``q(D)`` (and optionally witness morphisms)."""
+    alphabet = alphabet or db.alphabet()
+    relations, nfas = edge_relations(query, db, alphabet)
+    endpoints = [(edge.source, edge.target) for edge in query.pattern.edges]
+    result = EvaluationResult()
+    for morphism in join_morphisms(
+        endpoints,
+        relations,
+        query.pattern.nodes,
+        sorted(db.nodes, key=repr),
+        fixed=fixed,
+    ):
+        output = tuple(morphism[variable] for variable in query.output_variables)
+        result.tuples.add(output)
+        if collect_witnesses and len(result.matches) < match_limit:
+            words = [
+                find_path_word(db, nfa, morphism[source], morphism[target]) or ""
+                for (source, target), nfa in zip(endpoints, nfas)
+            ]
+            result.matches.append(Match.from_dict(morphism, words))
+        if query.is_boolean and boolean_short_circuit:
+            return result
+    return result
+
+
+def crpq_holds(query: CRPQ, db: GraphDatabase, alphabet: Optional[Alphabet] = None) -> bool:
+    """Boolean evaluation ``D |= q`` for CRPQs."""
+    return evaluate_crpq(query, db, alphabet).boolean
+
+
+def crpq_check(
+    query: CRPQ,
+    db: GraphDatabase,
+    output_tuple: Sequence[Node],
+    alphabet: Optional[Alphabet] = None,
+) -> bool:
+    """The Check problem: decide ``t ∈ q(D)`` for a given output tuple ``t``."""
+    if len(output_tuple) != len(query.output_variables):
+        raise ValueError("output tuple arity does not match the query")
+    fixed = dict(zip(query.output_variables, output_tuple))
+    result = evaluate_crpq(query, db, alphabet, fixed=fixed, boolean_short_circuit=False)
+    return tuple(output_tuple) in result.tuples

@@ -1,0 +1,114 @@
+"""Fragment-aware dispatcher: pick the right algorithm for a query.
+
+``evaluate`` inspects the query class and fragment (Section 4–6) and calls
+
+* the CRPQ engine for queries without string variables,
+* the ``CXRPQ^<=k`` engine when an image bound is set (Theorem 6),
+* the Lemma 3 engine for simple queries,
+* the normal-form + Lemma 3 pipeline for vstar-free queries (Theorem 2),
+* the bounded oracle (with an explicit opt-in) for everything else, because
+  no complete algorithm for unrestricted CXRPQ is known (Section 8).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional, Union
+
+from repro.core.alphabet import Alphabet
+from repro.core.errors import EvaluationError
+from repro.engine.bounded import evaluate_bounded
+from repro.engine.crpq import evaluate_crpq
+from repro.engine.ecrpq import evaluate_ecrpq
+from repro.engine.generic import evaluate_generic
+from repro.engine.results import EvaluationResult
+from repro.engine.simple import evaluate_simple
+from repro.engine.vsf import evaluate_vsf
+from repro.graphdb.database import GraphDatabase
+from repro.queries.crpq import CRPQ
+from repro.queries.cxrpq import CXRPQ, Fragment
+from repro.queries.ecrpq import ECRPQ
+from repro.queries.union import UnionQuery
+
+Node = Hashable
+Query = Union[CRPQ, ECRPQ, CXRPQ, UnionQuery]
+
+
+def evaluate(
+    query: Query,
+    db: GraphDatabase,
+    alphabet: Optional[Alphabet] = None,
+    *,
+    generic_path_bound: Optional[int] = None,
+    **kwargs,
+) -> EvaluationResult:
+    """Evaluate any supported query on a graph database.
+
+    ``generic_path_bound`` opts into the bounded oracle for unrestricted
+    CXRPQs (queries that are neither vstar-free nor image-bounded); without
+    it such queries raise :class:`EvaluationError`.
+    Remaining keyword arguments are forwarded to the chosen engine
+    (``collect_witnesses``, ``boolean_short_circuit``, ``fixed`` …).
+    """
+    if isinstance(query, UnionQuery):
+        return evaluate_union(query, db, alphabet, generic_path_bound=generic_path_bound, **kwargs)
+    if isinstance(query, ECRPQ):
+        return evaluate_ecrpq(query, db, alphabet, **kwargs)
+    if isinstance(query, CXRPQ):
+        return _evaluate_cxrpq(query, db, alphabet, generic_path_bound, **kwargs)
+    if isinstance(query, CRPQ):
+        return evaluate_crpq(query, db, alphabet, **kwargs)
+    raise EvaluationError(f"unsupported query type {type(query).__name__}")
+
+
+def _evaluate_cxrpq(
+    query: CXRPQ,
+    db: GraphDatabase,
+    alphabet: Optional[Alphabet],
+    generic_path_bound: Optional[int],
+    **kwargs,
+) -> EvaluationResult:
+    fragment = query.fragment()
+    if fragment is Fragment.CRPQ:
+        crpq = CRPQ(
+            [(edge.source, edge.label, edge.target) for edge in query.pattern.edges],
+            query.output_variables,
+        )
+        return evaluate_crpq(crpq, db, alphabet, **kwargs)
+    if query.image_bound is not None:
+        return evaluate_bounded(query, db, alphabet=alphabet, **kwargs)
+    if fragment is Fragment.SIMPLE:
+        return evaluate_simple(query, db, alphabet, **kwargs)
+    if fragment in (Fragment.VSF, Fragment.VSF_FLAT):
+        return evaluate_vsf(query, db, alphabet, **kwargs)
+    if generic_path_bound is not None:
+        return evaluate_generic(query, db, generic_path_bound, alphabet, **kwargs)
+    raise EvaluationError(
+        "the query is not vstar-free and has no image bound; no complete evaluation "
+        "algorithm is known for unrestricted CXRPQ (Section 8).  Either interpret it "
+        "under CXRPQ^<=k semantics via query.with_image_bound(k), or pass "
+        "generic_path_bound=L to use the sound bounded oracle."
+    )
+
+
+def evaluate_union(
+    union: UnionQuery,
+    db: GraphDatabase,
+    alphabet: Optional[Alphabet] = None,
+    *,
+    generic_path_bound: Optional[int] = None,
+    **kwargs,
+) -> EvaluationResult:
+    """Evaluate a union of queries: the union of the member results."""
+    result = EvaluationResult()
+    boolean_short_circuit = kwargs.get("boolean_short_circuit", True)
+    for member in union.queries:
+        partial = evaluate(member, db, alphabet, generic_path_bound=generic_path_bound, **kwargs)
+        result.merge(partial)
+        if union.is_boolean and boolean_short_circuit and result.boolean:
+            return result
+    return result
+
+
+def holds(query: Query, db: GraphDatabase, alphabet: Optional[Alphabet] = None, **kwargs) -> bool:
+    """Boolean evaluation ``D |= q`` via the dispatcher."""
+    return evaluate(query, db, alphabet, **kwargs).boolean

@@ -1,0 +1,107 @@
+"""A sound, bounded evaluation oracle for unrestricted CXRPQs.
+
+The paper shows that Boolean evaluation of unrestricted CXRPQs is
+PSpace-hard in data complexity (Theorem 1) and leaves upper bounds open
+(Section 8).  This module therefore provides an explicitly *bounded*
+evaluator: it only considers matching words of length at most
+``max_path_length`` per edge.  Any match it reports is a real match; a
+negative answer is conclusive only if the search was not truncated (the
+result's ``exhaustive`` flag records this).
+
+It is used as a cross-validation oracle in the tests and as the
+"what it costs to evaluate the unrestricted class" measurement in the
+Theorem 1 benchmark.
+"""
+
+from __future__ import annotations
+
+from itertools import product as iter_product
+from typing import Dict, Hashable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.core.alphabet import Alphabet
+from repro.automata.nfa import NFA
+from repro.engine.joins import EdgeRelation, join_morphisms
+from repro.engine.results import DEFAULT_MATCH_LIMIT, EvaluationResult, Match
+from repro.graphdb.database import GraphDatabase
+from repro.graphdb.paths import db_nfa_between, reachable_pairs
+from repro.queries.cxrpq import CXRPQ
+
+Node = Hashable
+
+#: Default cap on the number of candidate words enumerated per edge and morphism.
+DEFAULT_WORD_LIMIT = 2000
+
+
+def evaluate_generic(
+    query: CXRPQ,
+    db: GraphDatabase,
+    max_path_length: int,
+    alphabet: Optional[Alphabet] = None,
+    *,
+    max_image_length: Optional[int] = None,
+    word_limit: int = DEFAULT_WORD_LIMIT,
+    boolean_short_circuit: bool = True,
+    collect_witnesses: bool = False,
+    match_limit: int = DEFAULT_MATCH_LIMIT,
+    fixed: Optional[Dict[str, Node]] = None,
+) -> EvaluationResult:
+    """Sound bounded evaluation of an arbitrary CXRPQ.
+
+    For every candidate matching morphism the words labelling database paths
+    between the chosen endpoints (up to ``max_path_length``) are enumerated
+    and tested against the conjunctive xregex with the backtracking matcher.
+    ``fixed`` pins pattern nodes to database nodes (the Check problem).
+    """
+    alphabet = alphabet or db.alphabet()
+    conjunctive = query.conjunctive_xregex
+    if max_image_length is None:
+        max_image_length = query.resolve_image_bound(db.size())
+    endpoints = [(edge.source, edge.target) for edge in query.pattern.edges]
+    universal = NFA.universal(alphabet.symbols)
+    # Necessary condition: some path (of any label) connects the endpoints.
+    relation = EdgeRelation(reachable_pairs(db, universal))
+    relations = [relation for _ in endpoints]
+    result = EvaluationResult()
+    truncated = False
+    for morphism in join_morphisms(
+        endpoints,
+        relations,
+        query.pattern.nodes,
+        sorted(db.nodes, key=repr),
+        fixed=fixed,
+    ):
+        per_edge_words: List[List[str]] = []
+        for source, target in endpoints:
+            walker = db_nfa_between(db, morphism[source], [morphism[target]])
+            words = []
+            for word in walker.enumerate_strings(max_path_length):
+                words.append(word)
+                if len(words) >= word_limit:
+                    truncated = True
+                    break
+            per_edge_words.append(words)
+        for combo in iter_product(*per_edge_words):
+            witness = conjunctive.match(list(combo), alphabet, max_image_length=max_image_length)
+            if witness is None:
+                continue
+            output = tuple(morphism[variable] for variable in query.output_variables)
+            result.tuples.add(output)
+            if collect_witnesses and len(result.matches) < match_limit:
+                result.matches.append(Match.from_dict(dict(morphism), list(combo)))
+            if query.is_boolean and boolean_short_circuit:
+                result.exhaustive = True
+                return result
+            break
+    result.exhaustive = not truncated
+    return result
+
+
+def generic_holds(
+    query: CXRPQ,
+    db: GraphDatabase,
+    max_path_length: int,
+    alphabet: Optional[Alphabet] = None,
+    **kwargs,
+) -> bool:
+    """Boolean bounded evaluation (sound; complete only within the bound)."""
+    return evaluate_generic(query, db, max_path_length, alphabet, **kwargs).boolean

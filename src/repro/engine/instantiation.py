@@ -1,0 +1,224 @@
+"""Instantiating a conjunctive xregex with a fixed variable mapping (Lemma 10/11).
+
+Given a conjunctive xregex ``ᾱ`` and a tuple of images ``v̄`` (one word per
+string variable), Lemma 10 constructs a tuple of *classical* regular
+expressions ``β̄`` with ``L(β̄) = L^{v̄}(ᾱ)``: the conjunctive matches whose
+variable mapping is exactly ``v̄``.  Lemma 11 lifts this to queries: a CXRPQ
+with fixed images becomes a CRPQ.  This is the engine room of the
+``CXRPQ^<=k`` algorithm (Theorem 6).
+
+The construction has three phases (see Section 6.1 and DESIGN.md for the
+handling of definition-free variables):
+
+1. *mark / cut* — working bottom-up over nested definitions, check for every
+   definition ``x{γ}`` whether ``γ`` (with inner variables replaced by their
+   images) can generate ``v̄(x)``; definitions that cannot are removed
+   together with the alternation branch that would instantiate them,
+2. *force instantiation* — for every variable with a non-empty image that has
+   a (surviving) definition, prune alternation branches that would skip the
+   definition,
+3. *substitute* — replace every remaining definition and reference by the
+   literal image.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.alphabet import Alphabet
+from repro.automata.nfa import NFA
+from repro.queries.crpq import CRPQ
+from repro.queries.cxrpq import CXRPQ
+from repro.regex import syntax as rx
+from repro.regex.conjunctive import ConjunctiveXregex
+
+
+class _Failure:
+    """Sentinel marking a subtree that cannot participate in a match with ``v̄``."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<cut>"
+
+
+_FAIL = _Failure()
+
+
+def instantiate(
+    conjunctive: ConjunctiveXregex,
+    images: Mapping[str, str],
+    alphabet: Alphabet,
+) -> ConjunctiveXregex:
+    """The classical conjunctive xregex ``β̄`` with ``L(β̄) = L^{v̄}(ᾱ)`` (Lemma 10).
+
+    ``images`` must assign a word to every variable of ``ᾱ`` (missing
+    variables default to the empty word).  Components whose language becomes
+    empty are replaced by ``∅``; if the combination of images is infeasible
+    for the conjunctive xregex as a whole, *every* component is ``∅``.
+    """
+    images = {variable: images.get(variable, "") for variable in conjunctive.variables()}
+    defined = conjunctive.defined_variables()
+
+    # Phase 1: bottom-up marking and cutting of infeasible definitions.
+    components: List[rx.Xregex] = []
+    for component in conjunctive.components:
+        pruned = _prune_definitions(component, images, alphabet)
+        components.append(rx.EMPTY if isinstance(pruned, _Failure) else pruned)
+
+    # Phase 2: force instantiation of definitions of variables with non-empty images.
+    for variable in sorted(defined):
+        if images[variable] == "":
+            continue
+        has_definition = any(component.definitions_of(variable) for component in components)
+        if not has_definition:
+            # The image is non-empty but no surviving ref-word can instantiate
+            # the variable: no conjunctive match with mapping v̄ exists.
+            return ConjunctiveXregex([rx.EMPTY] * conjunctive.dimension, validate=False)
+        forced_components: List[rx.Xregex] = []
+        feasible = True
+        for component in components:
+            if component.definitions_of(variable):
+                forced = _force_instantiation(component, variable)
+                if isinstance(forced, _Failure):
+                    feasible = False
+                    break
+                forced_components.append(forced)
+            else:
+                forced_components.append(component)
+        if not feasible:
+            return ConjunctiveXregex([rx.EMPTY] * conjunctive.dimension, validate=False)
+        components = forced_components
+
+    # Phase 3: substitute images for all remaining definitions and references.
+    substituted: List[rx.Xregex] = []
+    for component in components:
+        substituted.append(_substitute_images(component, images))
+    return ConjunctiveXregex(substituted, validate=False)
+
+
+def instantiate_query(query: CXRPQ, images: Mapping[str, str], alphabet: Alphabet) -> CRPQ:
+    """The CRPQ ``q[v̄]`` with ``q[v̄](D) = q^{v̄}(D)`` for every database (Lemma 11)."""
+    classical = instantiate(query.conjunctive_xregex, images, alphabet)
+    edges = [
+        (edge.source, label, edge.target)
+        for edge, label in zip(query.pattern.edges, classical.components)
+    ]
+    return CRPQ(edges, query.output_variables)
+
+
+# ---------------------------------------------------------------------------
+# Phase 1: mark / cut
+# ---------------------------------------------------------------------------
+
+
+def _prune_definitions(node: rx.Xregex, images: Mapping[str, str], alphabet: Alphabet):
+    """Remove definitions that cannot generate their image, cutting enclosing branches."""
+    if isinstance(node, rx.VarDef):
+        body = _prune_definitions(node.body, images, alphabet)
+        if isinstance(body, _Failure):
+            return _FAIL
+        candidate_body = _substitute_images(body, images)
+        nfa = NFA.from_regex(candidate_body, alphabet)
+        if not nfa.accepts(images.get(node.name, "")):
+            return _FAIL
+        return rx.VarDef(node.name, body)
+    if isinstance(node, rx.Alternation):
+        survivors = []
+        for option in node.options:
+            pruned = _prune_definitions(option, images, alphabet)
+            if not isinstance(pruned, _Failure):
+                survivors.append(pruned)
+        if not survivors:
+            return _FAIL
+        return rx.alternation(*survivors)
+    if isinstance(node, rx.Optional):
+        inner = _prune_definitions(node.inner, images, alphabet)
+        if isinstance(inner, _Failure):
+            return rx.EPSILON
+        return rx.optional(inner) if not isinstance(inner, (rx.Epsilon, rx.EmptySet)) else rx.EPSILON
+    if isinstance(node, rx.Star):
+        inner = _prune_definitions(node.inner, images, alphabet)
+        if isinstance(inner, _Failure):
+            return rx.EPSILON
+        return rx.star(inner)
+    if isinstance(node, rx.Plus):
+        inner = _prune_definitions(node.inner, images, alphabet)
+        if isinstance(inner, _Failure):
+            return _FAIL
+        return rx.plus(inner)
+    if isinstance(node, rx.Concat):
+        parts = []
+        for part in node.parts:
+            pruned = _prune_definitions(part, images, alphabet)
+            if isinstance(pruned, _Failure):
+                return _FAIL
+            parts.append(pruned)
+        return rx.concat(*parts)
+    return node
+
+
+# ---------------------------------------------------------------------------
+# Phase 2: force instantiation
+# ---------------------------------------------------------------------------
+
+
+def _contains_definition_of(node: rx.Xregex, variable: str) -> bool:
+    return any(
+        isinstance(inner, rx.VarDef) and inner.name == variable for inner in node.iter_nodes()
+    )
+
+
+def _force_instantiation(node: rx.Xregex, variable: str):
+    """Prune alternation branches so that a definition of ``variable`` is always taken."""
+    if isinstance(node, rx.VarDef):
+        if node.name == variable:
+            return node
+        body = _force_instantiation(node.body, variable)
+        if isinstance(body, _Failure):
+            return _FAIL
+        return rx.VarDef(node.name, body)
+    if not _contains_definition_of(node, variable):
+        return _FAIL
+    if isinstance(node, rx.Alternation):
+        survivors = []
+        for option in node.options:
+            forced = _force_instantiation(option, variable)
+            if not isinstance(forced, _Failure):
+                survivors.append(forced)
+        if not survivors:
+            return _FAIL
+        return rx.alternation(*survivors)
+    if isinstance(node, rx.Optional):
+        return _force_instantiation(node.inner, variable)
+    if isinstance(node, rx.Concat):
+        parts = []
+        for part in node.parts:
+            if _contains_definition_of(part, variable):
+                forced = _force_instantiation(part, variable)
+                if isinstance(forced, _Failure):
+                    return _FAIL
+                parts.append(forced)
+            else:
+                parts.append(part)
+        return rx.concat(*parts)
+    if isinstance(node, (rx.Star, rx.Plus)):
+        # A definition below a repetition is excluded by sequentiality.
+        return _FAIL
+    return _FAIL  # pragma: no cover - leaves contain no definitions
+
+
+# ---------------------------------------------------------------------------
+# Phase 3: substitution
+# ---------------------------------------------------------------------------
+
+
+def _substitute_images(node: rx.Xregex, images: Mapping[str, str]) -> rx.Xregex:
+    """Replace every definition and reference by the literal image word."""
+
+    def replace(inner: rx.Xregex) -> rx.Xregex:
+        if isinstance(inner, rx.VarRef):
+            return rx.literal(images.get(inner.name, ""))
+        if isinstance(inner, rx.VarDef):
+            return rx.literal(images.get(inner.name, ""))
+        return inner
+
+    return node.transform_bottom_up(replace)

@@ -1,0 +1,175 @@
+"""Backtracking join of per-edge relations into matching morphisms.
+
+Every evaluation algorithm of the paper ultimately searches for a matching
+morphism ``h`` from the pattern nodes to the database nodes such that each
+edge's endpoints land in a per-edge relation (plus, for CXRPQ/ECRPQ,
+additional synchronisation constraints).  This module implements that search
+once: a greedy, index-backed backtracking join.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Dict, Hashable, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+Node = Hashable
+
+
+class EdgeRelation:
+    """A binary relation over database nodes with hash indexes on both columns."""
+
+    __slots__ = ("pairs", "by_source", "by_target")
+
+    def __init__(self, pairs: Iterable[Tuple[Node, Node]]):
+        self.pairs: Set[Tuple[Node, Node]] = set(pairs)
+        self.by_source: Dict[Node, Set[Node]] = defaultdict(set)
+        self.by_target: Dict[Node, Set[Node]] = defaultdict(set)
+        for source, target in self.pairs:
+            self.by_source[source].add(target)
+            self.by_target[target].add(source)
+
+    def __contains__(self, pair: Tuple[Node, Node]) -> bool:
+        return pair in self.pairs
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    def targets_of(self, source: Node) -> Set[Node]:
+        return self.by_source.get(source, set())
+
+    def sources_of(self, target: Node) -> Set[Node]:
+        return self.by_target.get(target, set())
+
+
+def join_morphisms(
+    edge_endpoints: Sequence[Tuple[str, str]],
+    edge_relations: Sequence[EdgeRelation],
+    pattern_nodes: Sequence[str],
+    database_nodes: Sequence[Node],
+    fixed: Optional[Dict[str, Node]] = None,
+    check: Optional[Callable[[Dict[str, Node]], bool]] = None,
+) -> Iterator[Dict[str, Node]]:
+    """Enumerate all morphisms consistent with the per-edge relations.
+
+    Parameters
+    ----------
+    edge_endpoints:
+        ``(source_variable, target_variable)`` per edge.
+    edge_relations:
+        The admissible node pairs per edge, positionally aligned with
+        ``edge_endpoints``.
+    pattern_nodes:
+        Every node variable of the pattern (including isolated ones).
+    database_nodes:
+        The nodes of the database (candidates for isolated variables).
+    fixed:
+        A partial assignment that every produced morphism must extend
+        (used by the Check problem, where the output tuple is given).
+    check:
+        An optional predicate evaluated on each complete assignment; only
+        assignments passing the predicate are yielded (used for string
+        variable synchronisation and relation constraints).
+    """
+    if len(edge_endpoints) != len(edge_relations):
+        raise ValueError("edge_endpoints and edge_relations must have equal length")
+    assignment: Dict[str, Node] = dict(fixed or {})
+    unknown = [node for node in assignment if node not in pattern_nodes]
+    if unknown:
+        raise ValueError(f"fixed assignment mentions unknown pattern nodes {unknown}")
+    remaining = list(range(len(edge_endpoints)))
+    yield from _extend(
+        assignment,
+        remaining,
+        edge_endpoints,
+        edge_relations,
+        pattern_nodes,
+        database_nodes,
+        check,
+    )
+
+
+def _select_edge(
+    remaining: List[int],
+    edge_endpoints: Sequence[Tuple[str, str]],
+    edge_relations: Sequence[EdgeRelation],
+    assignment: Dict[str, Node],
+) -> int:
+    """Pick the most constrained remaining edge (most bound endpoints, smallest relation)."""
+    best_index = remaining[0]
+    best_key = (-1, float("inf"))
+    for index in remaining:
+        source, target = edge_endpoints[index]
+        bound = (source in assignment) + (target in assignment)
+        key = (bound, -len(edge_relations[index]))
+        if key > best_key:
+            best_key = key
+            best_index = index
+    return best_index
+
+
+def _extend(
+    assignment: Dict[str, Node],
+    remaining: List[int],
+    edge_endpoints: Sequence[Tuple[str, str]],
+    edge_relations: Sequence[EdgeRelation],
+    pattern_nodes: Sequence[str],
+    database_nodes: Sequence[Node],
+    check: Optional[Callable[[Dict[str, Node]], bool]],
+) -> Iterator[Dict[str, Node]]:
+    if not remaining:
+        # Assign any pattern nodes that occur in no edge.
+        unassigned = [node for node in pattern_nodes if node not in assignment]
+        yield from _assign_isolated(assignment, unassigned, database_nodes, check)
+        return
+    index = _select_edge(remaining, edge_endpoints, edge_relations, assignment)
+    rest = [edge for edge in remaining if edge != index]
+    source, target = edge_endpoints[index]
+    relation = edge_relations[index]
+    source_value = assignment.get(source)
+    target_value = assignment.get(target)
+    if source_value is not None and target_value is not None:
+        if (source_value, target_value) in relation:
+            yield from _extend(assignment, rest, edge_endpoints, edge_relations, pattern_nodes, database_nodes, check)
+        return
+    if source_value is not None:
+        candidates = relation.targets_of(source_value)
+        if source == target:
+            candidates = candidates & {source_value}
+        for candidate in sorted(candidates, key=repr):
+            assignment[target] = candidate
+            yield from _extend(assignment, rest, edge_endpoints, edge_relations, pattern_nodes, database_nodes, check)
+            del assignment[target]
+        return
+    if target_value is not None:
+        candidates = relation.sources_of(target_value)
+        for candidate in sorted(candidates, key=repr):
+            assignment[source] = candidate
+            yield from _extend(assignment, rest, edge_endpoints, edge_relations, pattern_nodes, database_nodes, check)
+            del assignment[source]
+        return
+    for pair_source, pair_target in sorted(relation.pairs, key=repr):
+        if source == target and pair_source != pair_target:
+            continue
+        assignment[source] = pair_source
+        assignment[target] = pair_target
+        yield from _extend(assignment, rest, edge_endpoints, edge_relations, pattern_nodes, database_nodes, check)
+        if source != target:
+            del assignment[target]
+        del assignment[source]
+
+
+def _assign_isolated(
+    assignment: Dict[str, Node],
+    unassigned: List[str],
+    database_nodes: Sequence[Node],
+    check: Optional[Callable[[Dict[str, Node]], bool]],
+) -> Iterator[Dict[str, Node]]:
+    if not unassigned:
+        if check is None or check(assignment):
+            yield dict(assignment)
+        return
+    node = unassigned[0]
+    for candidate in sorted(database_nodes, key=repr):
+        assignment[node] = candidate
+        yield from _assign_isolated(assignment, unassigned[1:], database_nodes, check)
+        del assignment[node]

@@ -1,0 +1,252 @@
+"""The normal-form construction for variable-star free conjunctive xregex.
+
+Section 5.1 of the paper transforms every vstar-free conjunctive xregex into
+an equivalent one in *normal form* (each component an alternation of simple
+xregex) in three steps:
+
+* **Step 1 (Lemma 4)** — multiply out alternations that contain variables,
+  turning each component into an alternation of variable-simple xregex
+  (worst-case exponential blow-up).
+* **Step 2 (Lemma 5)** — rename variables so that every variable has at most
+  one definition; every reference is replaced by a concatenation of the
+  renamed copies (quadratic blow-up).
+* **Step 3 (Lemma 6)** — eliminate non-basic definitions by the *main
+  modification step*, processed in the topological order of the variable
+  dependency DAG ``G_ᾱ`` (Figure 3); chains of non-flat variables cause the
+  exponential blow-up discussed in Section 5.3, flat variables keep the
+  result quadratic (Lemma 8).
+
+The functions below implement each step separately (so the benchmarks can
+measure their individual size blow-ups) plus the composed
+:func:`normal_form`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product as iter_product
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.errors import FragmentError
+from repro.regex import properties as props
+from repro.regex import syntax as rx
+from repro.regex.conjunctive import ConjunctiveXregex
+
+
+# ---------------------------------------------------------------------------
+# Step 1 — alternation of variable-simple xregex (Lemma 4)
+# ---------------------------------------------------------------------------
+
+
+def step1_variable_simple(conjunctive: ConjunctiveXregex) -> ConjunctiveXregex:
+    """Multiply out alternations containing variables (Lemma 4).
+
+    Requires the input to be variable-star free; raises
+    :class:`FragmentError` otherwise.
+    """
+    components = []
+    for component in conjunctive.components:
+        alternatives = _distribute(component)
+        components.append(rx.alternation(*alternatives))
+    return ConjunctiveXregex(components)
+
+
+def _distribute(node: rx.Xregex) -> List[rx.Xregex]:
+    """All variable-simple alternatives of a vstar-free xregex."""
+    if not node.contains_variables():
+        return [node]
+    if isinstance(node, rx.Alternation):
+        alternatives: List[rx.Xregex] = []
+        for option in node.options:
+            alternatives.extend(_distribute(option))
+        return alternatives
+    if isinstance(node, rx.Optional):
+        return [rx.EPSILON] + _distribute(node.inner)
+    if isinstance(node, (rx.Plus, rx.Star)):
+        raise FragmentError(
+            f"the normal-form construction requires a variable-star free xregex, "
+            f"but variables occur under a repetition in {node}"
+        )
+    if isinstance(node, rx.Concat):
+        part_alternatives = [_distribute(part) for part in node.parts]
+        combined: List[rx.Xregex] = []
+        for combo in iter_product(*part_alternatives):
+            combined.append(rx.concat(*combo))
+        return combined
+    if isinstance(node, rx.VarDef):
+        return [rx.VarDef(node.name, body) for body in _distribute(node.body)]
+    if isinstance(node, rx.VarRef):
+        return [node]
+    return [node]  # pragma: no cover - leaves without variables handled above
+
+
+# ---------------------------------------------------------------------------
+# Step 2 — at most one definition per variable (Lemma 5)
+# ---------------------------------------------------------------------------
+
+
+class _NameAllocator:
+    """Generates fresh variable names that do not clash with existing ones."""
+
+    def __init__(self, taken: Set[str], prefix: str = "u"):
+        self.taken = set(taken)
+        self.prefix = prefix
+        self.counter = 0
+
+    def fresh(self, hint: str = "") -> str:
+        while True:
+            self.counter += 1
+            candidate = f"{hint}_{self.prefix}{self.counter}" if hint else f"{self.prefix}{self.counter}"
+            if candidate not in self.taken:
+                self.taken.add(candidate)
+                return candidate
+
+
+def step2_unique_definitions(conjunctive: ConjunctiveXregex) -> ConjunctiveXregex:
+    """Rename variables so that each has at most one definition (Lemma 5)."""
+    components = list(conjunctive.components)
+    allocator = _NameAllocator(conjunctive.variables())
+    for variable in sorted(conjunctive.defined_variables()):
+        total_defs = sum(len(component.definitions_of(variable)) for component in components)
+        if total_defs <= 1:
+            continue
+        fresh_names: List[str] = []
+        renamed_components: List[rx.Xregex] = []
+        for component in components:
+            renamed_components.append(
+                _rename_definition_occurrences(component, variable, allocator, fresh_names)
+            )
+        replacement = rx.concat(*[rx.VarRef(name) for name in fresh_names])
+        components = [
+            component.substitute_references({variable: replacement})
+            for component in renamed_components
+        ]
+    return ConjunctiveXregex(components)
+
+
+def _rename_definition_occurrences(
+    component: rx.Xregex,
+    variable: str,
+    allocator: _NameAllocator,
+    fresh_names: List[str],
+) -> rx.Xregex:
+    """Give every definition occurrence of ``variable`` in ``component`` a fresh name."""
+
+    def rebuild(node: rx.Xregex) -> rx.Xregex:
+        if isinstance(node, rx.VarDef) and node.name == variable:
+            fresh = allocator.fresh(variable)
+            fresh_names.append(fresh)
+            return rx.VarDef(fresh, rebuild(node.body))
+        return node.map_children(rebuild)
+
+    return rebuild(component)
+
+
+# ---------------------------------------------------------------------------
+# Step 3 — basic definitions via the main modification step (Lemma 6)
+# ---------------------------------------------------------------------------
+
+
+def step3_basic_definitions(conjunctive: ConjunctiveXregex) -> ConjunctiveXregex:
+    """Eliminate non-basic definitions (Lemma 6).
+
+    Requires that every component is an alternation of variable-simple
+    xregex and every variable has at most one definition (the output shape of
+    Steps 1 and 2).
+    """
+    components = list(conjunctive.components)
+    allocator = _NameAllocator(conjunctive.variables(), prefix="nf")
+    order = props.topological_variable_order(rx.concat(*components))
+    if order is None:  # pragma: no cover - excluded by ConjunctiveXregex validation
+        raise FragmentError("cyclic variable dependencies")
+    for variable in order:
+        definition = _find_single_definition(components, variable)
+        if definition is None or props.is_basic_definition(definition):
+            continue
+        components = _main_modification_step(components, definition, allocator)
+    return ConjunctiveXregex(components)
+
+
+def _find_single_definition(components: Sequence[rx.Xregex], variable: str) -> Optional[rx.VarDef]:
+    found: List[rx.VarDef] = []
+    for component in components:
+        found.extend(component.definitions_of(variable))
+    if not found:
+        return None
+    if len(found) > 1:
+        raise FragmentError(
+            f"step 3 expects at most one definition per variable, but {variable!r} has {len(found)}; "
+            "run step2_unique_definitions first"
+        )
+    return found[0]
+
+
+def _main_modification_step(
+    components: List[rx.Xregex],
+    definition: rx.VarDef,
+    allocator: _NameAllocator,
+) -> List[rx.Xregex]:
+    """The main modification step of Lemma 6 applied to one definition ``z{gamma}``."""
+    body = definition.body
+    parts: Sequence[rx.Xregex] = body.parts if isinstance(body, rx.Concat) else (body,)
+    replacement_defs: List[rx.Xregex] = []
+    reference_names: List[str] = []
+    for part in parts:
+        if isinstance(part, rx.VarDef):
+            replacement_defs.append(part)
+            reference_names.append(part.name)
+        else:
+            fresh = allocator.fresh()
+            replacement_defs.append(rx.VarDef(fresh, part))
+            reference_names.append(fresh)
+    definition_replacement = rx.concat(*replacement_defs)
+    reference_replacement = rx.concat(*[rx.VarRef(name) for name in reference_names])
+    rewritten: List[rx.Xregex] = []
+    for component in components:
+        component = component.substitute_definitions({definition.name: definition_replacement})
+        component = component.substitute_references({definition.name: reference_replacement})
+        rewritten.append(component)
+    return rewritten
+
+
+# ---------------------------------------------------------------------------
+# The composed construction (Theorem 4) and size instrumentation
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class NormalFormReport:
+    """Sizes observed during the normal-form construction (for the benchmarks)."""
+
+    input_size: int
+    after_step1: int
+    after_step2: int
+    after_step3: int
+
+    @property
+    def blowup(self) -> float:
+        """The overall size ratio ``|normal form| / |input|``."""
+        return self.after_step3 / max(1, self.input_size)
+
+
+def normal_form(conjunctive: ConjunctiveXregex) -> ConjunctiveXregex:
+    """Transform a vstar-free conjunctive xregex into normal form (Theorem 4)."""
+    return normal_form_with_report(conjunctive)[0]
+
+
+def normal_form_with_report(
+    conjunctive: ConjunctiveXregex,
+) -> Tuple[ConjunctiveXregex, NormalFormReport]:
+    """Like :func:`normal_form`, but also report intermediate sizes."""
+    if not conjunctive.is_vstar_free():
+        raise FragmentError("the normal-form construction requires a vstar-free conjunctive xregex")
+    step1 = step1_variable_simple(conjunctive)
+    step2 = step2_unique_definitions(step1)
+    step3 = step3_basic_definitions(step2)
+    report = NormalFormReport(
+        input_size=conjunctive.size(),
+        after_step1=step1.size(),
+        after_step2=step2.size(),
+        after_step3=step3.size(),
+    )
+    return step3, report

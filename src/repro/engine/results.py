@@ -1,0 +1,71 @@
+"""Result objects returned by the evaluation algorithms."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Hashable, List, Optional, Sequence, Set, Tuple
+
+Node = Hashable
+
+
+@dataclass(frozen=True)
+class Match:
+    """A single matching morphism, optionally with witness words per edge."""
+
+    morphism: Tuple[Tuple[str, Node], ...]
+    words: Optional[Tuple[str, ...]] = None
+
+    @classmethod
+    def from_dict(cls, morphism: Dict[str, Node], words: Optional[Sequence[str]] = None) -> "Match":
+        return cls(
+            morphism=tuple(sorted(morphism.items())),
+            words=tuple(words) if words is not None else None,
+        )
+
+    def node(self, variable: str) -> Node:
+        """The database node the morphism assigns to ``variable``."""
+        for name, value in self.morphism:
+            if name == variable:
+                return value
+        raise KeyError(variable)
+
+    def as_dict(self) -> Dict[str, Node]:
+        return dict(self.morphism)
+
+
+@dataclass
+class EvaluationResult:
+    """The outcome of evaluating a conjunctive path query on a database.
+
+    ``tuples`` is ``q(D)``: the set of output tuples (the singleton ``{()}``
+    for a satisfied Boolean query).  ``matches`` optionally records witness
+    morphisms (capped by the engines to keep memory bounded).
+    """
+
+    tuples: Set[Tuple[Node, ...]] = field(default_factory=set)
+    matches: List[Match] = field(default_factory=list)
+    #: Set by bounded/oracle engines when the search space was truncated,
+    #: meaning a negative answer is not conclusive.
+    exhaustive: bool = True
+
+    @property
+    def boolean(self) -> bool:
+        """``D |= q`` — whether at least one matching morphism exists."""
+        return bool(self.tuples)
+
+    def merge(self, other: "EvaluationResult") -> "EvaluationResult":
+        """Union of two results (used for unions of queries and disjunct enumeration)."""
+        self.tuples |= other.tuples
+        self.matches.extend(other.matches)
+        self.exhaustive = self.exhaustive and other.exhaustive
+        return self
+
+    def __repr__(self) -> str:
+        return (
+            f"EvaluationResult(tuples={len(self.tuples)}, matches={len(self.matches)}, "
+            f"exhaustive={self.exhaustive})"
+        )
+
+
+#: Maximum number of witness matches the engines record by default.
+DEFAULT_MATCH_LIMIT = 64

@@ -1,0 +1,98 @@
+"""Evaluation of variable-star free CXRPQs (Theorem 2, Lemmas 7 and 9).
+
+The algorithm follows the paper's road map:
+
+1. transform the conjunctive xregex into normal form (Section 5.1), so every
+   component becomes an alternation of *simple* xregex;
+2. the nondeterministic choice of the proof of Lemma 7 — which alternation
+   branch each component takes — is realised by enumerating the disjunct
+   combinations;
+3. each chosen combination is a simple conjunctive xregex and is evaluated
+   with the Lemma 3 engine.  References of variables whose definition lives
+   in a *non-chosen* disjunct are forced to the empty word, as required by
+   the conjunctive semantics.
+
+For ``CXRPQ^vsf,fl`` the very same code applies; the normal form is only
+polynomially larger (Lemma 8), which is what Theorem 5's PSpace bound rests
+on and what the benchmark E-NF measures.
+"""
+
+from __future__ import annotations
+
+from itertools import product as iter_product
+from typing import Dict, Hashable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.alphabet import Alphabet
+from repro.core.errors import FragmentError
+from repro.engine.normal_form import normal_form
+from repro.engine.results import DEFAULT_MATCH_LIMIT, EvaluationResult
+from repro.engine.simple import evaluate_simple_components
+from repro.graphdb.database import GraphDatabase
+from repro.queries.cxrpq import CXRPQ
+from repro.regex import properties as props
+from repro.regex import syntax as rx
+from repro.regex.conjunctive import ConjunctiveXregex
+
+Node = Hashable
+
+
+def disjunct_combinations(conjunctive: ConjunctiveXregex) -> Iterator[Tuple[rx.Xregex, ...]]:
+    """All ways of picking one normal-form disjunct per component."""
+    per_component: List[List[rx.Xregex]] = [
+        props.normal_form_disjuncts(component) for component in conjunctive.components
+    ]
+    yield from iter_product(*per_component)
+
+
+def evaluate_vsf(
+    query: CXRPQ,
+    db: GraphDatabase,
+    alphabet: Optional[Alphabet] = None,
+    *,
+    boolean_short_circuit: bool = True,
+    collect_witnesses: bool = False,
+    match_limit: int = DEFAULT_MATCH_LIMIT,
+    image_bound: Optional[int] = None,
+    fixed: Optional[Dict[str, Node]] = None,
+    precomputed_normal_form: Optional[ConjunctiveXregex] = None,
+) -> EvaluationResult:
+    """Evaluate a ``CXRPQ^vsf`` (or ``CXRPQ^vsf,fl``) query (Theorem 2 / Theorem 5).
+
+    ``precomputed_normal_form`` lets callers (and benchmarks) amortise the
+    normal-form construction across several databases.
+    """
+    conjunctive = query.conjunctive_xregex
+    if not conjunctive.is_vstar_free():
+        raise FragmentError(
+            "evaluate_vsf requires a variable-star free query; "
+            "use evaluate_bounded (CXRPQ^<=k semantics) or evaluate_generic instead"
+        )
+    if image_bound is None:
+        image_bound = query.resolve_image_bound(db.size())
+    normalised = precomputed_normal_form or normal_form(conjunctive)
+    defined_globally = normalised.defined_variables()
+    alphabet = alphabet or db.alphabet()
+    result = EvaluationResult()
+    for combination in disjunct_combinations(normalised):
+        partial = evaluate_simple_components(
+            query.pattern,
+            list(combination),
+            query.output_variables,
+            db,
+            alphabet,
+            defined_globally=set(defined_globally),
+            boolean_short_circuit=boolean_short_circuit,
+            collect_witnesses=collect_witnesses,
+            match_limit=match_limit,
+            image_bound=image_bound,
+            fixed=fixed,
+        )
+        result.merge(partial)
+        if query.is_boolean and boolean_short_circuit and result.boolean:
+            return result
+    return result
+
+
+def vsf_holds(query: CXRPQ, db: GraphDatabase, alphabet: Optional[Alphabet] = None) -> bool:
+    """Boolean evaluation ``D |= q`` for vstar-free queries."""
+    return evaluate_vsf(query, db, alphabet).boolean

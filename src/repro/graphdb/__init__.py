@@ -1,0 +1,20 @@
+"""Graph databases: directed, edge-labelled multigraphs (Section 2.2)."""
+
+from repro.graphdb.database import GraphDatabase, Edge
+from repro.graphdb.paths import (
+    reachable_pairs,
+    reachable_from,
+    evaluate_rpq,
+    find_path_word,
+    db_nfa_between,
+)
+
+__all__ = [
+    "GraphDatabase",
+    "Edge",
+    "reachable_pairs",
+    "reachable_from",
+    "evaluate_rpq",
+    "find_path_word",
+    "db_nfa_between",
+]

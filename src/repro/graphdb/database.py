@@ -1,0 +1,238 @@
+"""Graph databases: directed, edge-labelled multigraphs over an alphabet.
+
+A graph database (Section 2.2) is a pair ``D = (V_D, E_D)`` with
+``E_D ⊆ V_D × Sigma × V_D``.  Nodes can be arbitrary hashable objects
+(strings and integers in practice); labels are single-character symbols.
+Paths of length 0 exist from every node to itself and are labelled by the
+empty word, exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.core.alphabet import Alphabet
+from repro.core.errors import AlphabetError, EvaluationError
+
+Node = Hashable
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A single labelled arc ``(source, label, target)``."""
+
+    source: Node
+    label: str
+    target: Node
+
+    def __iter__(self):
+        return iter((self.source, self.label, self.target))
+
+
+class GraphDatabase:
+    """A directed, edge-labelled multigraph."""
+
+    __slots__ = ("_nodes", "_edges", "_forward", "_backward", "_by_label", "_alphabet")
+
+    def __init__(self, alphabet: Optional[Alphabet] = None):
+        self._nodes: Set[Node] = set()
+        self._edges: List[Edge] = []
+        self._forward: Dict[Node, List[Tuple[str, Node]]] = defaultdict(list)
+        self._backward: Dict[Node, List[Tuple[str, Node]]] = defaultdict(list)
+        self._by_label: Dict[str, List[Tuple[Node, Node]]] = defaultdict(list)
+        self._alphabet = alphabet
+
+    # -- construction ------------------------------------------------------------
+
+    @classmethod
+    def from_edges(
+        cls,
+        edges: Iterable[Tuple[Node, str, Node]],
+        alphabet: Optional[Alphabet] = None,
+    ) -> "GraphDatabase":
+        """Build a database from an iterable of ``(source, label, target)`` triples."""
+        database = cls(alphabet)
+        for source, label, target in edges:
+            database.add_edge(source, label, target)
+        return database
+
+    def add_node(self, node: Node) -> Node:
+        """Add an isolated node (no-op if it already exists)."""
+        self._nodes.add(node)
+        return node
+
+    def add_edge(self, source: Node, label: str, target: Node) -> Edge:
+        """Add an arc labelled with a single symbol."""
+        if not isinstance(label, str) or len(label) != 1:
+            raise AlphabetError(
+                f"edge labels must be single symbols, got {label!r}; "
+                "use add_word_path for longer labels"
+            )
+        if self._alphabet is not None and label not in self._alphabet:
+            raise AlphabetError(f"label {label!r} is not in the declared alphabet")
+        edge = Edge(source, label, target)
+        self._nodes.add(source)
+        self._nodes.add(target)
+        self._edges.append(edge)
+        self._forward[source].append((label, target))
+        self._backward[target].append((label, source))
+        self._by_label[label].append((source, target))
+        return edge
+
+    def add_word_path(self, source: Node, word: str, target: Node, prefix: str = "_p") -> List[Node]:
+        """Add a path from ``source`` to ``target`` labelled with ``word``.
+
+        For ``|word| >= 2`` fresh intermediate nodes are created (named from
+        ``prefix``); the paper uses this convention when it labels arcs with
+        short words such as ``##`` in the Theorem 1 construction.  Returns the
+        list of intermediate nodes.
+        """
+        if word == "":
+            raise EvaluationError(
+                "graph databases have no epsilon edges; an empty word is only "
+                "realised by the trivial path from a node to itself"
+            )
+        intermediates: List[Node] = []
+        current = source
+        for index, symbol in enumerate(word):
+            is_last = index == len(word) - 1
+            nxt = target if is_last else f"{prefix}:{source}->{target}:{len(self._edges)}:{index}"
+            if not is_last:
+                intermediates.append(nxt)
+            self.add_edge(current, symbol, nxt)
+            current = nxt
+        return intermediates
+
+    # -- inspection ----------------------------------------------------------------
+
+    @property
+    def nodes(self) -> Set[Node]:
+        """The set of nodes."""
+        return self._nodes
+
+    @property
+    def edges(self) -> Sequence[Edge]:
+        """All arcs, in insertion order."""
+        return self._edges
+
+    def num_nodes(self) -> int:
+        return len(self._nodes)
+
+    def num_edges(self) -> int:
+        return len(self._edges)
+
+    def size(self) -> int:
+        """The size measure ``|D|`` (number of nodes plus number of arcs)."""
+        return len(self._nodes) + len(self._edges)
+
+    def alphabet(self) -> Alphabet:
+        """The declared alphabet, or the set of labels actually used."""
+        if self._alphabet is not None:
+            return self._alphabet
+        labels = set(self._by_label)
+        if not labels:
+            raise AlphabetError("the database has no edges and no declared alphabet")
+        return Alphabet(labels)
+
+    def successors(self, node: Node) -> Sequence[Tuple[str, Node]]:
+        """Outgoing ``(label, target)`` pairs of ``node``."""
+        return self._forward.get(node, ())
+
+    def predecessors(self, node: Node) -> Sequence[Tuple[str, Node]]:
+        """Incoming ``(label, source)`` pairs of ``node``."""
+        return self._backward.get(node, ())
+
+    def successors_by_label(self, node: Node, label: str) -> List[Node]:
+        """Targets of arcs labelled ``label`` leaving ``node``."""
+        return [target for edge_label, target in self._forward.get(node, ()) if edge_label == label]
+
+    def edges_by_label(self, label: str) -> Sequence[Tuple[Node, Node]]:
+        """All ``(source, target)`` pairs connected by an arc labelled ``label``."""
+        return self._by_label.get(label, ())
+
+    def has_edge(self, source: Node, label: str, target: Node) -> bool:
+        return (source, target) in set(self._by_label.get(label, ()))
+
+    def out_degree(self, node: Node) -> int:
+        return len(self._forward.get(node, ()))
+
+    def __contains__(self, node: object) -> bool:
+        return node in self._nodes
+
+    def __repr__(self) -> str:
+        return f"GraphDatabase(nodes={self.num_nodes()}, edges={self.num_edges()})"
+
+    # -- path queries -----------------------------------------------------------------
+
+    def path_exists(self, source: Node, word: str, target: Node) -> bool:
+        """True if a path from ``source`` to ``target`` labelled ``word`` exists."""
+        current = {source} if source in self._nodes else set()
+        for symbol in word:
+            nxt: Set[Node] = set()
+            for node in current:
+                nxt.update(self.successors_by_label(node, symbol))
+            current = nxt
+            if not current:
+                return False
+        return target in current
+
+    def nodes_reached_by(self, source: Node, word: str) -> Set[Node]:
+        """All nodes reachable from ``source`` by a path labelled ``word``."""
+        current = {source} if source in self._nodes else set()
+        for symbol in word:
+            nxt: Set[Node] = set()
+            for node in current:
+                nxt.update(self.successors_by_label(node, symbol))
+            current = nxt
+        return current
+
+    # -- conversions --------------------------------------------------------------------
+
+    def to_networkx(self):
+        """Export as a ``networkx.MultiDiGraph`` with ``label`` edge attributes."""
+        import networkx as nx
+
+        graph = nx.MultiDiGraph()
+        graph.add_nodes_from(self._nodes)
+        for edge in self._edges:
+            graph.add_edge(edge.source, edge.target, label=edge.label)
+        return graph
+
+    def to_json(self) -> str:
+        """Serialise the database to a JSON string (nodes as strings)."""
+        payload = {
+            "nodes": [repr(node) for node in sorted(self._nodes, key=repr)],
+            "edges": [[repr(edge.source), edge.label, repr(edge.target)] for edge in self._edges],
+        }
+        return json.dumps(payload, indent=2)
+
+    def relabel(self) -> Tuple["GraphDatabase", Dict[Node, int]]:
+        """Return a copy with nodes renamed to consecutive integers."""
+        mapping = {node: index for index, node in enumerate(sorted(self._nodes, key=repr))}
+        renamed = GraphDatabase(self._alphabet)
+        for node in self._nodes:
+            renamed.add_node(mapping[node])
+        for edge in self._edges:
+            renamed.add_edge(mapping[edge.source], edge.label, mapping[edge.target])
+        return renamed, mapping
+
+    def copy(self) -> "GraphDatabase":
+        """A shallow copy of the database."""
+        clone = GraphDatabase(self._alphabet)
+        for node in self._nodes:
+            clone.add_node(node)
+        for edge in self._edges:
+            clone.add_edge(edge.source, edge.label, edge.target)
+        return clone
+
+    def union(self, other: "GraphDatabase") -> "GraphDatabase":
+        """The node-disjointness-agnostic union of two databases."""
+        merged = self.copy()
+        for node in other.nodes:
+            merged.add_node(node)
+        for edge in other.edges:
+            merged.add_edge(edge.source, edge.label, edge.target)
+        return merged

@@ -1,0 +1,258 @@
+"""Synthetic graph-database generators.
+
+The paper contains no datasets; every construction it *describes* is
+generated here:
+
+* random edge-labelled multigraphs (the generic workload),
+* the genealogy/supervision graphs motivating Figure 1,
+* the "hidden communication network" motivating Figure 2 (query G3),
+* two node-disjoint labelled paths ``D_{n1,n2}`` (proof of Theorem 9),
+* labelled path databases and pumped variants (proof of Lemma 16),
+* conversions from NFAs to databases (proof of Theorem 1).
+
+All generators take an explicit ``seed`` so workloads are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.alphabet import Alphabet
+from repro.automata.nfa import EPSILON_LABEL, NFA
+from repro.graphdb.database import GraphDatabase, Node
+
+
+def random_graph(
+    num_nodes: int,
+    num_edges: int,
+    alphabet: Alphabet,
+    seed: int = 0,
+    ensure_connected: bool = False,
+) -> GraphDatabase:
+    """A random directed multigraph with uniformly chosen labelled arcs."""
+    rng = random.Random(seed)
+    symbols = list(alphabet)
+    db = GraphDatabase(alphabet)
+    for node in range(num_nodes):
+        db.add_node(node)
+    if ensure_connected and num_nodes > 1:
+        order = list(range(num_nodes))
+        rng.shuffle(order)
+        for previous, current in zip(order, order[1:]):
+            db.add_edge(previous, rng.choice(symbols), current)
+    while db.num_edges() < num_edges:
+        source = rng.randrange(num_nodes)
+        target = rng.randrange(num_nodes)
+        db.add_edge(source, rng.choice(symbols), target)
+    return db
+
+
+def path_database(word: str, start: Node = "v0", prefix: str = "v") -> Tuple[GraphDatabase, Node, Node]:
+    """A database that is a single path labelled ``word``.
+
+    Returns ``(db, first_node, last_node)``.
+    """
+    db = GraphDatabase()
+    db.add_node(start)
+    current = start
+    for index, symbol in enumerate(word, start=1):
+        nxt = f"{prefix}{index}"
+        db.add_edge(current, symbol, nxt)
+        current = nxt
+    return db, start, current
+
+
+def cycle_database(word: str, prefix: str = "c") -> GraphDatabase:
+    """A database that is a single cycle labelled ``word`` (``word`` non-empty)."""
+    db = GraphDatabase()
+    nodes = [f"{prefix}{index}" for index in range(len(word))]
+    for index, symbol in enumerate(word):
+        db.add_edge(nodes[index], symbol, nodes[(index + 1) % len(word)])
+    return db
+
+
+def two_path_database(first_word: str, second_word: str) -> Tuple[GraphDatabase, Dict[str, Node]]:
+    """The database ``D_{n1,n2}`` of Theorem 9: two node-disjoint labelled paths.
+
+    Returns the database and a dictionary with the endpoints
+    ``{"r_first", "r_last", "s_first", "s_last"}``.
+    """
+    db = GraphDatabase()
+    db.add_node("r0")
+    db.add_node("s0")
+    current = "r0"
+    for index, symbol in enumerate(first_word, start=1):
+        nxt = f"r{index}"
+        db.add_edge(current, symbol, nxt)
+        current = nxt
+    r_last = current
+    current = "s0"
+    for index, symbol in enumerate(second_word, start=1):
+        nxt = f"s{index}"
+        db.add_edge(current, symbol, nxt)
+        current = nxt
+    endpoints = {"r_first": "r0", "r_last": r_last, "s_first": "s0", "s_last": current}
+    return db, endpoints
+
+
+def genealogy_graph(
+    num_families: int,
+    generations: int,
+    seed: int = 0,
+    supervision_probability: float = 0.4,
+) -> GraphDatabase:
+    """A synthetic genealogy with supervision edges (Figure 1 scenario).
+
+    Nodes are persons; an arc ``(u, 'p', v)`` means "u is a biological parent
+    of v" and ``(u, 's', v)`` means "v is u's PhD supervisor", following the
+    reading used in the introduction of the paper.
+    """
+    rng = random.Random(seed)
+    db = GraphDatabase(Alphabet("ps"))
+    people: List[List[str]] = []
+    for generation in range(generations):
+        layer = [f"g{generation}_f{family}" for family in range(num_families)]
+        for person in layer:
+            db.add_node(person)
+        people.append(layer)
+    for generation in range(1, generations):
+        for family in range(num_families):
+            child = people[generation][family]
+            parent = people[generation - 1][family]
+            db.add_edge(parent, "p", child)
+            if num_families > 1 and rng.random() < 0.3:
+                other = people[generation - 1][rng.randrange(num_families)]
+                if other != parent:
+                    db.add_edge(other, "p", child)
+    everyone = [person for layer in people for person in layer]
+    for person in everyone:
+        if rng.random() < supervision_probability:
+            supervisor = rng.choice(everyone)
+            if supervisor != person:
+                db.add_edge(person, "s", supervisor)
+    return db
+
+
+def message_network(
+    num_persons: int,
+    message_symbols: str = "abc",
+    num_messages: int | None = None,
+    seed: int = 0,
+    plant_hidden_channel: bool = True,
+    hidden_code: str = "ab",
+    hidden_repetitions: int = 2,
+) -> Tuple[GraphDatabase, Dict[str, Node]]:
+    """A synthetic messaging network (the scenario motivating query G3 of Figure 2).
+
+    Nodes are persons, arcs are text messages.  When
+    ``plant_hidden_channel`` is set, two suspects exchange a coded message
+    sequence ``hidden_code`` with each other and both reach a mutual contact
+    by repeating that sequence ``hidden_repetitions`` times, so that query G3
+    of Figure 2 returns the pair of suspects.
+    """
+    rng = random.Random(seed)
+    alphabet = Alphabet(message_symbols)
+    symbols = list(alphabet)
+    db = GraphDatabase(alphabet)
+    persons = [f"person{i}" for i in range(num_persons)]
+    for person in persons:
+        db.add_node(person)
+    if num_messages is None:
+        num_messages = 3 * num_persons
+    for _ in range(num_messages):
+        sender, receiver = rng.sample(persons, 2) if num_persons > 1 else (persons[0], persons[0])
+        db.add_edge(sender, rng.choice(symbols), receiver)
+    planted: Dict[str, Node] = {}
+    if plant_hidden_channel and num_persons >= 3:
+        suspect_a, suspect_b, contact = persons[0], persons[1], persons[2]
+        planted = {"suspect_a": suspect_a, "suspect_b": suspect_b, "contact": contact}
+        _plant_coded_path(db, suspect_a, suspect_b, hidden_code, rng, persons)
+        _plant_coded_path(db, suspect_b, suspect_a, hidden_code, rng, persons)
+        _plant_coded_path(db, suspect_a, contact, hidden_code * hidden_repetitions, rng, persons)
+        _plant_coded_path(db, suspect_b, contact, hidden_code * hidden_repetitions, rng, persons)
+    return db, planted
+
+
+def _plant_coded_path(
+    db: GraphDatabase,
+    source: Node,
+    target: Node,
+    code: str,
+    rng: random.Random,
+    persons: Sequence[Node],
+) -> None:
+    current = source
+    for index, symbol in enumerate(code):
+        is_last = index == len(code) - 1
+        nxt = target if is_last else rng.choice(persons)
+        db.add_edge(current, symbol, nxt)
+        current = nxt
+
+
+def nfa_to_database(nfa: NFA, prefix: str) -> Tuple[GraphDatabase, Node, List[Node]]:
+    """Interpret an NFA as a graph database (states become nodes).
+
+    Epsilon transitions are not allowed (graph databases have no epsilon
+    arcs).  Returns the database, the node of the start state and the nodes
+    of the accepting states.
+    """
+    db = GraphDatabase()
+    node_of = {state: f"{prefix}q{state}" for state in range(nfa.num_states)}
+    for state in range(nfa.num_states):
+        db.add_node(node_of[state])
+    for source, label, target in nfa.iter_transitions():
+        if label is EPSILON_LABEL:
+            raise ValueError("nfa_to_database requires an epsilon-free NFA")
+        db.add_edge(node_of[source], label, node_of[target])
+    return db, node_of[nfa.start], [node_of[state] for state in sorted(nfa.accepting)]
+
+
+def random_nfa(
+    num_states: int,
+    alphabet: Alphabet,
+    density: float = 1.5,
+    seed: int = 0,
+    num_accepting: int = 1,
+) -> NFA:
+    """A random epsilon-free NFA (used for the Theorem 1 / Theorem 3 workloads)."""
+    rng = random.Random(seed)
+    nfa = NFA()
+    states = [nfa.start] + [nfa.add_state() for _ in range(num_states - 1)]
+    symbols = list(alphabet)
+    num_transitions = max(1, int(density * num_states))
+    for _ in range(num_transitions):
+        nfa.add_transition(rng.choice(states), rng.choice(symbols), rng.choice(states))
+    # Guarantee a path start -> last state so the automaton is rarely empty.
+    chain = states[:]
+    rng.shuffle(chain)
+    if chain[0] != nfa.start:
+        chain.insert(0, nfa.start)
+    for previous, current in zip(chain, chain[1:]):
+        nfa.add_transition(previous, rng.choice(symbols), current)
+    accepting = rng.sample(states, min(num_accepting, len(states)))
+    for state in accepting:
+        nfa.set_accepting(state)
+    return nfa
+
+
+def layered_graph(
+    layers: int,
+    width: int,
+    alphabet: Alphabet,
+    seed: int = 0,
+    edges_per_node: int = 2,
+) -> GraphDatabase:
+    """A layered DAG-like database (long paths, no short cycles)."""
+    rng = random.Random(seed)
+    symbols = list(alphabet)
+    db = GraphDatabase(alphabet)
+    node_names = [[f"l{layer}_n{index}" for index in range(width)] for layer in range(layers)]
+    for layer in node_names:
+        for node in layer:
+            db.add_node(node)
+    for layer in range(layers - 1):
+        for node in node_names[layer]:
+            for _ in range(edges_per_node):
+                db.add_edge(node, rng.choice(symbols), rng.choice(node_names[layer + 1]))
+    return db

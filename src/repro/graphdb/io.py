@@ -1,0 +1,121 @@
+"""Loading and saving graph databases.
+
+Two plain-text formats are supported:
+
+* **edge list** — one arc per line, ``source label target`` separated by
+  whitespace (lines starting with ``#`` are comments); isolated nodes can be
+  declared with ``node <name>``,
+* **JSON** — ``{"nodes": [...], "edges": [[source, label, target], ...]}``.
+
+Both keep node identifiers as strings, which is what the synthetic workload
+generators and the examples use.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, List, Optional, Union
+
+from repro.core.alphabet import Alphabet
+from repro.core.errors import ReproError
+from repro.graphdb.database import GraphDatabase
+
+PathLike = Union[str, Path]
+
+
+class GraphFormatError(ReproError):
+    """Raised when a graph file cannot be parsed."""
+
+
+def loads_edge_list(text: str, alphabet: Optional[Alphabet] = None) -> GraphDatabase:
+    """Parse the edge-list format from a string."""
+    db = GraphDatabase(alphabet)
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if parts[0] == "node" and len(parts) == 2:
+            db.add_node(parts[1])
+            continue
+        if len(parts) != 3:
+            raise GraphFormatError(
+                f"line {line_number}: expected 'source label target', got {raw_line!r}"
+            )
+        source, label, target = parts
+        if len(label) != 1:
+            raise GraphFormatError(
+                f"line {line_number}: edge labels must be single symbols, got {label!r}"
+            )
+        db.add_edge(source, label, target)
+    return db
+
+
+def dumps_edge_list(db: GraphDatabase) -> str:
+    """Serialise a database to the edge-list format."""
+    lines: List[str] = ["# repro graph database edge list"]
+    used_in_edges = set()
+    for edge in db.edges:
+        used_in_edges.add(edge.source)
+        used_in_edges.add(edge.target)
+        lines.append(f"{edge.source} {edge.label} {edge.target}")
+    for node in sorted(db.nodes - used_in_edges, key=str):
+        lines.append(f"node {node}")
+    return "\n".join(lines) + "\n"
+
+
+def load_edge_list(path: PathLike, alphabet: Optional[Alphabet] = None) -> GraphDatabase:
+    """Load the edge-list format from a file."""
+    return loads_edge_list(Path(path).read_text(encoding="utf-8"), alphabet)
+
+
+def save_edge_list(db: GraphDatabase, path: PathLike) -> None:
+    """Write the edge-list format to a file."""
+    Path(path).write_text(dumps_edge_list(db), encoding="utf-8")
+
+
+def loads_json(text: str, alphabet: Optional[Alphabet] = None) -> GraphDatabase:
+    """Parse the JSON graph format from a string."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise GraphFormatError(f"invalid JSON: {error}") from error
+    if not isinstance(payload, dict) or "edges" not in payload:
+        raise GraphFormatError("expected an object with an 'edges' list")
+    db = GraphDatabase(alphabet)
+    for node in payload.get("nodes", []):
+        db.add_node(str(node))
+    for entry in payload["edges"]:
+        if not isinstance(entry, (list, tuple)) or len(entry) != 3:
+            raise GraphFormatError(f"invalid edge entry {entry!r}")
+        source, label, target = entry
+        db.add_edge(str(source), str(label), str(target))
+    return db
+
+
+def dumps_json(db: GraphDatabase) -> str:
+    """Serialise a database to the JSON graph format."""
+    payload = {
+        "nodes": sorted((str(node) for node in db.nodes), key=str),
+        "edges": [[str(edge.source), edge.label, str(edge.target)] for edge in db.edges],
+    }
+    return json.dumps(payload, indent=2)
+
+
+def load_json(path: PathLike, alphabet: Optional[Alphabet] = None) -> GraphDatabase:
+    """Load the JSON graph format from a file."""
+    return loads_json(Path(path).read_text(encoding="utf-8"), alphabet)
+
+
+def save_json(db: GraphDatabase, path: PathLike) -> None:
+    """Write the JSON graph format to a file."""
+    Path(path).write_text(dumps_json(db), encoding="utf-8")
+
+
+def load_database(path: PathLike, alphabet: Optional[Alphabet] = None) -> GraphDatabase:
+    """Load a database, guessing the format from the file extension."""
+    path = Path(path)
+    if path.suffix.lower() == ".json":
+        return load_json(path, alphabet)
+    return load_edge_list(path, alphabet)

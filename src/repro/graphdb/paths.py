@@ -1,0 +1,161 @@
+"""Reachability of regular paths in graph databases.
+
+These are the building blocks of every evaluation algorithm in the paper:
+for a classical regular expression (compiled to an NFA ``M``) and a graph
+database ``D``, compute which node pairs are connected by a path whose label
+lies in ``L(M)``.  The product construction runs in ``O(|D| · |M|)`` per
+source node, matching the textbook NL algorithm behind Lemma 1.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.alphabet import Alphabet
+from repro.automata.nfa import EPSILON_LABEL, NFA
+from repro.graphdb.database import GraphDatabase, Node
+from repro.regex import syntax as rx
+
+
+def product_search(
+    db: GraphDatabase,
+    nfa: NFA,
+    source: Node,
+) -> Dict[Node, Set[int]]:
+    """All pairs ``(node, nfa_state)`` reachable from ``(source, start)``.
+
+    Returns a mapping from database node to the set of NFA states reachable
+    while walking a common label sequence.
+    """
+    reached: Dict[Node, Set[int]] = {}
+    initial_states = nfa.epsilon_closure({nfa.start})
+    queue: deque = deque()
+    for state in initial_states:
+        reached.setdefault(source, set()).add(state)
+        queue.append((source, state))
+    while queue:
+        node, state = queue.popleft()
+        for label, nfa_target in nfa.transitions_from(state):
+            if label is EPSILON_LABEL:
+                if nfa_target not in reached.get(node, set()):
+                    reached.setdefault(node, set()).add(nfa_target)
+                    queue.append((node, nfa_target))
+                continue
+            for db_target in db.successors_by_label(node, label):
+                if nfa_target not in reached.get(db_target, set()):
+                    reached.setdefault(db_target, set()).add(nfa_target)
+                    queue.append((db_target, nfa_target))
+    return reached
+
+
+def reachable_from(db: GraphDatabase, nfa: NFA, source: Node) -> Set[Node]:
+    """Nodes reachable from ``source`` via a path labelled by a word of ``L(nfa)``."""
+    reached = product_search(db, nfa, source)
+    return {node for node, states in reached.items() if states & nfa.accepting}
+
+
+def reachable_pairs(
+    db: GraphDatabase,
+    nfa: NFA,
+    sources: Optional[Iterable[Node]] = None,
+) -> Set[Tuple[Node, Node]]:
+    """All pairs ``(u, v)`` connected by a path labelled by a word of ``L(nfa)``."""
+    pairs: Set[Tuple[Node, Node]] = set()
+    candidates = list(sources) if sources is not None else sorted(db.nodes, key=repr)
+    for source in candidates:
+        for target in reachable_from(db, nfa, source):
+            pairs.add((source, target))
+    return pairs
+
+
+def evaluate_rpq(
+    db: GraphDatabase,
+    regex: rx.Xregex,
+    alphabet: Optional[Alphabet] = None,
+) -> Set[Tuple[Node, Node]]:
+    """Evaluate a regular path query given by a classical regular expression."""
+    nfa = NFA.from_regex(regex, alphabet or db.alphabet())
+    return reachable_pairs(db, nfa)
+
+
+def find_path_word(
+    db: GraphDatabase,
+    nfa: NFA,
+    source: Node,
+    target: Node,
+    max_length: Optional[int] = None,
+) -> Optional[str]:
+    """A shortest word labelling a path ``source -> target`` accepted by ``nfa``.
+
+    Returns ``None`` when no such path exists (or none within ``max_length``).
+    Used to extract witness words for matching morphisms.
+    """
+    initial = nfa.epsilon_closure({nfa.start})
+    start_keys = [(source, state) for state in initial]
+    parents: Dict[Tuple[Node, int], Optional[Tuple[Tuple[Node, int], Optional[str]]]] = {
+        key: None for key in start_keys
+    }
+    queue: deque = deque((key, 0) for key in start_keys)
+    if target == source and initial & nfa.accepting:
+        return ""
+    while queue:
+        (node, state), depth = queue.popleft()
+        if max_length is not None and depth >= max_length:
+            continue
+        for label, nfa_target in nfa.transitions_from(state):
+            if label is EPSILON_LABEL:
+                key = (node, nfa_target)
+                if key not in parents:
+                    parents[key] = ((node, state), None)
+                    queue.append((key, depth))
+                    if node == target and nfa_target in nfa.accepting:
+                        return _reconstruct(parents, key)
+                continue
+            for db_target in db.successors_by_label(node, label):
+                key = (db_target, nfa_target)
+                if key not in parents:
+                    parents[key] = ((node, state), label)
+                    queue.append((key, depth + 1))
+                    if db_target == target and nfa_target in nfa.accepting:
+                        return _reconstruct(parents, key)
+    return None
+
+
+def _reconstruct(
+    parents: Dict[Tuple[Node, int], Optional[Tuple[Tuple[Node, int], Optional[str]]]],
+    key: Tuple[Node, int],
+) -> str:
+    symbols: List[str] = []
+    current: Optional[Tuple[Node, int]] = key
+    while current is not None and parents[current] is not None:
+        parent, label = parents[current]  # type: ignore[misc]
+        if label is not None:
+            symbols.append(label)
+        current = parent
+    return "".join(reversed(symbols))
+
+
+def db_nfa_between(db: GraphDatabase, source: Node, targets: Iterable[Node]) -> NFA:
+    """Interpret the database as an NFA with start ``source`` and finals ``targets``.
+
+    This is the observation of Section 2.2 that NFAs are just graph databases
+    with designated states; it is used by the synchronisation checks of the
+    CXRPQ evaluation algorithms.
+    """
+    nfa = NFA()
+    mapping: Dict[Node, int] = {}
+
+    def state_of(node: Node) -> int:
+        if node not in mapping:
+            mapping[node] = nfa.add_state()
+        return mapping[node]
+
+    if source in db.nodes:
+        mapping[source] = nfa.start
+    for edge in db.edges:
+        nfa.add_transition(state_of(edge.source), edge.label, state_of(edge.target))
+    for target in targets:
+        if target in db.nodes:
+            nfa.set_accepting(state_of(target))
+    return nfa

@@ -1,0 +1,6 @@
+"""The paper's concrete figures and examples, constructed programmatically."""
+
+from repro.paperlib import figures
+from repro.paperlib import examples
+
+__all__ = ["figures", "examples"]

@@ -1,0 +1,92 @@
+"""The running examples of Sections 2 and 3, as code (Examples 1–4)."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.regex import syntax as rx
+from repro.regex.conjunctive import ConjunctiveXregex
+from repro.regex.parser import parse_xregex
+from repro.regex.refwords import CloseToken, OpenToken, RefToken, RefWord, refword_from_parts
+
+
+def example1_refword() -> RefWord:
+    """The ref-word of Example 1 over ``{a, b, c}`` and ``x1, …, x4``.
+
+    ``a x4 a ◁x1 ab ◁x2 acc ▷x2 a x2 x4 ▷x1 ◁x3 x1 a x2 ▷x3 x3 b x1``
+    """
+    return refword_from_parts(
+        "a", RefToken("x4"), "a",
+        OpenToken("x1"), "ab",
+        OpenToken("x2"), "acc", CloseToken("x2"),
+        "a", RefToken("x2"), RefToken("x4"), CloseToken("x1"),
+        OpenToken("x3"), RefToken("x1"), "a", RefToken("x2"), CloseToken("x3"),
+        RefToken("x3"), "b", RefToken("x1"),
+    )
+
+
+def example1_expected_vmap() -> dict:
+    """The variable mapping stated in Example 1."""
+    return {
+        "x1": "abaccaacc",
+        "x2": "acc",
+        "x3": "abaccaaccaacc",
+        "x4": "",
+    }
+
+
+def example2_xregex() -> rx.Xregex:
+    """``a* x1{a* x2{(a|b)*} b* a*} x2* (a|b)* x1`` of Example 2."""
+    return parse_xregex("a*x1{a*x2{(a|b)*}b*a*}&x2*(a|b)*&x1")
+
+
+def example2_word() -> str:
+    """The word ``a^4 (ba)^2 (ab)^3 (ba)^3 a`` matched in Example 2."""
+    return "a" * 4 + "ba" * 2 + "ab" * 3 + "ba" * 3 + "a"
+
+
+def example2_witness_mappings() -> List[dict]:
+    """The two witness variable mappings given in Example 2."""
+    return [
+        {"x1": "babaa", "x2": "ba"},
+        {"x1": "ababaa", "x2": "bab"},
+    ]
+
+
+def example3_components() -> Tuple[rx.Xregex, rx.Xregex, rx.Xregex, rx.Xregex]:
+    """The xregex ``alpha_1 … alpha_4`` of Example 3."""
+    alpha1 = parse_xregex("x2{&x1|a*}b")
+    alpha2 = parse_xregex("x1{(a|b)*}x3{c*}b&x3")
+    alpha3 = parse_xregex("&x2*a*&x1")
+    alpha4 = parse_xregex("x4{a*}b&x4 x1{&x2 a}")
+    return alpha1, alpha2, alpha3, alpha4
+
+
+def example3_conjunctive() -> ConjunctiveXregex:
+    """The conjunctive xregex ``(alpha_1, alpha_2, alpha_3)`` of Example 3."""
+    alpha1, alpha2, alpha3, _alpha4 = example3_components()
+    return ConjunctiveXregex([alpha1, alpha2, alpha3])
+
+
+def example3_conjunctive_match() -> Tuple[str, str, str]:
+    """The conjunctive match ``(abb, abccbcc, ababaaab)`` verified in Example 3."""
+    return ("abb", "abccbcc", "ababaaab")
+
+
+def example3_conjunctive_mapping() -> dict:
+    """Its variable mapping ``(ab, ab, cc)`` for ``x1, x2, x3``."""
+    return {"x1": "ab", "x2": "ab", "x3": "cc"}
+
+
+def example4_xregexes() -> dict:
+    """The four xregex of Example 4 with their classification."""
+    return {
+        "not_vstar_free": parse_xregex("x{a*}(b&x(c|a))*b"),
+        "vstar_free_not_valt_free": parse_xregex("x{a*}&y((b&x)|(ca))b*&y"),
+        # The paper's example contains a reference of ``x`` inside the
+        # definition of ``x`` (via the nested definition of ``y``), which
+        # Definition 3 itself forbids; we use a reference of ``z`` instead,
+        # which preserves the classification (variable-simple, not simple).
+        "variable_simple_not_simple": parse_xregex("ax{(b|c)*by{d&z a*}}b&x a*z{d*}&z&y"),
+        "simple": parse_xregex("ax{(b|c)*da}b&x a*y{&z}&x&y"),
+    }

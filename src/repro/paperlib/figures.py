@@ -1,0 +1,213 @@
+"""Every query shown in a figure of the paper, as code.
+
+* Figure 1 — the four introductory graph patterns over parent (``p``) and
+  supervision (``s``) edges: two RPQs and two CRPQs.
+* Figure 2 — the four CXRPQs with string variables.
+* Figure 6 — the separating ECRPQ ``q_{a^n b^n}`` (equal-length relation) and
+  its equality variant ``q_{a^n a^n}`` used in Theorem 9.
+* Figure 7 — the separating CXRPQs ``q_1`` (Lemma 15) and ``q_2`` (Lemma 16).
+* Theorem 1 / Theorem 3 — the xregex ``alpha_ni`` lives in
+  :mod:`repro.reductions.nfa_intersection`.
+"""
+
+from __future__ import annotations
+
+from repro.automata.relations import EqualityRelation, EqualLengthRelation
+from repro.queries.crpq import CRPQ
+from repro.queries.cxrpq import CXRPQ
+from repro.queries.ecrpq import ECRPQ, RelationConstraint
+from repro.queries.rpq import RPQ
+from repro.regex.parser import parse_xregex
+
+
+# ---------------------------------------------------------------------------
+# Figure 1 — RPQs and CRPQs over the genealogy/supervision scenario
+# ---------------------------------------------------------------------------
+
+
+def figure1_g1() -> RPQ:
+    """G1: pairs ``(v1, v2)`` where v1's child has been supervised by v2's parent.
+
+    Single edge labelled ``p s p`` (parent, then supervisor, then parent,
+    read along the arc from v1 to v2).
+    """
+    return RPQ("psp", source="v1", target="v2", output_variables=("v1", "v2"))
+
+
+def figure1_g2() -> RPQ:
+    """G2: v1 is a biological ancestor or an academical descendant of v2 (``p+ | s+``)."""
+    return RPQ("p+|s+", source="v1", target="v2", output_variables=("v1", "v2"))
+
+
+def figure1_g3() -> CRPQ:
+    """G3: persons with a biological ancestor that is also their academical ancestor."""
+    return CRPQ(
+        [("z", "p+", "v1"), ("z", "s+", "v1")],
+        output_variables=("v1",),
+    )
+
+
+def figure1_g4() -> CRPQ:
+    """G4: pairs related both biologically and academically (via common ancestors)."""
+    return CRPQ(
+        [
+            ("w1", "p+", "v1"),
+            ("w1", "p+", "v2"),
+            ("w2", "s+", "v1"),
+            ("w2", "s+", "v2"),
+        ],
+        output_variables=("v1", "v2"),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 2 — CXRPQs with string variables
+# ---------------------------------------------------------------------------
+
+
+def figure2_g1() -> CXRPQ:
+    """G1: ``v1 <-[x{a|b}]- u``, ``u -[(x|c)+]-> v2`` — a one-symbol code shared by two paths.
+
+    The paper draws the first arc into ``v1``; here the pattern edge goes from
+    an auxiliary node ``u`` to ``v1`` labelled ``x{a|b}`` and from ``u`` to
+    ``v2`` labelled ``(&x|c)+``.
+    """
+    return CXRPQ(
+        [("u", "x{a|b}", "v1"), ("u", "(&x|c)+", "v2")],
+        output_variables=("v1", "v2"),
+    )
+
+
+def figure2_g2() -> CXRPQ:
+    """G2: the triangle with labels ``x{aa|b}``, ``y{[^ab]*}`` and ``&x|&y``."""
+    return CXRPQ(
+        [
+            ("v1", "x{aa|b}", "v2"),
+            ("v2", "y{[^ab]*}", "v3"),
+            ("v3", "&x|&y", "v1"),
+        ],
+        output_variables=("v1", "v2", "v3"),
+    )
+
+
+def figure2_g3() -> CXRPQ:
+    """G3: the hidden-communication query with ``x{..+}``, ``y{..+}`` and ``(&x|&y)+`` arcs."""
+    return CXRPQ(
+        [
+            ("v1", "x{..+}", "v2"),
+            ("v2", "y{..+}", "v1"),
+            ("v1", "(&x|&y)+", "w"),
+            ("v2", "(&x|&y)+", "w"),
+        ],
+        output_variables=("v1", "v2"),
+    )
+
+
+def figure2_g4() -> CXRPQ:
+    """G4: nested definitions ``a*(x{(&y a*)|(b* &y)})&z``, ``b*(y{c*|d*})``, ``z{&x|&y}|z{a*}``."""
+    return CXRPQ(
+        [
+            ("v1", "a*(x{(&y a*)|(b* &y)})&z", "v2"),
+            ("v1", "b*(y{c*|d*})", "v2"),
+            ("v2", "z{&x|&y}|z{a*}", "v1"),
+        ],
+        output_variables=("v1", "v2"),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 6 — the separating ECRPQs of Theorem 9
+# ---------------------------------------------------------------------------
+
+
+def figure6_q_anbn() -> ECRPQ:
+    """``q_{a^n b^n}``: two paths ``c a^n c`` and ``d b^n d`` of equal ``n`` (equal-length relation)."""
+    query = ECRPQ(
+        [
+            ("x", "c", "y1"),
+            ("y1", "a*", "y2"),
+            ("y2", "c", "z"),
+            ("xp", "d", "y1p"),
+            ("y1p", "b*", "y2p"),
+            ("y2p", "d", "zp"),
+        ],
+        output_variables=(),
+        constraints=[RelationConstraint(EqualLengthRelation(2), (1, 4))],
+    )
+    return query
+
+
+def figure6_q_anan() -> ECRPQ:
+    """``q_{a^n a^n}``: the equality-relation variant used to separate ECRPQ^er from CRPQ."""
+    query = ECRPQ(
+        [
+            ("x", "c", "y1"),
+            ("y1", "a*", "y2"),
+            ("y2", "c", "z"),
+            ("xp", "d", "y1p"),
+            ("y1p", "a*", "y2p"),
+            ("y2p", "d", "zp"),
+        ],
+        output_variables=(),
+        constraints=[RelationConstraint(EqualityRelation(2), (1, 4))],
+    )
+    return query
+
+
+# ---------------------------------------------------------------------------
+# Figure 7 — the separating CXRPQs of Lemmas 15 and 16
+# ---------------------------------------------------------------------------
+
+
+def figure7_q1() -> CXRPQ:
+    """``q_1``: ``u1 -[x{a|b}]-> u2``, ``u3 -[d]-> u2``, ``u3 -[&x|c]-> u4`` (Lemma 15).
+
+    Already a ``CXRPQ^<=1`` query; it is not expressible as a CRPQ.
+    """
+    return CXRPQ(
+        [
+            ("u1", "x{a|b}", "u2"),
+            ("u3", "d", "u2"),
+            ("u3", "&x|c", "u4"),
+        ],
+        output_variables=(),
+        image_bound=1,
+    )
+
+
+def figure7_q2() -> CXRPQ:
+    """``q_2``: the single-edge query ``# y{x{a+b} &x*} c &y #`` (Lemma 16).
+
+    Not expressible as an ECRPQ^er; note the starred reference, so the query
+    is *not* vstar-free.
+    """
+    return CXRPQ(
+        [("u1", "#y{x{a+b}&x*}c&y#", "u2")],
+        output_variables=(),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Section 5.3 — the chain example causing the normal-form blow-up
+# ---------------------------------------------------------------------------
+
+
+def section53_chain_xregex(n: int):
+    """``x1{a} x2{&x1 &x1} x3{&x2 &x2} … xn{&x_{n-1} &x_{n-1}}`` (Section 5.3)."""
+    if n < 1:
+        raise ValueError("n must be at least 1")
+    pieces = ["x1{a}"]
+    for index in range(2, n + 1):
+        pieces.append(f"x{index}{{&x{index - 1}&x{index - 1}}}")
+    return parse_xregex("".join(pieces))
+
+
+def section53_flat_xregex(n: int):
+    """A flat counterpart of the same size: ``x1{a} x2{a a} … xn{a^n}`` plus references."""
+    if n < 1:
+        raise ValueError("n must be at least 1")
+    pieces = []
+    for index in range(1, n + 1):
+        pieces.append(f"x{index}{{{'a' * index}}}")
+    pieces.extend(f"&x{index}" for index in range(1, n + 1))
+    return parse_xregex("".join(pieces))

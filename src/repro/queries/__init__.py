@@ -1,0 +1,31 @@
+"""Conjunctive path query classes (Section 2.3, Definition 5, Section 7).
+
+* :class:`GraphPattern` — directed, edge-labelled graph patterns over node
+  variables,
+* :class:`RPQ` — single-edge regular path queries,
+* :class:`CRPQ` — conjunctive regular path queries,
+* :class:`ECRPQ` — extended CRPQs with regular relations (after [8]),
+* :class:`CXRPQ` — conjunctive xregex path queries, the paper's contribution,
+* :class:`UnionQuery` — unions of queries of any of these classes.
+"""
+
+from repro.queries.pattern import GraphPattern, PatternEdge
+from repro.queries.base import ConjunctivePathQuery
+from repro.queries.rpq import RPQ
+from repro.queries.crpq import CRPQ
+from repro.queries.ecrpq import ECRPQ, RelationConstraint
+from repro.queries.cxrpq import CXRPQ, Fragment
+from repro.queries.union import UnionQuery
+
+__all__ = [
+    "GraphPattern",
+    "PatternEdge",
+    "ConjunctivePathQuery",
+    "RPQ",
+    "CRPQ",
+    "ECRPQ",
+    "RelationConstraint",
+    "CXRPQ",
+    "Fragment",
+    "UnionQuery",
+]

@@ -1,0 +1,60 @@
+"""The common shape of conjunctive path queries ``q = z̄ <- G_q`` (Section 2.3)."""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.core.errors import EvaluationError
+from repro.queries.pattern import GraphPattern
+
+
+class ConjunctivePathQuery:
+    """A conjunctive path query: a graph pattern plus a tuple of output variables.
+
+    A Boolean query has an empty output tuple; evaluating it on a database
+    yields either ``{()}`` (``D |= q``) or the empty set (``D |/= q``).
+    """
+
+    __slots__ = ("pattern", "output_variables")
+
+    def __init__(self, pattern: GraphPattern, output_variables: Sequence[str] = ()):
+        self.pattern = pattern
+        self.output_variables: Tuple[str, ...] = tuple(output_variables)
+        missing = [node for node in self.output_variables if node not in pattern.nodes]
+        if missing:
+            raise EvaluationError(
+                f"output variables {missing} do not occur in the graph pattern"
+            )
+
+    # -- basic shape -----------------------------------------------------------
+
+    @property
+    def is_boolean(self) -> bool:
+        """True if the query has no output variables."""
+        return not self.output_variables
+
+    @property
+    def edges(self):
+        """The pattern edges in the order that fixes the conjunctive xregex."""
+        return self.pattern.edges
+
+    @property
+    def nodes(self):
+        """The node variables of the pattern."""
+        return self.pattern.nodes
+
+    def is_single_edge(self) -> bool:
+        """True for single-edge queries."""
+        return self.pattern.is_single_edge()
+
+    def size(self) -> int:
+        """A syntactic size measure ``|q|``: pattern nodes plus label sizes."""
+        total = self.pattern.num_nodes()
+        for edge in self.pattern.edges:
+            label = edge.label
+            total += label.size() if hasattr(label, "size") else 1
+        return total
+
+    def __repr__(self) -> str:
+        head = ", ".join(self.output_variables) if self.output_variables else ""
+        return f"{type(self).__name__}(({head}) <- {self.pattern!r})"

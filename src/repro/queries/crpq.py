@@ -1,0 +1,59 @@
+"""Conjunctive regular path queries (CRPQs).
+
+A CRPQ is a conjunctive path query whose edge labels are classical regular
+expressions (Section 2.3).  Evaluation is NP-complete in combined complexity
+and NL-complete in data complexity (Lemma 1); the implementation of that
+algorithm lives in :mod:`repro.engine.crpq`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Tuple, Union
+
+from repro.core.alphabet import Alphabet
+from repro.core.errors import XregexSyntaxError
+from repro.queries.base import ConjunctivePathQuery
+from repro.queries.pattern import GraphPattern
+from repro.regex import syntax as rx
+from repro.regex.parser import parse_xregex
+
+
+LabelInput = Union[str, rx.Xregex]
+
+
+def _coerce_classical(label: LabelInput) -> rx.Xregex:
+    expr = parse_xregex(label) if isinstance(label, str) else label
+    if not expr.is_classical():
+        raise XregexSyntaxError(
+            f"CRPQ edge labels must be classical regular expressions, got {expr}"
+        )
+    return expr
+
+
+class CRPQ(ConjunctivePathQuery):
+    """A conjunctive regular path query."""
+
+    __slots__ = ()
+
+    def __init__(
+        self,
+        edges: Iterable[Tuple[str, LabelInput, str]],
+        output_variables: Sequence[str] = (),
+    ):
+        pattern = GraphPattern()
+        for source, label, target in edges:
+            pattern.add_edge(source, _coerce_classical(label), target)
+        super().__init__(pattern, output_variables)
+
+    def regexes(self) -> Tuple[rx.Xregex, ...]:
+        """The edge regular expressions in edge order."""
+        return tuple(edge.label for edge in self.pattern.edges)
+
+    def alphabet(self, database_alphabet: Optional[Alphabet] = None) -> Alphabet:
+        """The terminal symbols used by the query (or the database alphabet if given)."""
+        if database_alphabet is not None:
+            return database_alphabet
+        symbols = set()
+        for regex in self.regexes():
+            symbols |= regex.terminal_symbols()
+        return Alphabet(symbols or {"a"})

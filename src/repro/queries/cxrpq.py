@@ -1,0 +1,150 @@
+"""Conjunctive xregex path queries (CXRPQ) — Definition 5, the paper's contribution.
+
+A CXRPQ is a conjunctive path query whose edge labels, read in edge order,
+form a conjunctive xregex.  String variables shared between edges express
+inter-path dependencies that CRPQs cannot express.
+
+Fragments
+---------
+* ``CXRPQ^vsf`` — variable-star free queries (Section 5),
+* ``CXRPQ^vsf,fl`` — variable-star free queries with only flat variables
+  (Section 5.3),
+* ``CXRPQ^<=k`` — unrestricted syntax, but evaluation only considers matches
+  whose variable images have length at most ``k`` (Section 6); represented
+  here by the ``image_bound`` attribute,
+* ``CXRPQ^log`` — image bound ``log |D|`` (Section 6.2); represented by
+  ``image_bound="log"``.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable, Optional, Sequence, Set, Tuple, Union
+
+from repro.core.alphabet import Alphabet
+from repro.queries.base import ConjunctivePathQuery
+from repro.queries.pattern import GraphPattern
+from repro.regex import syntax as rx
+from repro.regex import properties as props
+from repro.regex.conjunctive import ConjunctiveXregex
+from repro.regex.parser import parse_xregex
+
+LabelInput = Union[str, rx.Xregex]
+
+
+class Fragment(enum.Enum):
+    """The evaluation-relevant fragments of CXRPQ, ordered by generality."""
+
+    CRPQ = "crpq"
+    SIMPLE = "simple"
+    VSF_FLAT = "vsf,fl"
+    VSF = "vsf"
+    GENERAL = "general"
+
+
+class CXRPQ(ConjunctivePathQuery):
+    """A conjunctive xregex path query."""
+
+    __slots__ = ("image_bound", "_conjunctive")
+
+    def __init__(
+        self,
+        edges: Iterable[Tuple[str, LabelInput, str]],
+        output_variables: Sequence[str] = (),
+        image_bound: Optional[Union[int, str]] = None,
+    ):
+        pattern = GraphPattern()
+        labels = []
+        for source, label, target in edges:
+            expr = parse_xregex(label) if isinstance(label, str) else label
+            labels.append(expr)
+            pattern.add_edge(source, expr, target)
+        super().__init__(pattern, output_variables)
+        #: ``None`` for plain CXRPQ semantics, an ``int`` for ``CXRPQ^<=k``,
+        #: or the string ``"log"`` for ``CXRPQ^log``.
+        self.image_bound = image_bound
+        self._conjunctive = ConjunctiveXregex(labels)
+
+    # -- structure ----------------------------------------------------------------
+
+    @property
+    def conjunctive_xregex(self) -> ConjunctiveXregex:
+        """The conjunctive xregex formed by the edge labels in edge order."""
+        return self._conjunctive
+
+    def xregexes(self) -> Tuple[rx.Xregex, ...]:
+        """The edge xregex in edge order."""
+        return self._conjunctive.components
+
+    def variables(self) -> Set[str]:
+        """All string variables used by the query."""
+        return self._conjunctive.variables()
+
+    def alphabet(self, database_alphabet: Optional[Alphabet] = None) -> Alphabet:
+        """The terminal symbols used by the query (or the database alphabet)."""
+        if database_alphabet is not None:
+            return database_alphabet
+        symbols = self._conjunctive.terminal_symbols()
+        return Alphabet(symbols or {"a"})
+
+    # -- semantics variants ----------------------------------------------------------
+
+    def with_image_bound(self, bound: Union[int, str]) -> "CXRPQ":
+        """The same query interpreted under ``CXRPQ^<=k`` (or ``CXRPQ^log``) semantics."""
+        return CXRPQ(
+            [(edge.source, edge.label, edge.target) for edge in self.pattern.edges],
+            self.output_variables,
+            image_bound=bound,
+        )
+
+    def resolve_image_bound(self, database_size: int) -> Optional[int]:
+        """The concrete image bound for a database of the given size."""
+        if self.image_bound is None:
+            return None
+        if self.image_bound == "log":
+            import math
+
+            return max(1, int(math.ceil(math.log2(max(2, database_size)))))
+        return int(self.image_bound)
+
+    # -- fragments ----------------------------------------------------------------------
+
+    def is_crpq(self) -> bool:
+        """True if no edge label uses string variables."""
+        return self._conjunctive.is_classical()
+
+    def is_vstar_free(self) -> bool:
+        """True if the query belongs to ``CXRPQ^vsf``."""
+        return self._conjunctive.is_vstar_free()
+
+    def is_vstar_free_flat(self) -> bool:
+        """True if the query belongs to ``CXRPQ^vsf,fl``."""
+        return self.is_vstar_free() and self._conjunctive.has_only_flat_variables()
+
+    def is_simple(self) -> bool:
+        """True if every edge xregex is simple (directly evaluable via Lemma 3)."""
+        return self._conjunctive.is_simple()
+
+    def fragment(self) -> Fragment:
+        """The most specific fragment this query belongs to."""
+        if self.is_crpq():
+            return Fragment.CRPQ
+        if self.is_simple():
+            return Fragment.SIMPLE
+        if self.is_vstar_free_flat():
+            return Fragment.VSF_FLAT
+        if self.is_vstar_free():
+            return Fragment.VSF
+        return Fragment.GENERAL
+
+    # -- conversions ------------------------------------------------------------------------
+
+    def with_conjunctive_xregex(self, conjunctive: ConjunctiveXregex) -> "CXRPQ":
+        """The query with its edge labels replaced component-wise (Proposition 2)."""
+        if conjunctive.dimension != len(self.pattern.edges):
+            raise ValueError("dimension mismatch between pattern and conjunctive xregex")
+        edges = [
+            (edge.source, label, edge.target)
+            for edge, label in zip(self.pattern.edges, conjunctive.components)
+        ]
+        return CXRPQ(edges, self.output_variables, image_bound=self.image_bound)

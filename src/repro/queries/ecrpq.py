@@ -1,0 +1,84 @@
+"""Extended conjunctive regular path queries (ECRPQs), after Barceló et al. [8].
+
+An ECRPQ is a CRPQ together with regular relations over tuples of its edges:
+a matching morphism must admit matching words such that, for every relation
+constraint, the words of the constrained edges belong to the relation
+(Section 7 of the paper).
+
+``ECRPQ^er`` — the fragment with only unary relations and equality relations —
+is the sub-class the paper compares CXRPQ against; it is obtained here by
+using :class:`repro.automata.relations.EqualityRelation` constraints only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.alphabet import Alphabet
+from repro.core.errors import EvaluationError
+from repro.automata.relations import EqualityRelation, RegularRelation
+from repro.queries.crpq import CRPQ, LabelInput
+
+
+@dataclass(frozen=True)
+class RelationConstraint:
+    """A regular relation applied to a tuple of edge indices (in pattern edge order)."""
+
+    relation: RegularRelation
+    edge_indices: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.edge_indices) != self.relation.arity:
+            raise EvaluationError(
+                f"relation of arity {self.relation.arity} applied to "
+                f"{len(self.edge_indices)} edges"
+            )
+
+
+class ECRPQ(CRPQ):
+    """An extended conjunctive regular path query."""
+
+    __slots__ = ("constraints",)
+
+    def __init__(
+        self,
+        edges: Iterable[Tuple[str, LabelInput, str]],
+        output_variables: Sequence[str] = (),
+        constraints: Iterable[RelationConstraint] = (),
+    ):
+        super().__init__(edges, output_variables)
+        self.constraints: List[RelationConstraint] = list(constraints)
+        self._validate_constraints()
+
+    def _validate_constraints(self) -> None:
+        used: set = set()
+        for constraint in self.constraints:
+            for index in constraint.edge_indices:
+                if index < 0 or index >= len(self.pattern.edges):
+                    raise EvaluationError(f"constraint references edge index {index} out of range")
+                if index in used:
+                    raise EvaluationError(
+                        "each edge may participate in at most one relation constraint "
+                        "(represent joint constraints as a single higher-arity relation)"
+                    )
+                used.add(index)
+
+    # -- constructors -----------------------------------------------------------
+
+    def add_equality(self, edge_indices: Sequence[int]) -> "ECRPQ":
+        """Add an equality relation over the given edges (in place, returns self)."""
+        constraint = RelationConstraint(EqualityRelation(len(edge_indices)), tuple(edge_indices))
+        self.constraints.append(constraint)
+        self._validate_constraints()
+        return self
+
+    # -- classification -----------------------------------------------------------
+
+    def is_equality_only(self) -> bool:
+        """True if the query is in ECRPQ^er (only equality relations)."""
+        return all(isinstance(constraint.relation, EqualityRelation) for constraint in self.constraints)
+
+    def alphabet(self, database_alphabet: Optional[Alphabet] = None) -> Alphabet:
+        base = super().alphabet(database_alphabet)
+        return base

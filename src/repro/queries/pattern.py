@@ -1,0 +1,126 @@
+"""Graph patterns: the syntactic skeleton of every conjunctive path query.
+
+An ``<``-graph pattern (Section 2.3) is a directed, edge-labelled graph whose
+nodes are node variables and whose edge labels are language descriptors
+(classical regular expressions for CRPQs, xregex for CXRPQs).  The pattern
+does not interpret its labels; the query classes do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, Iterator, List, Sequence, Set, Tuple
+
+from repro.core.errors import EvaluationError
+
+
+@dataclass(frozen=True)
+class PatternEdge:
+    """An edge ``(source, label, target)`` of a graph pattern."""
+
+    source: str
+    label: Any
+    target: str
+
+    def __iter__(self):
+        return iter((self.source, self.label, self.target))
+
+
+class GraphPattern:
+    """A directed, edge-labelled graph over node variables."""
+
+    __slots__ = ("_edges", "_nodes")
+
+    def __init__(self, edges: Iterable[Tuple[str, Any, str]] = ()):
+        self._edges: List[PatternEdge] = []
+        self._nodes: List[str] = []
+        for source, label, target in edges:
+            self.add_edge(source, label, target)
+
+    def add_node(self, node: str) -> str:
+        """Add an isolated node variable."""
+        if node not in self._nodes:
+            self._nodes.append(node)
+        return node
+
+    def add_edge(self, source: str, label: Any, target: str) -> PatternEdge:
+        """Add an edge labelled with an arbitrary language descriptor."""
+        edge = PatternEdge(source, label, target)
+        self._edges.append(edge)
+        self.add_node(source)
+        self.add_node(target)
+        return edge
+
+    @property
+    def edges(self) -> Sequence[PatternEdge]:
+        """All edges in insertion order (the order fixes the conjunctive xregex)."""
+        return self._edges
+
+    @property
+    def nodes(self) -> List[str]:
+        """All node variables in first-seen order."""
+        return list(self._nodes)
+
+    def num_edges(self) -> int:
+        return len(self._edges)
+
+    def num_nodes(self) -> int:
+        return len(self._nodes)
+
+    def labels(self) -> List[Any]:
+        """The edge labels in edge order."""
+        return [edge.label for edge in self._edges]
+
+    def is_single_edge(self) -> bool:
+        """True for single-edge patterns (as used by several hardness results)."""
+        return len(self._edges) == 1
+
+    def with_labels(self, labels: Sequence[Any]) -> "GraphPattern":
+        """A copy of the pattern with the edge labels replaced position-wise."""
+        if len(labels) != len(self._edges):
+            raise EvaluationError(
+                f"expected {len(self._edges)} labels, got {len(labels)}"
+            )
+        pattern = GraphPattern()
+        for node in self._nodes:
+            pattern.add_node(node)
+        for edge, label in zip(self._edges, labels):
+            pattern.add_edge(edge.source, label, edge.target)
+        return pattern
+
+    def adjacency(self) -> Dict[str, Set[str]]:
+        """Node adjacency ignoring direction (used for join ordering heuristics)."""
+        adjacency: Dict[str, Set[str]] = {node: set() for node in self._nodes}
+        for edge in self._edges:
+            adjacency[edge.source].add(edge.target)
+            adjacency[edge.target].add(edge.source)
+        return adjacency
+
+    def is_acyclic_undirected(self) -> bool:
+        """True if the underlying undirected multigraph is a forest."""
+        parent: Dict[str, str] = {node: node for node in self._nodes}
+
+        def find(node: str) -> str:
+            while parent[node] != node:
+                parent[node] = parent[parent[node]]
+                node = parent[node]
+            return node
+
+        for edge in self._edges:
+            root_a, root_b = find(edge.source), find(edge.target)
+            if root_a == root_b:
+                return False
+            parent[root_a] = root_b
+        return True
+
+    def __iter__(self) -> Iterator[PatternEdge]:
+        return iter(self._edges)
+
+    def __len__(self) -> int:
+        return len(self._edges)
+
+    def __repr__(self) -> str:
+        rendered = ", ".join(
+            f"({edge.source} -[{edge.label}]-> {edge.target})" for edge in self._edges
+        )
+        return f"GraphPattern({rendered})"

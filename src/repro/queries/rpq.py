@@ -1,0 +1,31 @@
+"""Regular path queries (RPQs): single-edge graph patterns with a regular expression."""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+from repro.queries.crpq import CRPQ, LabelInput
+
+
+class RPQ(CRPQ):
+    """A single-edge regular path query ``(x, alpha, y)``.
+
+    RPQs are the simplest navigational graph patterns (Section 1); they are a
+    special case of CRPQs and are evaluated by the same engine.
+    """
+
+    __slots__ = ()
+
+    def __init__(
+        self,
+        regex: LabelInput,
+        source: str = "x",
+        target: str = "y",
+        output_variables: Sequence[str] = ("x", "y"),
+    ):
+        super().__init__([(source, regex, target)], output_variables)
+
+    @property
+    def regex(self):
+        """The regular expression labelling the single edge."""
+        return self.pattern.edges[0].label

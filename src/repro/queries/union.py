@@ -1,0 +1,49 @@
+"""Unions of conjunctive path queries (Section 7).
+
+For a class ``Q`` of conjunctive path queries, a union ``q_1 ∨ … ∨ q_k``
+evaluates to the union of the individual results.  All member queries must
+have the same output arity.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.core.errors import EvaluationError
+from repro.queries.base import ConjunctivePathQuery
+
+
+class UnionQuery:
+    """A finite union of conjunctive path queries."""
+
+    __slots__ = ("queries",)
+
+    def __init__(self, queries: Iterable[ConjunctivePathQuery]):
+        self.queries: List[ConjunctivePathQuery] = list(queries)
+        if not self.queries:
+            raise EvaluationError("a union query needs at least one member")
+        arity = len(self.queries[0].output_variables)
+        for query in self.queries:
+            if len(query.output_variables) != arity:
+                raise EvaluationError("all members of a union must have the same output arity")
+
+    @property
+    def is_boolean(self) -> bool:
+        return self.queries[0].is_boolean
+
+    @property
+    def output_arity(self) -> int:
+        return len(self.queries[0].output_variables)
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def __iter__(self):
+        return iter(self.queries)
+
+    def size(self) -> int:
+        """Total size of all member queries."""
+        return sum(query.size() for query in self.queries)
+
+    def __repr__(self) -> str:
+        return f"UnionQuery({len(self.queries)} members, arity={self.output_arity})"

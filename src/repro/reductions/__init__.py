@@ -1,0 +1,45 @@
+"""Hardness reductions of the paper, as executable constructions.
+
+Each module builds the database/query pair of a reduction *and* ships a
+ground-truth solver for the source problem, so the tests can verify the
+reduction end-to-end and the benchmarks can measure how evaluation cost
+tracks instance hardness.
+
+* :mod:`repro.reductions.nfa_intersection` — Theorem 1 and Theorem 3
+  (PSpace-hardness from the NFA intersection problem),
+* :mod:`repro.reductions.hitting_set` — Theorem 7 (NP-hardness of
+  ``CXRPQ^<=1`` from Hitting Set, Figure 4),
+* :mod:`repro.reductions.reachability` — the NL-hardness part of
+  Theorems 3 and 7 (from digraph reachability).
+"""
+
+from repro.reductions.nfa_intersection import (
+    alpha_ni,
+    alpha_ni_k,
+    nfa_intersection_database,
+    nfa_intersection_query,
+    nfa_intersection_nonempty,
+)
+from repro.reductions.hitting_set import (
+    HittingSetInstance,
+    hitting_set_database,
+    hitting_set_query,
+    hitting_set_reduction,
+    brute_force_hitting_set,
+)
+from repro.reductions.reachability import reachability_database, reachability_query
+
+__all__ = [
+    "alpha_ni",
+    "alpha_ni_k",
+    "nfa_intersection_database",
+    "nfa_intersection_query",
+    "nfa_intersection_nonempty",
+    "HittingSetInstance",
+    "hitting_set_database",
+    "hitting_set_query",
+    "hitting_set_reduction",
+    "brute_force_hitting_set",
+    "reachability_database",
+    "reachability_query",
+]

@@ -1,0 +1,120 @@
+"""The Hitting-Set reduction of Theorem 7 (Figure 4).
+
+Theorem 7 shows that Boolean evaluation of ``CXRPQ^<=1`` is NP-hard in
+combined complexity even for single-edge queries with simple xregex: a
+Hitting-Set instance ``A_1, …, A_m ⊆ U``, ``k`` is transformed into
+
+* a database consisting of a "selection" path of ``k`` blocks over the whole
+  universe, followed by one block per set ``A_i`` (with self-loops allowing
+  arbitrary universe elements in between), and
+* the single-edge query labelled
+
+      # ∏_{i=1}^{(n+2)k} x_i{a|b|()}  #  (∏_{i=1}^{(n+2)k} &x_i)^m  #
+
+  where element ``z_j`` of the universe is encoded as ``⟨z_j⟩ = b a^j b``.
+
+A matching path exists iff a hitting set of size at most ``k`` exists.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.core.errors import ReductionError
+from repro.graphdb.database import GraphDatabase, Node
+from repro.queries.cxrpq import CXRPQ
+from repro.regex import syntax as rx
+
+
+@dataclass(frozen=True)
+class HittingSetInstance:
+    """A Hitting-Set instance: subsets of a universe plus the size budget ``k``."""
+
+    universe: Tuple[str, ...]
+    sets: Tuple[FrozenSet[str], ...]
+    budget: int
+
+    def __post_init__(self) -> None:
+        universe = set(self.universe)
+        if len(universe) != len(self.universe):
+            raise ReductionError("the universe must not contain duplicates")
+        for subset in self.sets:
+            if not subset:
+                raise ReductionError("every set of the instance must be non-empty")
+            if not subset <= universe:
+                raise ReductionError(f"set {sorted(subset)} is not a subset of the universe")
+        if self.budget < 1:
+            raise ReductionError("the budget k must be at least 1")
+
+    @classmethod
+    def build(cls, universe: Sequence[str], sets: Sequence[Sequence[str]], budget: int) -> "HittingSetInstance":
+        return cls(tuple(universe), tuple(frozenset(subset) for subset in sets), budget)
+
+    @property
+    def num_sets(self) -> int:
+        return len(self.sets)
+
+    @property
+    def universe_size(self) -> int:
+        return len(self.universe)
+
+
+def brute_force_hitting_set(instance: HittingSetInstance) -> Optional[Set[str]]:
+    """Ground truth: the smallest hitting set of size at most ``k`` (or ``None``)."""
+    for size in range(1, instance.budget + 1):
+        for candidate in itertools.combinations(instance.universe, size):
+            chosen = set(candidate)
+            if all(chosen & subset for subset in instance.sets):
+                return chosen
+    return None
+
+
+def element_encoding(instance: HittingSetInstance, element: str) -> str:
+    """The encoding ``⟨z_j⟩ = b a^j b`` of a universe element (1-based index)."""
+    index = instance.universe.index(element) + 1
+    return "b" + "a" * index + "b"
+
+
+def hitting_set_database(instance: HittingSetInstance) -> Tuple[GraphDatabase, Node, Node]:
+    """The database of Figure 4.  Returns ``(D, s, t)``."""
+    db = GraphDatabase()
+    k = instance.budget
+    source, sink = "s", "t"
+    selection_nodes = [f"u{i}" for i in range(k + 1)]
+    verification_nodes = [f"v{i}" for i in range(instance.num_sets + 1)]
+    for node in [source, sink, *selection_nodes, *verification_nodes]:
+        db.add_node(node)
+    db.add_edge(source, "#", selection_nodes[0])
+    db.add_edge(selection_nodes[-1], "#", verification_nodes[0])
+    db.add_edge(verification_nodes[-1], "#", sink)
+    for i in range(1, k + 1):
+        for element in instance.universe:
+            db.add_word_path(selection_nodes[i - 1], element_encoding(instance, element), selection_nodes[i])
+    for i, subset in enumerate(instance.sets, start=1):
+        for element in sorted(subset):
+            db.add_word_path(verification_nodes[i - 1], element_encoding(instance, element), verification_nodes[i])
+    for node in verification_nodes:
+        for element in instance.universe:
+            db.add_word_path(node, element_encoding(instance, element), node)
+    return db, source, sink
+
+
+def hitting_set_query(instance: HittingSetInstance, boolean: bool = True) -> CXRPQ:
+    """The single-edge ``CXRPQ^<=1`` query of Theorem 7."""
+    num_variables = (instance.universe_size + 2) * instance.budget
+    variables = [f"x{i}" for i in range(1, num_variables + 1)]
+    choice = rx.alternation(rx.Symbol("a"), rx.Symbol("b"), rx.EPSILON)
+    selection = rx.concat(*[rx.VarDef(name, choice) for name in variables])
+    block = rx.concat(*[rx.VarRef(name) for name in variables])
+    verification = rx.concat(*([block] * instance.num_sets))
+    label = rx.concat(rx.Symbol("#"), selection, rx.Symbol("#"), verification, rx.Symbol("#"))
+    output = () if boolean else ("x", "y")
+    return CXRPQ([("x", label, "y")], output, image_bound=1)
+
+
+def hitting_set_reduction(instance: HittingSetInstance) -> Tuple[GraphDatabase, CXRPQ]:
+    """The full reduction: database and query (Boolean, image bound 1)."""
+    db, _source, _sink = hitting_set_database(instance)
+    return db, hitting_set_query(instance)

@@ -1,0 +1,59 @@
+"""The NL-hardness reduction from digraph reachability (Theorems 3 and 7).
+
+An arbitrary directed graph ``G`` with two designated vertices ``s`` and
+``t`` is transformed into a graph database in which every original edge is
+labelled ``b`` and fresh border edges labelled ``a`` are attached, such that
+``s`` reaches ``t`` in ``G`` iff the database contains a path labelled
+``a b^j a a`` — i.e. iff the fixed single-edge CRPQ with regular expression
+``a b* a a`` matches.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Set, Tuple
+
+from repro.graphdb.database import GraphDatabase, Node
+from repro.queries.crpq import CRPQ
+from repro.queries.cxrpq import CXRPQ
+from repro.regex.parser import parse_xregex
+
+
+def reachability_database(
+    edges: Iterable[Tuple[Node, Node]],
+    source: Node,
+    target: Node,
+) -> GraphDatabase:
+    """The database of the reduction (unlabelled digraph → ``{a, b}``-database)."""
+    db = GraphDatabase()
+    db.add_node(source)
+    db.add_node(target)
+    for origin, destination in edges:
+        db.add_edge(origin, "b", destination)
+    db.add_edge("s_prime", "a", source)
+    db.add_edge(target, "a", "t_prime")
+    db.add_edge("t_prime", "a", "t_double_prime")
+    return db
+
+
+def reachability_query(as_cxrpq: bool = False):
+    """The fixed Boolean query with regular expression ``a b* a a``."""
+    label = parse_xregex("ab*aa")
+    if as_cxrpq:
+        return CXRPQ([("x", label, "z")], ())
+    return CRPQ([("x", label, "z")], ())
+
+
+def digraph_reachable(edges: Iterable[Tuple[Node, Node]], source: Node, target: Node) -> bool:
+    """Ground truth: plain breadth-first reachability in the source digraph."""
+    adjacency = {}
+    for origin, destination in edges:
+        adjacency.setdefault(origin, set()).add(destination)
+    seen: Set[Node] = {source}
+    frontier = [source]
+    while frontier:
+        node = frontier.pop()
+        for successor in adjacency.get(node, ()):  # pragma: no branch
+            if successor not in seen:
+                seen.add(successor)
+                frontier.append(successor)
+    return target in seen

@@ -1,0 +1,64 @@
+"""Xregex: regular expressions with string variables (backreferences).
+
+This package implements Section 2.1 (ref-words), Section 3 (xregex) and
+Section 3.1 (conjunctive xregex) of the paper:
+
+* :mod:`repro.regex.syntax` — the abstract syntax of xregex (Definition 3),
+* :mod:`repro.regex.parser` — a textual surface syntax,
+* :mod:`repro.regex.refwords` — ref-words and the ``deref`` function
+  (Definitions 1 and 2),
+* :mod:`repro.regex.properties` — the structural restrictions used by the
+  paper's fragments (sequential, acyclic, vstar-free, valt-free,
+  variable-simple, simple, normal form, flat variables),
+* :mod:`repro.regex.language` — the semantics ``L(alpha)``, ``L_ref(alpha)``,
+  ``L^{<=k}(alpha)`` and ``L^{v}(alpha)`` together with a witness-producing
+  matcher,
+* :mod:`repro.regex.conjunctive` — conjunctive xregex (Definition 4) and
+  conjunctive matches.
+"""
+
+from repro.regex.syntax import (
+    Xregex,
+    Epsilon,
+    EmptySet,
+    Symbol,
+    AnySymbol,
+    SymbolClass,
+    Concat,
+    Alternation,
+    Plus,
+    Star,
+    Optional,
+    VarRef,
+    VarDef,
+    concat,
+    alternation,
+    literal,
+    EPSILON,
+    EMPTY,
+)
+from repro.regex.parser import parse_xregex
+from repro.regex.conjunctive import ConjunctiveXregex
+
+__all__ = [
+    "Xregex",
+    "Epsilon",
+    "EmptySet",
+    "Symbol",
+    "AnySymbol",
+    "SymbolClass",
+    "Concat",
+    "Alternation",
+    "Plus",
+    "Star",
+    "Optional",
+    "VarRef",
+    "VarDef",
+    "concat",
+    "alternation",
+    "literal",
+    "EPSILON",
+    "EMPTY",
+    "parse_xregex",
+    "ConjunctiveXregex",
+]

@@ -1,0 +1,284 @@
+"""Conjunctive xregex (Definition 4) and conjunctive matches.
+
+A conjunctive xregex of dimension ``m`` is a tuple ``(alpha_1, …, alpha_m)``
+of xregex such that the concatenation ``alpha_1 alpha_2 … alpha_m`` is a
+(sequential, acyclic) xregex.  Its language is a set of ``m``-tuples of
+words: occurrences of the same string variable in different components must
+refer to the same image (Section 3.1).
+
+Undefined variables
+-------------------
+Following the ``⟨γ⟩_int`` construction of the paper, a variable that has no
+definition in *any* component is existential: it may take an arbitrary image
+(shared by all of its references).  A variable that has a definition
+somewhere but whose definition is not instantiated by the chosen ref-words
+has the empty image.  See DESIGN.md, "Semantic clarifications".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product as iter_product
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.core.alphabet import Alphabet
+from repro.core.errors import XregexSemanticsError
+from repro.core.words import all_words_up_to
+from repro.regex import syntax as rx
+from repro.regex import properties as props
+from repro.regex.language import MatchWitness, _Bindings, _match_node
+from repro.regex.parser import parse_xregex
+
+
+@dataclass(frozen=True)
+class ConjunctiveMatch:
+    """A witness that a word tuple is a conjunctive match of a conjunctive xregex."""
+
+    words: Tuple[str, ...]
+    vmap: Dict[str, str]
+
+    def image(self, variable: str) -> str:
+        return self.vmap.get(variable, "")
+
+
+class ConjunctiveXregex:
+    """A conjunctive xregex ``(alpha_1, …, alpha_m)`` of dimension ``m``."""
+
+    __slots__ = ("components",)
+
+    def __init__(self, components: Sequence[rx.Xregex], validate: bool = True):
+        if not components:
+            raise XregexSemanticsError("a conjunctive xregex needs at least one component")
+        self.components: Tuple[rx.Xregex, ...] = tuple(components)
+        if validate:
+            self.validate()
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def parse(cls, *texts: str) -> "ConjunctiveXregex":
+        """Parse each component with :func:`repro.regex.parser.parse_xregex`."""
+        return cls([parse_xregex(text) for text in texts])
+
+    @classmethod
+    def single(cls, component: rx.Xregex) -> "ConjunctiveXregex":
+        """The one-dimensional conjunctive xregex ``(alpha)``."""
+        return cls([component])
+
+    # -- structure -----------------------------------------------------------
+
+    @property
+    def dimension(self) -> int:
+        """The number of components ``m``."""
+        return len(self.components)
+
+    def __getitem__(self, index: int) -> rx.Xregex:
+        return self.components[index]
+
+    def __iter__(self) -> Iterator[rx.Xregex]:
+        return iter(self.components)
+
+    def __len__(self) -> int:
+        return len(self.components)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, ConjunctiveXregex):
+            return self.components == other.components
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self.components)
+
+    def __repr__(self) -> str:
+        rendered = ", ".join(component.to_string() for component in self.components)
+        return f"ConjunctiveXregex({rendered})"
+
+    def concatenation(self) -> rx.Xregex:
+        """The concatenation ``alpha_1 alpha_2 … alpha_m`` used by Definition 4."""
+        return rx.concat(*self.components)
+
+    def size(self) -> int:
+        """Total AST size, the measure ``|ᾱ|`` used in the size bounds."""
+        return sum(component.size() for component in self.components)
+
+    def validate(self) -> "ConjunctiveXregex":
+        """Check Definition 4: the concatenation is a sequential, acyclic xregex."""
+        concatenated = self.concatenation()
+        concatenated.validate()
+        if not props.is_sequential(concatenated):
+            raise XregexSemanticsError(
+                "not a conjunctive xregex: the concatenation of the components is not sequential"
+            )
+        if not props.is_acyclic(concatenated):
+            raise XregexSemanticsError(
+                "not a conjunctive xregex: the variable-dependency relation is cyclic"
+            )
+        return self
+
+    # -- variables ------------------------------------------------------------
+
+    def variables(self) -> Set[str]:
+        """All variables referenced or defined in any component."""
+        names: Set[str] = set()
+        for component in self.components:
+            names |= component.variables()
+        return names
+
+    def defined_variables(self) -> Set[str]:
+        """Variables with at least one definition in some component."""
+        names: Set[str] = set()
+        for component in self.components:
+            names |= component.defined_variables()
+        return names
+
+    def free_variables(self) -> Set[str]:
+        """Variables referenced but never defined (existential variables)."""
+        return self.variables() - self.defined_variables()
+
+    def terminal_symbols(self) -> Set[str]:
+        """Terminal symbols that occur literally in some component."""
+        symbols: Set[str] = set()
+        for component in self.components:
+            symbols |= component.terminal_symbols()
+        return symbols
+
+    # -- fragments -------------------------------------------------------------
+
+    def is_classical(self) -> bool:
+        """True if no component uses string variables (a tuple of regular expressions)."""
+        return all(component.is_classical() for component in self.components)
+
+    def is_vstar_free(self) -> bool:
+        """True if every component is variable-star free (Section 5)."""
+        return all(props.is_vstar_free(component) for component in self.components)
+
+    def is_variable_simple(self) -> bool:
+        """True if every component is variable-simple."""
+        return all(props.is_variable_simple(component) for component in self.components)
+
+    def is_simple(self) -> bool:
+        """True if every component is simple."""
+        return all(props.is_simple(component) for component in self.components)
+
+    def is_normal_form(self) -> bool:
+        """True if every component is in normal form (alternation of simple xregex)."""
+        return all(props.is_normal_form(component) for component in self.components)
+
+    def has_only_flat_variables(self) -> bool:
+        """True if every variable is flat (Section 5.3), checked on the concatenation."""
+        return props.all_variables_flat(self.concatenation())
+
+    # -- semantics --------------------------------------------------------------
+
+    def match(
+        self,
+        words: Sequence[str],
+        alphabet: Optional[Alphabet] = None,
+        *,
+        max_image_length: Optional[int] = None,
+        required_images: Optional[Mapping[str, str]] = None,
+    ) -> Optional[ConjunctiveMatch]:
+        """Decide whether ``words`` is a conjunctive match and return a witness."""
+        for witness in self.match_all(
+            words,
+            alphabet,
+            max_image_length=max_image_length,
+            required_images=required_images,
+        ):
+            return witness
+        return None
+
+    def match_all(
+        self,
+        words: Sequence[str],
+        alphabet: Optional[Alphabet] = None,
+        *,
+        max_image_length: Optional[int] = None,
+        required_images: Optional[Mapping[str, str]] = None,
+    ) -> Iterator[ConjunctiveMatch]:
+        """Yield every distinct witness variable mapping for ``words``."""
+        if len(words) != self.dimension:
+            raise XregexSemanticsError(
+                f"expected {self.dimension} words, got {len(words)}"
+            )
+        required = dict(required_images or {})
+        defined = self.defined_variables()
+        seen: Set[Tuple[Tuple[str, str], ...]] = set()
+
+        def finalize(bindings: _Bindings) -> bool:
+            for name, value in bindings.values.items():
+                if bindings.is_fixed(name) or value == "":
+                    continue
+                if name in defined:
+                    # The variable has a definition somewhere but no witness
+                    # instantiated it, so its image must be empty.
+                    return False
+            for name, value in required.items():
+                actual = bindings.values.get(name)
+                if actual is None:
+                    if name in defined and value != "":
+                        return False
+                    if name in defined or value == "":
+                        continue
+                    # Free variable never touched: any image is realisable.
+                    continue
+                if actual != value:
+                    return False
+            return True
+
+        def recurse(index: int, bindings: _Bindings) -> Iterator[_Bindings]:
+            if index == self.dimension:
+                yield bindings
+                return
+            component = self.components[index]
+            word = words[index]
+            for end, new_bindings in _match_node(
+                component, word, 0, bindings, alphabet, max_image_length, required
+            ):
+                if end != len(word):
+                    continue
+                yield from recurse(index + 1, new_bindings)
+
+        for bindings in recurse(0, _Bindings()):
+            if not finalize(bindings):
+                continue
+            vmap = {name: value for name, value in bindings.values.items()}
+            key = tuple(sorted(vmap.items()))
+            if key in seen:
+                continue
+            seen.add(key)
+            yield ConjunctiveMatch(words=tuple(words), vmap=vmap)
+
+    def contains(self, words: Sequence[str], alphabet: Optional[Alphabet] = None, **kwargs) -> bool:
+        """Boolean version of :meth:`match`."""
+        return self.match(words, alphabet, **kwargs) is not None
+
+    def enumerate_language(
+        self,
+        alphabet: Alphabet,
+        max_length: int,
+        max_image_length: Optional[int] = None,
+    ) -> List[Tuple[str, ...]]:
+        """All conjunctive matches with every component of length at most ``max_length``.
+
+        Brute force over ``(Sigma^{<=max_length})^m``; intended for tests and
+        for cross-validating the evaluation algorithms on small instances.
+        """
+        candidates = list(all_words_up_to(alphabet, max_length))
+        matches: List[Tuple[str, ...]] = []
+        for combo in iter_product(candidates, repeat=self.dimension):
+            if self.contains(combo, alphabet, max_image_length=max_image_length):
+                matches.append(tuple(combo))
+        return matches
+
+    # -- transformations ---------------------------------------------------------
+
+    def map_components(self, fn) -> "ConjunctiveXregex":
+        """Apply ``fn`` to every component, returning a new conjunctive xregex."""
+        return ConjunctiveXregex([fn(component) for component in self.components])
+
+    def replace_component(self, index: int, component: rx.Xregex) -> "ConjunctiveXregex":
+        """Return a copy with component ``index`` replaced."""
+        components = list(self.components)
+        components[index] = component
+        return ConjunctiveXregex(components)

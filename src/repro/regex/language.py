@@ -1,0 +1,439 @@
+"""Semantics of xregex: ref-languages, matching and bounded languages.
+
+The language ``L(alpha)`` of an xregex is defined in the paper via ref-words:
+``L(alpha) = deref(L_ref(alpha))`` (Section 3).  This module provides
+
+* :func:`compile_ref_nfa` — an NFA for the ref-language ``L_ref(alpha)``
+  (the classical regular expression ``alpha_ref`` over the extended alphabet),
+* :func:`enumerate_ref_words` / :func:`enumerate_language` — bounded
+  enumeration of ref-words and of ``L(alpha)`` for small instances,
+* :class:`MatchWitness` and :func:`match` — a backtracking matcher deciding
+  ``w ∈ L(alpha)`` that also returns the variable mapping of a witness
+  ref-word; the matcher supports the bounded-image languages ``L^{<=k}`` and
+  the fixed-image languages ``L^{v̄}`` of Section 6 and the "existential"
+  treatment of undefined variables needed by the conjunctive semantics
+  (Section 3.1).
+
+Matching xregex is NP-hard in general (see Section 8 of the paper), so the
+matcher is meant for small words: tests, cross-validation oracles and the
+constructions of Lemma 10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.core.alphabet import Alphabet
+from repro.core.errors import EvaluationError
+from repro.core.words import all_words_up_to
+from repro.automata.nfa import EPSILON_LABEL, NFA
+from repro.regex import syntax as rx
+from repro.regex.refwords import CloseToken, OpenToken, RefToken, RefWord, deref
+
+
+# ---------------------------------------------------------------------------
+# Ref-languages
+# ---------------------------------------------------------------------------
+
+
+def compile_ref_nfa(expr: rx.Xregex, alphabet: Optional[Alphabet] = None) -> NFA:
+    """An NFA accepting ``L_ref(alpha)``, i.e. the ref-words of ``alpha``.
+
+    Terminal symbols label transitions with single characters; variable
+    definitions contribute :class:`OpenToken`/:class:`CloseToken` labels and
+    references contribute :class:`RefToken` labels, exactly mirroring the
+    construction of ``alpha_ref`` in Section 3.
+    """
+    nfa = NFA()
+    final = nfa.add_state()
+    _build_ref(nfa, expr, nfa.start, final, alphabet)
+    nfa.set_accepting(final)
+    return nfa
+
+
+def _build_ref(
+    nfa: NFA,
+    expr: rx.Xregex,
+    entry: int,
+    exit_state: int,
+    alphabet: Optional[Alphabet],
+) -> None:
+    if isinstance(expr, rx.Epsilon):
+        nfa.add_transition(entry, EPSILON_LABEL, exit_state)
+    elif isinstance(expr, rx.EmptySet):
+        pass
+    elif isinstance(expr, rx.Symbol):
+        nfa.add_transition(entry, expr.char, exit_state)
+    elif isinstance(expr, rx.AnySymbol):
+        if alphabet is None:
+            raise EvaluationError("a wildcard '.' requires an explicit alphabet")
+        for symbol in alphabet:
+            nfa.add_transition(entry, symbol, exit_state)
+    elif isinstance(expr, rx.SymbolClass):
+        if expr.negated and alphabet is None:
+            raise EvaluationError("a negated symbol class requires an explicit alphabet")
+        symbols = expr.resolve(alphabet) if alphabet is not None else expr.symbols
+        for symbol in sorted(symbols):
+            nfa.add_transition(entry, symbol, exit_state)
+    elif isinstance(expr, rx.Concat):
+        current = entry
+        for part in expr.parts[:-1]:
+            nxt = nfa.add_state()
+            _build_ref(nfa, part, current, nxt, alphabet)
+            current = nxt
+        _build_ref(nfa, expr.parts[-1], current, exit_state, alphabet)
+    elif isinstance(expr, rx.Alternation):
+        for option in expr.options:
+            _build_ref(nfa, option, entry, exit_state, alphabet)
+    elif isinstance(expr, rx.Plus):
+        inner_entry = nfa.add_state()
+        inner_exit = nfa.add_state()
+        nfa.add_transition(entry, EPSILON_LABEL, inner_entry)
+        _build_ref(nfa, expr.inner, inner_entry, inner_exit, alphabet)
+        nfa.add_transition(inner_exit, EPSILON_LABEL, inner_entry)
+        nfa.add_transition(inner_exit, EPSILON_LABEL, exit_state)
+    elif isinstance(expr, rx.Star):
+        inner_entry = nfa.add_state()
+        inner_exit = nfa.add_state()
+        nfa.add_transition(entry, EPSILON_LABEL, inner_entry)
+        nfa.add_transition(entry, EPSILON_LABEL, exit_state)
+        _build_ref(nfa, expr.inner, inner_entry, inner_exit, alphabet)
+        nfa.add_transition(inner_exit, EPSILON_LABEL, inner_entry)
+        nfa.add_transition(inner_exit, EPSILON_LABEL, exit_state)
+    elif isinstance(expr, rx.Optional):
+        nfa.add_transition(entry, EPSILON_LABEL, exit_state)
+        _build_ref(nfa, expr.inner, entry, exit_state, alphabet)
+    elif isinstance(expr, rx.VarRef):
+        nfa.add_transition(entry, RefToken(expr.name), exit_state)
+    elif isinstance(expr, rx.VarDef):
+        open_state = nfa.add_state()
+        close_state = nfa.add_state()
+        nfa.add_transition(entry, OpenToken(expr.name), open_state)
+        _build_ref(nfa, expr.body, open_state, close_state, alphabet)
+        nfa.add_transition(close_state, CloseToken(expr.name), exit_state)
+    else:  # pragma: no cover - exhaustive over the AST
+        raise EvaluationError(f"unsupported xregex node {expr!r}")
+
+
+def enumerate_ref_words(
+    expr: rx.Xregex,
+    alphabet: Optional[Alphabet] = None,
+    max_tokens: int = 8,
+) -> Iterator[RefWord]:
+    """Enumerate ref-words of ``alpha`` with at most ``max_tokens`` tokens."""
+    nfa = compile_ref_nfa(expr, alphabet)
+    yield from nfa.enumerate_words(max_tokens)
+
+
+def enumerate_language(
+    expr: rx.Xregex,
+    alphabet: Alphabet,
+    max_length: int,
+    max_image_length: Optional[int] = None,
+) -> List[str]:
+    """All words of ``L(alpha)`` (or ``L^{<=k}(alpha)``) up to ``max_length``.
+
+    Brute-force: candidate words over the alphabet are filtered with the
+    matcher, which is only feasible for small alphabets and lengths; intended
+    for tests and cross-validation.
+    """
+    words = []
+    for candidate in all_words_up_to(alphabet, max_length):
+        if match(expr, candidate, alphabet, max_image_length=max_image_length) is not None:
+            words.append(candidate)
+    return words
+
+
+# ---------------------------------------------------------------------------
+# Matching
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MatchWitness:
+    """A successful match of a word against an xregex.
+
+    ``vmap`` maps every variable that received a value to its image; images
+    of variables not mentioned are the empty word.  ``fixed`` lists the
+    variables whose image was produced by an instantiated definition (as
+    opposed to being forced through references only).
+    """
+
+    word: str
+    vmap: Dict[str, str]
+    fixed: frozenset
+
+    def image(self, variable: str) -> str:
+        return self.vmap.get(variable, "")
+
+
+class _Bindings:
+    """Immutable-ish variable environment used by the backtracking matcher."""
+
+    __slots__ = ("values", "fixed")
+
+    def __init__(self, values: Optional[Dict[str, str]] = None, fixed: Optional[Set[str]] = None):
+        self.values: Dict[str, str] = values or {}
+        self.fixed: Set[str] = fixed or set()
+
+    def copy_with(self, name: str, value: str, fixed: bool) -> "_Bindings":
+        values = dict(self.values)
+        values[name] = value
+        fixed_set = set(self.fixed)
+        if fixed:
+            fixed_set.add(name)
+        return _Bindings(values, fixed_set)
+
+    def value(self, name: str) -> Optional[str]:
+        return self.values.get(name)
+
+    def is_fixed(self, name: str) -> bool:
+        return name in self.fixed
+
+
+def match(
+    expr: rx.Xregex,
+    word: str,
+    alphabet: Optional[Alphabet] = None,
+    *,
+    max_image_length: Optional[int] = None,
+    required_images: Optional[Mapping[str, str]] = None,
+    existential_variables: Iterable[str] = (),
+    initial_bindings: Optional[Mapping[str, str]] = None,
+) -> Optional[MatchWitness]:
+    """Decide ``word ∈ L(alpha)`` and return a witness, or ``None``.
+
+    Parameters
+    ----------
+    max_image_length:
+        When given, restrict every variable image to length at most ``k``;
+        this decides membership in ``L^{<=k}(alpha)`` (Section 6).
+    required_images:
+        When given, only accept witnesses whose variable mapping agrees with
+        the supplied images; this decides membership in ``L^{v̄}(alpha)``.
+    existential_variables:
+        Variables that may keep an arbitrary image even though no definition
+        is instantiated for them (used for the conjunctive semantics of
+        Section 3.1, where undefined variables receive dummy ``x{Σ*}``
+        definitions).
+    initial_bindings:
+        Pre-set variable images (treated as already fixed); used when
+        threading an environment through the components of a conjunctive
+        xregex.
+    """
+    for result in match_all(
+        expr,
+        word,
+        alphabet,
+        max_image_length=max_image_length,
+        required_images=required_images,
+        existential_variables=existential_variables,
+        initial_bindings=initial_bindings,
+    ):
+        return result
+    return None
+
+
+def matches(expr: rx.Xregex, word: str, alphabet: Optional[Alphabet] = None, **kwargs) -> bool:
+    """Boolean version of :func:`match`."""
+    return match(expr, word, alphabet, **kwargs) is not None
+
+
+def match_all(
+    expr: rx.Xregex,
+    word: str,
+    alphabet: Optional[Alphabet] = None,
+    *,
+    max_image_length: Optional[int] = None,
+    required_images: Optional[Mapping[str, str]] = None,
+    existential_variables: Iterable[str] = (),
+    initial_bindings: Optional[Mapping[str, str]] = None,
+) -> Iterator[MatchWitness]:
+    """Yield every distinct witness variable mapping for ``word ∈ L(alpha)``."""
+    existential = set(existential_variables)
+    required = dict(required_images or {})
+    start_bindings = _Bindings()
+    for name, value in (initial_bindings or {}).items():
+        start_bindings = start_bindings.copy_with(name, value, fixed=True)
+    defined_here = expr.defined_variables()
+    seen: Set[Tuple[Tuple[str, str], ...]] = set()
+    for end, bindings in _match_node(
+        expr, word, 0, start_bindings, alphabet, max_image_length, required
+    ):
+        if end != len(word):
+            continue
+        if not _finalize(bindings, defined_here, existential, required):
+            continue
+        vmap = dict(bindings.values)
+        key = tuple(sorted(vmap.items()))
+        if key in seen:
+            continue
+        seen.add(key)
+        yield MatchWitness(word=word, vmap=vmap, fixed=frozenset(bindings.fixed))
+
+
+def _finalize(
+    bindings: _Bindings,
+    defined_here: Set[str],
+    existential: Set[str],
+    required: Mapping[str, str],
+) -> bool:
+    for name, value in bindings.values.items():
+        if bindings.is_fixed(name):
+            continue
+        if value == "":
+            continue
+        if name in existential:
+            continue
+        # A non-empty image was forced through references only: under deref
+        # semantics an uninstantiated variable denotes the empty word.
+        return False
+    for name, value in required.items():
+        actual = bindings.values.get(name, "")
+        if actual != value:
+            if name in existential and name not in bindings.values:
+                continue
+            return False
+    return True
+
+
+def _match_node(
+    expr: rx.Xregex,
+    word: str,
+    pos: int,
+    bindings: _Bindings,
+    alphabet: Optional[Alphabet],
+    max_image_length: Optional[int],
+    required: Mapping[str, str],
+) -> Iterator[Tuple[int, _Bindings]]:
+    if isinstance(expr, rx.Epsilon):
+        yield pos, bindings
+    elif isinstance(expr, rx.EmptySet):
+        return
+    elif isinstance(expr, rx.Symbol):
+        if pos < len(word) and word[pos] == expr.char:
+            yield pos + 1, bindings
+    elif isinstance(expr, rx.AnySymbol):
+        if pos < len(word) and (alphabet is None or word[pos] in alphabet):
+            yield pos + 1, bindings
+    elif isinstance(expr, rx.SymbolClass):
+        if pos < len(word):
+            symbols = expr.resolve(alphabet) if (expr.negated and alphabet is not None) else expr.symbols
+            member = word[pos] in symbols
+            if expr.negated and alphabet is None:
+                member = word[pos] not in expr.symbols
+            if member:
+                yield pos + 1, bindings
+    elif isinstance(expr, rx.Concat):
+        yield from _match_sequence(expr.parts, word, pos, bindings, alphabet, max_image_length, required)
+    elif isinstance(expr, rx.Alternation):
+        for option in expr.options:
+            yield from _match_node(option, word, pos, bindings, alphabet, max_image_length, required)
+    elif isinstance(expr, rx.Optional):
+        yield pos, bindings
+        yield from _match_node(expr.inner, word, pos, bindings, alphabet, max_image_length, required)
+    elif isinstance(expr, rx.Star):
+        yield from _match_repeat(expr.inner, word, pos, bindings, alphabet, max_image_length, required, allow_zero=True)
+    elif isinstance(expr, rx.Plus):
+        yield from _match_repeat(expr.inner, word, pos, bindings, alphabet, max_image_length, required, allow_zero=False)
+    elif isinstance(expr, rx.VarRef):
+        yield from _match_reference(expr.name, word, pos, bindings, max_image_length, required)
+    elif isinstance(expr, rx.VarDef):
+        yield from _match_definition(expr, word, pos, bindings, alphabet, max_image_length, required)
+    else:  # pragma: no cover - exhaustive over the AST
+        raise EvaluationError(f"unsupported xregex node {expr!r}")
+
+
+def _match_sequence(
+    parts: Sequence[rx.Xregex],
+    word: str,
+    pos: int,
+    bindings: _Bindings,
+    alphabet: Optional[Alphabet],
+    max_image_length: Optional[int],
+    required: Mapping[str, str],
+) -> Iterator[Tuple[int, _Bindings]]:
+    if not parts:
+        yield pos, bindings
+        return
+    head, tail = parts[0], parts[1:]
+    for mid, mid_bindings in _match_node(head, word, pos, bindings, alphabet, max_image_length, required):
+        yield from _match_sequence(tail, word, mid, mid_bindings, alphabet, max_image_length, required)
+
+
+def _match_repeat(
+    inner: rx.Xregex,
+    word: str,
+    pos: int,
+    bindings: _Bindings,
+    alphabet: Optional[Alphabet],
+    max_image_length: Optional[int],
+    required: Mapping[str, str],
+    allow_zero: bool,
+) -> Iterator[Tuple[int, _Bindings]]:
+    if allow_zero:
+        yield pos, bindings
+    for mid, mid_bindings in _match_node(inner, word, pos, bindings, alphabet, max_image_length, required):
+        if mid == pos:
+            if not allow_zero:
+                yield mid, mid_bindings
+            continue
+        yield mid, mid_bindings
+        yield from _match_repeat(inner, word, mid, mid_bindings, alphabet, max_image_length, required, allow_zero=False)
+
+
+def _match_reference(
+    name: str,
+    word: str,
+    pos: int,
+    bindings: _Bindings,
+    max_image_length: Optional[int],
+    required: Mapping[str, str],
+) -> Iterator[Tuple[int, _Bindings]]:
+    bound = bindings.value(name)
+    if bound is not None:
+        if word.startswith(bound, pos):
+            yield pos + len(bound), bindings
+        return
+    if name in required:
+        candidates = [required[name]]
+        for candidate in candidates:
+            if max_image_length is not None and len(candidate) > max_image_length:
+                continue
+            if word.startswith(candidate, pos):
+                yield pos + len(candidate), bindings.copy_with(name, candidate, fixed=False)
+        return
+    limit = len(word) - pos
+    if max_image_length is not None:
+        limit = min(limit, max_image_length)
+    for length in range(limit + 1):
+        candidate = word[pos:pos + length]
+        yield pos + length, bindings.copy_with(name, candidate, fixed=False)
+
+
+def _match_definition(
+    expr: rx.VarDef,
+    word: str,
+    pos: int,
+    bindings: _Bindings,
+    alphabet: Optional[Alphabet],
+    max_image_length: Optional[int],
+    required: Mapping[str, str],
+) -> Iterator[Tuple[int, _Bindings]]:
+    if bindings.is_fixed(expr.name):
+        # A second instantiation of the same variable only happens for
+        # non-sequential xregex; reject such witnesses.
+        return
+    for end, body_bindings in _match_node(
+        expr.body, word, pos, bindings, alphabet, max_image_length, required
+    ):
+        image = word[pos:end]
+        if max_image_length is not None and len(image) > max_image_length:
+            continue
+        if expr.name in required and required[expr.name] != image:
+            continue
+        previous = body_bindings.value(expr.name)
+        if previous is not None and previous != image:
+            continue
+        yield end, body_bindings.copy_with(expr.name, image, fixed=True)

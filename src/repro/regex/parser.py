@@ -1,0 +1,228 @@
+"""A textual surface syntax for xregex.
+
+The grammar mirrors the xregex examples of the paper while remaining
+unambiguous to parse:
+
+* single characters denote terminal symbols (``ab`` is the word ``ab``),
+* ``()`` denotes the empty word, ``∅`` the empty language,
+* ``(...)`` groups, ``|`` alternates, ``+``, ``*`` and ``?`` repeat,
+* ``.`` is the wildcard for "any symbol of the alphabet",
+* ``[abc]`` and ``[^ab]`` are symbol classes,
+* ``x{...}`` is a definition of the string variable ``x``
+  (variable names match ``[A-Za-z_][A-Za-z0-9_]*``),
+* ``&x`` is a reference of the string variable ``x``,
+* ``\\`` escapes metacharacters, whitespace is ignored.
+
+Examples from the paper, written in this syntax::
+
+    x{a|b}(&x|c)+              # Figure 2, G1
+    #z{(a|b)*}(##&z)*###       # the xregex alpha_ni of Theorem 1
+    a*x1{a*x2{(a|b)*}b*a*}&x2*(a|b)*&x1    # Example 2
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional as Opt
+
+from repro.core.errors import XregexSyntaxError
+from repro.regex.syntax import (
+    AnySymbol,
+    EMPTY,
+    EPSILON,
+    Optional,
+    Plus,
+    Star,
+    Symbol,
+    SymbolClass,
+    VarDef,
+    VarRef,
+    Xregex,
+    alternation,
+    concat,
+)
+
+_WHITESPACE = " \t\r\n"
+
+
+class _Parser:
+    """Recursive-descent parser for the xregex surface syntax."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+
+    # -- low level helpers ---------------------------------------------------
+
+    def _skip_whitespace(self) -> None:
+        while self.pos < len(self.text) and self.text[self.pos] in _WHITESPACE:
+            self.pos += 1
+
+    def _peek(self) -> Opt[str]:
+        self._skip_whitespace()
+        if self.pos < len(self.text):
+            return self.text[self.pos]
+        return None
+
+    def _advance(self) -> str:
+        char = self.text[self.pos]
+        self.pos += 1
+        return char
+
+    def _expect(self, char: str) -> None:
+        if self._peek() != char:
+            raise XregexSyntaxError(
+                f"expected {char!r} at position {self.pos} in {self.text!r}"
+            )
+        self._advance()
+
+    def _error(self, message: str) -> XregexSyntaxError:
+        return XregexSyntaxError(f"{message} at position {self.pos} in {self.text!r}")
+
+    # -- grammar --------------------------------------------------------------
+
+    def parse(self) -> Xregex:
+        expr = self._parse_alternation()
+        self._skip_whitespace()
+        if self.pos != len(self.text):
+            raise self._error(f"unexpected trailing input {self.text[self.pos:]!r}")
+        return expr
+
+    def _parse_alternation(self) -> Xregex:
+        options = [self._parse_concat()]
+        while self._peek() == "|":
+            self._advance()
+            options.append(self._parse_concat())
+        if len(options) == 1:
+            return options[0]
+        return alternation(*options)
+
+    def _parse_concat(self) -> Xregex:
+        parts: List[Xregex] = []
+        while True:
+            char = self._peek()
+            if char is None or char in ")|}":
+                break
+            parts.append(self._parse_repeat())
+        if not parts:
+            return EPSILON
+        return concat(*parts)
+
+    def _parse_repeat(self) -> Xregex:
+        expr = self._parse_atom()
+        while True:
+            char = self._peek()
+            if char == "+":
+                self._advance()
+                expr = Plus(expr)
+            elif char == "*":
+                self._advance()
+                expr = Star(expr)
+            elif char == "?":
+                self._advance()
+                expr = Optional(expr)
+            else:
+                return expr
+
+    def _parse_atom(self) -> Xregex:
+        char = self._peek()
+        if char is None:
+            raise self._error("unexpected end of input")
+        if char == "(":
+            self._advance()
+            if self._peek() == ")":
+                self._advance()
+                return EPSILON
+            inner = self._parse_alternation()
+            self._expect(")")
+            return inner
+        if char == "[":
+            return self._parse_symbol_class()
+        if char == ".":
+            self._advance()
+            return AnySymbol()
+        if char == "∅":
+            self._advance()
+            return EMPTY
+        if char == "&":
+            self._advance()
+            name = self._parse_identifier()
+            return VarRef(name)
+        if char == "\\":
+            self._advance()
+            if self.pos >= len(self.text):
+                raise self._error("dangling escape character")
+            return Symbol(self._advance())
+        if char in ")|}+*?{":
+            raise self._error(f"unexpected character {char!r}")
+        # Either a plain symbol, or the start of a variable definition
+        # ``name{...}``.  Decide with a lookahead for ``{`` after a maximal
+        # identifier.
+        if char.isalpha() or char == "_":
+            saved = self.pos
+            name = self._parse_identifier()
+            if self._peek() == "{":
+                self._advance()
+                body = self._parse_alternation()
+                self._expect("}")
+                return VarDef(name, body)
+            # Not a definition: rewind and treat the first character as a symbol.
+            self.pos = saved
+        self._skip_whitespace()
+        return Symbol(self._advance())
+
+    def _parse_identifier(self) -> str:
+        self._skip_whitespace()
+        start = self.pos
+        if self.pos >= len(self.text):
+            raise self._error("expected a variable name")
+        first = self.text[self.pos]
+        if not (first.isalpha() or first == "_"):
+            raise self._error(f"invalid variable name starting with {first!r}")
+        self.pos += 1
+        while self.pos < len(self.text) and (
+            self.text[self.pos].isalnum() or self.text[self.pos] == "_"
+        ):
+            self.pos += 1
+        return self.text[start:self.pos]
+
+    def _parse_symbol_class(self) -> Xregex:
+        self._expect("[")
+        negated = False
+        if self._peek() == "^":
+            self._advance()
+            negated = True
+        symbols = set()
+        while True:
+            char = self._peek()
+            if char is None:
+                raise self._error("unterminated symbol class")
+            if char == "]":
+                self._advance()
+                break
+            if char == "\\":
+                self._advance()
+                if self.pos >= len(self.text):
+                    raise self._error("dangling escape character in symbol class")
+                symbols.add(self._advance())
+            else:
+                symbols.add(self._advance())
+        if not symbols and not negated:
+            return EMPTY
+        return SymbolClass(frozenset(symbols), negated=negated)
+
+
+def parse_xregex(text: str) -> Xregex:
+    """Parse ``text`` into an xregex AST and validate it (Definition 3)."""
+    expr = _Parser(text).parse()
+    expr.validate()
+    return expr
+
+
+def parse_regex(text: str) -> Xregex:
+    """Parse a classical regular expression; raise if it contains variables."""
+    expr = parse_xregex(text)
+    if not expr.is_classical():
+        raise XregexSyntaxError(
+            f"expected a classical regular expression without variables, got {text!r}"
+        )
+    return expr

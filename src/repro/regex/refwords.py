@@ -1,0 +1,244 @@
+"""Ref-words: subword-marked words and the ``deref`` function.
+
+This module implements Definitions 1 and 2 of the paper.  A ref-word over a
+terminal alphabet ``Sigma`` and variables ``Xs`` is a word over
+``Sigma ∪ {◁x, ▷x | x ∈ Xs} ∪ Xs`` in which, for every variable, the
+parentheses ``◁x … ▷x`` occur at most once, form a well-nested expression,
+and the induced dependency relation is acyclic.
+
+Tokens
+------
+Terminal symbols are represented by plain one-character strings; the marking
+parentheses and variable references by the token classes below.  A ref-word
+is a tuple of such tokens.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.errors import XregexSemanticsError
+
+
+@dataclass(frozen=True)
+class OpenToken:
+    """The opening parenthesis ``◁x`` of a definition of variable ``x``."""
+
+    variable: str
+
+    def __repr__(self) -> str:
+        return f"◁{self.variable}"
+
+
+@dataclass(frozen=True)
+class CloseToken:
+    """The closing parenthesis ``▷x`` of a definition of variable ``x``."""
+
+    variable: str
+
+    def __repr__(self) -> str:
+        return f"▷{self.variable}"
+
+
+@dataclass(frozen=True)
+class RefToken:
+    """An occurrence (reference) of variable ``x`` inside a ref-word."""
+
+    variable: str
+
+    def __repr__(self) -> str:
+        return f"&{self.variable}"
+
+
+Token = object
+RefWord = Tuple[Token, ...]
+
+
+@dataclass(frozen=True)
+class DerefResult:
+    """The outcome of dereferencing a ref-word.
+
+    ``word`` is ``deref(w)`` and ``vmap`` maps every variable that occurs in
+    the ref-word (and every variable passed explicitly) to its image; the
+    image of a variable without a definition is the empty word.
+    """
+
+    word: str
+    vmap: Dict[str, str]
+
+    def image(self, variable: str) -> str:
+        """The image of ``variable`` (the empty word when unassigned)."""
+        return self.vmap.get(variable, "")
+
+
+def refword_variables(word: Sequence[Token]) -> Set[str]:
+    """All variables mentioned by parentheses or references in ``word``."""
+    names: Set[str] = set()
+    for token in word:
+        if isinstance(token, (OpenToken, CloseToken, RefToken)):
+            names.add(token.variable)
+    return names
+
+
+def is_subword_marked(word: Sequence[Token]) -> bool:
+    """Check the conditions of Definition 1 except acyclicity."""
+    try:
+        _definition_spans(word)
+    except XregexSemanticsError:
+        return False
+    return True
+
+
+def _definition_spans(word: Sequence[Token]) -> Dict[str, Tuple[int, int]]:
+    """The span ``(open_index, close_index)`` of each definition.
+
+    Raises :class:`XregexSemanticsError` when the parentheses are not
+    well-nested or a variable is opened or closed more than once.
+    """
+    spans: Dict[str, Tuple[int, int]] = {}
+    stack: List[Tuple[str, int]] = []
+    seen_open: Set[str] = set()
+    seen_close: Set[str] = set()
+    for index, token in enumerate(word):
+        if isinstance(token, OpenToken):
+            if token.variable in seen_open:
+                raise XregexSemanticsError(
+                    f"variable {token.variable!r} is opened more than once"
+                )
+            seen_open.add(token.variable)
+            stack.append((token.variable, index))
+        elif isinstance(token, CloseToken):
+            if token.variable in seen_close:
+                raise XregexSemanticsError(
+                    f"variable {token.variable!r} is closed more than once"
+                )
+            seen_close.add(token.variable)
+            if not stack or stack[-1][0] != token.variable:
+                raise XregexSemanticsError(
+                    f"parentheses for variable {token.variable!r} are not well-nested"
+                )
+            variable, open_index = stack.pop()
+            spans[variable] = (open_index, index)
+    if stack:
+        raise XregexSemanticsError(
+            f"unclosed definitions for variables {[name for name, _ in stack]}"
+        )
+    if seen_open != seen_close:
+        raise XregexSemanticsError("mismatched definition parentheses")
+    return spans
+
+
+def dependency_pairs(word: Sequence[Token]) -> Set[Tuple[str, str]]:
+    """The relation ``x ⊏_w y``: the definition of ``y`` contains a
+    reference or definition of ``x`` (Definition 1)."""
+    spans = _definition_spans(word)
+    pairs: Set[Tuple[str, str]] = set()
+    for outer, (open_index, close_index) in spans.items():
+        for index in range(open_index + 1, close_index):
+            token = word[index]
+            if isinstance(token, (RefToken, OpenToken)):
+                pairs.add((token.variable, outer))
+    return pairs
+
+
+def _has_cycle(pairs: Set[Tuple[str, str]]) -> bool:
+    adjacency: Dict[str, Set[str]] = {}
+    for smaller, larger in pairs:
+        adjacency.setdefault(smaller, set()).add(larger)
+        adjacency.setdefault(larger, set())
+    visited: Dict[str, int] = {}
+
+    def visit(node: str) -> bool:
+        state = visited.get(node, 0)
+        if state == 1:
+            return True
+        if state == 2:
+            return False
+        visited[node] = 1
+        for successor in adjacency.get(node, ()):  # pragma: no branch
+            if visit(successor):
+                return True
+        visited[node] = 2
+        return False
+
+    return any(visit(node) for node in adjacency)
+
+
+def is_ref_word(word: Sequence[Token]) -> bool:
+    """Check all conditions of Definition 1, including acyclicity."""
+    try:
+        pairs = dependency_pairs(word)
+    except XregexSemanticsError:
+        return False
+    return not _has_cycle(pairs)
+
+
+def deref(word: Sequence[Token], variables: Optional[Iterable[str]] = None) -> DerefResult:
+    """Compute ``deref(w)`` and the variable mapping of a ref-word (Definition 2).
+
+    ``variables`` optionally lists variables whose (empty) images should be
+    present in the result even if they do not occur in ``word``.
+    """
+    if not is_ref_word(word):
+        raise XregexSemanticsError(f"not a valid ref-word: {list(word)!r}")
+    tokens: List[Token] = list(word)
+    defined = set(_definition_spans(tokens))
+    vmap: Dict[str, str] = {}
+    for name in refword_variables(tokens) | set(variables or ()):
+        vmap.setdefault(name, "")
+
+    # Step 1: delete references of variables without a definition.
+    tokens = [
+        token
+        for token in tokens
+        if not (isinstance(token, RefToken) and token.variable not in defined)
+    ]
+
+    # Step 2: repeatedly resolve a definition whose content is purely terminal.
+    while True:
+        spans = _definition_spans(tokens)
+        if not spans:
+            break
+        resolved_one = False
+        for variable, (open_index, close_index) in spans.items():
+            content = tokens[open_index + 1:close_index]
+            if all(isinstance(token, str) for token in content):
+                image = "".join(content)
+                vmap[variable] = image
+                replacement: List[Token] = []
+                for index, token in enumerate(tokens):
+                    if open_index <= index <= close_index:
+                        if open_index < index < close_index:
+                            replacement.append(token)
+                        continue
+                    if isinstance(token, RefToken) and token.variable == variable:
+                        replacement.extend(image)
+                    else:
+                        replacement.append(token)
+                tokens = replacement
+                resolved_one = True
+                break
+        if not resolved_one:  # pragma: no cover - prevented by acyclicity
+            raise XregexSemanticsError("cyclic definitions encountered during deref")
+
+    if not all(isinstance(token, str) for token in tokens):  # pragma: no cover
+        raise XregexSemanticsError("deref did not terminate with a terminal word")
+    return DerefResult(word="".join(tokens), vmap=vmap)
+
+
+def refword_from_parts(*parts: object) -> RefWord:
+    """Build a ref-word from strings and tokens.
+
+    Strings contribute one terminal token per character; token objects are
+    appended as-is.  This keeps test fixtures and examples readable::
+
+        refword_from_parts("a", OpenToken("x"), "ab", CloseToken("x"), RefToken("x"))
+    """
+    tokens: List[Token] = []
+    for part in parts:
+        if isinstance(part, str):
+            tokens.extend(part)
+        else:
+            tokens.append(part)
+    return tuple(tokens)

@@ -1,0 +1,500 @@
+"""Abstract syntax of xregex — regular expressions with string variables.
+
+This module implements Definition 3 of the paper.  An xregex over a terminal
+alphabet ``Sigma`` and a set of string variables ``Xs`` is built from
+
+* terminal symbols and the empty word,
+* variable references ``x`` (rendered ``&x`` in the surface syntax),
+* concatenation, alternation and the ``+`` operator,
+* variable definitions ``x{alpha}`` where ``x`` does not occur in
+  ``var(alpha)``.
+
+``r*`` is treated as a first-class node but, following the paper, it is
+semantically the shorthand ``r+ | ()``; the structural restrictions
+(vstar-freeness etc.) treat ``*`` exactly like ``+``.
+
+The classes here are immutable; transformations (normal form, instantiation,
+…) rebuild trees functionally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, Iterator, List, Mapping, Optional as Opt, Sequence, Set, Tuple
+
+from repro.core.alphabet import Alphabet
+from repro.core.errors import XregexSyntaxError
+
+#: Characters that must be escaped in the surface syntax.
+METACHARACTERS = set("(){}[]|+*?&.\\∅ \t\n")
+
+
+class Xregex:
+    """Base class of all xregex AST nodes."""
+
+    __slots__ = ()
+
+    # -- structure ---------------------------------------------------------
+
+    def children(self) -> Tuple["Xregex", ...]:
+        """The direct sub-expressions of this node."""
+        return ()
+
+    def iter_nodes(self) -> Iterator["Xregex"]:
+        """Yield this node and all descendants in pre-order."""
+        stack: List[Xregex] = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children()))
+
+    def size(self) -> int:
+        """The number of AST nodes, used as the size measure ``|alpha|``."""
+        return sum(1 for _ in self.iter_nodes())
+
+    # -- variables ---------------------------------------------------------
+
+    def variables(self) -> Set[str]:
+        """``var(alpha)`` of Definition 3: referenced or defined variables."""
+        names: Set[str] = set()
+        for node in self.iter_nodes():
+            if isinstance(node, VarRef):
+                names.add(node.name)
+            elif isinstance(node, VarDef):
+                names.add(node.name)
+        return names
+
+    def referenced_variables(self) -> Set[str]:
+        """Variables with at least one reference in this expression."""
+        return {node.name for node in self.iter_nodes() if isinstance(node, VarRef)}
+
+    def defined_variables(self) -> Set[str]:
+        """Variables with at least one definition in this expression."""
+        return {node.name for node in self.iter_nodes() if isinstance(node, VarDef)}
+
+    def definitions(self) -> List["VarDef"]:
+        """All definition nodes, in pre-order."""
+        return [node for node in self.iter_nodes() if isinstance(node, VarDef)]
+
+    def references(self) -> List["VarRef"]:
+        """All reference nodes, in pre-order."""
+        return [node for node in self.iter_nodes() if isinstance(node, VarRef)]
+
+    def definitions_of(self, name: str) -> List["VarDef"]:
+        """All definition nodes for variable ``name``."""
+        return [node for node in self.definitions() if node.name == name]
+
+    def is_classical(self) -> bool:
+        """True if the expression is a classical regular expression (no variables)."""
+        return not any(isinstance(node, (VarRef, VarDef)) for node in self.iter_nodes())
+
+    def contains_variables(self) -> bool:
+        """True if the expression contains any variable reference or definition."""
+        return not self.is_classical()
+
+    def terminal_symbols(self) -> Set[str]:
+        """The terminal symbols that occur literally in the expression."""
+        symbols: Set[str] = set()
+        for node in self.iter_nodes():
+            if isinstance(node, Symbol):
+                symbols.add(node.char)
+            elif isinstance(node, SymbolClass) and not node.negated:
+                symbols.update(node.symbols)
+        return symbols
+
+    # -- validation --------------------------------------------------------
+
+    def validate(self) -> "Xregex":
+        """Check the well-formedness condition of Definition 3.
+
+        The only structural condition beyond the grammar is that in a
+        definition ``x{alpha}`` the variable ``x`` does not occur in
+        ``var(alpha)``.  Returns ``self`` for chaining; raises
+        :class:`XregexSyntaxError` on violation.
+        """
+        for node in self.iter_nodes():
+            if isinstance(node, VarDef) and node.name in node.body.variables():
+                raise XregexSyntaxError(
+                    f"definition of variable {node.name!r} contains {node.name!r} "
+                    "in its body, which Definition 3 forbids"
+                )
+        return self
+
+    # -- transformation helpers ---------------------------------------------
+
+    def map_children(self, fn: Callable[["Xregex"], "Xregex"]) -> "Xregex":
+        """Return a copy of this node with ``fn`` applied to each child."""
+        return self
+
+    def transform_bottom_up(self, fn: Callable[["Xregex"], "Xregex"]) -> "Xregex":
+        """Rebuild the tree bottom-up, applying ``fn`` to every rebuilt node."""
+        rebuilt = self.map_children(lambda child: child.transform_bottom_up(fn))
+        return fn(rebuilt)
+
+    def substitute_references(self, mapping: Mapping[str, "Xregex"]) -> "Xregex":
+        """Replace every reference of a variable in ``mapping`` by the given expression."""
+
+        def replace(node: Xregex) -> Xregex:
+            if isinstance(node, VarRef) and node.name in mapping:
+                return mapping[node.name]
+            return node
+
+        return self.transform_bottom_up(replace)
+
+    def substitute_definitions(self, mapping: Mapping[str, "Xregex"]) -> "Xregex":
+        """Replace every definition node of a variable in ``mapping`` by the given expression."""
+
+        def replace(node: Xregex) -> Xregex:
+            if isinstance(node, VarDef) and node.name in mapping:
+                return mapping[node.name]
+            return node
+
+        return self.transform_bottom_up(replace)
+
+    def rename_variables(self, mapping: Mapping[str, str]) -> "Xregex":
+        """Consistently rename variables (both definitions and references)."""
+
+        def replace(node: Xregex) -> Xregex:
+            if isinstance(node, VarRef) and node.name in mapping:
+                return VarRef(mapping[node.name])
+            if isinstance(node, VarDef) and node.name in mapping:
+                return VarDef(mapping[node.name], node.body)
+            return node
+
+        return self.transform_bottom_up(replace)
+
+    # -- misc ----------------------------------------------------------------
+
+    def to_string(self) -> str:
+        """Render the expression in the library's surface syntax."""
+        raise NotImplementedError
+
+    def __str__(self) -> str:  # pragma: no cover - delegation
+        return self.to_string()
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.to_string()!r})"
+
+
+def _escape(char: str) -> str:
+    if char in METACHARACTERS:
+        return "\\" + char
+    return char
+
+
+@dataclass(frozen=True, repr=False)
+class Epsilon(Xregex):
+    """The empty word ``()``."""
+
+    __slots__ = ()
+
+    def to_string(self) -> str:
+        return "()"
+
+
+@dataclass(frozen=True, repr=False)
+class EmptySet(Xregex):
+    """The empty language, written ``∅`` (added to XRE for technical reasons)."""
+
+    __slots__ = ()
+
+    def to_string(self) -> str:
+        return "∅"
+
+
+@dataclass(frozen=True, repr=False)
+class Symbol(Xregex):
+    """A single terminal symbol from the alphabet."""
+
+    char: str
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.char, str) or len(self.char) != 1:
+            raise XregexSyntaxError(f"Symbol expects a single character, got {self.char!r}")
+
+    def to_string(self) -> str:
+        return _escape(self.char)
+
+
+@dataclass(frozen=True, repr=False)
+class AnySymbol(Xregex):
+    """The wildcard ``.`` matching any single symbol of the alphabet."""
+
+    __slots__ = ()
+
+    def to_string(self) -> str:
+        return "."
+
+
+@dataclass(frozen=True, repr=False)
+class SymbolClass(Xregex):
+    """A character class ``[abc]`` or negated class ``[^ab]``.
+
+    Negated classes are resolved against the evaluation alphabet; the paper
+    uses this to write expressions such as ``(Sigma \\ {a, b})*``.
+    """
+
+    symbols: frozenset
+    negated: bool = False
+
+    def __post_init__(self) -> None:
+        for symbol in self.symbols:
+            if not isinstance(symbol, str) or len(symbol) != 1:
+                raise XregexSyntaxError(
+                    f"SymbolClass expects single-character symbols, got {symbol!r}"
+                )
+
+    def resolve(self, alphabet: Alphabet) -> frozenset:
+        """The set of symbols this class denotes over ``alphabet``."""
+        if self.negated:
+            return frozenset(alphabet.symbols - self.symbols)
+        return frozenset(self.symbols)
+
+    def to_string(self) -> str:
+        inner = "".join(_escape(symbol) for symbol in sorted(self.symbols))
+        prefix = "^" if self.negated else ""
+        return f"[{prefix}{inner}]"
+
+
+@dataclass(frozen=True, repr=False)
+class Concat(Xregex):
+    """Concatenation of two or more sub-expressions."""
+
+    parts: Tuple[Xregex, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.parts) < 2:
+            raise XregexSyntaxError("Concat requires at least two parts; use concat()")
+
+    def children(self) -> Tuple[Xregex, ...]:
+        return self.parts
+
+    def map_children(self, fn: Callable[[Xregex], Xregex]) -> Xregex:
+        return concat(*[fn(part) for part in self.parts])
+
+    def to_string(self) -> str:
+        rendered = []
+        for part in self.parts:
+            text = part.to_string()
+            if isinstance(part, (Alternation,)):
+                text = f"({text})"
+            rendered.append((part, text))
+        pieces = []
+        for index, (part, text) in enumerate(rendered):
+            pieces.append(text)
+            # A reference followed by an identifier character would be
+            # re-parsed as a longer variable name; keep printing parseable.
+            if isinstance(part, VarRef) and index + 1 < len(rendered):
+                next_text = rendered[index + 1][1]
+                if next_text and (next_text[0].isalnum() or next_text[0] == "_"):
+                    pieces.append(" ")
+        return "".join(pieces)
+
+
+@dataclass(frozen=True, repr=False)
+class Alternation(Xregex):
+    """Alternation (``|``) of two or more sub-expressions."""
+
+    options: Tuple[Xregex, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.options) < 2:
+            raise XregexSyntaxError("Alternation requires at least two options; use alternation()")
+
+    def children(self) -> Tuple[Xregex, ...]:
+        return self.options
+
+    def map_children(self, fn: Callable[[Xregex], Xregex]) -> Xregex:
+        return alternation(*[fn(option) for option in self.options])
+
+    def to_string(self) -> str:
+        return "|".join(option.to_string() for option in self.options)
+
+
+def _wrap_for_suffix(inner: Xregex) -> str:
+    text = inner.to_string()
+    if isinstance(inner, (Concat, Alternation)) or (
+        isinstance(inner, (Plus, Star, Optional))
+    ):
+        return f"({text})"
+    return text
+
+
+@dataclass(frozen=True, repr=False)
+class Plus(Xregex):
+    """One-or-more repetition ``r+``."""
+
+    inner: Xregex
+
+    def children(self) -> Tuple[Xregex, ...]:
+        return (self.inner,)
+
+    def map_children(self, fn: Callable[[Xregex], Xregex]) -> Xregex:
+        return Plus(fn(self.inner))
+
+    def to_string(self) -> str:
+        return _wrap_for_suffix(self.inner) + "+"
+
+
+@dataclass(frozen=True, repr=False)
+class Star(Xregex):
+    """Zero-or-more repetition ``r*`` (shorthand for ``r+ | ()``)."""
+
+    inner: Xregex
+
+    def children(self) -> Tuple[Xregex, ...]:
+        return (self.inner,)
+
+    def map_children(self, fn: Callable[[Xregex], Xregex]) -> Xregex:
+        return Star(fn(self.inner))
+
+    def to_string(self) -> str:
+        return _wrap_for_suffix(self.inner) + "*"
+
+
+@dataclass(frozen=True, repr=False)
+class Optional(Xregex):
+    """Zero-or-one occurrence ``r?`` (shorthand for ``r | ()``)."""
+
+    inner: Xregex
+
+    def children(self) -> Tuple[Xregex, ...]:
+        return (self.inner,)
+
+    def map_children(self, fn: Callable[[Xregex], Xregex]) -> Xregex:
+        return Optional(fn(self.inner))
+
+    def to_string(self) -> str:
+        return _wrap_for_suffix(self.inner) + "?"
+
+
+@dataclass(frozen=True, repr=False)
+class VarRef(Xregex):
+    """A reference of a string variable, written ``&x``."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name or not _is_identifier(self.name):
+            raise XregexSyntaxError(f"invalid variable name {self.name!r}")
+
+    def to_string(self) -> str:
+        return f"&{self.name}"
+
+
+@dataclass(frozen=True, repr=False)
+class VarDef(Xregex):
+    """A definition ``x{alpha}`` of a string variable."""
+
+    name: str
+    body: Xregex
+
+    def __post_init__(self) -> None:
+        if not self.name or not _is_identifier(self.name):
+            raise XregexSyntaxError(f"invalid variable name {self.name!r}")
+
+    def children(self) -> Tuple[Xregex, ...]:
+        return (self.body,)
+
+    def map_children(self, fn: Callable[[Xregex], Xregex]) -> Xregex:
+        return VarDef(self.name, fn(self.body))
+
+    def to_string(self) -> str:
+        return f"{self.name}{{{self.body.to_string()}}}"
+
+
+def _is_identifier(name: str) -> bool:
+    if not name:
+        return False
+    first = name[0]
+    if not (first.isalpha() or first == "_"):
+        return False
+    return all(char.isalnum() or char == "_" for char in name[1:])
+
+
+#: Singleton instances for convenience.
+EPSILON = Epsilon()
+EMPTY = EmptySet()
+
+
+# -- smart constructors ------------------------------------------------------
+
+
+def concat(*parts: Xregex) -> Xregex:
+    """Concatenate expressions, flattening nested concatenations.
+
+    The empty concatenation is ``()``; if any part is the empty set the
+    result is the empty set; epsilon parts are dropped.
+    """
+    flat: List[Xregex] = []
+    for part in parts:
+        if isinstance(part, EmptySet):
+            return EMPTY
+        if isinstance(part, Epsilon):
+            continue
+        if isinstance(part, Concat):
+            flat.extend(part.parts)
+        else:
+            flat.append(part)
+    if not flat:
+        return EPSILON
+    if len(flat) == 1:
+        return flat[0]
+    return Concat(tuple(flat))
+
+
+def alternation(*options: Xregex) -> Xregex:
+    """Combine expressions into an alternation, flattening and dropping ``∅``."""
+    flat: List[Xregex] = []
+    for option in options:
+        if isinstance(option, EmptySet):
+            continue
+        if isinstance(option, Alternation):
+            flat.extend(option.options)
+        else:
+            flat.append(option)
+    if not flat:
+        return EMPTY
+    if len(flat) == 1:
+        return flat[0]
+    return Alternation(tuple(flat))
+
+
+def literal(word: str) -> Xregex:
+    """The xregex denoting exactly ``word`` (the empty word gives epsilon)."""
+    if not word:
+        return EPSILON
+    return concat(*[Symbol(char) for char in word])
+
+
+def star(inner: Xregex) -> Xregex:
+    """Zero-or-more repetition with trivial simplifications."""
+    if isinstance(inner, (Epsilon, EmptySet)):
+        return EPSILON
+    return Star(inner)
+
+
+def plus(inner: Xregex) -> Xregex:
+    """One-or-more repetition with trivial simplifications."""
+    if isinstance(inner, Epsilon):
+        return EPSILON
+    if isinstance(inner, EmptySet):
+        return EMPTY
+    return Plus(inner)
+
+
+def optional(inner: Xregex) -> Xregex:
+    """Zero-or-one occurrence with trivial simplifications."""
+    if isinstance(inner, (Epsilon, EmptySet)):
+        return EPSILON
+    return Optional(inner)
+
+
+def var(name: str, body: Xregex) -> VarDef:
+    """A variable definition ``name{body}`` (checked by :meth:`Xregex.validate`)."""
+    return VarDef(name, body)
+
+
+def ref(name: str) -> VarRef:
+    """A variable reference ``&name``."""
+    return VarRef(name)

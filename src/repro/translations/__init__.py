@@ -1,0 +1,22 @@
+"""Translations between query classes (Section 7, Lemmas 12–14).
+
+These constructions witness the inclusions of Figure 5:
+
+* every CRPQ is a CXRPQ (and may be interpreted as ``CXRPQ^<=k`` for any k),
+* every ECRPQ^er is expressible as a ``CXRPQ^vsf,fl`` (Lemma 12),
+* every ``CXRPQ^vsf`` is expressible as a union of ECRPQ^er (Lemma 13),
+* every ``CXRPQ^<=k`` is expressible as a union of CRPQs (Lemma 14).
+"""
+
+from repro.translations.into_cxrpq import crpq_to_cxrpq, ecrpq_er_to_cxrpq
+from repro.translations.from_cxrpq import (
+    cxrpq_vsf_to_union_ecrpq,
+    cxrpq_bounded_to_union_crpq,
+)
+
+__all__ = [
+    "crpq_to_cxrpq",
+    "ecrpq_er_to_cxrpq",
+    "cxrpq_vsf_to_union_ecrpq",
+    "cxrpq_bounded_to_union_crpq",
+]

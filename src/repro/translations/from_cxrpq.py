@@ -1,0 +1,113 @@
+"""Translations out of CXRPQ: Lemma 13 (``CXRPQ^vsf`` → ∪-ECRPQ^er) and
+Lemma 14 (``CXRPQ^<=k`` → ∪-CRPQ).
+
+Both translations incur the size blow-ups discussed in Section 7.1 (normal
+form, respectively image enumeration); the benchmark E-F5 measures them and
+validates the translated queries against the originals on random databases.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.alphabet import Alphabet
+from repro.core.errors import EvaluationError, FragmentError
+from repro.engine.bounded import enumerate_image_mappings
+from repro.engine.instantiation import instantiate_query
+from repro.engine.normal_form import normal_form
+from repro.engine.simple import _eliminate_alias_definitions
+from repro.engine.vsf import disjunct_combinations
+from repro.queries.crpq import CRPQ
+from repro.queries.cxrpq import CXRPQ
+from repro.queries.ecrpq import ECRPQ
+from repro.queries.union import UnionQuery
+from repro.regex import properties as props
+from repro.regex import syntax as rx
+
+
+def cxrpq_vsf_to_union_ecrpq(query: CXRPQ, alphabet: Optional[Alphabet] = None) -> UnionQuery:
+    """Translate a ``CXRPQ^vsf`` into an equivalent union of ECRPQ^er (Lemma 13)."""
+    conjunctive = query.conjunctive_xregex
+    if not conjunctive.is_vstar_free():
+        raise FragmentError("Lemma 13 applies to variable-star free queries")
+    alphabet = alphabet or query.alphabet()
+    normalised = normal_form(conjunctive)
+    defined_globally = normalised.defined_variables()
+    members: List[ECRPQ] = []
+    for combination in disjunct_combinations(normalised):
+        members.append(
+            _simple_combination_to_ecrpq(query, list(combination), defined_globally, alphabet)
+        )
+    return UnionQuery(members)
+
+
+def _simple_combination_to_ecrpq(
+    query: CXRPQ,
+    components: List[rx.Xregex],
+    defined_globally: Set[str],
+    alphabet: Alphabet,
+) -> ECRPQ:
+    """One simple disjunct combination, converted into an ECRPQ^er."""
+    components = _eliminate_alias_definitions(components)
+    defined_now: Set[str] = set()
+    for component in components:
+        defined_now |= component.defined_variables()
+    forced_epsilon = defined_globally - defined_now
+
+    edges: List[Tuple[str, rx.Xregex, str]] = []
+    variable_edges: Dict[str, List[int]] = {}
+    sigma_star = rx.Star(rx.SymbolClass(frozenset(alphabet.symbols)))
+    for edge_index, (edge, component) in enumerate(zip(query.pattern.edges, components)):
+        units = props.split_simple(component)
+        current = edge.source
+        for unit_index, unit in enumerate(units):
+            is_last = unit_index == len(units) - 1
+            target = edge.target if is_last else f"__ec{edge_index}_{unit_index}"
+            if isinstance(unit, props.ClassicalUnit):
+                label: rx.Xregex = unit.regex
+                variable = None
+            elif isinstance(unit, props.DefinitionUnit):
+                label = unit.body
+                variable = unit.variable
+            else:  # ReferenceUnit
+                variable = unit.variable
+                if variable in forced_epsilon:
+                    label = rx.EPSILON
+                    variable = None
+                else:
+                    label = sigma_star
+            edges.append((current, label, target))
+            if variable is not None:
+                variable_edges.setdefault(variable, []).append(len(edges) - 1)
+            current = target
+    ecrpq = ECRPQ(edges, query.output_variables)
+    for variable, indices in sorted(variable_edges.items()):
+        if len(indices) >= 2:
+            ecrpq.add_equality(indices)
+    return ecrpq
+
+
+def cxrpq_bounded_to_union_crpq(
+    query: CXRPQ,
+    bound: int,
+    alphabet: Optional[Alphabet] = None,
+    *,
+    strategy: str = "pruned",
+    max_members: Optional[int] = None,
+) -> UnionQuery:
+    """Translate a ``CXRPQ^<=k`` into an equivalent union of CRPQs (Lemma 14).
+
+    The union has one member ``q[v̄]`` per image mapping; ``max_members``
+    truncates the enumeration (raising an error) to protect against the
+    ``O((|Σ|+1)^{nk})`` blow-up the paper points out.
+    """
+    alphabet = alphabet or query.alphabet()
+    members: List[CRPQ] = []
+    for images in enumerate_image_mappings(query, alphabet, bound, strategy=strategy):
+        members.append(instantiate_query(query, images, alphabet))
+        if max_members is not None and len(members) > max_members:
+            raise EvaluationError(
+                f"the union of CRPQs exceeds max_members={max_members}; "
+                "this is the exponential blow-up of Lemma 14"
+            )
+    return UnionQuery(members)

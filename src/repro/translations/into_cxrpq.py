@@ -1,0 +1,54 @@
+"""Translations into CXRPQ: from CRPQ (trivial) and from ECRPQ^er (Lemma 12)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.alphabet import Alphabet
+from repro.core.errors import EvaluationError
+from repro.automata.ops import regex_intersection
+from repro.automata.relations import EqualityRelation
+from repro.queries.crpq import CRPQ
+from repro.queries.cxrpq import CXRPQ
+from repro.queries.ecrpq import ECRPQ
+from repro.regex import syntax as rx
+
+
+def crpq_to_cxrpq(query: CRPQ, image_bound=None) -> CXRPQ:
+    """Interpret a CRPQ as a CXRPQ (``CRPQ ⊆ CXRPQ^<=k`` for every ``k``)."""
+    edges = [(edge.source, edge.label, edge.target) for edge in query.pattern.edges]
+    return CXRPQ(edges, query.output_variables, image_bound=image_bound)
+
+
+def ecrpq_er_to_cxrpq(query: ECRPQ, alphabet: Optional[Alphabet] = None) -> CXRPQ:
+    """Translate an ECRPQ with only equality relations into a ``CXRPQ^vsf,fl`` (Lemma 12).
+
+    For every equality class ``{e_1, …, e_s}`` one representative edge is
+    labelled ``z{beta}`` where ``beta`` is a regular expression for the
+    intersection of the class members' languages, and the remaining edges are
+    labelled with references ``&z``.
+    """
+    if not query.is_equality_only():
+        raise EvaluationError(
+            "Lemma 12 applies to ECRPQ^er: all relation constraints must be equality relations"
+        )
+    alphabet = alphabet or query.alphabet()
+    labels: List[rx.Xregex] = [edge.label for edge in query.pattern.edges]
+    for class_index, constraint in enumerate(query.constraints):
+        if not isinstance(constraint.relation, EqualityRelation):  # pragma: no cover - checked above
+            raise EvaluationError("unexpected non-equality relation")
+        indices = list(constraint.edge_indices)
+        variable = f"z_eq{class_index}"
+        member_regexes = [query.pattern.edges[index].label for index in indices]
+        intersection = regex_intersection(member_regexes, alphabet)
+        labels[indices[0]] = rx.VarDef(variable, intersection)
+        for index in indices[1:]:
+            labels[index] = rx.VarRef(variable)
+    edges = [
+        (edge.source, label, edge.target)
+        for edge, label in zip(query.pattern.edges, labels)
+    ]
+    translated = CXRPQ(edges, query.output_variables)
+    # Sanity: Lemma 12 always lands in the vstar-free, flat fragment.
+    assert translated.is_vstar_free_flat()
+    return translated

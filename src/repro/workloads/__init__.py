@@ -1,0 +1,23 @@
+"""Parameterised workloads used by the benchmark harness (see EXPERIMENTS.md)."""
+
+from repro.workloads.builders import (
+    genealogy_workload,
+    message_workload,
+    random_workload,
+    nfa_intersection_workload,
+    hitting_set_workload,
+    vsf_scaling_query,
+    vsf_fl_scaling_query,
+    bounded_scaling_query,
+)
+
+__all__ = [
+    "genealogy_workload",
+    "message_workload",
+    "random_workload",
+    "nfa_intersection_workload",
+    "hitting_set_workload",
+    "vsf_scaling_query",
+    "vsf_fl_scaling_query",
+    "bounded_scaling_query",
+]

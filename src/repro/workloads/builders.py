@@ -1,0 +1,128 @@
+"""Workload builders: databases plus queries for each experiment of EXPERIMENTS.md.
+
+Each builder is deterministic in its ``seed`` so benchmark runs are
+reproducible; the benchmark modules only vary the documented parameters.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.alphabet import Alphabet
+from repro.automata.nfa import NFA
+from repro.graphdb.database import GraphDatabase
+from repro.graphdb.generators import (
+    genealogy_graph,
+    message_network,
+    random_graph,
+    random_nfa,
+)
+from repro.queries.cxrpq import CXRPQ
+from repro.reductions.hitting_set import HittingSetInstance, hitting_set_reduction
+from repro.reductions.nfa_intersection import (
+    nfa_intersection_database,
+    nfa_intersection_query,
+)
+
+
+def genealogy_workload(num_families: int, generations: int, seed: int = 0) -> GraphDatabase:
+    """The Figure 1 workload: a genealogy with supervision edges."""
+    return genealogy_graph(num_families, generations, seed=seed)
+
+
+def message_workload(num_persons: int, seed: int = 0) -> Tuple[GraphDatabase, Dict[str, object]]:
+    """The Figure 2 (G3) workload: a message network with a planted hidden channel."""
+    return message_network(num_persons, seed=seed)
+
+
+def random_workload(
+    num_nodes: int,
+    alphabet_symbols: str = "abc",
+    edge_factor: float = 2.0,
+    seed: int = 0,
+) -> GraphDatabase:
+    """A generic random labelled multigraph with ``edge_factor · |V|`` arcs."""
+    alphabet = Alphabet(alphabet_symbols)
+    return random_graph(num_nodes, int(edge_factor * num_nodes), alphabet, seed=seed, ensure_connected=True)
+
+
+def nfa_intersection_workload(
+    num_nfas: int,
+    states_per_nfa: int = 4,
+    seed: int = 0,
+    vstar_free: bool = False,
+) -> Tuple[GraphDatabase, CXRPQ, List[NFA]]:
+    """The Theorem 1 / Theorem 3 workload: random NFAs, their database and the query."""
+    rng = random.Random(seed)
+    alphabet = Alphabet("ab")
+    nfas = [
+        random_nfa(states_per_nfa, alphabet, density=1.6, seed=rng.randrange(10**6))
+        for _ in range(num_nfas)
+    ]
+    db, _source, _sink = nfa_intersection_database(nfas)
+    query = nfa_intersection_query(k=num_nfas if vstar_free else None)
+    return db, query, nfas
+
+
+def hitting_set_workload(
+    universe_size: int,
+    num_sets: int,
+    budget: int,
+    seed: int = 0,
+) -> Tuple[GraphDatabase, CXRPQ, HittingSetInstance]:
+    """The Theorem 7 workload: a random Hitting-Set instance and its reduction."""
+    rng = random.Random(seed)
+    universe = [f"z{index}" for index in range(1, universe_size + 1)]
+    sets = []
+    for _ in range(num_sets):
+        size = rng.randint(1, max(1, universe_size // 2))
+        sets.append(rng.sample(universe, size))
+    instance = HittingSetInstance.build(universe, sets, budget)
+    db, query = hitting_set_reduction(instance)
+    return db, query, instance
+
+
+def vsf_scaling_query() -> CXRPQ:
+    """A fixed vstar-free query used for the data-complexity scaling experiment (E-T2).
+
+    Two paths out of ``u`` must start with the same one-symbol code ``x`` and a
+    third edge checks an alternative continuation — small enough to evaluate
+    on databases of a few hundred nodes, but with a genuine inter-path
+    dependency.
+    """
+    return CXRPQ(
+        [
+            ("u", "x{a|b}c*", "v"),
+            ("u", "&x(a|c)*", "w"),
+            ("v", "(b|c)&x|a", "w"),
+        ],
+        output_variables=(),
+    )
+
+
+def vsf_fl_scaling_query() -> CXRPQ:
+    """A fixed vstar-free query with only flat variables (E-T5)."""
+    return CXRPQ(
+        [
+            ("u", "x{(a|b)(a|b)}", "v"),
+            ("v", "c*&x", "w"),
+            ("u", "y{c|a}b*", "w"),
+            ("w", "&y|&x", "z"),
+        ],
+        output_variables=(),
+    )
+
+
+def bounded_scaling_query(num_variables: int = 2) -> CXRPQ:
+    """A query family for the ``CXRPQ^<=k`` experiments (E-T6): a chain of coded hops."""
+    edges = []
+    previous = "n0"
+    for index in range(1, num_variables + 1):
+        current = f"n{index}"
+        edges.append((previous, f"v{index}{{(a|b)+}}c*", current))
+        previous = current
+    # A final edge that replays all the codes in order.
+    replay = "".join(f"&v{index}" for index in range(1, num_variables + 1))
+    edges.append(("n0", replay, previous))
+    return CXRPQ(edges, output_variables=())

@@ -1,0 +1,86 @@
+"""Shared helpers for the test suite: random generators and cross-validation."""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.alphabet import Alphabet
+from repro.regex import syntax as rx
+
+#: A small alphabet used throughout the tests.
+AB = Alphabet("ab")
+ABC = Alphabet("abc")
+
+
+def random_classical_regex(rng: random.Random, symbols: str = "ab", depth: int = 3) -> rx.Xregex:
+    """A random classical regular expression of bounded depth."""
+    if depth <= 0 or rng.random() < 0.3:
+        choice = rng.random()
+        if choice < 0.75:
+            return rx.Symbol(rng.choice(symbols))
+        if choice < 0.9:
+            return rx.EPSILON
+        return rx.SymbolClass(frozenset(rng.sample(symbols, rng.randint(1, len(symbols)))))
+    operator = rng.choice(["concat", "alt", "star", "plus", "opt"])
+    if operator == "concat":
+        return rx.concat(
+            random_classical_regex(rng, symbols, depth - 1),
+            random_classical_regex(rng, symbols, depth - 1),
+        )
+    if operator == "alt":
+        return rx.alternation(
+            random_classical_regex(rng, symbols, depth - 1),
+            random_classical_regex(rng, symbols, depth - 1),
+        )
+    inner = random_classical_regex(rng, symbols, depth - 1)
+    if operator == "star":
+        return rx.star(inner)
+    if operator == "plus":
+        return rx.plus(inner)
+    return rx.optional(inner)
+
+
+def random_vstar_free_xregex(
+    rng: random.Random,
+    variables: Sequence[str],
+    symbols: str = "ab",
+    depth: int = 3,
+    allow_defs: bool = True,
+) -> rx.Xregex:
+    """A random variable-star free xregex using the given variables.
+
+    Definitions only appear at alternation-free positions to keep the result
+    sequential with high probability; callers should still validate.
+    """
+    if depth <= 0:
+        if variables and rng.random() < 0.4:
+            return rx.VarRef(rng.choice(list(variables)))
+        return rx.Symbol(rng.choice(symbols))
+    roll = rng.random()
+    if roll < 0.25:
+        return rx.concat(
+            random_vstar_free_xregex(rng, variables, symbols, depth - 1, allow_defs),
+            random_vstar_free_xregex(rng, variables, symbols, depth - 1, allow_defs),
+        )
+    if roll < 0.4:
+        return rx.alternation(
+            random_vstar_free_xregex(rng, variables, symbols, depth - 1, allow_defs=False),
+            random_vstar_free_xregex(rng, variables, symbols, depth - 1, allow_defs=False),
+        )
+    if roll < 0.55:
+        return rx.star(random_classical_regex(rng, symbols, depth - 1))
+    if roll < 0.7 and allow_defs and variables:
+        name = rng.choice(list(variables))
+        body = random_classical_regex(rng, symbols, depth - 1)
+        return rx.VarDef(name, body)
+    if roll < 0.8 and variables:
+        return rx.VarRef(rng.choice(list(variables)))
+    return rx.Symbol(rng.choice(symbols))
+
+
+def words_up_to(symbols: str, length: int) -> List[str]:
+    """All words over ``symbols`` up to the given length (test-sized)."""
+    from repro.core.words import all_words_up_to
+
+    return list(all_words_up_to(Alphabet(symbols), length))

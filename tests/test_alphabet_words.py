@@ -1,0 +1,79 @@
+"""Tests for alphabets and word utilities (Section 2 preliminaries)."""
+
+import pytest
+
+from repro.core.alphabet import Alphabet
+from repro.core.errors import AlphabetError
+from repro.core.words import all_words_up_to, count_words_up_to, factors, is_word_over, occurrences
+
+
+class TestAlphabet:
+    def test_symbols_are_single_characters(self):
+        alphabet = Alphabet("abc")
+        assert alphabet.symbols == frozenset({"a", "b", "c"})
+        assert len(alphabet) == 3
+
+    def test_rejects_empty_alphabet(self):
+        with pytest.raises(AlphabetError):
+            Alphabet([])
+
+    def test_rejects_multi_character_symbols(self):
+        with pytest.raises(AlphabetError):
+            Alphabet(["ab"])
+
+    def test_contains_word(self):
+        alphabet = Alphabet("ab")
+        assert alphabet.contains_word("abba")
+        assert not alphabet.contains_word("abc")
+        assert alphabet.contains_word("")
+
+    def test_require_word_raises_with_offending_symbols(self):
+        alphabet = Alphabet("ab")
+        with pytest.raises(AlphabetError) as excinfo:
+            alphabet.require_word("abcd")
+        assert "c" in str(excinfo.value)
+
+    def test_from_word_infers_symbols(self):
+        alphabet = Alphabet.from_word("abca", extra="#")
+        assert alphabet.symbols == frozenset("abc#")
+
+    def test_union_and_extend(self):
+        assert Alphabet("ab").union(Alphabet("bc")).symbols == frozenset("abc")
+        assert Alphabet("ab").extend("cd").symbols == frozenset("abcd")
+
+    def test_iteration_is_sorted(self):
+        assert list(Alphabet("cba")) == ["a", "b", "c"]
+
+    def test_equality_and_hash(self):
+        assert Alphabet("ab") == Alphabet("ba")
+        assert hash(Alphabet("ab")) == hash(Alphabet("ba"))
+
+
+class TestWords:
+    def test_all_words_up_to_counts(self):
+        words = list(all_words_up_to(Alphabet("ab"), 2))
+        assert words[0] == ""
+        assert set(words) == {"", "a", "b", "aa", "ab", "ba", "bb"}
+        assert len(words) == count_words_up_to(2, 2)
+
+    def test_all_words_up_to_zero(self):
+        assert list(all_words_up_to(Alphabet("ab"), 0)) == [""]
+
+    def test_all_words_negative_length(self):
+        assert list(all_words_up_to(Alphabet("ab"), -1)) == []
+
+    def test_count_words_unary_alphabet(self):
+        assert count_words_up_to(1, 3) == 4
+
+    def test_is_word_over(self):
+        assert is_word_over("aba", Alphabet("ab"))
+        assert not is_word_over("abc", Alphabet("ab"))
+
+    def test_occurrences(self):
+        assert occurrences("abab", "a") == 2
+        assert occurrences("abab", "c") == 0
+
+    def test_factors(self):
+        result = factors("aba")
+        assert "" in result and "aba" in result and "ba" in result
+        assert len(result) == len(set(result))

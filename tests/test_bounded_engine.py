@@ -1,0 +1,126 @@
+"""Tests for CXRPQ^<=k / CXRPQ^log evaluation (Theorem 6, Corollary 1)."""
+
+import pytest
+
+from repro.core.alphabet import Alphabet
+from repro.core.errors import EvaluationError
+from repro.engine.bounded import (
+    bounded_holds,
+    enumerate_image_mappings,
+    evaluate_bounded,
+    evaluate_log_bounded,
+)
+from repro.engine.generic import evaluate_generic
+from repro.engine.simple import evaluate_simple
+from repro.graphdb.database import GraphDatabase
+from repro.graphdb.generators import path_database, random_graph
+from repro.queries import CXRPQ
+
+AB = Alphabet("ab")
+ABC = Alphabet("abc")
+
+
+class TestImageEnumeration:
+    def test_blind_enumeration_size(self):
+        query = CXRPQ([("x", "w{a|b}", "y"), ("y", "&w", "z")])
+        mappings = list(enumerate_image_mappings(query, AB, 1, strategy="blind"))
+        assert len(mappings) == 3  # "", "a", "b"
+
+    def test_pruned_enumeration_is_a_subset_of_blind(self):
+        query = CXRPQ([("x", "w{aa}", "y"), ("y", "&w", "z")])
+        blind = {tuple(sorted(m.items())) for m in enumerate_image_mappings(query, AB, 2, strategy="blind")}
+        pruned = {tuple(sorted(m.items())) for m in enumerate_image_mappings(query, AB, 2, strategy="pruned")}
+        assert pruned <= blind
+        assert len(pruned) < len(blind)
+        assert (("w", "aa"),) in pruned
+
+    def test_pruned_enumeration_respects_dependencies(self):
+        query = CXRPQ([("x", "v{a|b}", "y"), ("y", "w{&v c}", "z"), ("z", "&w", "t")])
+        mappings = list(enumerate_image_mappings(query, ABC, 2, strategy="pruned"))
+        images = {(m["v"], m["w"]) for m in mappings}
+        assert ("a", "ac") in images
+        assert ("b", "bc") in images
+        assert ("a", "bc") not in images
+
+    def test_unknown_strategy_rejected(self):
+        query = CXRPQ([("x", "w{a}", "y")])
+        with pytest.raises(EvaluationError):
+            list(enumerate_image_mappings(query, AB, 1, strategy="nonsense"))
+
+    def test_query_without_variables(self):
+        query = CXRPQ([("x", "a*", "y")])
+        assert list(enumerate_image_mappings(query, AB, 2)) == [{}]
+
+
+class TestEvaluation:
+    def test_requires_a_bound(self):
+        query = CXRPQ([("x", "w{a+}", "y"), ("y", "&w", "z")])
+        with pytest.raises(EvaluationError):
+            evaluate_bounded(query, GraphDatabase.from_edges([(0, "a", 1)]))
+
+    def test_bound_changes_the_answer(self):
+        # The anchor edges force w to label both halves of the four-a segment,
+        # so a match needs |w| = 2.
+        query = CXRPQ(
+            [("s", "c", "x"), ("x", "w{a+}", "y"), ("y", "&w", "z"), ("z", "b", "t")]
+        )
+        db, _first, _last = path_database("caaaab")
+        assert not bounded_holds(query, db, bound=1)
+        assert bounded_holds(query, db, bound=2)
+        assert bounded_holds(query, db, bound=3)
+
+    def test_log_bound(self):
+        query = CXRPQ(
+            [("s", "c", "x"), ("x", "w{a+}", "y"), ("y", "&w", "z"), ("z", "b", "t")]
+        )
+        db, _first, _last = path_database("caaaab")
+        result = evaluate_log_bounded(query, db)
+        assert result.boolean  # log2(|D|) >= 2 here
+
+    def test_image_bound_from_query(self):
+        query = CXRPQ(
+            [("s", "c", "x"), ("x", "w{a+}", "y"), ("y", "&w", "z"), ("z", "b", "t")],
+            image_bound=1,
+        )
+        db, _first, _last = path_database("caaaab")
+        assert not evaluate_bounded(query, db).boolean
+        assert evaluate_bounded(query.with_image_bound(2), db).boolean
+
+    def test_blind_and_pruned_agree(self):
+        query = CXRPQ([("x", "w{(a|b)+}", "y"), ("y", "&w", "z")], ("x", "z"))
+        for seed in range(3):
+            db = random_graph(6, 14, AB, seed=seed)
+            blind = evaluate_bounded(query, db, bound=2, strategy="blind", boolean_short_circuit=False)
+            pruned = evaluate_bounded(query, db, bound=2, strategy="pruned", boolean_short_circuit=False)
+            assert blind.tuples == pruned.tuples
+
+    def test_agrees_with_simple_engine_under_the_same_bound(self):
+        query = CXRPQ([("x", "w{(a|b)+}c*", "y"), ("y", "&w", "z")], ("x", "z"))
+        for seed in range(3):
+            db = random_graph(6, 15, ABC, seed=seed)
+            via_bounded = evaluate_bounded(query, db, bound=2, boolean_short_circuit=False)
+            via_simple = evaluate_simple(query, db, image_bound=2, boolean_short_circuit=False)
+            assert via_bounded.tuples == via_simple.tuples
+
+    def test_crpq_subsumption(self):
+        # CRPQ ⊆ CXRPQ^<=k: a query without variables is unaffected by the bound.
+        query = CXRPQ([("x", "a+b", "y")], ("x", "y"))
+        db, first, last = path_database("aab")
+        result = evaluate_bounded(query, db, bound=1)
+        assert (first, last) in result.tuples
+
+    def test_non_boolean_union_semantics(self):
+        query = CXRPQ([("x", "w{a|b}", "y"), ("y", "&w", "z")], ("x", "z"))
+        db = GraphDatabase.from_edges([(0, "a", 1), (1, "a", 2), (0, "b", 3), (3, "b", 4), (1, "b", 5)])
+        result = evaluate_bounded(query, db, bound=1, boolean_short_circuit=False)
+        assert result.tuples == {(0, 2), (0, 4)}
+
+
+class TestAgainstOracle:
+    def test_oracle_within_bound(self):
+        query = CXRPQ([("x", "w{a+}", "y"), ("y", "&w b", "z")], ("x", "z"))
+        for seed in range(3):
+            db = random_graph(5, 12, AB, seed=seed)
+            bounded = evaluate_bounded(query, db, bound=2, boolean_short_circuit=False)
+            oracle = evaluate_generic(query, db, max_path_length=3, max_image_length=2)
+            assert oracle.tuples <= bounded.tuples

@@ -1,0 +1,118 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.graphdb.database import GraphDatabase
+from repro.graphdb.io import save_edge_list, save_json
+
+
+@pytest.fixture()
+def graph_file(tmp_path):
+    db = GraphDatabase.from_edges(
+        [("n1", "a", "n2"), ("n2", "a", "n3"), ("n1", "b", "n3"), ("n3", "c", "n4")]
+    )
+    path = tmp_path / "graph.edges"
+    save_edge_list(db, path)
+    return str(path)
+
+
+@pytest.fixture()
+def json_graph_file(tmp_path):
+    db = GraphDatabase.from_edges([("n1", "a", "n2"), ("n2", "b", "n3")])
+    path = tmp_path / "graph.json"
+    save_json(db, path)
+    return str(path)
+
+
+class TestClassify:
+    def test_classify_simple_xregex(self, capsys):
+        assert main(["classify", "x{a|b}c*&x"]) == 0
+        output = capsys.readouterr().out
+        assert "vstar-free   : True" in output
+        assert "simple       : True" in output
+
+    def test_classify_starred_reference(self, capsys):
+        assert main(["classify", "x{a}(&x)+"]) == 0
+        output = capsys.readouterr().out
+        assert "vstar-free   : False" in output
+
+    def test_classify_invalid_xregex(self, capsys):
+        assert main(["classify", "x{a&x}"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestEvaluate:
+    def test_boolean_evaluation(self, graph_file, capsys):
+        code = main(
+            [
+                "evaluate",
+                graph_file,
+                "--edge", "x w{a|b} y",
+                "--edge", "y &w z",
+                "--boolean",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "satisfied: True" in output
+        assert "fragment : simple" in output
+
+    def test_answer_listing(self, graph_file, capsys):
+        code = main(
+            [
+                "evaluate",
+                graph_file,
+                "--edge", "x w{a|b} y",
+                "--edge", "y &w|c z",
+                "--output", "x", "z",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "answers  :" in output
+        assert "('n1', 'n3')" in output
+
+    def test_image_bound(self, graph_file, capsys):
+        code = main(
+            [
+                "evaluate",
+                graph_file,
+                "--edge", "x w{a+} y",
+                "--edge", "y &w z",
+                "--boolean",
+                "--image-bound", "1",
+            ]
+        )
+        assert code == 0
+        assert "satisfied: True" in capsys.readouterr().out
+
+    def test_json_database(self, json_graph_file, capsys):
+        code = main(["evaluate", json_graph_file, "--edge", "x ab y", "--boolean"])
+        assert code == 0
+        assert "satisfied: True" in capsys.readouterr().out
+
+    def test_generic_opt_in(self, graph_file, capsys):
+        code = main(
+            [
+                "evaluate",
+                graph_file,
+                "--edge", "x w{a}(&w)* y",
+                "--boolean",
+                "--generic-path-bound", "4",
+            ]
+        )
+        assert code == 0
+        assert "satisfied: True" in capsys.readouterr().out
+
+    def test_unrestricted_without_opt_in_reports_error(self, graph_file, capsys):
+        code = main(
+            [
+                "evaluate",
+                graph_file,
+                "--edge", "x w{a}(&w)* y",
+                "--boolean",
+            ]
+        )
+        assert code == 1
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,153 @@
+"""Tests for conjunctive xregex (Definition 4, Section 3.1, Example 3)."""
+
+import pytest
+
+from repro.core.alphabet import Alphabet
+from repro.core.errors import XregexSemanticsError
+from repro.paperlib.examples import (
+    example3_components,
+    example3_conjunctive,
+    example3_conjunctive_mapping,
+    example3_conjunctive_match,
+)
+from repro.regex import syntax as rx
+from repro.regex.conjunctive import ConjunctiveXregex
+from repro.regex.parser import parse_xregex
+
+AB = Alphabet("ab")
+ABC = Alphabet("abc")
+
+
+class TestValidity:
+    def test_valid_conjunctive_xregex(self):
+        conj = ConjunctiveXregex.parse("x{a*}b", "&x c")
+        assert conj.dimension == 2
+        assert conj.variables() == {"x"}
+
+    def test_example3_alpha2_alpha4_is_not_conjunctive(self):
+        _alpha1, alpha2, _alpha3, alpha4 = example3_components()
+        with pytest.raises(XregexSemanticsError):
+            ConjunctiveXregex([alpha2, alpha4])
+
+    def test_example3_alpha3_alpha4_is_conjunctive(self):
+        _alpha1, _alpha2, alpha3, alpha4 = example3_components()
+        ConjunctiveXregex([alpha3, alpha4])  # does not raise
+
+    def test_example3_alpha1_alpha2_alpha3_is_conjunctive(self):
+        conj = example3_conjunctive()
+        assert conj.dimension == 3
+
+    def test_cyclic_dependencies_rejected(self):
+        with pytest.raises(XregexSemanticsError):
+            ConjunctiveXregex.parse("x{&y a}", "y{&x b}")
+
+    def test_two_definitions_of_same_variable_in_different_components_rejected(self):
+        with pytest.raises(XregexSemanticsError):
+            ConjunctiveXregex.parse("x{a}", "x{b}")
+
+    def test_needs_at_least_one_component(self):
+        with pytest.raises(XregexSemanticsError):
+            ConjunctiveXregex([])
+
+
+class TestStructure:
+    def test_free_and_defined_variables(self):
+        conj = ConjunctiveXregex.parse("x{a}&y", "&x b")
+        assert conj.defined_variables() == {"x"}
+        assert conj.free_variables() == {"y"}
+
+    def test_classification_helpers(self):
+        classical = ConjunctiveXregex.parse("a*", "b|c")
+        assert classical.is_classical()
+        simple = ConjunctiveXregex.parse("x{a*}b", "&x")
+        assert simple.is_simple() and simple.is_vstar_free()
+        vsf = ConjunctiveXregex.parse("x{a*}b", "&x|c")
+        assert vsf.is_vstar_free() and not vsf.is_simple()
+        not_vsf = ConjunctiveXregex.parse("x{a*}", "(&x)+")
+        assert not not_vsf.is_vstar_free()
+
+    def test_size_and_terminal_symbols(self):
+        conj = ConjunctiveXregex.parse("x{a}", "&x b")
+        assert conj.size() == conj.concatenation().size()
+        assert conj.terminal_symbols() == {"a", "b"}
+
+
+class TestSemantics:
+    def test_section31_worked_example(self):
+        # gamma_1 = (x{a*} | b*) y,  gamma_2 = y{&x a &x b} b &y*
+        conj = ConjunctiveXregex.parse("(x{a*}|b*)&y", "y{&x a&x b}b&y*")
+        w1 = "aa" + "aaaaab"
+        w2 = "aaaaab" + "b" + "aaaaab" * 2
+        witness = conj.match((w1, w2))
+        assert witness is not None
+        assert witness.vmap.get("x") == "aa"
+        assert witness.vmap.get("y") == "aaaaab"
+
+    def test_section31_rejected_example(self):
+        # (aa, a^3 b b a^3 b) is not a conjunctive match because the images of y differ.
+        conj = ConjunctiveXregex.parse("(x{a*}|b*)&y", "y{&x a&x b}b&y")
+        assert not conj.contains(("aa", "aabbaab"))
+
+    def test_example3_conjunctive_match(self):
+        conj = example3_conjunctive()
+        witness = conj.match(example3_conjunctive_match())
+        assert witness is not None
+        expected = example3_conjunctive_mapping()
+        for name, value in expected.items():
+            assert witness.vmap.get(name, "") == value
+
+    def test_example3_componentwise_match_is_not_conjunctive(self):
+        conj = example3_conjunctive()
+        # Each word matches its component in isolation, but not conjunctively.
+        assert not conj.contains(("aab", "bbacbc", "aa"))
+
+    def test_classical_components_are_cartesian_products(self):
+        conj = ConjunctiveXregex.parse("a|b", "c*")
+        assert conj.contains(("a", "cc"))
+        assert conj.contains(("b", ""))
+        assert not conj.contains(("c", ""))
+
+    def test_shared_free_variable_forces_equality(self):
+        conj = ConjunctiveXregex.parse("&x", "&x")
+        assert conj.contains(("ab", "ab"))
+        assert not conj.contains(("ab", "ba"))
+
+    def test_image_bound_restricts_matches(self):
+        conj = ConjunctiveXregex.parse("x{a+}", "&x")
+        assert conj.contains(("aaa", "aaa"))
+        assert not conj.contains(("aaa", "aaa"), max_image_length=2)
+        assert conj.contains(("aa", "aa"), max_image_length=2)
+
+    def test_enumerate_language_small(self):
+        conj = ConjunctiveXregex.parse("x{a|b}", "&x")
+        tuples = set(conj.enumerate_language(AB, 1))
+        assert tuples == {("a", "a"), ("b", "b")}
+
+    def test_definition_not_instantiated_forces_empty_elsewhere(self):
+        conj = ConjunctiveXregex.parse("x{a}|b", "&x c")
+        assert conj.contains(("a", "ac"))
+        assert conj.contains(("b", "c"))
+        assert not conj.contains(("b", "ac"))
+
+    def test_match_all_distinct_mappings(self):
+        conj = ConjunctiveXregex.parse("x{a*}&x", "&x")
+        witnesses = list(conj.match_all(("aa", "a")))
+        assert len(witnesses) == 1
+        assert witnesses[0].vmap["x"] == "a"
+
+    def test_wrong_arity_raises(self):
+        conj = ConjunctiveXregex.parse("a", "b")
+        with pytest.raises(XregexSemanticsError):
+            conj.contains(("a",))
+
+
+class TestTransformations:
+    def test_replace_component(self):
+        conj = ConjunctiveXregex.parse("a", "b")
+        replaced = conj.replace_component(1, parse_xregex("c*"))
+        assert replaced.components[1].to_string() == "c*"
+
+    def test_map_components(self):
+        conj = ConjunctiveXregex.parse("a", "b")
+        mapped = conj.map_components(lambda component: rx.concat(component, rx.Symbol("c")))
+        assert [component.to_string() for component in mapped.components] == ["ac", "bc"]

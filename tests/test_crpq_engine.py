@@ -1,0 +1,118 @@
+"""Tests for the CRPQ evaluation engine (Lemma 1)."""
+
+import pytest
+
+from repro.core.alphabet import Alphabet
+from repro.engine.crpq import crpq_check, crpq_holds, evaluate_crpq, morphisms
+from repro.graphdb.database import GraphDatabase
+from repro.graphdb.generators import genealogy_graph
+from repro.paperlib import figures
+from repro.queries import CRPQ, RPQ
+
+ABC = Alphabet("abc")
+
+
+def diamond_db() -> GraphDatabase:
+    return GraphDatabase.from_edges(
+        [
+            ("s", "a", "l"),
+            ("s", "b", "r"),
+            ("l", "a", "t"),
+            ("r", "b", "t"),
+            ("t", "c", "s"),
+        ]
+    )
+
+
+class TestEvaluation:
+    def test_rpq_evaluation(self):
+        result = evaluate_crpq(RPQ("a+"), diamond_db())
+        assert result.tuples == {("s", "l"), ("s", "t"), ("l", "t")}
+
+    def test_two_edge_join(self):
+        query = CRPQ([("x", "a", "y"), ("y", "a", "z")], ("x", "z"))
+        result = evaluate_crpq(query, diamond_db())
+        assert result.tuples == {("s", "t")}
+
+    def test_shared_node_constraints(self):
+        # Both an 'a'-path and a 'b'-path from x to z.
+        query = CRPQ([("x", "a+", "z"), ("x", "b+", "z")], ("x", "z"))
+        result = evaluate_crpq(query, diamond_db())
+        assert result.tuples == {("s", "t")}
+
+    def test_boolean_query(self):
+        assert crpq_holds(CRPQ([("x", "ab", "y")]), diamond_db()) is False
+        assert crpq_holds(CRPQ([("x", "aac", "y")]), diamond_db()) is True
+
+    def test_epsilon_edge_forces_same_node(self):
+        query = CRPQ([("x", "()", "y")], ("x", "y"))
+        result = evaluate_crpq(query, diamond_db())
+        assert all(x == y for x, y in result.tuples)
+        assert len(result.tuples) == diamond_db().num_nodes()
+
+    def test_empty_language_edge(self):
+        query = CRPQ([("x", "∅", "y")])
+        assert not crpq_holds(query, diamond_db())
+
+    def test_cyclic_pattern(self):
+        query = CRPQ([("x", "a", "y"), ("y", "a", "z"), ("z", "c", "x")], ("x",))
+        result = evaluate_crpq(query, diamond_db())
+        assert result.tuples == {("s",)}
+
+    def test_output_projection_and_duplicates(self):
+        query = CRPQ([("x", "a|b", "y")], ("x",))
+        result = evaluate_crpq(query, diamond_db())
+        assert result.tuples == {("s",), ("l",), ("r",)}
+
+    def test_output_variables_must_be_pattern_nodes(self):
+        from repro.core.errors import EvaluationError
+
+        with pytest.raises(EvaluationError):
+            CRPQ([("x", "a", "y")], ("x", "w"))
+
+
+class TestWitnessesAndCheck:
+    def test_witness_words_label_real_paths(self):
+        query = CRPQ([("x", "a+", "y"), ("y", "c", "z")], ("x", "z"))
+        db = diamond_db()
+        result = evaluate_crpq(query, db, collect_witnesses=True)
+        assert result.matches
+        for match in result.matches:
+            morphism = match.as_dict()
+            assert db.path_exists(morphism["x"], match.words[0], morphism["y"])
+            assert db.path_exists(morphism["y"], match.words[1], morphism["z"])
+
+    def test_check_problem(self):
+        query = CRPQ([("x", "a", "y")], ("x", "y"))
+        assert crpq_check(query, diamond_db(), ("s", "l"))
+        assert not crpq_check(query, diamond_db(), ("s", "r"))
+        with pytest.raises(ValueError):
+            crpq_check(query, diamond_db(), ("s",))
+
+    def test_fixed_assignment_restricts_morphisms(self):
+        query = CRPQ([("x", "a", "y")], ("x", "y"))
+        found = list(morphisms(query, diamond_db(), fixed={"x": "s"}))
+        assert all(morphism["x"] == "s" for morphism in found)
+        assert {morphism["y"] for morphism in found} == {"l"}
+
+
+class TestFigure1:
+    def test_figure1_queries_on_genealogy(self):
+        db = genealogy_graph(5, 4, seed=2)
+        for query in (figures.figure1_g1(), figures.figure1_g2(), figures.figure1_g3(), figures.figure1_g4()):
+            result = evaluate_crpq(query, db)
+            assert isinstance(result.tuples, set)
+
+    def test_figure1_g3_semantics_on_crafted_database(self):
+        # z is a biological ancestor of v and also v's academic ancestor.
+        db = GraphDatabase.from_edges(
+            [
+                ("z", "p", "m"),
+                ("m", "p", "v"),
+                ("z", "s", "v"),
+                ("other", "p", "w"),
+            ]
+        )
+        result = evaluate_crpq(figures.figure1_g3(), db)
+        assert ("v",) in result.tuples
+        assert ("w",) not in result.tuples

@@ -1,0 +1,72 @@
+"""Tests for the fragment-aware evaluation dispatcher."""
+
+import pytest
+
+from repro.core.alphabet import Alphabet
+from repro.core.errors import EvaluationError
+from repro.engine.engine import evaluate, evaluate_union, holds
+from repro.graphdb.database import GraphDatabase
+from repro.graphdb.generators import path_database
+from repro.queries import CRPQ, CXRPQ, ECRPQ, UnionQuery
+
+ABC = Alphabet("abc")
+
+
+def db() -> GraphDatabase:
+    return GraphDatabase.from_edges(
+        [(0, "a", 1), (1, "a", 2), (0, "b", 3), (3, "a", 4), (2, "c", 5)]
+    )
+
+
+class TestDispatch:
+    def test_crpq_query(self):
+        assert holds(CRPQ([("x", "a+c", "y")]), db())
+
+    def test_crpq_shaped_cxrpq(self):
+        result = evaluate(CXRPQ([("x", "a+", "y")], ("x", "y")), db())
+        assert (0, 2) in result.tuples
+
+    def test_simple_cxrpq(self):
+        query = CXRPQ([("x", "w{a|b}", "y"), ("y", "&w", "z")], ("x", "z"))
+        result = evaluate(query, db())
+        assert (0, 2) in result.tuples
+
+    def test_vsf_cxrpq(self):
+        query = CXRPQ([("x", "w{a|b}", "y"), ("y", "&w|c", "z")], ("x", "z"))
+        result = evaluate(query, db())
+        assert (0, 2) in result.tuples and (1, 5) in result.tuples
+
+    def test_bounded_cxrpq(self):
+        query = CXRPQ([("x", "w{a+}", "y"), ("y", "&w", "z")], ("x", "z"), image_bound=1)
+        result = evaluate(query, db())
+        assert (0, 2) in result.tuples
+
+    def test_ecrpq(self):
+        query = ECRPQ([("x", "a*", "y"), ("x", "a*", "z")], ("y", "z")).add_equality([0, 1])
+        result = evaluate(query, db())
+        assert (1, 1) in result.tuples
+
+    def test_general_query_requires_opt_in(self):
+        query = CXRPQ([("x", "w{ab}", "y"), ("y", "(&w)+", "z")])
+        with pytest.raises(EvaluationError):
+            evaluate(query, db())
+        path, _f, _l = path_database("abab")
+        assert evaluate(query, path, generic_path_bound=4).boolean
+
+    def test_union_query(self):
+        union = UnionQuery([CRPQ([("x", "c c", "y")]), CRPQ([("x", "aac", "y")])])
+        assert evaluate_union(union, db()).boolean
+
+    def test_union_of_cxrpqs(self):
+        union = UnionQuery(
+            [
+                CXRPQ([("x", "w{b}", "y"), ("y", "&w", "z")], ("x", "z")),
+                CXRPQ([("x", "w{a}", "y"), ("y", "&w", "z")], ("x", "z")),
+            ]
+        )
+        result = evaluate_union(union, db(), boolean_short_circuit=False)
+        assert (0, 2) in result.tuples
+
+    def test_unsupported_query_type(self):
+        with pytest.raises(EvaluationError):
+            evaluate(object(), db())  # type: ignore[arg-type]

@@ -1,0 +1,98 @@
+"""Tests for the ECRPQ engine (regular relations over matched paths)."""
+
+from repro.core.alphabet import Alphabet
+from repro.automata.relations import EqualityRelation, EqualLengthRelation, PrefixRelation
+from repro.engine.ecrpq import ecrpq_holds, evaluate_ecrpq, synchronized_relation_check
+from repro.automata.nfa import NFA
+from repro.graphdb.database import GraphDatabase
+from repro.graphdb.generators import two_path_database
+from repro.paperlib import figures
+from repro.queries import ECRPQ
+from repro.queries.ecrpq import RelationConstraint
+from repro.regex.parser import parse_xregex
+
+ABCD = Alphabet("abcd")
+
+
+class TestEqualityRelations:
+    def test_equality_between_two_edges(self):
+        query = ECRPQ([("x", "(a|b)*", "y"), ("x", "(a|b)*", "z")], ("y", "z")).add_equality([0, 1])
+        db = GraphDatabase.from_edges([(0, "a", 1), (0, "a", 2), (0, "b", 3), (1, "b", 4), (2, "b", 5)])
+        result = evaluate_ecrpq(query, db)
+        assert (1, 2) in result.tuples
+        assert (4, 5) in result.tuples
+        assert (1, 3) not in result.tuples
+
+    def test_equality_with_language_restriction(self):
+        # One edge only allows a's, the other only b's: equality forces both empty.
+        query = ECRPQ([("x", "a*", "y"), ("x", "b*", "z")], ("y", "z")).add_equality([0, 1])
+        db = GraphDatabase.from_edges([(0, "a", 1), (0, "b", 2)])
+        result = evaluate_ecrpq(query, db)
+        assert (0, 0) in result.tuples
+        assert (1, 2) not in result.tuples
+
+    def test_unary_constraint_free_query_matches_crpq(self):
+        from repro.engine.crpq import evaluate_crpq
+        from repro.queries import CRPQ
+
+        edges = [("x", "a+", "y"), ("y", "b", "z")]
+        db = GraphDatabase.from_edges([(0, "a", 1), (1, "a", 2), (2, "b", 3)])
+        assert evaluate_ecrpq(ECRPQ(edges, ("x", "z")), db).tuples == evaluate_crpq(CRPQ(edges, ("x", "z")), db).tuples
+
+
+class TestPaperQueries:
+    def test_q_anbn_accepts_matching_lengths(self):
+        query = figures.figure6_q_anbn()
+        db, _ends = two_path_database("c" + "a" * 4 + "c", "d" + "b" * 4 + "d")
+        assert ecrpq_holds(query, db)
+
+    def test_q_anbn_rejects_mismatched_lengths(self):
+        query = figures.figure6_q_anbn()
+        db, _ends = two_path_database("c" + "a" * 4 + "c", "d" + "b" * 2 + "d")
+        assert not ecrpq_holds(query, db)
+
+    def test_q_anan_equality_variant(self):
+        query = figures.figure6_q_anan()
+        same, _ = two_path_database("c" + "a" * 3 + "c", "d" + "a" * 3 + "d")
+        different, _ = two_path_database("c" + "a" * 3 + "c", "d" + "a" * 5 + "d")
+        assert ecrpq_holds(query, same)
+        assert not ecrpq_holds(query, different)
+
+    def test_theorem9_crossover_database(self):
+        # D_{n1,n2} with n1 != n2 satisfies neither query, exactly as in the proof.
+        db, _ = two_path_database("c" + "a" * 2 + "c", "d" + "b" * 3 + "d")
+        assert not ecrpq_holds(figures.figure6_q_anbn(), db)
+        assert not ecrpq_holds(figures.figure6_q_anan(), db)
+
+
+class TestGeneralRelations:
+    def test_prefix_relation(self):
+        query = ECRPQ(
+            [("x", "a*", "y"), ("x", "a*b", "z")],
+            ("y", "z"),
+            constraints=[RelationConstraint(PrefixRelation(), (0, 1))],
+        )
+        db = GraphDatabase.from_edges([(0, "a", 1), (1, "a", 2), (2, "b", 3), (0, "a", 4), (4, "b", 5)])
+        result = evaluate_ecrpq(query, db)
+        assert (1, 3) in result.tuples   # "a" is a prefix of "aab"
+        assert (2, 5) not in result.tuples  # "aa" is not a prefix of "ab"
+
+    def test_synchronized_relation_check_directly(self):
+        db = GraphDatabase.from_edges([(0, "a", 1), (1, "b", 2), (0, "a", 3), (3, "b", 4)])
+        nfa = NFA.from_regex(parse_xregex("(a|b)*"), ABCD)
+        tracks = [(0, 2, nfa), (0, 4, nfa)]
+        assert synchronized_relation_check(db, tracks, EqualityRelation(2).automaton(ABCD))
+        unequal_tracks = [(0, 1, nfa), (0, 4, nfa)]
+        assert not synchronized_relation_check(db, unequal_tracks, EqualityRelation(2).automaton(ABCD))
+        assert synchronized_relation_check(
+            db, unequal_tracks, PrefixRelation().automaton(ABCD)
+        )
+
+    def test_equal_length_relation_check(self):
+        db = GraphDatabase.from_edges([(0, "a", 1), (1, "a", 2), (0, "b", 3), (3, "b", 4)])
+        nfa_a = NFA.from_regex(parse_xregex("a*"), ABCD)
+        nfa_b = NFA.from_regex(parse_xregex("b*"), ABCD)
+        tracks = [(0, 2, nfa_a), (0, 4, nfa_b)]
+        assert synchronized_relation_check(db, tracks, EqualLengthRelation(2).automaton(ABCD))
+        tracks_mismatch = [(0, 2, nfa_a), (0, 3, nfa_b)]
+        assert not synchronized_relation_check(db, tracks_mismatch, EqualLengthRelation(2).automaton(ABCD))

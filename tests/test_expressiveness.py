@@ -1,0 +1,115 @@
+"""Empirical checks of the expressiveness results behind Figure 5 (Section 7).
+
+These tests do not prove inexpressibility (that is the paper's job); they
+verify that the *witness constructions* used in the proofs behave exactly as
+claimed: the separating queries accept/reject the families of databases the
+proofs are built on.
+"""
+
+from repro.core.alphabet import Alphabet
+from repro.engine.engine import evaluate
+from repro.graphdb.database import GraphDatabase
+from repro.graphdb.generators import path_database, two_path_database
+from repro.paperlib import figures
+from repro.queries import CRPQ
+
+ABCD = Alphabet("abcd")
+
+
+class TestTheorem9Witnesses:
+    def test_q_anbn_on_diagonal_and_off_diagonal_databases(self):
+        query = figures.figure6_q_anbn()
+        for n in (1, 2, 3):
+            db, _ = two_path_database("c" + "a" * n + "c", "d" + "b" * n + "d")
+            assert evaluate(query, db).boolean
+        # The mixing argument of Claim 1 relies on D_{n1,n2} with n1 != n2 failing.
+        db, _ = two_path_database("c" + "a" * 1 + "c", "d" + "b" * 3 + "d")
+        assert not evaluate(query, db).boolean
+
+    def test_q_anan_on_diagonal_and_off_diagonal_databases(self):
+        query = figures.figure6_q_anan()
+        for n in (1, 2, 3):
+            db, _ = two_path_database("c" + "a" * n + "c", "d" + "a" * n + "d")
+            assert evaluate(query, db).boolean
+        db, _ = two_path_database("c" + "a" * 2 + "c", "d" + "a" * 4 + "d")
+        assert not evaluate(query, db).boolean
+
+    def test_crpq_approximations_cannot_distinguish(self):
+        # Any CRPQ using the same pattern without the relation accepts the
+        # off-diagonal database too — the phenomenon behind Claim 2.
+        pattern_only = CRPQ(
+            [
+                ("x", "c", "y1"),
+                ("y1", "a*", "y2"),
+                ("y2", "c", "z"),
+                ("xp", "d", "y1p"),
+                ("y1p", "a*", "y2p"),
+                ("y2p", "d", "zp"),
+            ]
+        )
+        diagonal, _ = two_path_database("caac", "daad")
+        off_diagonal, _ = two_path_database("caac", "daaaad")
+        assert evaluate(pattern_only, diagonal).boolean
+        assert evaluate(pattern_only, off_diagonal).boolean
+
+
+class TestLemma15Witnesses:
+    def test_q1_accepts_matching_and_c_databases(self):
+        query = figures.figure7_q1()
+        for sigma1, sigma2, expected in [
+            ("a", "a", True),
+            ("b", "b", True),
+            ("a", "c", True),
+            ("b", "c", True),
+            ("a", "b", False),
+            ("b", "a", False),
+        ]:
+            db = GraphDatabase.from_edges(
+                [("n1", sigma1, "n2"), ("n3", "d", "n2"), ("n3", sigma2, "n4")]
+            )
+            assert evaluate(query, db).boolean is expected, (sigma1, sigma2)
+
+    def test_crpq_with_same_pattern_fails_to_distinguish(self):
+        # The natural CRPQ relaxation (x's value forgotten) accepts the a/b mix.
+        relaxed = CRPQ([("u1", "a|b", "u2"), ("u3", "d", "u2"), ("u3", "a|b|c", "u4")])
+        db = GraphDatabase.from_edges([("n1", "a", "n2"), ("n3", "d", "n2"), ("n3", "b", "n4")])
+        assert evaluate(relaxed, db).boolean
+        assert not evaluate(figures.figure7_q1(), db).boolean
+
+
+class TestLemma16Witnesses:
+    def test_q2_accepts_the_intended_word_family(self):
+        query = figures.figure7_q2()
+        # # (a^{n1} b)^{n2} c (a^{n1} b)^{n2} #  with n1 = n2 = 2.
+        block = "aab"
+        word = "#" + block * 2 + "c" + block * 2 + "#"
+        db, _first, _last = path_database(word)
+        result = evaluate(query, db, generic_path_bound=len(word))
+        assert result.boolean
+
+    def test_q2_rejects_pumped_words(self):
+        query = figures.figure7_q2()
+        # Pumping one of the unary factors (as in the proof) breaks membership.
+        word = "#" + "aab" + "aaab" + "c" + "aab" * 2 + "#"
+        db, _first, _last = path_database(word)
+        result = evaluate(query, db, generic_path_bound=len(word))
+        assert not result.boolean
+
+    def test_q2_rejects_mismatched_halves(self):
+        query = figures.figure7_q2()
+        word = "#" + "aab" * 2 + "c" + "aab" * 3 + "#"
+        db, _first, _last = path_database(word)
+        result = evaluate(query, db, generic_path_bound=len(word))
+        assert not result.boolean
+
+
+class TestInclusionWitnesses:
+    def test_crpq_is_contained_in_cxrpq_bounded(self):
+        from repro.translations import crpq_to_cxrpq
+        from repro.graphdb.generators import random_graph
+
+        crpq = CRPQ([("x", "a(b|c)*", "y")], ("x", "y"))
+        translated = crpq_to_cxrpq(crpq, image_bound=1)
+        for seed in range(3):
+            db = random_graph(6, 14, Alphabet("abc"), seed=seed)
+            assert evaluate(crpq, db).tuples == evaluate(translated, db).tuples

@@ -1,0 +1,132 @@
+"""Tests for the paper's figures as code (paperlib)."""
+
+from repro.core.alphabet import Alphabet
+from repro.engine.engine import evaluate
+from repro.graphdb.database import GraphDatabase
+from repro.graphdb.generators import message_network
+from repro.paperlib import figures
+from repro.queries import CRPQ, CXRPQ, ECRPQ, RPQ
+from repro.regex import properties as props
+
+
+class TestFigure1:
+    def test_query_classes(self):
+        assert isinstance(figures.figure1_g1(), RPQ)
+        assert isinstance(figures.figure1_g2(), RPQ)
+        assert isinstance(figures.figure1_g3(), CRPQ)
+        assert isinstance(figures.figure1_g4(), CRPQ)
+
+    def test_g1_semantics(self):
+        # v1's child has been supervised by v2's parent: v1 -p-> child -s-> sup <-p- v2.
+        db = GraphDatabase.from_edges(
+            [("v1", "p", "child"), ("child", "s", "sup"), ("sup", "p", "v2x")]
+        )
+        result = evaluate(figures.figure1_g1(), db)
+        assert ("v1", "v2x") in result.tuples
+
+    def test_g2_union_of_transitive_closures(self):
+        db = GraphDatabase.from_edges([(1, "p", 2), (2, "p", 3), (3, "s", 4)])
+        result = evaluate(figures.figure1_g2(), db)
+        assert (1, 3) in result.tuples and (3, 4) in result.tuples
+        assert (1, 4) not in result.tuples
+
+    def test_g4_biologically_and_academically_related(self):
+        db = GraphDatabase.from_edges(
+            [
+                ("anc", "p", "v1"),
+                ("anc", "p", "v2"),
+                ("prof", "s", "v1"),
+                ("prof", "s", "v2"),
+            ]
+        )
+        result = evaluate(figures.figure1_g4(), db)
+        assert ("v1", "v2") in result.tuples
+
+
+class TestFigure2:
+    def test_fragment_membership_as_stated_in_the_paper(self):
+        assert figures.figure2_g4().is_vstar_free()
+        assert figures.figure2_g2().is_vstar_free_flat()
+        assert not figures.figure2_g3().is_vstar_free()
+        assert not figures.figure2_g4().is_vstar_free_flat()
+
+    def test_g1_code_consistency(self):
+        # The image of x in G1 is necessarily a single symbol, so interpreting
+        # it as CXRPQ^<=1 does not change its semantics (Section 1.4).
+        query = figures.figure2_g1().with_image_bound(1)
+        db = GraphDatabase.from_edges(
+            [("u", "a", "v1"), ("u", "a", "m"), ("m", "c", "v2"), ("u", "b", "w")]
+        )
+        result = evaluate(query, db, boolean_short_circuit=False)
+        assert ("v1", "v2") in result.tuples
+        # Starting with b, the second path may only use b or c symbols.
+        assert ("w", "v2") not in result.tuples
+        assert ("w", "m") not in result.tuples
+
+    def test_g3_detects_planted_hidden_channel(self):
+        db, planted = message_network(9, seed=11, hidden_code="ab", hidden_repetitions=2)
+        query = figures.figure2_g3().with_image_bound(2)
+        result = evaluate(query, db, boolean_short_circuit=False)
+        assert (planted["suspect_a"], planted["suspect_b"]) in result.tuples
+
+    def test_g4_is_evaluable_via_vsf_engine(self):
+        query = figures.figure2_g4()
+        db = GraphDatabase.from_edges(
+            [
+                ("v1", "c", "v2"),
+                ("v1", "b", "x0"),
+                ("x0", "c", "v2"),
+                ("v2", "a", "v1"),
+            ]
+        )
+        result = evaluate(query, db, boolean_short_circuit=False)
+        assert isinstance(result.boolean, bool)
+
+
+class TestFigure6And7:
+    def test_figure6_queries_are_ecrpqs(self):
+        assert isinstance(figures.figure6_q_anbn(), ECRPQ)
+        assert isinstance(figures.figure6_q_anan(), ECRPQ)
+        assert figures.figure6_q_anan().is_equality_only()
+
+    def test_figure7_q1_is_bounded_image(self):
+        query = figures.figure7_q1()
+        assert isinstance(query, CXRPQ)
+        assert query.image_bound == 1
+        assert query.is_vstar_free()
+
+    def test_figure7_q2_uses_starred_reference(self):
+        query = figures.figure7_q2()
+        assert not query.is_vstar_free()
+        assert query.is_single_edge()
+
+    def test_figure7_q1_semantics(self):
+        query = figures.figure7_q1()
+        # sigma1 = a, sigma2 = a: satisfied.
+        db_same = GraphDatabase.from_edges(
+            [("w1", "a", "w2"), ("w3", "d", "w2"), ("w3", "a", "w4")]
+        )
+        assert evaluate(db=db_same, query=query).boolean
+        # sigma1 = a, sigma2 = c: satisfied via the c-branch.
+        db_c = GraphDatabase.from_edges(
+            [("w1", "a", "w2"), ("w3", "d", "w2"), ("w3", "c", "w4")]
+        )
+        assert evaluate(db=db_c, query=query).boolean
+        # sigma1 = a, sigma2 = b: not satisfied.
+        db_diff = GraphDatabase.from_edges(
+            [("w1", "a", "w2"), ("w3", "d", "w2"), ("w3", "b", "w4")]
+        )
+        assert not evaluate(db=db_diff, query=query).boolean
+
+
+class TestSection53:
+    def test_chain_xregex_shape(self):
+        chain = figures.section53_chain_xregex(4)
+        assert chain.defined_variables() == {"x1", "x2", "x3", "x4"}
+        assert props.is_variable_simple(chain)
+        assert not props.all_variables_flat(chain)
+
+    def test_flat_xregex_shape(self):
+        flat = figures.section53_flat_xregex(4)
+        assert props.all_variables_flat(flat)
+        assert flat.defined_variables() == {"x1", "x2", "x3", "x4"}

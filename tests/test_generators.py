@@ -1,0 +1,85 @@
+"""Tests for the synthetic workload generators."""
+
+from repro.core.alphabet import Alphabet
+from repro.automata.nfa import NFA
+from repro.graphdb.generators import (
+    cycle_database,
+    genealogy_graph,
+    layered_graph,
+    message_network,
+    nfa_to_database,
+    path_database,
+    random_graph,
+    random_nfa,
+    two_path_database,
+)
+
+AB = Alphabet("ab")
+
+
+class TestRandomGraphs:
+    def test_random_graph_size(self):
+        db = random_graph(20, 40, AB, seed=1)
+        assert db.num_nodes() == 20
+        assert db.num_edges() == 40
+        assert db.alphabet().symbols <= AB.symbols
+
+    def test_random_graph_is_deterministic_in_seed(self):
+        first = random_graph(10, 20, AB, seed=5)
+        second = random_graph(10, 20, AB, seed=5)
+        assert [tuple(edge) for edge in first.edges] == [tuple(edge) for edge in second.edges]
+
+    def test_ensure_connected_adds_spanning_path(self):
+        db = random_graph(10, 15, AB, seed=2, ensure_connected=True)
+        assert db.num_edges() >= 15
+
+    def test_layered_graph(self):
+        db = layered_graph(4, 3, AB, seed=0)
+        assert db.num_nodes() == 12
+        assert db.num_edges() == 3 * 3 * 2
+
+
+class TestStructuredGraphs:
+    def test_path_database(self):
+        db, first, last = path_database("abab")
+        assert db.path_exists(first, "abab", last)
+        assert db.num_nodes() == 5
+
+    def test_cycle_database(self):
+        db = cycle_database("abc")
+        assert db.num_nodes() == 3
+        assert db.path_exists("c0", "abcabc", "c0")
+
+    def test_two_path_database(self):
+        db, ends = two_path_database("caac", "dbbd")
+        assert db.path_exists(ends["r_first"], "caac", ends["r_last"])
+        assert db.path_exists(ends["s_first"], "dbbd", ends["s_last"])
+        # The two paths are node-disjoint.
+        assert db.num_nodes() == 10
+
+    def test_genealogy_graph_labels(self):
+        db = genealogy_graph(4, 3, seed=1)
+        assert db.alphabet().symbols <= {"p", "s"}
+        assert db.num_nodes() == 12
+        assert db.num_edges() > 0
+
+    def test_message_network_plants_hidden_channel(self):
+        db, planted = message_network(8, seed=3, hidden_code="ab", hidden_repetitions=2)
+        assert {"suspect_a", "suspect_b", "contact"} <= planted.keys()
+        assert db.path_exists(planted["suspect_a"], "ab", planted["suspect_b"])
+        assert db.path_exists(planted["suspect_a"], "abab", planted["contact"])
+        assert db.path_exists(planted["suspect_b"], "abab", planted["contact"])
+
+
+class TestAutomatonConversions:
+    def test_nfa_to_database(self):
+        nfa = random_nfa(4, AB, seed=7)
+        db, start, finals = nfa_to_database(nfa, prefix="M0_")
+        assert start in db
+        assert all(final in db for final in finals)
+        assert db.num_nodes() == nfa.num_states
+
+    def test_random_nfa_single_accepting(self):
+        nfa = random_nfa(5, AB, seed=9, num_accepting=1)
+        assert len(nfa.accepting) == 1
+        assert nfa.num_states == 5

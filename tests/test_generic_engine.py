@@ -1,0 +1,59 @@
+"""Tests for the bounded oracle evaluator for unrestricted CXRPQs."""
+
+from repro.core.alphabet import Alphabet
+from repro.engine.generic import evaluate_generic, generic_holds
+from repro.graphdb.database import GraphDatabase
+from repro.graphdb.generators import cycle_database, path_database
+from repro.queries import CXRPQ
+
+AB = Alphabet("ab")
+
+
+class TestGenericEvaluation:
+    def test_starred_reference_query(self):
+        # (&w)+ repeats the code w — not expressible in any tractable fragment.
+        query = CXRPQ([("x", "w{ab}", "y"), ("y", "(&w)+", "z")], ("x", "z"))
+        db, first, last = path_database("ababab")
+        result = evaluate_generic(query, db, max_path_length=6)
+        assert (first, "v4") in result.tuples  # ab then abab? v4 is after 4 symbols
+        assert (first, last) in result.tuples
+
+    def test_path_bound_soundness(self):
+        query = CXRPQ([("x", "w{a+}", "y"), ("y", "&w", "z")], ("x", "z"))
+        db, first, last = path_database("aaaa")
+        shallow = evaluate_generic(query, db, max_path_length=1)
+        deep = evaluate_generic(query, db, max_path_length=4)
+        assert shallow.tuples <= deep.tuples
+        assert (first, last) in deep.tuples
+
+    def test_boolean_short_circuit(self):
+        query = CXRPQ([("x", "w{a}", "y"), ("y", "&w", "z")])
+        db = cycle_database("aa")
+        assert generic_holds(query, db, max_path_length=2)
+
+    def test_negative_answer_on_small_database(self):
+        query = CXRPQ([("x", "w{ab}", "y"), ("y", "(&w)+", "z")])
+        db, _f, _l = path_database("abba")
+        result = evaluate_generic(query, db, max_path_length=4)
+        assert not result.boolean
+
+    def test_word_limit_marks_result_as_truncated(self):
+        query = CXRPQ([("x", "w{a+}", "y"), ("y", "&w", "z")])
+        db = cycle_database("ab")
+        result = evaluate_generic(query, db, max_path_length=6, word_limit=2, boolean_short_circuit=False)
+        assert result.exhaustive is False
+
+    def test_respects_image_bound(self):
+        query = CXRPQ([("x", "w{a+}", "y"), ("y", "&w", "z")], ("x", "z"))
+        db, first, last = path_database("aaaa")
+        bounded = evaluate_generic(query, db, max_path_length=4, max_image_length=1)
+        assert (first, "v2") in bounded.tuples
+        assert (first, last) not in bounded.tuples
+
+    def test_witnesses(self):
+        query = CXRPQ([("x", "w{a|b}", "y"), ("y", "&w", "z")], ("x", "z"))
+        db, _f, _l = path_database("aab")
+        result = evaluate_generic(query, db, max_path_length=2, collect_witnesses=True, boolean_short_circuit=False)
+        assert result.matches
+        for match in result.matches:
+            assert len(match.words) == 2

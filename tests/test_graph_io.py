@@ -1,0 +1,85 @@
+"""Tests for graph-database loading and saving."""
+
+import pytest
+
+from repro.core.alphabet import Alphabet
+from repro.graphdb.database import GraphDatabase
+from repro.graphdb.io import (
+    GraphFormatError,
+    dumps_edge_list,
+    dumps_json,
+    load_database,
+    loads_edge_list,
+    loads_json,
+    save_edge_list,
+    save_json,
+)
+
+
+def sample_db() -> GraphDatabase:
+    db = GraphDatabase.from_edges(
+        [("u", "a", "v"), ("v", "b", "w"), ("u", "a", "w")]
+    )
+    db.add_node("isolated")
+    return db
+
+
+class TestEdgeListFormat:
+    def test_round_trip(self):
+        db = sample_db()
+        text = dumps_edge_list(db)
+        loaded = loads_edge_list(text)
+        assert loaded.num_nodes() == db.num_nodes()
+        assert loaded.num_edges() == db.num_edges()
+        assert loaded.has_edge("u", "a", "v")
+        assert "isolated" in loaded
+
+    def test_comments_and_blank_lines_ignored(self):
+        text = "# a comment\n\nu a v\n"
+        loaded = loads_edge_list(text)
+        assert loaded.num_edges() == 1
+
+    def test_invalid_line_raises(self):
+        with pytest.raises(GraphFormatError):
+            loads_edge_list("u a\n")
+
+    def test_multi_symbol_label_raises(self):
+        with pytest.raises(GraphFormatError):
+            loads_edge_list("u ab v\n")
+
+    def test_declared_alphabet(self):
+        loaded = loads_edge_list("u a v\n", Alphabet("ab"))
+        assert loaded.alphabet().symbols == frozenset("ab")
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "graph.edges"
+        save_edge_list(sample_db(), path)
+        loaded = load_database(path)
+        assert loaded.num_edges() == 3
+
+
+class TestJsonFormat:
+    def test_round_trip(self):
+        db = sample_db()
+        loaded = loads_json(dumps_json(db))
+        assert loaded.num_nodes() == db.num_nodes()
+        assert loaded.num_edges() == db.num_edges()
+
+    def test_invalid_json(self):
+        with pytest.raises(GraphFormatError):
+            loads_json("{not json")
+
+    def test_missing_edges_key(self):
+        with pytest.raises(GraphFormatError):
+            loads_json('{"nodes": []}')
+
+    def test_invalid_edge_entry(self):
+        with pytest.raises(GraphFormatError):
+            loads_json('{"edges": [["u", "a"]]}')
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "graph.json"
+        save_json(sample_db(), path)
+        loaded = load_database(path)
+        assert loaded.num_edges() == 3
+        assert loaded.has_edge("u", "a", "v")

@@ -1,0 +1,112 @@
+"""Tests for the graph-database substrate (Section 2.2)."""
+
+import pytest
+
+from repro.core.alphabet import Alphabet
+from repro.core.errors import AlphabetError, EvaluationError
+from repro.graphdb.database import GraphDatabase
+
+
+def small_db() -> GraphDatabase:
+    return GraphDatabase.from_edges(
+        [(1, "a", 2), (2, "b", 3), (1, "a", 3), (3, "c", 1), (3, "c", 3)]
+    )
+
+
+class TestConstruction:
+    def test_from_edges(self):
+        db = small_db()
+        assert db.num_nodes() == 3
+        assert db.num_edges() == 5
+        assert db.size() == 8
+
+    def test_multigraph_edges_allowed(self):
+        db = GraphDatabase()
+        db.add_edge(1, "a", 2)
+        db.add_edge(1, "a", 2)
+        assert db.num_edges() == 2
+
+    def test_isolated_nodes(self):
+        db = GraphDatabase()
+        db.add_node("lonely")
+        assert "lonely" in db
+        assert db.num_nodes() == 1
+
+    def test_labels_must_be_single_symbols(self):
+        db = GraphDatabase()
+        with pytest.raises(AlphabetError):
+            db.add_edge(1, "ab", 2)
+
+    def test_declared_alphabet_is_enforced(self):
+        db = GraphDatabase(Alphabet("ab"))
+        db.add_edge(1, "a", 2)
+        with pytest.raises(AlphabetError):
+            db.add_edge(1, "c", 2)
+
+    def test_add_word_path(self):
+        db = GraphDatabase()
+        intermediates = db.add_word_path("s", "abc", "t")
+        assert len(intermediates) == 2
+        assert db.path_exists("s", "abc", "t")
+        with pytest.raises(EvaluationError):
+            db.add_word_path("s", "", "t")
+
+    def test_alphabet_inference(self):
+        assert small_db().alphabet().symbols == frozenset("abc")
+        with pytest.raises(AlphabetError):
+            GraphDatabase().alphabet()
+
+
+class TestInspection:
+    def test_successors_and_predecessors(self):
+        db = small_db()
+        assert set(db.successors_by_label(1, "a")) == {2, 3}
+        assert ("b", 3) in db.successors(2)
+        assert ("a", 1) in db.predecessors(2)
+        assert db.out_degree(1) == 2
+
+    def test_edges_by_label(self):
+        db = small_db()
+        assert set(db.edges_by_label("c")) == {(3, 1), (3, 3)}
+        assert db.edges_by_label("z") == ()
+
+    def test_has_edge(self):
+        db = small_db()
+        assert db.has_edge(1, "a", 2)
+        assert not db.has_edge(2, "a", 1)
+
+    def test_path_exists(self):
+        db = small_db()
+        assert db.path_exists(1, "ab", 3)
+        assert db.path_exists(1, "", 1)
+        assert db.path_exists(3, "ccc", 3)
+        assert not db.path_exists(2, "a", 3)
+
+    def test_nodes_reached_by(self):
+        db = small_db()
+        assert db.nodes_reached_by(1, "a") == {2, 3}
+        assert db.nodes_reached_by(1, "ab") == {3}
+
+
+class TestConversions:
+    def test_to_networkx(self):
+        graph = small_db().to_networkx()
+        assert graph.number_of_nodes() == 3
+        assert graph.number_of_edges() == 5
+
+    def test_to_json(self):
+        text = small_db().to_json()
+        assert '"edges"' in text
+
+    def test_relabel(self):
+        relabelled, mapping = small_db().relabel()
+        assert set(mapping.values()) == {0, 1, 2}
+        assert relabelled.num_edges() == 5
+
+    def test_copy_and_union(self):
+        db = small_db()
+        other = GraphDatabase.from_edges([(10, "a", 11)])
+        merged = db.union(other)
+        assert merged.num_nodes() == 5
+        assert merged.num_edges() == 6
+        assert db.num_edges() == 5  # original untouched

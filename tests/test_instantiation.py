@@ -1,0 +1,112 @@
+"""Tests for the v̄-instantiation of Lemma 10 / Lemma 11."""
+
+import pytest
+
+from repro.core.alphabet import Alphabet
+from repro.automata.nfa import NFA
+from repro.engine.instantiation import instantiate, instantiate_query
+from repro.queries import CXRPQ
+from repro.regex import syntax as rx
+from repro.regex.conjunctive import ConjunctiveXregex
+from repro.regex.parser import parse_xregex
+from tests.helpers import words_up_to
+
+ABC = Alphabet("abc")
+ABCD = Alphabet("abcd")
+
+
+def assert_equals_l_v(conjunctive, images, alphabet, max_length):
+    """The instantiated classical tuple must describe exactly L^{v̄}(ᾱ)."""
+    classical = instantiate(conjunctive, images, alphabet)
+    assert classical.is_classical()
+    nfas = [NFA.from_regex(component, alphabet) for component in classical.components]
+    words = words_up_to("".join(sorted(alphabet.symbols)), max_length)
+    import itertools
+
+    for combo in itertools.product(words, repeat=conjunctive.dimension):
+        expected = conjunctive.contains(combo, alphabet, required_images=images)
+        produced = all(nfa.accepts(word) for nfa, word in zip(nfas, combo))
+        assert produced == expected, (combo, images)
+
+
+class TestInstantiation:
+    def test_simple_definition_and_reference(self):
+        conjunctive = ConjunctiveXregex.parse("x{(a|b)*}c", "&x")
+        assert_equals_l_v(conjunctive, {"x": "ab"}, ABC, 3)
+        assert_equals_l_v(conjunctive, {"x": ""}, ABC, 2)
+
+    def test_infeasible_image_cuts_branch(self):
+        conjunctive = ConjunctiveXregex.parse("x{a*}|b", "&x c")
+        classical = instantiate(conjunctive, {"x": "b"}, ABC)
+        # The definition branch cannot produce "b"; only the b-branch survives,
+        # which forces the image of x to be empty — so the whole mapping is
+        # infeasible and every component is empty.
+        assert all(isinstance(component, rx.EmptySet) for component in classical.components)
+
+    def test_image_empty_allows_skipping_definition(self):
+        conjunctive = ConjunctiveXregex.parse("x{a+}|b", "&x c")
+        assert_equals_l_v(conjunctive, {"x": ""}, ABC, 2)
+        assert_equals_l_v(conjunctive, {"x": "a"}, ABC, 3)
+
+    def test_forced_instantiation_prunes_other_branches(self):
+        conjunctive = ConjunctiveXregex.parse("(x{a|b}|c)d", "&x")
+        classical = instantiate(conjunctive, {"x": "a"}, ABCD)
+        nfa = NFA.from_regex(classical.components[0], ABCD)
+        assert nfa.accepts("ad")
+        assert not nfa.accepts("cd")  # the c-branch would leave x empty
+
+    def test_free_variables_stay_existential(self):
+        conjunctive = ConjunctiveXregex.parse("&x a", "&x")
+        assert_equals_l_v(conjunctive, {"x": "b"}, ABC, 3)
+        assert_equals_l_v(conjunctive, {"x": ""}, ABC, 2)
+
+    def test_nested_definitions(self):
+        conjunctive = ConjunctiveXregex.parse("z{x{a|b}c}", "&z&x")
+        assert_equals_l_v(conjunctive, {"x": "a", "z": "ac"}, ABC, 3)
+        # Inconsistent images for the nested pair are infeasible.
+        classical = instantiate(conjunctive, {"x": "a", "z": "bc"}, ABC)
+        product_empty = all(
+            NFA.from_regex(component, ABC).is_empty() for component in classical.components
+        )
+        assert product_empty
+
+    def test_paper_worked_example_of_section61(self):
+        # alpha_1, alpha_2 and v̄ = (ca, a, caaca, ca) from Section 6.1.
+        alpha1 = parse_xregex("x3{x1{ca*c}&x2*}|(x1{cb*}|x1{&x4 c*})(b|&x2*)x3{&x1&x2&x1*}")
+        alpha2 = parse_xregex("(&x1|&x2)*x4{(b|c)*&x2*}x2{(a|b)*a}")
+        conjunctive = ConjunctiveXregex([alpha1, alpha2])
+        images = {"x1": "ca", "x2": "a", "x3": "caaca", "x4": "ca"}
+        classical = instantiate(conjunctive, images, Alphabet("abcd"))
+        first = NFA.from_regex(classical.components[0], Alphabet("abcd"))
+        second = NFA.from_regex(classical.components[1], Alphabet("abcd"))
+        # The paper derives beta_1 = ca(b|a*)caaca and beta_2 = ((ca)|a)*caa.
+        assert first.accepts("cabcaaca")
+        assert first.accepts("caaacaaca")
+        assert not first.accepts("cabbcaaca")  # "bb" is neither b nor a*
+        assert second.accepts("caacaa")
+        assert second.accepts("acaa")
+        assert not second.accepts("caab")
+
+
+class TestInstantiateQuery:
+    def test_produces_equivalent_crpq(self):
+        query = CXRPQ([("x", "w{a|b}", "y"), ("y", "&w|c", "z")], ("x", "z"))
+        crpq = instantiate_query(query, {"w": "a"}, ABC)
+        assert [label.is_classical() for label in crpq.regexes()] == [True, True]
+        assert crpq.output_variables == query.output_variables
+
+    def test_query_level_equivalence_on_database(self):
+        from repro.engine.crpq import evaluate_crpq
+        from repro.engine.simple import evaluate_simple
+        from repro.graphdb.database import GraphDatabase
+
+        db = GraphDatabase.from_edges(
+            [(0, "a", 1), (1, "a", 2), (0, "b", 3), (3, "b", 4), (1, "c", 5)]
+        )
+        query = CXRPQ([("x", "w{a|b}", "y"), ("y", "&w", "z")], ("x", "z"))
+        union: set = set()
+        for image in ("a", "b", ""):
+            crpq = instantiate_query(query, {"w": image}, Alphabet("abc"))
+            union |= evaluate_crpq(crpq, db).tuples
+        direct = evaluate_simple(query, db)
+        assert union == direct.tuples

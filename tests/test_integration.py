@@ -1,0 +1,81 @@
+"""End-to-end integration tests across the whole stack."""
+
+from repro import (
+    CXRPQ,
+    CRPQ,
+    GraphDatabase,
+    evaluate,
+    parse_xregex,
+)
+from repro.core.alphabet import Alphabet
+from repro.engine.engine import holds
+from repro.graphdb.generators import message_network, random_graph
+from repro.paperlib import figures
+from repro.translations import cxrpq_vsf_to_union_ecrpq
+from repro.engine.engine import evaluate_union
+
+ABC = Alphabet("abc")
+
+
+class TestReadmeQuickstart:
+    def test_quickstart_snippet(self):
+        db = GraphDatabase.from_edges(
+            [(1, "a", 2), (2, "a", 3), (1, "b", 3), (3, "c", 4)]
+        )
+        query = CXRPQ([("x", "w{a|b}", "y"), ("y", "&w|c", "z")], output_variables=("x", "z"))
+        result = evaluate(query, db)
+        assert result.boolean
+        assert (1, 3) in result.tuples and (2, 4) in result.tuples
+
+
+class TestHiddenCommunicationScenario:
+    def test_planted_channel_is_found_and_absent_channel_is_not(self):
+        query = figures.figure2_g3().with_image_bound(2)
+        with_channel, planted = message_network(8, seed=21, plant_hidden_channel=True)
+        result = evaluate(query, with_channel, boolean_short_circuit=False)
+        assert (planted["suspect_a"], planted["suspect_b"]) in result.tuples
+
+    def test_no_false_positive_on_sparse_network(self):
+        query = figures.figure2_g3().with_image_bound(2)
+        db = GraphDatabase.from_edges(
+            [("p0", "a", "p1"), ("p1", "b", "p2"), ("p2", "c", "p0")]
+        )
+        result = evaluate(query, db, boolean_short_circuit=False)
+        assert not result.boolean
+
+
+class TestCrossEngineConsistency:
+    def test_all_engines_agree_on_a_vsf_flat_query_with_unit_images(self):
+        from repro.engine.bounded import evaluate_bounded
+        from repro.engine.vsf import evaluate_vsf
+
+        query = CXRPQ([("x", "w{a|b}", "y"), ("y", "&w|c", "z")], ("x", "z"))
+        union = cxrpq_vsf_to_union_ecrpq(query, ABC)
+        for seed in range(2):
+            db = random_graph(6, 15, ABC, seed=seed)
+            via_vsf = evaluate_vsf(query, db, boolean_short_circuit=False).tuples
+            via_bounded = evaluate_bounded(query, db, bound=1, boolean_short_circuit=False).tuples
+            via_union = evaluate_union(union, db, boolean_short_circuit=False).tuples
+            assert via_vsf == via_bounded == via_union
+
+    def test_crpq_and_cxrpq_paths_give_identical_results(self):
+        crpq = CRPQ([("x", "a+", "y"), ("y", "b|c", "z")], ("x", "z"))
+        cxrpq = CXRPQ([("x", "a+", "y"), ("y", "b|c", "z")], ("x", "z"))
+        for seed in range(2):
+            db = random_graph(7, 18, ABC, seed=seed)
+            assert evaluate(crpq, db).tuples == evaluate(cxrpq, db).tuples
+
+
+class TestParserToEngineRoundTrip:
+    def test_query_built_from_printed_xregex(self):
+        original = parse_xregex("x{a|b}c*")
+        reparsed = parse_xregex(original.to_string())
+        query = CXRPQ([("u", reparsed, "v"), ("v", parse_xregex("&x"), "w")], ("u", "w"))
+        db = GraphDatabase.from_edges([(0, "a", 1), (1, "c", 2), (2, "a", 3)])
+        result = evaluate(query, db)
+        assert (0, 3) in result.tuples
+
+    def test_boolean_helper(self):
+        db = GraphDatabase.from_edges([(0, "a", 1), (1, "b", 2)])
+        assert holds(CRPQ([("x", "ab", "y")]), db)
+        assert not holds(CRPQ([("x", "ba", "y")]), db)

@@ -1,0 +1,92 @@
+"""Tests for the morphism join helper and the result containers."""
+
+import pytest
+
+from repro.engine.joins import EdgeRelation, join_morphisms
+from repro.engine.results import EvaluationResult, Match
+
+
+class TestEdgeRelation:
+    def test_indexes(self):
+        relation = EdgeRelation([(1, 2), (1, 3), (2, 3)])
+        assert (1, 2) in relation
+        assert (3, 1) not in relation
+        assert relation.targets_of(1) == {2, 3}
+        assert relation.sources_of(3) == {1, 2}
+        assert len(relation) == 3
+
+    def test_empty_relation(self):
+        relation = EdgeRelation([])
+        assert relation.targets_of(1) == set()
+        assert len(relation) == 0
+
+
+class TestJoinMorphisms:
+    def test_two_edge_chain(self):
+        first = EdgeRelation([(1, 2), (2, 3)])
+        second = EdgeRelation([(2, 9), (3, 9)])
+        morphisms = list(
+            join_morphisms([("x", "y"), ("y", "z")], [first, second], ["x", "y", "z"], [1, 2, 3, 9])
+        )
+        assignments = {(m["x"], m["y"], m["z"]) for m in morphisms}
+        assert assignments == {(1, 2, 9), (2, 3, 9)}
+
+    def test_self_loop_edge(self):
+        relation = EdgeRelation([(1, 1), (1, 2)])
+        morphisms = list(join_morphisms([("x", "x")], [relation], ["x"], [1, 2]))
+        assert [m["x"] for m in morphisms] == [1]
+
+    def test_fixed_assignment(self):
+        relation = EdgeRelation([(1, 2), (2, 3)])
+        morphisms = list(
+            join_morphisms([("x", "y")], [relation], ["x", "y"], [1, 2, 3], fixed={"x": 2})
+        )
+        assert [(m["x"], m["y"]) for m in morphisms] == [(2, 3)]
+
+    def test_fixed_assignment_with_unknown_node_rejected(self):
+        relation = EdgeRelation([(1, 2)])
+        with pytest.raises(ValueError):
+            list(join_morphisms([("x", "y")], [relation], ["x", "y"], [1, 2], fixed={"zz": 1}))
+
+    def test_check_callback_filters(self):
+        relation = EdgeRelation([(1, 2), (2, 3)])
+        morphisms = list(
+            join_morphisms(
+                [("x", "y")],
+                [relation],
+                ["x", "y"],
+                [1, 2, 3],
+                check=lambda assignment: assignment["y"] == 3,
+            )
+        )
+        assert [(m["x"], m["y"]) for m in morphisms] == [(2, 3)]
+
+    def test_isolated_pattern_nodes_enumerate_database(self):
+        relation = EdgeRelation([(1, 2)])
+        morphisms = list(join_morphisms([("x", "y")], [relation], ["x", "y", "free"], [1, 2]))
+        assert {m["free"] for m in morphisms} == {1, 2}
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            list(join_morphisms([("x", "y")], [], ["x", "y"], [1]))
+
+
+class TestResults:
+    def test_match_accessors(self):
+        match = Match.from_dict({"x": 1, "y": 2}, words=["ab"])
+        assert match.node("x") == 1
+        assert match.as_dict() == {"x": 1, "y": 2}
+        assert match.words == ("ab",)
+        with pytest.raises(KeyError):
+            match.node("zz")
+
+    def test_result_boolean_and_merge(self):
+        first = EvaluationResult(tuples={(1,)})
+        second = EvaluationResult(tuples={(2,)}, exhaustive=False)
+        merged = first.merge(second)
+        assert merged.boolean
+        assert merged.tuples == {(1,), (2,)}
+        assert merged.exhaustive is False
+
+    def test_empty_result_is_false(self):
+        assert not EvaluationResult().boolean

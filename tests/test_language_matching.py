@@ -1,0 +1,147 @@
+"""Tests for the xregex semantics: ref-languages, matching, L^{<=k}, L^{v̄}."""
+
+import random
+
+import pytest
+
+from repro.core.alphabet import Alphabet
+from repro.automata.nfa import NFA
+from repro.paperlib.examples import (
+    example2_witness_mappings,
+    example2_word,
+    example2_xregex,
+)
+from repro.regex.language import (
+    compile_ref_nfa,
+    enumerate_language,
+    enumerate_ref_words,
+    match,
+    match_all,
+    matches,
+)
+from repro.regex.parser import parse_xregex
+from repro.regex.refwords import OpenToken, RefToken, deref, is_ref_word
+from tests.helpers import AB, ABC, random_classical_regex, words_up_to
+
+
+class TestRefLanguages:
+    def test_ref_words_of_simple_definition(self):
+        expr = parse_xregex("x{a|b}c&x")
+        ref_words = list(enumerate_ref_words(expr, AB.extend("c"), max_tokens=6))
+        assert all(is_ref_word(word) for word in ref_words)
+        derefed = {deref(word).word for word in ref_words}
+        assert derefed == {"aca", "bcb"}
+
+    def test_sequential_xregex_can_have_two_definitions(self):
+        expr = parse_xregex("x{a}|x{b}")
+        ref_words = list(enumerate_ref_words(expr, AB, max_tokens=4))
+        assert {deref(word).word for word in ref_words} == {"a", "b"}
+        for word in ref_words:
+            opens = [token for token in word if isinstance(token, OpenToken)]
+            assert len(opens) == 1
+
+    def test_ref_nfa_contains_reference_tokens(self):
+        expr = parse_xregex("x{a}b&x")
+        nfa = compile_ref_nfa(expr, AB)
+        assert any(isinstance(label, RefToken) for label in nfa.labels())
+
+
+class TestMatching:
+    def test_matching_against_classical_regex_agrees_with_nfa(self):
+        rng = random.Random(5)
+        for _ in range(20):
+            regex = random_classical_regex(rng, "ab", depth=3)
+            nfa = NFA.from_regex(regex, AB)
+            for word in words_up_to("ab", 3):
+                assert matches(regex, word, AB) == nfa.accepts(word)
+
+    def test_backreference_matching(self):
+        expr = parse_xregex("x{(a|b)+}c&x")
+        assert matches(expr, "abcab")
+        assert matches(expr, "aca")
+        assert not matches(expr, "abcba")
+        assert not matches(expr, "abc")
+
+    def test_reference_before_definition(self):
+        # References may precede the definition textually (they refer to the
+        # later definition, as in the deref semantics).
+        expr = parse_xregex("&x c x{a|b}")
+        assert matches(expr, "aca")
+        assert matches(expr, "bcb")
+        assert not matches(expr, "acb")
+        assert not matches(expr, "ca")
+
+    def test_reference_without_definition_is_empty(self):
+        expr = parse_xregex("a&x b")
+        assert matches(expr, "ab")
+        assert not matches(expr, "aab")
+
+    def test_uninstantiated_definition_forces_empty_references(self):
+        # From the paper: ◁x1 ▷x1 c x1 is a ref-word of x1{(a|b)*}c&x1.
+        expr = parse_xregex("(x{(a|b)+}|d)c&x")
+        assert matches(expr, "dc")
+        assert matches(expr, "aca")
+        assert not matches(expr, "dca")
+
+    def test_witness_variable_mapping(self):
+        expr = parse_xregex("x{a+}b&x")
+        witness = match(expr, "aabaa")
+        assert witness is not None
+        assert witness.vmap["x"] == "aa"
+        assert "x" in witness.fixed
+
+    def test_example2_word_matches(self):
+        witness = match(example2_xregex(), example2_word())
+        assert witness is not None
+
+    def test_example2_witness_mappings_are_realisable(self):
+        expr = example2_xregex()
+        for mapping in example2_witness_mappings():
+            witness = match(expr, example2_word(), required_images=mapping)
+            assert witness is not None
+            assert witness.vmap["x1"] == mapping["x1"]
+            assert witness.vmap["x2"] == mapping["x2"]
+
+    def test_nested_definitions(self):
+        # gamma = x1{c*(x2{a*}|x3{b*})}c &x2 c &x3 b &x1 from Section 3.
+        expr = parse_xregex("x1{c*(x2{a*}|x3{b*})}c&x2 c&x3 b&x1")
+        assert matches(expr, "ccaacaacbccaa")
+        assert not matches(expr, "ccaacaacbccab")
+
+    def test_match_all_yields_distinct_mappings(self):
+        expr = parse_xregex("x{a*}&x")
+        mappings = {witness.vmap["x"] for witness in match_all(expr, "aaaa")}
+        assert mappings == {"aa"}
+        mappings_even = {witness.vmap["x"] for witness in match_all(expr, "aa")}
+        assert mappings_even == {"a"}
+
+
+class TestBoundedLanguages:
+    def test_max_image_length(self):
+        expr = parse_xregex("x{a+}b&x")
+        assert matches(expr, "aba")
+        assert matches(expr, "aabaa", max_image_length=2)
+        assert not matches(expr, "aaabaaa", max_image_length=2)
+
+    def test_bounded_language_enumeration(self):
+        expr = parse_xregex("x{a|b}&x")
+        assert set(enumerate_language(expr, AB, 2)) == {"aa", "bb"}
+
+    def test_bounded_language_with_image_bound(self):
+        expr = parse_xregex("x{a*}&x")
+        words = set(enumerate_language(expr, AB, 4, max_image_length=1))
+        assert words == {"", "aa"}
+
+    def test_required_images_define_l_v(self):
+        expr = parse_xregex("x{(a|b)*}c&x")
+        assert matches(expr, "abcab", required_images={"x": "ab"})
+        assert not matches(expr, "abcab", required_images={"x": "a"})
+        assert matches(expr, "c", required_images={"x": ""})
+
+    def test_existential_variables_keep_free_references(self):
+        expr = parse_xregex("&x c &x")
+        # Under deref semantics an undefined variable is the empty word …
+        assert not matches(expr, "aca")
+        # … but under the conjunctive semantics it is existential.
+        assert matches(expr, "aca", existential_variables=["x"])
+        assert not matches(expr, "acb", existential_variables=["x"])

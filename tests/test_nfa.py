@@ -1,0 +1,131 @@
+"""Tests for the NFA substrate (Thompson construction, products, queries)."""
+
+import random
+
+import pytest
+
+from repro.core.alphabet import Alphabet
+from repro.core.errors import XregexSyntaxError
+from repro.automata.nfa import NFA, intersect_all
+from repro.regex.parser import parse_xregex
+from tests.helpers import AB, ABC, random_classical_regex, words_up_to
+
+
+def nfa_of(text: str, alphabet=ABC) -> NFA:
+    return NFA.from_regex(parse_xregex(text), alphabet)
+
+
+class TestThompsonConstruction:
+    @pytest.mark.parametrize(
+        "regex, accepted, rejected",
+        [
+            ("a", ["a"], ["", "b", "aa"]),
+            ("()", [""], ["a"]),
+            ("∅", [], ["", "a"]),
+            ("ab", ["ab"], ["a", "b", "abc"]),
+            ("a|b", ["a", "b"], ["", "ab"]),
+            ("a*", ["", "a", "aaa"], ["b", "ab"]),
+            ("a+", ["a", "aa"], ["", "b"]),
+            ("a?b", ["b", "ab"], ["", "aab"]),
+            ("(ab|c)*", ["", "ab", "cab", "abc", "cc"], ["a", "b", "ba"]),
+            ("[ab]c", ["ac", "bc"], ["cc", "c"]),
+            ("[^a]*", ["", "b", "cbc"], ["a", "ba"]),
+            (".b", ["ab", "bb", "cb"], ["b", "a"]),
+        ],
+    )
+    def test_membership(self, regex, accepted, rejected):
+        nfa = nfa_of(regex)
+        for word in accepted:
+            assert nfa.accepts(word), f"{regex} should accept {word!r}"
+        for word in rejected:
+            assert not nfa.accepts(word), f"{regex} should reject {word!r}"
+
+    def test_from_regex_rejects_variables(self):
+        with pytest.raises(XregexSyntaxError):
+            NFA.from_regex(parse_xregex("x{a}"), AB)
+
+    def test_random_regex_membership_matches_language_enumeration(self):
+        rng = random.Random(7)
+        for _ in range(25):
+            regex = random_classical_regex(rng, "ab", depth=3)
+            nfa = NFA.from_regex(regex, AB)
+            accepted = set(nfa.enumerate_strings(4))
+            for word in words_up_to("ab", 4):
+                assert (word in accepted) == nfa.accepts(word)
+
+
+class TestSpecialAutomata:
+    def test_for_word(self):
+        nfa = NFA.for_word("abc")
+        assert nfa.accepts("abc")
+        assert not nfa.accepts("ab")
+
+    def test_universal(self):
+        nfa = NFA.universal("ab")
+        assert nfa.accepts("")
+        assert nfa.accepts("abba")
+
+    def test_epsilon_only_and_empty(self):
+        assert NFA.epsilon_only().accepts("")
+        assert not NFA.epsilon_only().accepts("a")
+        assert NFA.empty_language().is_empty()
+
+
+class TestQueries:
+    def test_shortest_word(self):
+        assert nfa_of("aab|b").shortest_word() == ("b",)
+        assert nfa_of("a*").shortest_word() == ()
+        assert nfa_of("∅").shortest_word() is None
+
+    def test_is_empty(self):
+        assert nfa_of("∅").is_empty()
+        assert not nfa_of("a*").is_empty()
+
+    def test_accepts_epsilon(self):
+        assert nfa_of("a*").accepts_epsilon()
+        assert not nfa_of("a+").accepts_epsilon()
+
+    def test_enumerate_words_bounded(self):
+        words = set(nfa_of("a*b").enumerate_strings(3))
+        assert words == {"b", "ab", "aab"}
+
+    def test_labels(self):
+        assert nfa_of("ab|c").labels() == {"a", "b", "c"}
+
+
+class TestCombinations:
+    def test_union(self):
+        nfa = nfa_of("a").union(nfa_of("bb"))
+        assert nfa.accepts("a") and nfa.accepts("bb") and not nfa.accepts("b")
+
+    def test_concatenate(self):
+        nfa = nfa_of("a+").concatenate(nfa_of("b"))
+        assert nfa.accepts("aab") and not nfa.accepts("a")
+
+    def test_reverse(self):
+        nfa = nfa_of("ab*").reverse()
+        assert nfa.accepts("ba") and nfa.accepts("a") and not nfa.accepts("ab")
+
+    def test_intersection_pairwise(self):
+        nfa = nfa_of("(a|b)*a").intersect(nfa_of("a(a|b)*"))
+        assert nfa.accepts("a") and nfa.accepts("aba")
+        assert not nfa.accepts("ab") and not nfa.accepts("ba")
+
+    def test_intersect_all_matches_brute_force(self):
+        rng = random.Random(3)
+        for _ in range(15):
+            regexes = [random_classical_regex(rng, "ab", depth=2) for _ in range(3)]
+            nfas = [NFA.from_regex(regex, AB) for regex in regexes]
+            product = intersect_all(nfas)
+            for word in words_up_to("ab", 3):
+                expected = all(nfa.accepts(word) for nfa in nfas)
+                assert product.accepts(word) == expected
+
+    def test_trim_preserves_language(self):
+        nfa = nfa_of("a(b|c)*")
+        dead = nfa.add_state()
+        nfa.add_transition(nfa.start, "z", dead)
+        trimmed = nfa.trim()
+        assert trimmed.num_states <= nfa.num_states
+        for word in words_up_to("abc", 3):
+            assert trimmed.accepts(word) == nfa.accepts(word)

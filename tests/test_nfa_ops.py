@@ -1,0 +1,61 @@
+"""Tests for state elimination and regex intersection (used by Lemma 12)."""
+
+import random
+
+from repro.automata.nfa import NFA
+from repro.automata.ops import languages_equal_up_to, regex_from_nfa, regex_intersection
+from repro.regex.parser import parse_xregex
+from tests.helpers import AB, random_classical_regex, words_up_to
+
+
+class TestRegexFromNFA:
+    def test_round_trip_simple(self):
+        original = parse_xregex("a(b|c)*")
+        nfa = NFA.from_regex(original, None)
+        recovered = regex_from_nfa(nfa)
+        recovered_nfa = NFA.from_regex(recovered, None)
+        for word in words_up_to("abc", 4):
+            assert recovered_nfa.accepts(word) == nfa.accepts(word)
+
+    def test_empty_language(self):
+        nfa = NFA.empty_language()
+        recovered = regex_from_nfa(nfa)
+        assert NFA.from_regex(recovered, AB).is_empty()
+
+    def test_epsilon_language(self):
+        recovered = regex_from_nfa(NFA.epsilon_only())
+        nfa = NFA.from_regex(recovered, AB)
+        assert nfa.accepts("") and not nfa.accepts("a")
+
+    def test_random_round_trips(self):
+        rng = random.Random(11)
+        for _ in range(20):
+            regex = random_classical_regex(rng, "ab", depth=3)
+            nfa = NFA.from_regex(regex, AB)
+            recovered_nfa = NFA.from_regex(regex_from_nfa(nfa), AB)
+            assert languages_equal_up_to(nfa, recovered_nfa, 4)
+
+
+class TestRegexIntersection:
+    def test_intersection_of_two_languages(self):
+        result = regex_intersection(
+            [parse_xregex("(a|b)*a"), parse_xregex("a(a|b)*")], AB
+        )
+        nfa = NFA.from_regex(result, AB)
+        assert nfa.accepts("a") and nfa.accepts("aba")
+        assert not nfa.accepts("ab") and not nfa.accepts("")
+
+    def test_disjoint_languages_give_empty(self):
+        result = regex_intersection([parse_xregex("a+"), parse_xregex("b+")], AB)
+        assert NFA.from_regex(result, AB).is_empty()
+
+    def test_intersection_against_brute_force(self):
+        rng = random.Random(23)
+        for _ in range(10):
+            first = random_classical_regex(rng, "ab", depth=2)
+            second = random_classical_regex(rng, "ab", depth=2)
+            combined = NFA.from_regex(regex_intersection([first, second], AB), AB)
+            nfa_first = NFA.from_regex(first, AB)
+            nfa_second = NFA.from_regex(second, AB)
+            for word in words_up_to("ab", 3):
+                assert combined.accepts(word) == (nfa_first.accepts(word) and nfa_second.accepts(word))

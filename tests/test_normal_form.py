@@ -1,0 +1,130 @@
+"""Tests for the normal-form construction (Section 5.1, Lemmas 4–6 and 8)."""
+
+import pytest
+
+from repro.core.alphabet import Alphabet
+from repro.core.errors import FragmentError
+from repro.engine.normal_form import (
+    normal_form,
+    normal_form_with_report,
+    step1_variable_simple,
+    step2_unique_definitions,
+    step3_basic_definitions,
+)
+from repro.paperlib import figures
+from repro.regex import properties as props
+from repro.regex.conjunctive import ConjunctiveXregex
+
+AB = Alphabet("ab")
+ABC = Alphabet("abc")
+ABCD = Alphabet("abcd")
+
+
+def language(conjunctive, alphabet, max_length, max_image_length=None):
+    return set(conjunctive.enumerate_language(alphabet, max_length, max_image_length))
+
+
+class TestStep1:
+    def test_multiplies_out_variable_alternations(self):
+        conjunctive = ConjunctiveXregex.parse("x{a}|b c", "&x|c")
+        result = step1_variable_simple(conjunctive)
+        for component in result.components:
+            for disjunct in props.normal_form_disjuncts(component):
+                assert props.is_variable_simple(disjunct)
+
+    def test_preserves_language(self):
+        conjunctive = ConjunctiveXregex.parse("(x{a|b}|c)d", "&x|cc")
+        result = step1_variable_simple(conjunctive)
+        assert language(conjunctive, ABCD, 2) == language(result, ABCD, 2)
+
+    def test_classical_alternations_are_left_alone(self):
+        conjunctive = ConjunctiveXregex.parse("(a|b)*x{c}", "&x")
+        result = step1_variable_simple(conjunctive)
+        assert result.components[0].size() <= conjunctive.components[0].size() + 1
+
+    def test_rejects_non_vstar_free(self):
+        with pytest.raises(FragmentError):
+            step1_variable_simple(ConjunctiveXregex.parse("x{a}", "(&x)+"))
+
+
+class TestStep2:
+    def test_unique_definitions(self):
+        conjunctive = ConjunctiveXregex.parse("x{a}|x{b}", "&x c")
+        step1 = step1_variable_simple(conjunctive)
+        result = step2_unique_definitions(step1)
+        concatenation = result.concatenation()
+        for variable in result.defined_variables():
+            assert len(concatenation.definitions_of(variable)) == 1
+
+    def test_preserves_language(self):
+        conjunctive = ConjunctiveXregex.parse("x{a}|x{b}", "&x c&x")
+        step2 = step2_unique_definitions(step1_variable_simple(conjunctive))
+        assert language(conjunctive, ABC, 3) == language(step2, ABC, 3)
+
+
+class TestStep3:
+    def test_eliminates_non_basic_definitions(self):
+        conjunctive = ConjunctiveXregex.parse("z{y{a*}b c*}d", "&z&y")
+        result = step3_basic_definitions(conjunctive)
+        assert result.is_normal_form()
+
+    def test_preserves_language_for_nested_definitions(self):
+        conjunctive = ConjunctiveXregex.parse("z{y{a|b}c}", "&z&y")
+        result = step3_basic_definitions(conjunctive)
+        assert language(conjunctive, ABC, 3) == language(result, ABC, 3)
+
+
+class TestNormalForm:
+    def test_figure2_g4_normal_form(self):
+        conjunctive = figures.figure2_g4().conjunctive_xregex
+        result, report = normal_form_with_report(conjunctive)
+        assert result.is_normal_form()
+        assert report.after_step3 >= report.input_size
+
+    def test_figure2_g2_normal_form_language_preserved(self):
+        conjunctive = figures.figure2_g2().conjunctive_xregex
+        result = normal_form(conjunctive)
+        assert result.is_normal_form()
+        assert language(conjunctive, ABC, 2) == language(result, ABC, 2)
+
+    def test_language_preserved_small_cases(self):
+        cases = [
+            ConjunctiveXregex.parse("x{a|b}c", "&x|b"),
+            ConjunctiveXregex.parse("(x{a}|b)&y", "y{b*}&x"),
+            ConjunctiveXregex.parse("z{x{a|b}b}", "&z&x"),
+        ]
+        for conjunctive in cases:
+            result = normal_form(conjunctive)
+            assert result.is_normal_form()
+            assert language(conjunctive, AB.extend("c"), 3) == language(result, AB.extend("c"), 3)
+
+    def test_requires_vstar_free(self):
+        with pytest.raises(FragmentError):
+            normal_form(ConjunctiveXregex.parse("x{a*}(&x)+"))
+
+    def test_classical_input_is_unchanged_language(self):
+        conjunctive = ConjunctiveXregex.parse("a(b|c)*", "c+")
+        result = normal_form(conjunctive)
+        assert result.is_normal_form()
+        assert language(conjunctive, ABC, 2) == language(result, ABC, 2)
+
+
+class TestBlowup:
+    def test_section53_chain_blows_up_exponentially(self):
+        sizes = []
+        for n in (2, 3, 4, 5):
+            conjunctive = ConjunctiveXregex.single(figures.section53_chain_xregex(n))
+            _result, report = normal_form_with_report(conjunctive)
+            sizes.append(report.after_step3)
+        growth = [later / earlier for earlier, later in zip(sizes, sizes[1:])]
+        # Each additional chained variable roughly doubles the size.
+        assert all(ratio > 1.5 for ratio in growth)
+
+    def test_flat_queries_stay_polynomial(self):
+        sizes = []
+        for n in (2, 3, 4, 5):
+            conjunctive = ConjunctiveXregex.single(figures.section53_flat_xregex(n))
+            _result, report = normal_form_with_report(conjunctive)
+            sizes.append(report.after_step3)
+        # Quadratic at worst (Lemma 8): size grows far slower than doubling.
+        assert sizes[-1] <= sizes[0] * ((5 / 2) ** 2) * 4

@@ -1,0 +1,130 @@
+"""Tests for the xregex surface-syntax parser."""
+
+import pytest
+
+from repro.core.errors import XregexSyntaxError
+from repro.regex import syntax as rx
+from repro.regex.parser import parse_regex, parse_xregex
+
+
+class TestBasicParsing:
+    def test_single_symbols_concatenate(self):
+        expr = parse_xregex("abc")
+        assert expr.to_string() == "abc"
+        assert expr.is_classical()
+
+    def test_empty_word(self):
+        assert parse_xregex("()") == rx.EPSILON
+
+    def test_empty_language(self):
+        assert parse_xregex("∅") == rx.EMPTY
+
+    def test_alternation_and_grouping(self):
+        expr = parse_xregex("(a|bc)d")
+        assert isinstance(expr, rx.Concat)
+        assert isinstance(expr.parts[0], rx.Alternation)
+
+    def test_repetition_operators(self):
+        assert isinstance(parse_xregex("a+"), rx.Plus)
+        assert isinstance(parse_xregex("a*"), rx.Star)
+        assert isinstance(parse_xregex("a?"), rx.Optional)
+
+    def test_stacked_repetition(self):
+        expr = parse_xregex("a+*")
+        assert isinstance(expr, rx.Star)
+        assert isinstance(expr.inner, rx.Plus)
+
+    def test_wildcard(self):
+        assert isinstance(parse_xregex("."), rx.AnySymbol)
+
+    def test_symbol_classes(self):
+        expr = parse_xregex("[abc]")
+        assert isinstance(expr, rx.SymbolClass)
+        assert expr.symbols == frozenset("abc")
+        negated = parse_xregex("[^ab]")
+        assert negated.negated
+
+    def test_escaping(self):
+        expr = parse_xregex(r"\+\*")
+        assert expr.to_string() == r"\+\*"
+        assert {node.char for node in expr.iter_nodes() if isinstance(node, rx.Symbol)} == {"+", "*"}
+
+    def test_whitespace_is_ignored(self):
+        assert parse_xregex("a b c").to_string() == "abc"
+
+    def test_hash_symbol(self):
+        expr = parse_xregex("#a#")
+        assert expr.to_string() == "#a#"
+
+
+class TestVariables:
+    def test_definition(self):
+        expr = parse_xregex("x{a|b}")
+        assert isinstance(expr, rx.VarDef)
+        assert expr.name == "x"
+
+    def test_reference(self):
+        expr = parse_xregex("&x")
+        assert isinstance(expr, rx.VarRef)
+        assert expr.name == "x"
+
+    def test_multi_character_variable_names(self):
+        expr = parse_xregex("code{a+}b&code")
+        assert expr.defined_variables() == {"code"}
+        assert expr.referenced_variables() == {"code"}
+
+    def test_identifier_followed_by_symbols_is_not_a_definition(self):
+        # "xa" is the two-symbol word x·a, not a variable.
+        expr = parse_xregex("xa")
+        assert expr.is_classical()
+        assert expr.to_string() == "xa"
+
+    def test_reference_stops_at_non_identifier(self):
+        expr = parse_xregex("&x a*")
+        assert isinstance(expr, rx.Concat)
+        assert isinstance(expr.parts[0], rx.VarRef)
+        assert expr.parts[0].name == "x"
+
+    def test_nested_definitions(self):
+        expr = parse_xregex("x{(y{z{a*|bc}a}&y)+b}&x")
+        assert expr.defined_variables() == {"x", "y", "z"} | set()
+
+    def test_paper_alpha_ni(self):
+        expr = parse_xregex("#z{(a|b)*}(##&z)*###")
+        assert expr.defined_variables() == {"z"}
+        assert expr.terminal_symbols() == {"a", "b", "#"}
+
+    def test_definition_with_own_variable_in_body_rejected(self):
+        with pytest.raises(XregexSyntaxError):
+            parse_xregex("x{a&x}b")
+
+
+class TestErrors:
+    @pytest.mark.parametrize("text", ["(", "x{a", "[ab", "a)", "&", "*a", "a}"])
+    def test_syntax_errors(self, text):
+        with pytest.raises(XregexSyntaxError):
+            parse_xregex(text)
+
+    def test_parse_regex_rejects_variables(self):
+        with pytest.raises(XregexSyntaxError):
+            parse_regex("x{a}")
+        assert parse_regex("a(b|c)*").is_classical()
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "x{a|b}(&x|c)+",
+            "a*x1{a*x2{(a|b)*}b*a*}&x2*(a|b)*&x1",
+            "#z{(a|b)*}(##&z)*###",
+            "[^ab]*",
+            "(ab|c)?d+",
+            "x{a|b}",
+            "x{a}&x a&x",
+            "a*(x{(&y a*)|(b* &y)})&z",
+        ],
+    )
+    def test_print_then_parse_is_identity(self, text):
+        expr = parse_xregex(text)
+        assert parse_xregex(expr.to_string()) == expr

@@ -1,0 +1,96 @@
+"""Tests for regular-path reachability in graph databases."""
+
+from repro.core.alphabet import Alphabet
+from repro.automata.nfa import NFA
+from repro.graphdb.database import GraphDatabase
+from repro.graphdb.paths import (
+    db_nfa_between,
+    evaluate_rpq,
+    find_path_word,
+    reachable_from,
+    reachable_pairs,
+)
+from repro.regex.parser import parse_xregex
+
+ABC = Alphabet("abc")
+
+
+def chain_db() -> GraphDatabase:
+    return GraphDatabase.from_edges(
+        [(0, "a", 1), (1, "a", 2), (2, "b", 3), (3, "c", 0), (2, "a", 2)]
+    )
+
+
+class TestReachability:
+    def test_reachable_from(self):
+        db = chain_db()
+        nfa = NFA.from_regex(parse_xregex("a+"), ABC)
+        assert reachable_from(db, nfa, 0) == {1, 2}
+        assert reachable_from(db, nfa, 3) == set()
+
+    def test_reachable_pairs(self):
+        db = chain_db()
+        nfa = NFA.from_regex(parse_xregex("ab"), ABC)
+        assert reachable_pairs(db, nfa) == {(1, 3), (2, 3)}
+
+    def test_epsilon_paths(self):
+        db = chain_db()
+        nfa = NFA.from_regex(parse_xregex("a*"), ABC)
+        pairs = reachable_pairs(db, nfa)
+        for node in db.nodes:
+            assert (node, node) in pairs
+
+    def test_evaluate_rpq(self):
+        db = chain_db()
+        pairs = evaluate_rpq(db, parse_xregex("a+b"))
+        assert pairs == {(0, 3), (1, 3), (2, 3)}
+
+    def test_cycle_traversal(self):
+        db = chain_db()
+        nfa = NFA.from_regex(parse_xregex("(a|b|c)+"), ABC)
+        assert (0, 0) in reachable_pairs(db, nfa)
+
+
+class TestWitnessWords:
+    def test_find_path_word(self):
+        db = chain_db()
+        nfa = NFA.from_regex(parse_xregex("a+b"), ABC)
+        word = find_path_word(db, nfa, 0, 3)
+        assert word == "aab"
+
+    def test_find_path_word_trivial(self):
+        db = chain_db()
+        nfa = NFA.from_regex(parse_xregex("a*"), ABC)
+        assert find_path_word(db, nfa, 2, 2) == ""
+
+    def test_find_path_word_absent(self):
+        db = chain_db()
+        nfa = NFA.from_regex(parse_xregex("c"), ABC)
+        assert find_path_word(db, nfa, 0, 3) is None
+
+    def test_find_path_word_respects_max_length(self):
+        db = chain_db()
+        nfa = NFA.from_regex(parse_xregex("a+b"), ABC)
+        assert find_path_word(db, nfa, 0, 3, max_length=2) is None
+
+
+class TestDatabaseAsNFA:
+    def test_db_nfa_between(self):
+        db = chain_db()
+        walker = db_nfa_between(db, 0, [3])
+        assert walker.accepts("aab")
+        assert walker.accepts("aaab")
+        assert not walker.accepts("ab")
+        assert not walker.accepts("aabc")
+
+    def test_db_nfa_between_same_node(self):
+        db = chain_db()
+        walker = db_nfa_between(db, 2, [2])
+        assert walker.accepts("")
+        assert walker.accepts("a")
+        assert walker.accepts("bca" + "a")
+
+    def test_db_nfa_between_missing_node(self):
+        db = chain_db()
+        walker = db_nfa_between(db, "ghost", [3])
+        assert walker.is_empty()

@@ -1,0 +1,148 @@
+"""Tests for the structural xregex properties of Sections 3 and 5."""
+
+import pytest
+
+from repro.core.errors import XregexSemanticsError
+from repro.paperlib.examples import example4_xregexes
+from repro.regex import properties as props
+from repro.regex import syntax as rx
+from repro.regex.parser import parse_xregex
+
+
+class TestSequential:
+    def test_single_definition_is_sequential(self):
+        assert props.is_sequential(parse_xregex("x{a*}b&x"))
+
+    def test_definition_under_plus_is_not_sequential(self):
+        assert not props.is_sequential(parse_xregex("(x{a})+"))
+
+    def test_definition_under_star_is_not_sequential(self):
+        assert not props.is_sequential(parse_xregex("(x{a}b)*"))
+
+    def test_two_definitions_in_alternation_branches_are_sequential(self):
+        assert props.is_sequential(parse_xregex("x{a}|x{b}"))
+
+    def test_two_definitions_in_concatenation_are_not_sequential(self):
+        assert not props.is_sequential(parse_xregex("x{a}x{b}"))
+
+    def test_paper_example3_alpha2_alpha4_not_sequential_together(self):
+        alpha2 = parse_xregex("x1{(a|b)*}x3{c*}b&x3")
+        alpha4 = parse_xregex("x4{a*}b&x4 x1{&x2 a}")
+        assert props.is_sequential(alpha2)
+        assert props.is_sequential(alpha4)
+        assert not props.is_sequential(rx.concat(alpha2, alpha4))
+
+    def test_require_sequential_raises(self):
+        with pytest.raises(XregexSemanticsError):
+            props.require_sequential(parse_xregex("x{a}x{b}"))
+
+
+class TestDependencies:
+    def test_dependency_pairs(self):
+        expr = parse_xregex("x{&y a}y{b}z{&x}")
+        pairs = props.dependency_pairs(expr)
+        assert ("y", "x") in pairs
+        assert ("x", "z") in pairs
+        assert ("y", "z") not in pairs
+
+    def test_nested_definition_dependency(self):
+        expr = parse_xregex("x{y{a}b}")
+        assert ("y", "x") in props.dependency_pairs(expr)
+
+    def test_acyclic_detection(self):
+        cyclic = rx.alternation(
+            rx.concat(rx.VarDef("x", rx.Star(rx.Symbol("a"))), rx.VarDef("y", rx.VarRef("x"))),
+            rx.concat(rx.VarDef("y", rx.Star(rx.Symbol("a"))), rx.VarDef("x", rx.VarRef("y"))),
+        )
+        assert not props.is_acyclic(cyclic)
+        assert props.is_acyclic(parse_xregex("x{a}y{&x}"))
+
+    def test_topological_order_minimal_first(self):
+        expr = parse_xregex("z{&y}y{&x}x{a}")
+        order = props.topological_variable_order(expr)
+        assert order is not None
+        assert order.index("x") < order.index("y") < order.index("z")
+
+
+class TestFragmentRestrictions:
+    def test_example4_classification(self):
+        examples = example4_xregexes()
+        not_vsf = examples["not_vstar_free"]
+        assert not props.is_vstar_free(not_vsf)
+        assert props.is_valt_free(not_vsf)
+
+        vsf_not_valt = examples["vstar_free_not_valt_free"]
+        assert props.is_vstar_free(vsf_not_valt)
+        assert not props.is_valt_free(vsf_not_valt)
+
+        vsimple = examples["variable_simple_not_simple"]
+        assert props.is_variable_simple(vsimple)
+        assert not props.is_simple(vsimple)
+
+        simple = examples["simple"]
+        assert props.is_simple(simple)
+
+    def test_classical_expressions_are_simple(self):
+        assert props.is_simple(parse_xregex("a(b|c)*d+"))
+        assert props.is_normal_form(parse_xregex("a(b|c)*d+"))
+
+    def test_normal_form_is_alternation_of_simple(self):
+        expr = rx.alternation(parse_xregex("x{a*}b&x"), parse_xregex("c*y{b}&y"))
+        assert props.is_normal_form(expr)
+
+    def test_normal_form_rejects_non_simple_disjunct(self):
+        expr = rx.alternation(parse_xregex("x{a*}b&x"), parse_xregex("y{z{a}b}"))
+        assert not props.is_normal_form(expr)
+
+    def test_flat_variables(self):
+        # Paper example (Section 5.3): in (alpha1, alpha2) every variable is flat.
+        alpha1 = parse_xregex("ub*x{y{a*}(a|b)*&z&y}")
+        alpha2 = parse_xregex("u{c b z{a*(b|ca)}}a&x")
+        combined = rx.concat(alpha1, alpha2)
+        assert props.all_variables_flat(combined)
+
+    def test_non_flat_variable(self):
+        # x has a non-basic definition and is referenced inside y's definition.
+        expr = parse_xregex("x{a&w}y{&x b}w{c}")
+        assert not props.is_flat_variable(expr, "x")
+        assert props.is_flat_variable(expr, "w")
+        assert not props.all_variables_flat(expr)
+
+    def test_section53_chain_is_not_flat(self):
+        from repro.paperlib.figures import section53_chain_xregex, section53_flat_xregex
+
+        assert not props.all_variables_flat(section53_chain_xregex(3))
+        assert props.all_variables_flat(section53_flat_xregex(3))
+
+
+class TestUnitSplitting:
+    def test_split_simple_units(self):
+        expr = parse_xregex("a*x{(b|c)d}b+&x&y")
+        units = props.split_simple(expr)
+        kinds = [type(unit).__name__ for unit in units]
+        assert kinds == ["ClassicalUnit", "DefinitionUnit", "ClassicalUnit", "ReferenceUnit", "ReferenceUnit"]
+
+    def test_consecutive_classical_parts_are_merged(self):
+        expr = parse_xregex("ab*c&x")
+        units = props.split_simple(expr)
+        assert len(units) == 2
+        assert isinstance(units[0], props.ClassicalUnit)
+
+    def test_single_definition(self):
+        units = props.split_simple(parse_xregex("x{a+}"))
+        assert len(units) == 1
+        assert isinstance(units[0], props.DefinitionUnit)
+
+    def test_epsilon_expression(self):
+        units = props.split_simple(parse_xregex("()"))
+        assert len(units) == 1
+        assert isinstance(units[0], props.ClassicalUnit)
+
+    def test_split_rejects_non_simple(self):
+        with pytest.raises(XregexSemanticsError):
+            props.split_simple(parse_xregex("(&x|a)b"))
+
+    def test_normal_form_disjuncts(self):
+        expr = rx.alternation(parse_xregex("a"), parse_xregex("b"))
+        assert len(props.normal_form_disjuncts(expr)) == 2
+        assert len(props.normal_form_disjuncts(parse_xregex("ab"))) == 1

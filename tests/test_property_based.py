@@ -1,0 +1,221 @@
+"""Property-based tests (hypothesis) for the core data structures and invariants."""
+
+import string
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.alphabet import Alphabet
+from repro.core.words import all_words_up_to
+from repro.automata.nfa import NFA, intersect_all
+from repro.automata.ops import regex_from_nfa
+from repro.engine.bounded import evaluate_bounded
+from repro.engine.instantiation import instantiate
+from repro.engine.normal_form import normal_form
+from repro.engine.simple import evaluate_simple
+from repro.engine.vsf import evaluate_vsf
+from repro.graphdb.database import GraphDatabase
+from repro.queries import CXRPQ
+from repro.regex import properties as props
+from repro.regex import syntax as rx
+from repro.regex.conjunctive import ConjunctiveXregex
+from repro.regex.language import compile_ref_nfa, matches
+from repro.regex.refwords import deref, is_ref_word
+
+AB = Alphabet("ab")
+
+_SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.filter_too_much],
+)
+
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+
+def classical_regex(max_depth: int = 3):
+    """Random classical regular expressions over {a, b}."""
+    leaves = st.one_of(
+        st.sampled_from([rx.Symbol("a"), rx.Symbol("b"), rx.EPSILON]),
+    )
+
+    def extend(children):
+        return st.one_of(
+            st.tuples(children, children).map(lambda pair: rx.concat(*pair)),
+            st.tuples(children, children).map(lambda pair: rx.alternation(*pair)),
+            children.map(rx.star),
+            children.map(rx.plus),
+            children.map(rx.optional),
+        )
+
+    return st.recursive(leaves, extend, max_leaves=8)
+
+
+def words(max_length: int = 6):
+    return st.text(alphabet="ab", min_size=0, max_size=max_length)
+
+
+def simple_conjunctive(draw_symbols="ab"):
+    """A strategy for small simple two-component conjunctive xregex."""
+    body = classical_regex()
+    return st.tuples(body, classical_regex()).map(
+        lambda pair: ConjunctiveXregex(
+            [
+                rx.concat(rx.VarDef("w", rx.alternation(rx.Symbol("a"), rx.Symbol("b"))), pair[0]),
+                rx.concat(rx.VarRef("w"), pair[1]),
+            ]
+        )
+    )
+
+
+def vsf_conjunctive():
+    """Vstar-free (but not simple) two-component conjunctive xregex."""
+    return st.tuples(classical_regex(), classical_regex()).map(
+        lambda pair: ConjunctiveXregex(
+            [
+                rx.concat(rx.VarDef("w", rx.alternation(rx.Symbol("a"), rx.Symbol("b"))), pair[0]),
+                rx.alternation(rx.VarRef("w"), pair[1]),
+            ]
+        )
+    )
+
+
+def small_databases():
+    """Random small graph databases over {a, b}."""
+    edge = st.tuples(st.integers(0, 4), st.sampled_from("ab"), st.integers(0, 4))
+    return st.lists(edge, min_size=1, max_size=10).map(GraphDatabase.from_edges)
+
+
+# ---------------------------------------------------------------------------
+# NFA properties
+# ---------------------------------------------------------------------------
+
+
+class TestAutomataProperties:
+    @_SETTINGS
+    @given(regex=classical_regex(), word=words())
+    def test_nfa_membership_agrees_with_matcher(self, regex, word):
+        nfa = NFA.from_regex(regex, AB)
+        assert nfa.accepts(word) == matches(regex, word, AB)
+
+    @_SETTINGS
+    @given(regex=classical_regex())
+    def test_shortest_word_is_accepted_and_minimal(self, regex):
+        nfa = NFA.from_regex(regex, AB)
+        shortest = nfa.shortest_word()
+        if shortest is None:
+            assert not list(nfa.enumerate_words(3))
+        else:
+            assert nfa.accepts(shortest)
+            for word in nfa.enumerate_words(len(shortest)):
+                assert len(word) >= len(shortest)
+
+    @_SETTINGS
+    @given(first=classical_regex(), second=classical_regex(), word=words(4))
+    def test_intersection_is_conjunction(self, first, second, word):
+        product = intersect_all([NFA.from_regex(first, AB), NFA.from_regex(second, AB)])
+        expected = matches(first, word, AB) and matches(second, word, AB)
+        assert product.accepts(word) == expected
+
+    @_SETTINGS
+    @given(regex=classical_regex(), word=words(4))
+    def test_state_elimination_round_trip(self, regex, word):
+        nfa = NFA.from_regex(regex, AB)
+        recovered = NFA.from_regex(regex_from_nfa(nfa), AB)
+        assert recovered.accepts(word) == nfa.accepts(word)
+
+
+# ---------------------------------------------------------------------------
+# Ref-word and xregex properties
+# ---------------------------------------------------------------------------
+
+
+class TestXregexProperties:
+    @_SETTINGS
+    @given(regex=classical_regex(), word=words(4))
+    def test_classical_ref_language_equals_language(self, regex, word):
+        # For classical expressions the ref-language and the language coincide.
+        ref_nfa = compile_ref_nfa(regex, AB)
+        assert ref_nfa.accepts(word) == matches(regex, word, AB)
+
+    @_SETTINGS
+    @given(body=classical_regex(), word=words(5))
+    def test_definition_reference_doubling(self, body, word):
+        # w ∈ L(x{beta} &x)  iff  w = uu with u ∈ L(beta).
+        expr = rx.concat(rx.VarDef("x", body), rx.VarRef("x"))
+        expected = any(
+            word[:mid] == word[mid:2 * mid]
+            and 2 * mid == len(word)
+            and matches(body, word[:mid], AB)
+            for mid in range(len(word) + 1)
+        )
+        assert matches(expr, word, AB) == expected
+
+    @_SETTINGS
+    @given(body=classical_regex())
+    def test_ref_words_of_definitions_are_valid_and_deref_consistent(self, body):
+        expr = rx.concat(rx.VarDef("x", body), rx.Symbol("a"), rx.VarRef("x"))
+        nfa = compile_ref_nfa(expr, AB)
+        for token_word in nfa.enumerate_words(6):
+            assert is_ref_word(token_word)
+            result = deref(token_word)
+            image = result.vmap.get("x", "")
+            assert result.word == image + "a" + image
+
+    @_SETTINGS
+    @given(data=st.data())
+    def test_normal_form_preserves_bounded_language(self, data):
+        conjunctive = data.draw(vsf_conjunctive())
+        normalised = normal_form(conjunctive)
+        assert normalised.is_normal_form()
+        words_list = list(all_words_up_to(AB, 2))
+        for first in words_list:
+            for second in words_list:
+                assert conjunctive.contains((first, second), AB) == normalised.contains(
+                    (first, second), AB
+                )
+
+    @_SETTINGS
+    @given(data=st.data(), image=st.text(alphabet="ab", max_size=2))
+    def test_instantiation_matches_required_image_semantics(self, data, image):
+        conjunctive = data.draw(simple_conjunctive())
+        classical = instantiate(conjunctive, {"w": image}, AB)
+        nfas = [NFA.from_regex(component, AB) for component in classical.components]
+        words_list = list(all_words_up_to(AB, 2))
+        for first in words_list:
+            for second in words_list:
+                expected = conjunctive.contains((first, second), AB, required_images={"w": image})
+                assert (nfas[0].accepts(first) and nfas[1].accepts(second)) == expected
+
+
+# ---------------------------------------------------------------------------
+# Engine cross-validation properties
+# ---------------------------------------------------------------------------
+
+
+class TestEngineProperties:
+    @_SETTINGS
+    @given(db=small_databases())
+    def test_simple_and_bounded_engines_agree_on_unit_images(self, db):
+        query = CXRPQ([("x", "w{a|b}", "y"), ("y", "&w", "z")], ("x", "z"))
+        simple_result = evaluate_simple(query, db, boolean_short_circuit=False)
+        bounded_result = evaluate_bounded(query, db, bound=1, boolean_short_circuit=False)
+        assert simple_result.tuples == bounded_result.tuples
+
+    @_SETTINGS
+    @given(db=small_databases())
+    def test_vsf_and_bounded_engines_agree_on_unit_images(self, db):
+        query = CXRPQ([("x", "w{a|b}", "y"), ("y", "&w|b", "z")], ("x", "z"))
+        vsf_result = evaluate_vsf(query, db, boolean_short_circuit=False)
+        bounded_result = evaluate_bounded(query, db, bound=1, boolean_short_circuit=False)
+        assert vsf_result.tuples == bounded_result.tuples
+
+    @_SETTINGS
+    @given(db=small_databases())
+    def test_monotonicity_under_image_bound(self, db):
+        query = CXRPQ([("x", "w{(a|b)+}", "y"), ("y", "&w", "z")], ("x", "z"))
+        small = evaluate_bounded(query, db, bound=1, boolean_short_circuit=False)
+        large = evaluate_bounded(query, db, bound=2, boolean_short_circuit=False)
+        assert small.tuples <= large.tuples

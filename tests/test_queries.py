@@ -1,0 +1,151 @@
+"""Tests for graph patterns and the query classes (Sections 2.3, 4 and 7)."""
+
+import pytest
+
+from repro.core.errors import EvaluationError, XregexSyntaxError
+from repro.automata.relations import EqualityRelation
+from repro.queries import CRPQ, CXRPQ, ECRPQ, Fragment, GraphPattern, RPQ, UnionQuery
+from repro.queries.ecrpq import RelationConstraint
+from repro.paperlib import figures
+
+
+class TestGraphPattern:
+    def test_nodes_and_edges(self):
+        pattern = GraphPattern([("x", "a", "y"), ("y", "b", "z")])
+        assert pattern.nodes == ["x", "y", "z"]
+        assert pattern.num_edges() == 2
+        assert not pattern.is_single_edge()
+
+    def test_with_labels(self):
+        pattern = GraphPattern([("x", "a", "y")])
+        relabelled = pattern.with_labels(["b"])
+        assert relabelled.edges[0].label == "b"
+        with pytest.raises(EvaluationError):
+            pattern.with_labels(["a", "b"])
+
+    def test_acyclicity_of_underlying_graph(self):
+        tree = GraphPattern([("x", "a", "y"), ("x", "a", "z")])
+        assert tree.is_acyclic_undirected()
+        cycle = GraphPattern([("x", "a", "y"), ("y", "a", "z"), ("z", "a", "x")])
+        assert not cycle.is_acyclic_undirected()
+
+    def test_multi_edges_make_cycles(self):
+        pattern = GraphPattern([("x", "a", "y"), ("x", "b", "y")])
+        assert not pattern.is_acyclic_undirected()
+
+
+class TestCRPQ:
+    def test_labels_are_parsed(self):
+        query = CRPQ([("x", "a+b", "y")], ("x", "y"))
+        assert query.regexes()[0].to_string() == "a+b"
+
+    def test_rejects_xregex_labels(self):
+        with pytest.raises(XregexSyntaxError):
+            CRPQ([("x", "w{a}", "y")])
+
+    def test_output_variables_must_occur(self):
+        with pytest.raises(EvaluationError):
+            CRPQ([("x", "a", "y")], ("zz",))
+
+    def test_boolean_queries(self):
+        assert CRPQ([("x", "a", "y")]).is_boolean
+        assert not CRPQ([("x", "a", "y")], ("x",)).is_boolean
+
+    def test_rpq_is_single_edge(self):
+        query = RPQ("a*b")
+        assert query.is_single_edge()
+        assert query.output_variables == ("x", "y")
+
+    def test_size_measure(self):
+        small = CRPQ([("x", "a", "y")])
+        large = CRPQ([("x", "a(b|c)*d", "y"), ("y", "a", "z")])
+        assert large.size() > small.size()
+
+
+class TestECRPQ:
+    def test_equality_constraint_validation(self):
+        query = ECRPQ([("x", "a*", "y"), ("x", "a*", "z")])
+        query.add_equality([0, 1])
+        assert query.is_equality_only()
+
+    def test_edge_can_join_only_one_constraint(self):
+        query = ECRPQ([("x", "a*", "y"), ("x", "a*", "z")])
+        query.add_equality([0, 1])
+        with pytest.raises(EvaluationError):
+            query.add_equality([0, 1])
+
+    def test_constraint_arity_must_match(self):
+        with pytest.raises(EvaluationError):
+            RelationConstraint(EqualityRelation(2), (0,))
+
+    def test_out_of_range_edge_index(self):
+        with pytest.raises(EvaluationError):
+            ECRPQ([("x", "a", "y")], constraints=[RelationConstraint(EqualityRelation(2), (0, 5))])
+
+    def test_paper_queries_are_equality_classified(self):
+        assert figures.figure6_q_anan().is_equality_only()
+        assert not figures.figure6_q_anbn().is_equality_only()
+
+
+class TestCXRPQ:
+    def test_conjunctive_xregex_is_validated(self):
+        with pytest.raises(Exception):
+            CXRPQ([("x", "w{a}", "y"), ("y", "w{b}", "z")])
+
+    def test_fragment_classification(self):
+        assert CXRPQ([("x", "a*", "y")]).fragment() is Fragment.CRPQ
+        assert CXRPQ([("x", "w{a|b}c", "y"), ("y", "&w", "z")]).fragment() is Fragment.SIMPLE
+        assert CXRPQ([("x", "w{a|b}", "y"), ("y", "&w|c", "z")]).fragment() is Fragment.VSF_FLAT
+        non_flat = CXRPQ([("x", "w{a&v}", "y"), ("y", "u{&w b}", "z"), ("z", "v{b*}", "t")])
+        assert non_flat.fragment() is Fragment.VSF
+        assert CXRPQ([("x", "w{a|b}", "y"), ("y", "(&w)+", "z")]).fragment() is Fragment.GENERAL
+
+    def test_figure2_fragments_match_the_paper(self):
+        assert figures.figure2_g4().is_vstar_free()
+        assert not figures.figure2_g4().is_vstar_free_flat()
+        assert figures.figure2_g2().is_vstar_free_flat()
+        assert not figures.figure2_g3().is_vstar_free()
+        assert figures.figure2_g1().is_vstar_free() is False  # (&x|c)+ stars a reference
+
+    def test_image_bound_variants(self):
+        query = CXRPQ([("x", "w{a+}", "y"), ("y", "&w", "z")])
+        bounded = query.with_image_bound(3)
+        assert bounded.image_bound == 3
+        assert bounded.resolve_image_bound(100) == 3
+        log_bounded = query.with_image_bound("log")
+        assert log_bounded.resolve_image_bound(256) == 8
+
+    def test_variables_and_alphabet(self):
+        query = CXRPQ([("x", "w{a|b}", "y"), ("y", "&w c", "z")])
+        assert query.variables() == {"w"}
+        assert query.alphabet().symbols == frozenset("abc")
+
+    def test_with_conjunctive_xregex_replaces_labels(self):
+        from repro.regex.conjunctive import ConjunctiveXregex
+
+        query = CXRPQ([("x", "a", "y"), ("y", "b", "z")], ("x",))
+        replaced = query.with_conjunctive_xregex(ConjunctiveXregex.parse("c", "d"))
+        assert [edge.label.to_string() for edge in replaced.pattern.edges] == ["c", "d"]
+        with pytest.raises(ValueError):
+            query.with_conjunctive_xregex(ConjunctiveXregex.parse("c"))
+
+
+class TestUnionQuery:
+    def test_union_requires_same_arity(self):
+        first = CRPQ([("x", "a", "y")], ("x",))
+        second = CRPQ([("x", "b", "y")], ("x", "y"))
+        with pytest.raises(EvaluationError):
+            UnionQuery([first, second])
+
+    def test_union_properties(self):
+        first = CRPQ([("x", "a", "y")], ("x",))
+        second = CRPQ([("x", "b", "y")], ("y",))
+        union = UnionQuery([first, second])
+        assert len(union) == 2
+        assert union.output_arity == 1
+        assert not union.is_boolean
+        assert union.size() >= first.size() + second.size()
+
+    def test_union_needs_members(self):
+        with pytest.raises(EvaluationError):
+            UnionQuery([])

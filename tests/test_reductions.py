@@ -1,0 +1,172 @@
+"""Tests for the hardness reductions (Theorems 1, 3 and 7)."""
+
+import itertools
+
+import pytest
+
+from repro.core.alphabet import Alphabet
+from repro.core.errors import ReductionError
+from repro.automata.nfa import NFA
+from repro.engine.engine import evaluate
+from repro.engine.generic import evaluate_generic
+from repro.engine.vsf import evaluate_vsf
+from repro.graphdb.generators import random_nfa
+from repro.reductions.hitting_set import (
+    HittingSetInstance,
+    brute_force_hitting_set,
+    element_encoding,
+    hitting_set_database,
+    hitting_set_query,
+    hitting_set_reduction,
+)
+from repro.reductions.nfa_intersection import (
+    alpha_ni,
+    alpha_ni_k,
+    nfa_intersection_database,
+    nfa_intersection_nonempty,
+    nfa_intersection_query,
+    shared_word,
+)
+from repro.reductions.reachability import (
+    digraph_reachable,
+    reachability_database,
+    reachability_query,
+)
+from repro.regex.language import matches
+from repro.regex import properties as props
+
+AB = Alphabet("ab")
+
+
+class TestAlphaNi:
+    def test_alpha_ni_language_shape(self):
+        expr = alpha_ni()
+        assert matches(expr, "#ab###")
+        assert matches(expr, "#ab##ab##ab###")
+        assert not matches(expr, "#ab##ba###")
+        assert not matches(expr, "#ab##ab##")
+
+    def test_alpha_ni_k_is_vstar_free(self):
+        assert not props.is_vstar_free(alpha_ni())
+        assert props.is_vstar_free(alpha_ni_k(3))
+        assert matches(alpha_ni_k(3), "#ab##ab##ab###")
+        assert not matches(alpha_ni_k(3), "#ab##ab###")
+
+    def test_alpha_ni_k_requires_positive_k(self):
+        with pytest.raises(ReductionError):
+            alpha_ni_k(0)
+
+
+class TestNFAIntersectionReduction:
+    def _fixed_nfa(self, words):
+        """An NFA accepting exactly the given words (single accepting state)."""
+        nfa = NFA()
+        final = nfa.add_state()
+        nfa.set_accepting(final)
+        for word in words:
+            current = nfa.start
+            for index, symbol in enumerate(word):
+                nxt = final if index == len(word) - 1 else nfa.add_state()
+                nfa.add_transition(current, symbol, nxt)
+                current = nxt
+        return nfa
+
+    def test_reduction_positive_instance(self):
+        nfas = [self._fixed_nfa(["ab", "b"]), self._fixed_nfa(["ab", "aa"])]
+        assert nfa_intersection_nonempty(nfas)
+        assert shared_word(nfas) == "ab"
+        db, source, sink = nfa_intersection_database(nfas)
+        query = nfa_intersection_query()
+        # Anchor the path at (s, t) — the Check problem — see DESIGN.md.
+        result = evaluate_generic(query, db, max_path_length=12, fixed={"x": source, "y": sink})
+        assert result.boolean
+
+    def test_reduction_negative_instance(self):
+        nfas = [self._fixed_nfa(["aa"]), self._fixed_nfa(["bb"])]
+        assert not nfa_intersection_nonempty(nfas)
+        db, source, sink = nfa_intersection_database(nfas)
+        result = evaluate_generic(
+            nfa_intersection_query(), db, max_path_length=12, fixed={"x": source, "y": sink}
+        )
+        assert not result.boolean
+
+    def test_vstar_free_variant_agrees(self):
+        nfas = [self._fixed_nfa(["ab", "b"]), self._fixed_nfa(["ab", "aa"])]
+        db, source, sink = nfa_intersection_database(nfas)
+        query = nfa_intersection_query(k=2)
+        assert query.is_vstar_free()
+        assert evaluate_vsf(query, db, fixed={"x": source, "y": sink}).boolean
+
+    def test_reduction_agrees_with_ground_truth_on_random_nfas(self):
+        for seed in range(6):
+            nfas = [random_nfa(3, AB, seed=seed * 10 + offset) for offset in range(2)]
+            expected = nfa_intersection_nonempty(nfas)
+            db, source, sink = nfa_intersection_database(nfas)
+            query = nfa_intersection_query(k=2)
+            observed = evaluate_vsf(query, db, fixed={"x": source, "y": sink}).boolean
+            assert observed == expected
+
+
+class TestHittingSetReduction:
+    def test_element_encoding(self):
+        instance = HittingSetInstance.build(["z1", "z2"], [["z1"]], 1)
+        assert element_encoding(instance, "z1") == "bab"
+        assert element_encoding(instance, "z2") == "baab"
+
+    def test_instance_validation(self):
+        with pytest.raises(ReductionError):
+            HittingSetInstance.build(["z1"], [[]], 1)
+        with pytest.raises(ReductionError):
+            HittingSetInstance.build(["z1"], [["z9"]], 1)
+        with pytest.raises(ReductionError):
+            HittingSetInstance.build(["z1", "z1"], [["z1"]], 1)
+
+    def test_brute_force_solver(self):
+        instance = HittingSetInstance.build(
+            ["z1", "z2", "z3"], [["z1", "z2"], ["z2", "z3"], ["z1", "z3"]], 2
+        )
+        solution = brute_force_hitting_set(instance)
+        assert solution is not None and len(solution) <= 2
+        hard = HittingSetInstance.build(["z1", "z2"], [["z1"], ["z2"]], 1)
+        assert brute_force_hitting_set(hard) is None
+
+    def test_query_is_simple_with_unit_images(self):
+        instance = HittingSetInstance.build(["z1", "z2"], [["z1", "z2"]], 1)
+        query = hitting_set_query(instance)
+        assert query.conjunctive_xregex.is_simple()
+        assert query.image_bound == 1
+
+    def test_reduction_positive_instance(self):
+        instance = HittingSetInstance.build(["z1", "z2"], [["z1"], ["z1", "z2"]], 1)
+        assert brute_force_hitting_set(instance) is not None
+        db, query = hitting_set_reduction(instance)
+        assert evaluate(query, db).boolean
+
+    def test_reduction_negative_instance(self):
+        instance = HittingSetInstance.build(["z1", "z2"], [["z1"], ["z2"]], 1)
+        assert brute_force_hitting_set(instance) is None
+        db, query = hitting_set_reduction(instance)
+        assert not evaluate(query, db).boolean
+
+    def test_reduction_agrees_with_ground_truth_on_small_instances(self):
+        universe = ["z1", "z2", "z3"]
+        all_sets = [["z1"], ["z2"], ["z3"], ["z1", "z2"], ["z2", "z3"]]
+        for sets in itertools.combinations(all_sets, 2):
+            instance = HittingSetInstance.build(universe, list(sets), 1)
+            expected = brute_force_hitting_set(instance) is not None
+            db, query = hitting_set_reduction(instance)
+            assert evaluate(query, db).boolean == expected, sets
+
+
+class TestReachabilityReduction:
+    def test_reduction_agrees_with_bfs(self):
+        edges = [(1, 2), (2, 3), (3, 1), (4, 5)]
+        for source, target, expected in [(1, 3, True), (4, 3, False), (1, 5, False), (4, 5, True)]:
+            assert digraph_reachable(edges, source, target) == expected
+            db = reachability_database(edges, source, target)
+            assert evaluate(reachability_query(), db).boolean == expected
+
+    def test_cxrpq_variant(self):
+        edges = [(1, 2)]
+        db = reachability_database(edges, 1, 2)
+        assert evaluate(reachability_query(as_cxrpq=True), db).boolean

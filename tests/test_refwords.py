@@ -1,0 +1,116 @@
+"""Tests for ref-words and the deref function (Definitions 1 and 2, Example 1)."""
+
+import pytest
+
+from repro.core.errors import XregexSemanticsError
+from repro.paperlib.examples import example1_expected_vmap, example1_refword
+from repro.regex.refwords import (
+    CloseToken,
+    OpenToken,
+    RefToken,
+    dependency_pairs,
+    deref,
+    is_ref_word,
+    is_subword_marked,
+    refword_from_parts,
+)
+
+
+def _simple_refword():
+    # a x b ◁x ab ▷x c ◁y &x aa ▷y &y
+    return refword_from_parts(
+        "a", RefToken("x"), "b",
+        OpenToken("x"), "ab", CloseToken("x"),
+        "c", OpenToken("y"), RefToken("x"), "aa", CloseToken("y"), RefToken("y"),
+    )
+
+
+class TestValidity:
+    def test_valid_ref_word(self):
+        assert is_subword_marked(_simple_refword())
+        assert is_ref_word(_simple_refword())
+
+    def test_paper_example_is_valid(self):
+        assert is_ref_word(example1_refword())
+
+    def test_duplicate_definition_invalid(self):
+        word = refword_from_parts(OpenToken("x"), "a", CloseToken("x"), OpenToken("x"), "b", CloseToken("x"))
+        assert not is_subword_marked(word)
+
+    def test_overlapping_parentheses_invalid(self):
+        word = refword_from_parts(OpenToken("x"), OpenToken("y"), CloseToken("x"), CloseToken("y"))
+        assert not is_subword_marked(word)
+
+    def test_unclosed_definition_invalid(self):
+        word = refword_from_parts(OpenToken("x"), "a")
+        assert not is_subword_marked(word)
+
+    def test_cyclic_reference_invalid(self):
+        # ◁x a &y ▷x ◁y &x ▷y has a cyclic dependency between x and y.
+        word = refword_from_parts(
+            OpenToken("x"), "a", RefToken("y"), CloseToken("x"),
+            OpenToken("y"), RefToken("x"), CloseToken("y"),
+        )
+        assert is_subword_marked(word)
+        assert not is_ref_word(word)
+
+    def test_paper_invalid_example(self):
+        # a x a ◁x a y b ▷x c ◁y x a ▷y is invalid (x depends on y and vice versa).
+        word = refword_from_parts(
+            "axa", OpenToken("x"), "a", RefToken("y"), "b", CloseToken("x"),
+            "c", OpenToken("y"), RefToken("x"), "a", CloseToken("y"),
+        )
+        assert not is_ref_word(word)
+
+
+class TestDependencies:
+    def test_dependency_pairs(self):
+        pairs = dependency_pairs(_simple_refword())
+        assert ("x", "y") in pairs
+        assert ("y", "x") not in pairs
+
+    def test_nested_definition_dependency(self):
+        word = refword_from_parts(OpenToken("x"), OpenToken("y"), "a", CloseToken("y"), CloseToken("x"))
+        assert ("y", "x") in dependency_pairs(word)
+
+
+class TestDeref:
+    def test_simple_deref(self):
+        result = deref(_simple_refword())
+        # x := "ab"; the leading reference of x resolves to "ab";
+        # y := "ab" + "aa" = "abaa"; the trailing reference of y resolves too.
+        assert result.vmap["x"] == "ab"
+        assert result.vmap["y"] == "abaa"
+        assert result.word == "a" + "ab" + "b" + "ab" + "c" + "abaa" + "abaa"
+
+    def test_reference_without_definition_is_deleted(self):
+        word = refword_from_parts("a", RefToken("z"), "b")
+        result = deref(word)
+        assert result.word == "ab"
+        assert result.vmap["z"] == ""
+
+    def test_empty_definition_gives_empty_image(self):
+        word = refword_from_parts(OpenToken("x"), CloseToken("x"), "c", RefToken("x"))
+        result = deref(word)
+        assert result.word == "c"
+        assert result.vmap["x"] == ""
+
+    def test_example1_variable_mapping(self):
+        result = deref(example1_refword())
+        assert {name: result.vmap[name] for name in ("x1", "x2", "x3", "x4")} == example1_expected_vmap()
+
+    def test_example1_word(self):
+        result = deref(example1_refword())
+        x1, x2, x3 = result.vmap["x1"], result.vmap["x2"], result.vmap["x3"]
+        expected = "a" + "a" + x1 + x3 + x3 + "b" + x1
+        assert result.word == expected
+
+    def test_deref_requires_valid_ref_word(self):
+        word = refword_from_parts(OpenToken("x"), "a")
+        with pytest.raises(XregexSemanticsError):
+            deref(word)
+
+    def test_extra_variables_default_to_empty(self):
+        result = deref(refword_from_parts("ab"), variables=["q"])
+        assert result.image("q") == ""
+        assert result.image("unseen") == ""

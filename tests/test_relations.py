@@ -1,0 +1,84 @@
+"""Tests for regular relations (equality, equal-length, custom automata)."""
+
+import pytest
+
+from repro.core.alphabet import Alphabet
+from repro.automata.relations import (
+    EqualityRelation,
+    EqualLengthRelation,
+    PAD,
+    PrefixRelation,
+    encode_tuple,
+    relation_from_tuples,
+)
+
+AB = Alphabet("ab")
+
+
+class TestEncoding:
+    def test_encode_pads_shorter_words(self):
+        encoded = encode_tuple(["ab", "a"])
+        assert encoded == (("a", "a"), ("b", PAD))
+
+    def test_encode_empty_tuple_of_words(self):
+        assert encode_tuple(["", ""]) == ()
+
+
+class TestEqualityRelation:
+    def test_equal_words_accepted(self):
+        relation = EqualityRelation(3)
+        assert relation.contains(["ab", "ab", "ab"], AB)
+        assert relation.contains(["", "", ""], AB)
+
+    def test_unequal_words_rejected(self):
+        relation = EqualityRelation(2)
+        assert not relation.contains(["ab", "ba"], AB)
+        assert not relation.contains(["a", "aa"], AB)
+
+    def test_arity_mismatch(self):
+        with pytest.raises(ValueError):
+            EqualityRelation(2).contains(["a"], AB)
+
+
+class TestEqualLengthRelation:
+    def test_equal_length_accepted(self):
+        relation = EqualLengthRelation(2)
+        assert relation.contains(["ab", "ba"], AB)
+        assert relation.contains(["", ""], AB)
+
+    def test_different_length_rejected(self):
+        relation = EqualLengthRelation(2)
+        assert not relation.contains(["a", "ab"], AB)
+
+
+class TestPrefixRelation:
+    def test_prefix_accepted(self):
+        relation = PrefixRelation()
+        assert relation.contains(["ab", "abb"], AB)
+        assert relation.contains(["", "a"], AB)
+        assert relation.contains(["ab", "ab"], AB)
+
+    def test_non_prefix_rejected(self):
+        relation = PrefixRelation()
+        assert not relation.contains(["b", "ab"], AB)
+        assert not relation.contains(["abc", "ab"], Alphabet("abc"))
+
+
+class TestFiniteRelations:
+    def test_relation_from_tuples(self):
+        relation = relation_from_tuples([("a", "bb"), ("ab", "")])
+        assert relation.contains(["a", "bb"], AB)
+        assert relation.contains(["ab", ""], AB)
+        assert not relation.contains(["a", "b"], AB)
+
+    def test_relation_from_tuples_requires_consistent_arity(self):
+        with pytest.raises(ValueError):
+            relation_from_tuples([("a",), ("a", "b")])
+
+    def test_relation_from_tuples_requires_nonempty(self):
+        with pytest.raises(ValueError):
+            relation_from_tuples([])
+
+    def test_invalid_arity(self):
+        with pytest.raises(ValueError):
+            EqualityRelation(0)

@@ -1,0 +1,123 @@
+"""Tests for the Lemma 3 engine (simple CXRPQs)."""
+
+import pytest
+
+from repro.core.alphabet import Alphabet
+from repro.core.errors import FragmentError
+from repro.engine.generic import evaluate_generic
+from repro.engine.simple import evaluate_simple, evaluate_simple_components
+from repro.graphdb.database import GraphDatabase
+from repro.graphdb.generators import random_graph
+from repro.queries import CXRPQ
+
+ABC = Alphabet("abc")
+
+
+def code_db() -> GraphDatabase:
+    """Two branches that agree on their first symbol, plus decoys."""
+    return GraphDatabase.from_edges(
+        [
+            ("s", "a", "p"),
+            ("p", "c", "q"),
+            ("s", "a", "u"),
+            ("u", "b", "v"),
+            ("s", "b", "w"),
+            ("w", "b", "x1"),
+            ("s", "c", "d"),
+        ]
+    )
+
+
+class TestBasics:
+    def test_requires_simple_query(self):
+        non_simple = CXRPQ([("x", "w{a}|b", "y")])
+        with pytest.raises(FragmentError):
+            evaluate_simple(non_simple, code_db())
+
+    def test_single_edge_with_definition(self):
+        query = CXRPQ([("x", "w{a|b}c", "y")], ("x", "y"))
+        result = evaluate_simple(query, code_db())
+        assert result.tuples == {("s", "q")}
+
+    def test_definition_and_reference_across_edges(self):
+        query = CXRPQ([("x", "w{a|b}", "y"), ("x", "&w b", "z")], ("y", "z"))
+        result = evaluate_simple(query, code_db())
+        # The first symbols of both paths must agree.
+        assert ("u", "v") in result.tuples or ("p", "v") in result.tuples
+        assert ("w", "x1") in result.tuples
+        # 'a' followed by 'b' path vs 'b' start: mismatching codes excluded.
+        assert all(pair[1] != "q" for pair in result.tuples)
+
+    def test_reference_of_free_variable_is_existential_but_shared(self):
+        query = CXRPQ([("x", "&w", "y"), ("x", "&w", "z")], ("y", "z"))
+        db = GraphDatabase.from_edges([("s", "a", "t1"), ("s", "a", "t2"), ("s", "b", "t3")])
+        result = evaluate_simple(query, db)
+        assert ("t1", "t2") in result.tuples
+        assert ("t1", "t3") not in result.tuples
+        # The empty word is allowed for a free variable, matching s to itself.
+        assert ("s", "s") in result.tuples
+
+    def test_definition_with_reference_body_alias(self):
+        # w{&v} aliases w to v (the Lemma 3 preprocessing step).
+        query = CXRPQ([("x", "v{a|b}", "y"), ("y", "w{&v}", "z"), ("z", "&w", "t")], ("x", "t"))
+        db = GraphDatabase.from_edges(
+            [(0, "a", 1), (1, "a", 2), (2, "a", 3), (0, "b", 4), (4, "a", 5), (5, "b", 6)]
+        )
+        result = evaluate_simple(query, db)
+        assert (0, 3) in result.tuples
+        assert (0, 6) not in result.tuples
+
+    def test_boolean_short_circuit(self):
+        query = CXRPQ([("x", "w{a}", "y"), ("y", "&w", "z")])
+        result = evaluate_simple(query, code_db())
+        assert result.boolean is False
+        db = GraphDatabase.from_edges([(0, "a", 1), (1, "a", 2)])
+        assert evaluate_simple(query, db).boolean is True
+
+    def test_image_bound_restricts_variable_words(self):
+        query = CXRPQ([("x", "w{a+}", "y"), ("y", "&w", "z")], ("x", "z"))
+        db = GraphDatabase.from_edges([(0, "a", 1), (1, "a", 2), (2, "a", 3), (3, "a", 4)])
+        unrestricted = evaluate_simple(query, db)
+        assert (0, 2) in unrestricted.tuples and (0, 4) in unrestricted.tuples
+        bounded = evaluate_simple(query, db, image_bound=1)
+        assert (0, 2) in bounded.tuples and (0, 4) not in bounded.tuples
+
+    def test_forced_epsilon_variables(self):
+        # Simulates evaluating one disjunct of a larger query: the definition
+        # of w lives in a non-chosen branch, so &w must match the empty word.
+        query = CXRPQ([("x", "a &w", "y")], ("x", "y"))
+        db = GraphDatabase.from_edges([(0, "a", 1), (1, "b", 2)])
+        result = evaluate_simple_components(
+            query.pattern,
+            list(query.conjunctive_xregex.components),
+            query.output_variables,
+            db,
+            defined_globally={"w"},
+        )
+        assert result.tuples == {(0, 1)}
+
+    def test_witness_words(self):
+        query = CXRPQ([("x", "w{a|b}", "y"), ("x", "&w b", "z")], ("y", "z"))
+        db = code_db()
+        result = evaluate_simple(query, db, collect_witnesses=True)
+        assert result.matches
+        for match in result.matches:
+            morphism = match.as_dict()
+            assert db.path_exists(morphism["x"], match.words[0], morphism["y"])
+            assert db.path_exists(morphism["x"], match.words[1], morphism["z"])
+            # Both words start with the same code symbol.
+            assert match.words[1][:1] == match.words[0]
+
+
+class TestCrossValidation:
+    def test_agrees_with_generic_oracle_on_random_graphs(self):
+        query = CXRPQ([("x", "w{a|b}c*", "y"), ("x", "&w", "z")], ("y", "z"))
+        for seed in range(4):
+            db = random_graph(5, 10, ABC, seed=seed)
+            fast = evaluate_simple(query, db)
+            oracle = evaluate_generic(query, db, max_path_length=3)
+            assert oracle.tuples <= fast.tuples
+            short = {t for t in fast.tuples}
+            # Every oracle tuple must be found; the engines agree on Boolean.
+            assert fast.boolean == bool(fast.tuples)
+            assert oracle.boolean <= fast.boolean

@@ -1,0 +1,104 @@
+"""Tests for the inter-class translations (Lemmas 12, 13 and 14)."""
+
+import pytest
+
+from repro.core.alphabet import Alphabet
+from repro.core.errors import EvaluationError, FragmentError
+from repro.engine.engine import evaluate, evaluate_union
+from repro.graphdb.generators import random_graph, two_path_database
+from repro.paperlib import figures
+from repro.queries import CRPQ, CXRPQ, ECRPQ
+from repro.translations import (
+    crpq_to_cxrpq,
+    cxrpq_bounded_to_union_crpq,
+    cxrpq_vsf_to_union_ecrpq,
+    ecrpq_er_to_cxrpq,
+)
+
+ABC = Alphabet("abc")
+ABCD = Alphabet("abcd")
+
+
+class TestCRPQToCXRPQ:
+    def test_round_trip_results(self):
+        crpq = CRPQ([("x", "a+", "y"), ("y", "b", "z")], ("x", "z"))
+        cxrpq = crpq_to_cxrpq(crpq, image_bound=1)
+        for seed in range(3):
+            db = random_graph(6, 14, ABC, seed=seed)
+            assert evaluate(crpq, db).tuples == evaluate(cxrpq, db).tuples
+
+
+class TestLemma12:
+    def test_translation_lands_in_vsf_flat(self):
+        translated = ecrpq_er_to_cxrpq(figures.figure6_q_anan(), ABCD)
+        assert translated.is_vstar_free_flat()
+
+    def test_equivalence_on_witness_databases(self):
+        original = figures.figure6_q_anan()
+        translated = ecrpq_er_to_cxrpq(original, ABCD)
+        for first_n, second_n in [(2, 2), (3, 3), (2, 3), (3, 1)]:
+            db, _ = two_path_database("c" + "a" * first_n + "c", "d" + "a" * second_n + "d")
+            assert evaluate(original, db).boolean == evaluate(translated, db).boolean
+
+    def test_equivalence_on_random_databases(self):
+        original = ECRPQ([("x", "(a|b)+", "y"), ("x", "(a|c)+", "z")], ("y", "z")).add_equality([0, 1])
+        translated = ecrpq_er_to_cxrpq(original, ABC)
+        for seed in range(3):
+            db = random_graph(6, 15, ABC, seed=seed)
+            assert evaluate(original, db).tuples == evaluate(translated, db).tuples
+
+    def test_rejects_non_equality_relations(self):
+        with pytest.raises(EvaluationError):
+            ecrpq_er_to_cxrpq(figures.figure6_q_anbn(), ABCD)
+
+
+class TestLemma13:
+    def test_members_are_equality_only_ecrpqs(self):
+        query = CXRPQ([("x", "w{a|b}c*", "y"), ("x", "(&w|c)b*", "z")], ("y", "z"))
+        union = cxrpq_vsf_to_union_ecrpq(query, ABC)
+        assert len(union) >= 2
+        for member in union:
+            assert isinstance(member, ECRPQ)
+            assert member.is_equality_only()
+
+    def test_equivalence_on_random_databases(self):
+        query = CXRPQ([("x", "w{a|b}c*", "y"), ("x", "(&w|c)b*", "z")], ("y", "z"))
+        union = cxrpq_vsf_to_union_ecrpq(query, ABC)
+        for seed in range(3):
+            db = random_graph(5, 12, ABC, seed=seed)
+            direct = evaluate(query, db, boolean_short_circuit=False)
+            translated = evaluate_union(union, db, boolean_short_circuit=False)
+            assert direct.tuples == translated.tuples
+
+    def test_rejects_non_vsf_queries(self):
+        with pytest.raises(FragmentError):
+            cxrpq_vsf_to_union_ecrpq(figures.figure7_q2(), ABC)
+
+
+class TestLemma14:
+    def test_union_members_are_crpqs(self):
+        query = CXRPQ([("x", "w{a|b}", "y"), ("y", "&w", "z")], ("x", "z"))
+        union = cxrpq_bounded_to_union_crpq(query, bound=1, alphabet=ABC)
+        assert all(isinstance(member, CRPQ) for member in union)
+
+    def test_equivalence_with_bounded_evaluation(self):
+        from repro.engine.bounded import evaluate_bounded
+
+        query = CXRPQ([("x", "w{(a|b)+}", "y"), ("y", "&w", "z")], ("x", "z"))
+        union = cxrpq_bounded_to_union_crpq(query, bound=2, alphabet=ABC)
+        for seed in range(3):
+            db = random_graph(6, 14, ABC, seed=seed)
+            direct = evaluate_bounded(query, db, bound=2, boolean_short_circuit=False)
+            translated = evaluate_union(union, db, boolean_short_circuit=False)
+            assert direct.tuples == translated.tuples
+
+    def test_member_cap_guards_against_blowup(self):
+        query = CXRPQ([("x", "&v&w", "y")])
+        with pytest.raises(EvaluationError):
+            cxrpq_bounded_to_union_crpq(query, bound=2, alphabet=ABC, max_members=5)
+
+    def test_blowup_size_matches_lemma(self):
+        # Two free variables over a 2-symbol alphabet with k = 1: (|Σ|+1)^2 members.
+        query = CXRPQ([("x", "&v&w", "y")])
+        union = cxrpq_bounded_to_union_crpq(query, bound=1, alphabet=Alphabet("ab"))
+        assert len(union) == 9

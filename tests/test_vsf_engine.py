@@ -1,0 +1,118 @@
+"""Tests for the evaluation of CXRPQ^vsf / CXRPQ^vsf,fl (Theorem 2, Theorem 5)."""
+
+import pytest
+
+from repro.core.alphabet import Alphabet
+from repro.core.errors import FragmentError
+from repro.engine.generic import evaluate_generic
+from repro.engine.normal_form import normal_form
+from repro.engine.vsf import disjunct_combinations, evaluate_vsf, vsf_holds
+from repro.graphdb.database import GraphDatabase
+from repro.graphdb.generators import random_graph
+from repro.queries import CXRPQ
+from repro.workloads import vsf_fl_scaling_query, vsf_scaling_query
+
+ABC = Alphabet("abc")
+
+
+def branch_db() -> GraphDatabase:
+    return GraphDatabase.from_edges(
+        [
+            ("s", "a", "p"),
+            ("p", "c", "q"),
+            ("s", "b", "r"),
+            ("r", "c", "q"),
+            ("s", "c", "r"),
+            ("q", "a", "s"),
+        ]
+    )
+
+
+class TestEvaluation:
+    def test_requires_vstar_free(self):
+        query = CXRPQ([("x", "w{a*}", "y"), ("y", "(&w)+", "z")])
+        with pytest.raises(FragmentError):
+            evaluate_vsf(query, branch_db())
+
+    def test_alternation_with_variables(self):
+        # Either both edges read the code w, or the second edge reads c.
+        query = CXRPQ([("x", "w{a|b}", "y"), ("y", "&w|c", "z")], ("x", "z"))
+        result = evaluate_vsf(query, branch_db())
+        assert ("s", "q") in result.tuples   # s -a-> p, then the c-branch p -c-> q
+        assert ("q", "p") in result.tuples   # q -a-> s, then s -a-> p with &w = a
+        assert all(pair[0] != "p" for pair in result.tuples)  # p has no a|b successor
+
+    def test_definition_in_one_branch_only(self):
+        # If the branch without the definition is taken, references are empty.
+        query = CXRPQ([("x", "w{aa}|b", "y"), ("y", "&w c", "z")], ("x", "z"))
+        db = GraphDatabase.from_edges(
+            [(0, "b", 1), (1, "c", 2), (3, "a", 4), (4, "a", 5), (5, "a", 6), (6, "a", 7), (7, "c", 8)]
+        )
+        result = evaluate_vsf(query, db)
+        # Branch "b": w is empty, so the second edge is just "c".
+        assert (0, 2) in result.tuples
+        # Branch with the definition: w = aa, then the second edge reads "aac".
+        assert (3, 8) in result.tuples
+        # Mixing the branches is impossible: after 0 -b-> 1 the second edge
+        # may not read a non-empty image of w.
+        assert all(pair != (0, 8) and pair != (3, 7) for pair in result.tuples)
+
+    def test_definition_branch_positive_case(self):
+        query = CXRPQ([("x", "w{aa}|b", "y"), ("y", "&w c", "z")], ("x", "z"))
+        db = GraphDatabase.from_edges(
+            [(0, "a", 1), (1, "a", 2), (2, "a", 3), (3, "a", 4), (4, "c", 5)]
+        )
+        result = evaluate_vsf(query, db)
+        assert (0, 5) in result.tuples
+
+    def test_vsf_fl_query_from_workloads(self):
+        db = random_graph(12, 30, ABC, seed=4)
+        query = vsf_fl_scaling_query()
+        assert query.is_vstar_free_flat()
+        result = evaluate_vsf(query, db)
+        assert isinstance(result.boolean, bool)
+
+    def test_boolean_matches_paper_example_g2(self):
+        from repro.paperlib import figures
+
+        query = figures.figure2_g2()
+        # Craft a triangle: v1 -aa-> v2 -cc-> v3 -aa-> v1 (x = aa, y = cc, back via x).
+        db = GraphDatabase.from_edges(
+            [(1, "a", 10), (10, "a", 2), (2, "c", 20), (20, "c", 3), (3, "a", 30), (30, "a", 1)]
+        )
+        result = evaluate_vsf(query, db)
+        assert (1, 2, 3) in result.tuples
+
+    def test_precomputed_normal_form_reuse(self):
+        query = CXRPQ([("x", "w{a|b}", "y"), ("y", "&w|c", "z")])
+        normalised = normal_form(query.conjunctive_xregex)
+        db = branch_db()
+        assert (
+            evaluate_vsf(query, db, precomputed_normal_form=normalised).boolean
+            == evaluate_vsf(query, db).boolean
+        )
+
+    def test_disjunct_combinations_count(self):
+        query = CXRPQ([("x", "w{a|b}", "y"), ("y", "&w|c", "z")])
+        normalised = normal_form(query.conjunctive_xregex)
+        combos = list(disjunct_combinations(normalised))
+        assert len(combos) == 2  # component 2 splits into (&w) and (c)
+
+
+class TestCrossValidation:
+    def test_agrees_with_generic_oracle(self):
+        query = CXRPQ([("x", "w{a|b}c*", "y"), ("x", "(&w|c)b*", "z")], ("y", "z"))
+        for seed in range(3):
+            db = random_graph(5, 11, ABC, seed=seed)
+            fast = evaluate_vsf(query, db)
+            oracle = evaluate_generic(query, db, max_path_length=3)
+            assert oracle.tuples <= fast.tuples
+
+    def test_boolean_equivalence_with_bounded_engine_when_images_small(self):
+        from repro.engine.bounded import evaluate_bounded
+
+        # All variable images have length exactly 1, so CXRPQ^<=1 semantics coincide.
+        query = CXRPQ([("x", "w{a|b}", "y"), ("y", "&w|c", "z")])
+        for seed in range(3):
+            db = random_graph(6, 14, ABC, seed=seed)
+            assert vsf_holds(query, db) == evaluate_bounded(query, db, bound=1).boolean

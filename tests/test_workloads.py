@@ -1,0 +1,54 @@
+"""Tests for the benchmark workload builders."""
+
+from repro.queries.cxrpq import Fragment
+from repro.workloads import (
+    bounded_scaling_query,
+    genealogy_workload,
+    hitting_set_workload,
+    message_workload,
+    nfa_intersection_workload,
+    random_workload,
+    vsf_fl_scaling_query,
+    vsf_scaling_query,
+)
+
+
+class TestWorkloadBuilders:
+    def test_genealogy_workload(self):
+        db = genealogy_workload(4, 3, seed=0)
+        assert db.num_nodes() == 12
+
+    def test_message_workload(self):
+        db, planted = message_workload(6, seed=0)
+        assert db.num_nodes() == 6
+        assert "suspect_a" in planted
+
+    def test_random_workload_scaling(self):
+        small = random_workload(10, seed=0)
+        large = random_workload(40, seed=0)
+        assert large.num_nodes() > small.num_nodes()
+        assert large.num_edges() > small.num_edges()
+
+    def test_nfa_intersection_workload(self):
+        db, query, nfas = nfa_intersection_workload(3, states_per_nfa=3, seed=1)
+        assert len(nfas) == 3
+        assert query.is_single_edge()
+        assert db.num_nodes() >= 3 * 3
+
+    def test_nfa_intersection_workload_vstar_free_variant(self):
+        _db, query, _nfas = nfa_intersection_workload(3, states_per_nfa=3, seed=1, vstar_free=True)
+        assert query.is_vstar_free()
+
+    def test_hitting_set_workload(self):
+        db, query, instance = hitting_set_workload(3, 2, 1, seed=2)
+        assert instance.universe_size == 3
+        assert instance.num_sets == 2
+        assert query.image_bound == 1
+        assert db.num_nodes() > 4
+
+    def test_scaling_queries_are_in_the_right_fragments(self):
+        assert vsf_scaling_query().is_vstar_free()
+        assert vsf_fl_scaling_query().is_vstar_free_flat()
+        query = bounded_scaling_query(2)
+        assert query.fragment() in (Fragment.SIMPLE, Fragment.VSF, Fragment.VSF_FLAT)
+        assert len(query.variables()) == 2

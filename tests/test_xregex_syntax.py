@@ -1,0 +1,134 @@
+"""Tests for the xregex AST (Definition 3)."""
+
+import pytest
+
+from repro.core.errors import XregexSyntaxError
+from repro.regex import syntax as rx
+
+
+class TestConstruction:
+    def test_symbol_requires_single_character(self):
+        with pytest.raises(XregexSyntaxError):
+            rx.Symbol("ab")
+
+    def test_literal_builds_concatenation(self):
+        expr = rx.literal("abc")
+        assert isinstance(expr, rx.Concat)
+        assert expr.to_string() == "abc"
+
+    def test_literal_empty_word_is_epsilon(self):
+        assert rx.literal("") == rx.EPSILON
+
+    def test_concat_flattens_and_drops_epsilon(self):
+        expr = rx.concat(rx.Symbol("a"), rx.EPSILON, rx.concat(rx.Symbol("b"), rx.Symbol("c")))
+        assert expr.to_string() == "abc"
+
+    def test_concat_with_empty_set_is_empty(self):
+        assert rx.concat(rx.Symbol("a"), rx.EMPTY) == rx.EMPTY
+
+    def test_alternation_flattens_and_drops_empty(self):
+        expr = rx.alternation(rx.Symbol("a"), rx.EMPTY, rx.alternation(rx.Symbol("b"), rx.Symbol("c")))
+        assert isinstance(expr, rx.Alternation)
+        assert len(expr.options) == 3
+
+    def test_alternation_of_nothing_is_empty(self):
+        assert rx.alternation() == rx.EMPTY
+        assert rx.alternation(rx.EMPTY) == rx.EMPTY
+
+    def test_star_of_epsilon_is_epsilon(self):
+        assert rx.star(rx.EPSILON) == rx.EPSILON
+        assert rx.plus(rx.EMPTY) == rx.EMPTY
+
+    def test_invalid_variable_names_rejected(self):
+        with pytest.raises(XregexSyntaxError):
+            rx.VarRef("1abc")
+        with pytest.raises(XregexSyntaxError):
+            rx.VarDef("", rx.Symbol("a"))
+
+
+class TestVariables:
+    def test_var_of_definition_includes_the_variable(self):
+        expr = rx.VarDef("x", rx.alternation(rx.Symbol("a"), rx.Symbol("b")))
+        assert expr.variables() == {"x"}
+        assert expr.defined_variables() == {"x"}
+        assert expr.referenced_variables() == set()
+
+    def test_var_of_reference(self):
+        expr = rx.concat(rx.VarRef("x"), rx.Symbol("a"))
+        assert expr.variables() == {"x"}
+        assert expr.referenced_variables() == {"x"}
+        assert expr.defined_variables() == set()
+
+    def test_definition_forbids_its_own_variable_in_body(self):
+        # x{a &x} is not an xregex by Definition 3.
+        bad = rx.VarDef("x", rx.concat(rx.Symbol("a"), rx.VarRef("x")))
+        with pytest.raises(XregexSyntaxError):
+            bad.validate()
+
+    def test_nested_definition_of_same_variable_rejected(self):
+        bad = rx.VarDef("x", rx.concat(rx.VarDef("x", rx.Symbol("b")), rx.Symbol("a")))
+        with pytest.raises(XregexSyntaxError):
+            bad.validate()
+
+    def test_valid_nested_definitions(self):
+        expr = rx.VarDef("x", rx.concat(rx.VarDef("y", rx.Symbol("a")), rx.VarRef("y")))
+        expr.validate()
+        assert expr.variables() == {"x", "y"}
+
+    def test_definitions_and_references_lists(self):
+        expr = rx.concat(rx.VarDef("x", rx.Symbol("a")), rx.VarRef("x"), rx.VarRef("y"))
+        assert [d.name for d in expr.definitions()] == ["x"]
+        assert sorted(r.name for r in expr.references()) == ["x", "y"]
+        assert len(expr.definitions_of("x")) == 1
+
+    def test_is_classical(self):
+        assert rx.literal("ab").is_classical()
+        assert not rx.concat(rx.Symbol("a"), rx.VarRef("x")).is_classical()
+
+    def test_terminal_symbols(self):
+        expr = rx.concat(rx.Symbol("a"), rx.SymbolClass(frozenset("bc")), rx.VarRef("x"))
+        assert expr.terminal_symbols() == {"a", "b", "c"}
+
+
+class TestTransformations:
+    def test_substitute_references(self):
+        expr = rx.concat(rx.VarRef("x"), rx.Symbol("a"), rx.VarRef("x"))
+        replaced = expr.substitute_references({"x": rx.literal("bb")})
+        assert replaced.to_string() == "bbabb"
+
+    def test_substitute_definitions(self):
+        expr = rx.concat(rx.VarDef("x", rx.Symbol("a")), rx.VarRef("x"))
+        replaced = expr.substitute_definitions({"x": rx.Symbol("c")})
+        assert replaced.to_string() == "c&x"
+
+    def test_rename_variables(self):
+        expr = rx.concat(rx.VarDef("x", rx.Symbol("a")), rx.VarRef("x"))
+        renamed = expr.rename_variables({"x": "y"})
+        assert renamed.to_string() == "y{a}&y"
+
+    def test_size_counts_nodes(self):
+        expr = rx.concat(rx.Symbol("a"), rx.Star(rx.Symbol("b")))
+        assert expr.size() == 4  # Concat, a, Star, b
+
+    def test_transform_bottom_up_identity(self):
+        expr = rx.concat(rx.VarDef("x", rx.alternation(rx.Symbol("a"), rx.Symbol("b"))), rx.VarRef("x"))
+        assert expr.transform_bottom_up(lambda node: node) == expr
+
+
+class TestPrinting:
+    def test_definition_and_reference_rendering(self):
+        expr = rx.concat(rx.VarDef("x", rx.alternation(rx.Symbol("a"), rx.Symbol("b"))), rx.Plus(rx.alternation(rx.VarRef("x"), rx.Symbol("c"))))
+        assert expr.to_string() == "x{a|b}(&x|c)+"
+
+    def test_escaping_of_metacharacters(self):
+        expr = rx.Symbol("#")
+        assert expr.to_string() == "#"
+        assert rx.Symbol("+").to_string() == "\\+"
+
+    def test_symbol_class_rendering(self):
+        expr = rx.SymbolClass(frozenset("ab"), negated=True)
+        assert expr.to_string() == "[^ab]"
+
+    def test_epsilon_and_empty(self):
+        assert rx.EPSILON.to_string() == "()"
+        assert rx.EMPTY.to_string() == "∅"
