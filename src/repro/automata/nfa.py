@@ -30,10 +30,11 @@ State = int
 class NFA:
     """A nondeterministic finite automaton with epsilon transitions."""
 
-    __slots__ = ("_transitions", "start", "accepting", "_num_states")
+    __slots__ = ("_transitions", "start", "accepting", "_num_states", "_fingerprint")
 
     def __init__(self) -> None:
         self._transitions: List[List[Tuple[Label, State]]] = []
+        self._fingerprint: Optional[Tuple] = None
         self.start: State = self.add_state()
         self.accepting: Set[State] = set()
         # ``_num_states`` is tracked via the transitions list length.
@@ -43,15 +44,35 @@ class NFA:
     def add_state(self) -> State:
         """Add a fresh state and return its identifier."""
         self._transitions.append([])
+        self._fingerprint = None
         return len(self._transitions) - 1
 
     def add_transition(self, source: State, label: Label, target: State) -> None:
         """Add a transition ``source --label--> target`` (``None`` = epsilon)."""
         self._transitions[source].append((label, target))
+        self._fingerprint = None
 
     def set_accepting(self, state: State) -> None:
         """Mark ``state`` as accepting."""
         self.accepting.add(state)
+        self._fingerprint = None
+
+    def fingerprint(self) -> Tuple:
+        """A canonical, hashable structural fingerprint of the automaton.
+
+        Two NFAs with identical state numbering, start state, accepting set
+        and transition multiset share a fingerprint; the reachability cache
+        uses it as the memoisation key, which also deduplicates repeated
+        constructions such as the universal ``VarRef`` automata of the
+        Lemma 3 unit split.  The value is cached and invalidated on mutation.
+        """
+        if self._fingerprint is None:
+            self._fingerprint = (
+                self.start,
+                frozenset(self.accepting),
+                tuple(tuple(sorted(outgoing, key=repr)) for outgoing in self._transitions),
+            )
+        return self._fingerprint
 
     @property
     def num_states(self) -> int:

@@ -148,8 +148,18 @@ def evaluate_bounded(
             "query.with_image_bound(k)"
         )
     result = EvaluationResult()
+    # Distinct image mappings frequently instantiate to the same CRPQ (the
+    # images of variables that a component never references do not show up
+    # in the instantiated regexes); evaluating duplicates adds nothing, so
+    # they are skipped.  The shared reachability cache then takes care of
+    # regexes repeated *across* the remaining instantiations.
+    seen_instantiations: Set[Tuple[rx.Xregex, ...]] = set()
     for images in enumerate_image_mappings(query, alphabet, bound, strategy=strategy):
         crpq = instantiate_query(query, images, alphabet)
+        instantiation_key = tuple(crpq.regexes())
+        if instantiation_key in seen_instantiations:
+            continue
+        seen_instantiations.add(instantiation_key)
         if all(isinstance(label, rx.EmptySet) for label in crpq.regexes()) and crpq.regexes():
             continue
         partial = evaluate_crpq(

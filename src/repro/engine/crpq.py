@@ -16,8 +16,9 @@ from repro.core.alphabet import Alphabet
 from repro.automata.nfa import NFA
 from repro.engine.joins import EdgeRelation, join_morphisms
 from repro.engine.results import DEFAULT_MATCH_LIMIT, EvaluationResult, Match
+from repro.graphdb.cache import reachability_index
 from repro.graphdb.database import GraphDatabase
-from repro.graphdb.paths import find_path_word, reachable_pairs
+from repro.graphdb.paths import find_path_word
 from repro.queries.crpq import CRPQ
 
 Node = Hashable
@@ -28,14 +29,20 @@ def edge_relations(
     db: GraphDatabase,
     alphabet: Optional[Alphabet] = None,
 ) -> Tuple[List[EdgeRelation], List[NFA]]:
-    """Per-edge reachability relations and the compiled edge NFAs."""
+    """Per-edge reachability relations and the compiled edge NFAs.
+
+    Relations come from the shared per-database reachability cache, so
+    repeated edge regexes (within one query or across queries on the same
+    database, e.g. the Theorem 6 instantiation loop) are computed once.
+    """
     alphabet = alphabet or db.alphabet()
+    index = reachability_index(db)
     relations: List[EdgeRelation] = []
     nfas: List[NFA] = []
     for edge in query.pattern.edges:
         nfa = NFA.from_regex(edge.label, alphabet)
         nfas.append(nfa)
-        relations.append(EdgeRelation(reachable_pairs(db, nfa)))
+        relations.append(index.relation(nfa))
     return relations, nfas
 
 

@@ -45,14 +45,25 @@ def evaluate_ecrpq(
     constraint_automata = [
         constraint.relation.automaton(alphabet) for constraint in query.constraints
     ]
+    # The synchronisation verdict only depends on the endpoint pairs the
+    # morphism assigns to the constrained edges; those repeat heavily across
+    # the morphisms of a join, so the verdicts are memoised per evaluation.
+    sync_verdicts: Dict[Tuple[int, Tuple[Tuple[Node, Node], ...]], bool] = {}
 
     def check(morphism: Dict[str, Node]) -> bool:
-        for constraint, relation_nfa in zip(query.constraints, constraint_automata):
+        for constraint_index, (constraint, relation_nfa) in enumerate(
+            zip(query.constraints, constraint_automata)
+        ):
             tracks = []
             for index in constraint.edge_indices:
                 source, target = endpoints[index]
                 tracks.append((morphism[source], morphism[target], nfas[index]))
-            if not synchronized_relation_check(db, tracks, relation_nfa):
+            key = (constraint_index, tuple((s, t) for s, t, _nfa in tracks))
+            verdict = sync_verdicts.get(key)
+            if verdict is None:
+                verdict = synchronized_relation_check(db, tracks, relation_nfa)
+                sync_verdicts[key] = verdict
+            if not verdict:
                 return False
         return True
 

@@ -20,10 +20,10 @@ from typing import Dict, Hashable, Iterator, List, Optional, Sequence, Set, Tupl
 
 from repro.core.alphabet import Alphabet
 from repro.automata.nfa import NFA
-from repro.engine.joins import EdgeRelation, join_morphisms
+from repro.engine.joins import join_morphisms
 from repro.engine.results import DEFAULT_MATCH_LIMIT, EvaluationResult, Match
+from repro.graphdb.cache import reachability_index
 from repro.graphdb.database import GraphDatabase
-from repro.graphdb.paths import db_nfa_between, reachable_pairs
 from repro.queries.cxrpq import CXRPQ
 
 Node = Hashable
@@ -58,8 +58,10 @@ def evaluate_generic(
         max_image_length = query.resolve_image_bound(db.size())
     endpoints = [(edge.source, edge.target) for edge in query.pattern.edges]
     universal = NFA.universal(alphabet.symbols)
+    index = reachability_index(db)
+    db_view = index.view()
     # Necessary condition: some path (of any label) connects the endpoints.
-    relation = EdgeRelation(reachable_pairs(db, universal))
+    relation = index.relation(universal)
     relations = [relation for _ in endpoints]
     result = EvaluationResult()
     truncated = False
@@ -72,7 +74,7 @@ def evaluate_generic(
     ):
         per_edge_words: List[List[str]] = []
         for source, target in endpoints:
-            walker = db_nfa_between(db, morphism[source], [morphism[target]])
+            walker = db_view.between(morphism[source], [morphism[target]])
             words = []
             for word in walker.enumerate_strings(max_path_length):
                 words.append(word)

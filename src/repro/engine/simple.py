@@ -27,10 +27,11 @@ from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Sequence,
 from repro.core.alphabet import Alphabet
 from repro.core.errors import FragmentError
 from repro.automata.nfa import NFA, intersect_all
-from repro.engine.joins import EdgeRelation, join_morphisms
+from repro.engine.joins import join_morphisms
 from repro.engine.results import DEFAULT_MATCH_LIMIT, EvaluationResult, Match
+from repro.graphdb.cache import caching_enabled, reachability_index
 from repro.graphdb.database import GraphDatabase
-from repro.graphdb.paths import db_nfa_between, find_path_word, reachable_pairs
+from repro.graphdb.paths import db_nfa_between, find_path_word
 from repro.queries.cxrpq import CXRPQ
 from repro.queries.pattern import GraphPattern
 from repro.regex import properties as props
@@ -227,14 +228,27 @@ class _UnitPlan:
 
 
 class _SimpleEvaluator:
-    """Morphism enumeration plus synchronisation checks for a unit plan."""
+    """Morphism enumeration plus synchronisation checks for a unit plan.
+
+    All reachability work goes through the shared per-database
+    :class:`~repro.graphdb.cache.ReachabilityIndex`: unit relations are
+    memoised by NFA fingerprint (identical units — e.g. repeated ``VarRef``
+    universal automata — share one relation), and the DB-as-NFA transition
+    table is built once per evaluation instead of once per morphism.
+    """
 
     def __init__(self, plan: _UnitPlan, db: GraphDatabase, alphabet: Alphabet, image_bound: Optional[int]):
         self.plan = plan
         self.db = db
         self.alphabet = alphabet
         self.image_bound = image_bound
-        self.relations = [EdgeRelation(reachable_pairs(db, unit.nfa)) for unit in plan.units]
+        self._use_cache = caching_enabled()
+        index = reachability_index(db)
+        self.relations = [index.relation(unit.nfa) for unit in plan.units]
+        self.db_view = index.view() if self._use_cache else None
+        # Shortest synchronising word per (variable, group endpoints); the
+        # check only depends on the endpoints, which repeat across morphisms.
+        self._sync_cache: Dict[Tuple[str, Tuple[Tuple[Node, Node], ...]], Optional[Tuple]] = {}
 
     # -- morphism enumeration -----------------------------------------------------
 
@@ -257,9 +271,32 @@ class _SimpleEvaluator:
             unit = self.plan.units[index]
             source = morphism[unit.source]
             target = morphism[unit.target]
-            automata.append(db_nfa_between(self.db, source, [target]))
+            if self.db_view is not None:
+                automata.append(self.db_view.between(source, [target]))
+            else:
+                automata.append(db_nfa_between(self.db, source, [target]))
             automata.append(unit.nfa)
         return intersect_all(automata)
+
+    def _group_shortest(self, morphism: Dict[str, Node], variable: str) -> Optional[Tuple]:
+        """The shortest word synchronising ``variable``'s units, memoised.
+
+        The synchronisation product only depends on the endpoints the
+        morphism assigns to the group's units, so the result is cached per
+        endpoint tuple and shared across the (many) morphisms that agree on
+        that part of the assignment.
+        """
+        members = self.plan.groups[variable]
+        key = (
+            variable,
+            tuple((morphism[self.plan.units[i].source], morphism[self.plan.units[i].target]) for i in members),
+        )
+        if self._use_cache and key in self._sync_cache:
+            return self._sync_cache[key]
+        shortest = self._group_product(morphism, members).shortest_word()
+        if self._use_cache:
+            self._sync_cache[key] = shortest
+        return shortest
 
     def _check_synchronisation(self, morphism: Dict[str, Node]) -> bool:
         for variable, members in self.plan.groups.items():
@@ -268,8 +305,7 @@ class _SimpleEvaluator:
             )
             if not needs_check:
                 continue
-            product = self._group_product(morphism, members)
-            shortest = product.shortest_word()
+            shortest = self._group_shortest(morphism, variable)
             if shortest is None:
                 return False
             if self.image_bound is not None and len(shortest) > self.image_bound:
@@ -281,8 +317,8 @@ class _SimpleEvaluator:
     def witness_words(self, morphism: Dict[str, Node]) -> List[str]:
         """One witness word per original pattern edge (concatenated unit words)."""
         variable_word: Dict[str, str] = {}
-        for variable, members in self.plan.groups.items():
-            shortest = self._group_product(morphism, members).shortest_word()
+        for variable in self.plan.groups:
+            shortest = self._group_shortest(morphism, variable)
             variable_word[variable] = "".join(shortest or ())
         words: List[str] = []
         for indices in self.plan.edge_units:

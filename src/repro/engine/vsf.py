@@ -20,7 +20,7 @@ on and what the benchmark E-NF measures.
 from __future__ import annotations
 
 from itertools import product as iter_product
-from typing import Dict, Hashable, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Hashable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.core.alphabet import Alphabet
 from repro.core.errors import FragmentError
@@ -73,7 +73,16 @@ def evaluate_vsf(
     defined_globally = normalised.defined_variables()
     alphabet = alphabet or db.alphabet()
     result = EvaluationResult()
+    # Different normal-form branches can yield syntactically identical
+    # combinations; each is a pure function of (pattern, components, db),
+    # so duplicates are skipped.  Unit automata shared *between* distinct
+    # combinations are still deduplicated by the per-database reachability
+    # cache underneath the Lemma 3 engine.
+    seen_combinations: Set[Tuple[rx.Xregex, ...]] = set()
     for combination in disjunct_combinations(normalised):
+        if combination in seen_combinations:
+            continue
+        seen_combinations.add(combination)
         partial = evaluate_simple_components(
             query.pattern,
             list(combination),

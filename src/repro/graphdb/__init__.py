@@ -8,6 +8,13 @@ from repro.graphdb.paths import (
     find_path_word,
     db_nfa_between,
 )
+from repro.graphdb.cache import (
+    DatabaseAutomatonView,
+    ReachabilityIndex,
+    caching_disabled,
+    caching_enabled,
+    reachability_index,
+)
 
 __all__ = [
     "GraphDatabase",
@@ -17,4 +24,9 @@ __all__ = [
     "evaluate_rpq",
     "find_path_word",
     "db_nfa_between",
+    "DatabaseAutomatonView",
+    "ReachabilityIndex",
+    "caching_disabled",
+    "caching_enabled",
+    "reachability_index",
 ]

@@ -1,0 +1,229 @@
+"""Shared reachability/product cache for the evaluation hot path.
+
+Every evaluation algorithm of the reproduction (the Lemma 1 CRPQ join, the
+Lemma 3 simple engine, the Theorem 2 VSF engine, the Theorem 6 bounded
+engine and the ECRPQ engine) bottoms out in two primitives:
+
+* ``reachable_pairs(db, nfa)`` — which node pairs are connected by a path
+  labelled by a word of ``L(nfa)``, and
+* ``db_nfa_between(db, source, targets)`` — the database viewed as an NFA
+  with designated start/accepting states (Section 2.2).
+
+The seed recomputed both from scratch per unit and per candidate morphism.
+This module provides the shared, per-database cache layer:
+
+``ReachabilityIndex``
+    memoises reachability relations keyed by a canonical NFA fingerprint
+    (:meth:`repro.automata.nfa.NFA.fingerprint`), so repeated unit automata —
+    e.g. the identical universal ``VarRef`` NFAs created by the unit split —
+    are computed once per database.
+
+``DatabaseAutomatonView``
+    builds the DB-as-NFA transition table **once** and hands out lightweight
+    parameterised views (start/accepting only), replacing the per-morphism
+    ``db_nfa_between`` rebuild inside the synchronisation checks.
+
+Caches are invalidated automatically when the database mutates (tracked via
+``GraphDatabase.version``).  :func:`caching_disabled` switches the layer off
+for A/B benchmarking against the seed behaviour.
+"""
+
+from __future__ import annotations
+
+import weakref
+from contextlib import contextmanager
+from typing import Dict, Iterable, Optional, Set, Tuple
+
+from repro.automata.nfa import NFA
+from repro.graphdb.database import GraphDatabase, Node
+from repro.graphdb.paths import product_search, reachable_pairs
+
+Fingerprint = Tuple
+
+
+class DatabaseAutomatonView:
+    """The database as an NFA, built once, with parameterisable endpoints.
+
+    State ``0`` (the base NFA's start) is kept as a transitionless dead
+    state; every database node gets its own state.  :meth:`between` returns
+    an :class:`NFA` that *shares* the transition table and only carries its
+    own start/accepting states — callers must treat it as read-only.
+    """
+
+    __slots__ = ("_base", "_state_of", "_dead")
+
+    def __init__(self, db: GraphDatabase):
+        base = NFA()
+        self._dead = base.start
+        state_of: Dict[Node, int] = {}
+        for node in sorted(db.nodes, key=repr):
+            state_of[node] = base.add_state()
+        for edge in db.edges:
+            base.add_transition(state_of[edge.source], edge.label, state_of[edge.target])
+        self._base = base
+        self._state_of = state_of
+
+    def state_of(self, node: Node) -> Optional[int]:
+        """The base-NFA state of ``node``, or ``None`` for absent nodes."""
+        return self._state_of.get(node)
+
+    def between(self, source: Node, targets: Iterable[Node]) -> NFA:
+        """An NFA accepting the words labelling paths ``source -> targets``.
+
+        Language-equivalent to :func:`repro.graphdb.paths.db_nfa_between`,
+        but O(|targets|) instead of O(|D|): the transition table is shared
+        with every other view of this database.
+        """
+        view = NFA.__new__(NFA)
+        view._transitions = self._base._transitions
+        view._fingerprint = None
+        view.start = self._state_of.get(source, self._dead)
+        view.accepting = {
+            self._state_of[target] for target in targets if target in self._state_of
+        }
+        return view
+
+
+class ReachabilityIndex:
+    """Per-database memo of reachability relations, keyed by NFA fingerprint."""
+
+    __slots__ = ("_db_ref", "_version", "_pairs", "_from", "_relations", "_view", "hits", "misses")
+
+    def __init__(self, db: GraphDatabase):
+        # Weak back-reference: the registry below maps db -> index weakly,
+        # and a strong reference here would keep every database (and its
+        # O(|V|^2) pair caches) alive for the process lifetime.
+        self._db_ref = weakref.ref(db)
+        self._version = db.version
+        self._pairs: Dict[Fingerprint, Set[Tuple[Node, Node]]] = {}
+        self._from: Dict[Tuple[Fingerprint, Node], Set[Node]] = {}
+        self._relations: Dict[Fingerprint, object] = {}
+        self._view: Optional[DatabaseAutomatonView] = None
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def db(self) -> GraphDatabase:
+        db = self._db_ref()
+        if db is None:
+            raise ReferenceError("the database of this ReachabilityIndex has been collected")
+        return db
+
+    def _refresh(self) -> GraphDatabase:
+        """Drop every cached value when the database has mutated."""
+        db = self.db
+        if db.version != self._version:
+            self._pairs.clear()
+            self._from.clear()
+            self._relations.clear()
+            self._view = None
+            self._version = db.version
+        return db
+
+    # -- cached primitives ----------------------------------------------------
+
+    def reachable_pairs(self, nfa: NFA) -> Set[Tuple[Node, Node]]:
+        """All ``(u, v)`` pairs of :func:`repro.graphdb.paths.reachable_pairs`."""
+        db = self._refresh()
+        key = nfa.fingerprint()
+        cached = self._pairs.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        pairs = reachable_pairs(db, nfa)
+        self._pairs[key] = pairs
+        return pairs
+
+    def reachable_from(self, nfa: NFA, source: Node) -> Set[Node]:
+        """Nodes reachable from ``source`` via a word of ``L(nfa)``."""
+        db = self._refresh()
+        fingerprint = nfa.fingerprint()
+        key = (fingerprint, source)
+        cached = self._from.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        full = self._pairs.get(fingerprint)
+        if full is not None:
+            # Derived from the already-cached all-pairs set; memoised per
+            # source so repeated lookups skip the filter.
+            self.hits += 1
+            targets = {target for origin, target in full if origin == source}
+        else:
+            self.misses += 1
+            reached = product_search(db, nfa, source)
+            targets = {node for node, states in reached.items() if states & nfa.accepting}
+        self._from[key] = targets
+        return targets
+
+    def relation(self, nfa: NFA):
+        """The cached :class:`~repro.engine.joins.EdgeRelation` of ``nfa``.
+
+        Deduplicates the indexed-relation objects as well as the raw pair
+        sets, so identical unit automata share one relation instance.
+        """
+        # Local import: the engine layer imports graphdb.cache at module
+        # scope, so importing joins lazily avoids a circular import.
+        from repro.engine.joins import EdgeRelation
+
+        self._refresh()
+        key = nfa.fingerprint()
+        cached = self._relations.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        relation = EdgeRelation(self.reachable_pairs(nfa))
+        self._relations[key] = relation
+        return relation
+
+    def view(self) -> DatabaseAutomatonView:
+        """The shared DB-as-NFA view (built once per database version)."""
+        db = self._refresh()
+        if self._view is None:
+            self._view = DatabaseAutomatonView(db)
+        return self._view
+
+
+# ---------------------------------------------------------------------------
+# Per-database registry
+# ---------------------------------------------------------------------------
+
+_INDEXES: "weakref.WeakKeyDictionary[GraphDatabase, ReachabilityIndex]" = (
+    weakref.WeakKeyDictionary()
+)
+_CACHING_ENABLED = True
+
+
+def caching_enabled() -> bool:
+    """Whether the shared cache layer is active."""
+    return _CACHING_ENABLED
+
+
+def reachability_index(db: GraphDatabase) -> ReachabilityIndex:
+    """The shared :class:`ReachabilityIndex` of ``db``.
+
+    Indexes are held weakly, so dropping the database also drops its cache.
+    Under :func:`caching_disabled` a fresh, unshared index is returned on
+    every call, which reproduces the seed's recompute-per-unit behaviour for
+    A/B benchmarking.
+    """
+    if not _CACHING_ENABLED:
+        return ReachabilityIndex(db)
+    index = _INDEXES.get(db)
+    if index is None:
+        index = ReachabilityIndex(db)
+        _INDEXES[db] = index
+    return index
+
+
+@contextmanager
+def caching_disabled():
+    """Context manager that bypasses the shared cache (for benchmarks)."""
+    global _CACHING_ENABLED
+    previous = _CACHING_ENABLED
+    _CACHING_ENABLED = False
+    try:
+        yield
+    finally:
+        _CACHING_ENABLED = previous

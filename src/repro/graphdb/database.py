@@ -35,7 +35,18 @@ class Edge:
 class GraphDatabase:
     """A directed, edge-labelled multigraph."""
 
-    __slots__ = ("_nodes", "_edges", "_forward", "_backward", "_by_label", "_alphabet")
+    __slots__ = (
+        "_nodes",
+        "_edges",
+        "_forward",
+        "_backward",
+        "_by_label",
+        "_forward_by_label",
+        "_edge_set",
+        "_version",
+        "_alphabet",
+        "__weakref__",
+    )
 
     def __init__(self, alphabet: Optional[Alphabet] = None):
         self._nodes: Set[Node] = set()
@@ -43,6 +54,9 @@ class GraphDatabase:
         self._forward: Dict[Node, List[Tuple[str, Node]]] = defaultdict(list)
         self._backward: Dict[Node, List[Tuple[str, Node]]] = defaultdict(list)
         self._by_label: Dict[str, List[Tuple[Node, Node]]] = defaultdict(list)
+        self._forward_by_label: Dict[Node, Dict[str, List[Node]]] = {}
+        self._edge_set: Set[Tuple[Node, str, Node]] = set()
+        self._version: int = 0
         self._alphabet = alphabet
 
     # -- construction ------------------------------------------------------------
@@ -61,7 +75,9 @@ class GraphDatabase:
 
     def add_node(self, node: Node) -> Node:
         """Add an isolated node (no-op if it already exists)."""
-        self._nodes.add(node)
+        if node not in self._nodes:
+            self._nodes.add(node)
+            self._version += 1
         return node
 
     def add_edge(self, source: Node, label: str, target: Node) -> Edge:
@@ -80,6 +96,9 @@ class GraphDatabase:
         self._forward[source].append((label, target))
         self._backward[target].append((label, source))
         self._by_label[label].append((source, target))
+        self._forward_by_label.setdefault(source, {}).setdefault(label, []).append(target)
+        self._edge_set.add((source, label, target))
+        self._version += 1
         return edge
 
     def add_word_path(self, source: Node, word: str, target: Node, prefix: str = "_p") -> List[Node]:
@@ -145,16 +164,33 @@ class GraphDatabase:
         """Incoming ``(label, source)`` pairs of ``node``."""
         return self._backward.get(node, ())
 
-    def successors_by_label(self, node: Node, label: str) -> List[Node]:
-        """Targets of arcs labelled ``label`` leaving ``node``."""
-        return [target for edge_label, target in self._forward.get(node, ()) if edge_label == label]
+    def successors_by_label(self, node: Node, label: str) -> Sequence[Node]:
+        """Targets of arcs labelled ``label`` leaving ``node`` (O(1) lookup).
+
+        The returned sequence is the internal index (shared, do not
+        mutate); use :meth:`add_edge` to modify the graph.
+        """
+        by_label = self._forward_by_label.get(node)
+        if by_label is None:
+            return ()
+        return by_label.get(label, ())
+
+    def labelled_successors(self, node: Node) -> Dict[str, List[Node]]:
+        """The ``label -> targets`` adjacency of ``node`` (shared, do not mutate)."""
+        return self._forward_by_label.get(node, {})
 
     def edges_by_label(self, label: str) -> Sequence[Tuple[Node, Node]]:
         """All ``(source, target)`` pairs connected by an arc labelled ``label``."""
         return self._by_label.get(label, ())
 
     def has_edge(self, source: Node, label: str, target: Node) -> bool:
-        return (source, target) in set(self._by_label.get(label, ()))
+        """O(1) membership test backed by the edge-set index."""
+        return (source, label, target) in self._edge_set
+
+    @property
+    def version(self) -> int:
+        """A counter bumped on every mutation; used for cache invalidation."""
+        return self._version
 
     def out_degree(self, node: Node) -> int:
         return len(self._forward.get(node, ()))

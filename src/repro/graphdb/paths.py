@@ -29,6 +29,10 @@ def product_search(
     while walking a common label sequence.
     """
     reached: Dict[Node, Set[int]] = {}
+    if source not in db.nodes:
+        # A node outside the database reaches nothing — not even itself via
+        # epsilon, because paths of length 0 only exist at database nodes.
+        return reached
     initial_states = nfa.epsilon_closure({nfa.start})
     queue: deque = deque()
     for state in initial_states:
@@ -60,12 +64,62 @@ def reachable_pairs(
     nfa: NFA,
     sources: Optional[Iterable[Node]] = None,
 ) -> Set[Tuple[Node, Node]]:
-    """All pairs ``(u, v)`` connected by a path labelled by a word of ``L(nfa)``."""
-    pairs: Set[Tuple[Node, Node]] = set()
+    """All pairs ``(u, v)`` connected by a path labelled by a word of ``L(nfa)``.
+
+    Implemented as a *single* multi-source BFS over the product graph: every
+    product state ``(node, nfa_state)`` carries the set of sources that reach
+    it, and newly arrived sources are propagated in bulk set operations
+    instead of one full BFS per source.  Sources outside the database are
+    ignored (they have no paths, not even the trivial empty one).
+    """
     candidates = list(sources) if sources is not None else sorted(db.nodes, key=repr)
+    candidates = [source for source in candidates if source in db.nodes]
+    if not candidates:
+        return set()
+    initial_states = nfa.epsilon_closure({nfa.start})
+    accepting = nfa.accepting
+    # reached: product state -> sources known to reach it.
+    # dirty:   product state -> sources not yet propagated onward.
+    reached: Dict[Tuple[Node, int], Set[Node]] = {}
+    dirty: Dict[Tuple[Node, int], Set[Node]] = {}
+    queue: deque = deque()
+    queued: Set[Tuple[Node, int]] = set()
     for source in candidates:
-        for target in reachable_from(db, nfa, source):
-            pairs.add((source, target))
+        for state in initial_states:
+            key = (source, state)
+            reached.setdefault(key, set()).add(source)
+            dirty.setdefault(key, set()).add(source)
+            if key not in queued:
+                queued.add(key)
+                queue.append(key)
+    while queue:
+        key = queue.popleft()
+        queued.discard(key)
+        delta = dirty.pop(key, None)
+        if not delta:
+            continue
+        node, state = key
+        adjacency = db.labelled_successors(node)
+        for label, nfa_target in nfa.transitions_from(state):
+            if label is EPSILON_LABEL:
+                successor_keys = [(node, nfa_target)]
+            else:
+                successor_keys = [(db_target, nfa_target) for db_target in adjacency.get(label, ())]
+            for successor in successor_keys:
+                known = reached.setdefault(successor, set())
+                fresh = delta - known
+                if not fresh:
+                    continue
+                known |= fresh
+                dirty.setdefault(successor, set()).update(fresh)
+                if successor not in queued:
+                    queued.add(successor)
+                    queue.append(successor)
+    pairs: Set[Tuple[Node, Node]] = set()
+    for (node, state), sources_here in reached.items():
+        if state in accepting:
+            for source in sources_here:
+                pairs.add((source, node))
     return pairs
 
 
@@ -91,6 +145,9 @@ def find_path_word(
     Returns ``None`` when no such path exists (or none within ``max_length``).
     Used to extract witness words for matching morphisms.
     """
+    if source not in db.nodes or target not in db.nodes:
+        # No path (not even the empty one) involves a node outside the database.
+        return None
     initial = nfa.epsilon_closure({nfa.start})
     start_keys = [(source, state) for state in initial]
     parents: Dict[Tuple[Node, int], Optional[Tuple[Tuple[Node, int], Optional[str]]]] = {

@@ -1,0 +1,142 @@
+"""Tests for the shared reachability/product cache subsystem."""
+
+from repro.core.alphabet import Alphabet
+from repro.automata.nfa import NFA
+from repro.graphdb.cache import (
+    DatabaseAutomatonView,
+    ReachabilityIndex,
+    caching_disabled,
+    caching_enabled,
+    reachability_index,
+)
+from repro.graphdb.database import GraphDatabase
+from repro.graphdb.paths import db_nfa_between, reachable_pairs
+from repro.regex.parser import parse_xregex
+
+ABC = Alphabet("abc")
+
+
+def chain_db() -> GraphDatabase:
+    return GraphDatabase.from_edges(
+        [(0, "a", 1), (1, "a", 2), (2, "b", 3), (3, "c", 0), (2, "a", 2)]
+    )
+
+
+def compiled(pattern: str) -> NFA:
+    return NFA.from_regex(parse_xregex(pattern), ABC)
+
+
+class TestFingerprint:
+    def test_identical_constructions_share_a_fingerprint(self):
+        assert compiled("a+b").fingerprint() == compiled("a+b").fingerprint()
+        assert NFA.universal("abc").fingerprint() == NFA.universal("abc").fingerprint()
+
+    def test_different_languages_differ(self):
+        assert compiled("a+b").fingerprint() != compiled("a*b").fingerprint()
+
+    def test_fingerprint_invalidated_on_mutation(self):
+        nfa = compiled("ab")
+        before = nfa.fingerprint()
+        nfa.set_accepting(nfa.start)
+        assert nfa.fingerprint() != before
+
+
+class TestReachabilityIndex:
+    def test_cache_hit_returns_same_object(self):
+        db = chain_db()
+        index = ReachabilityIndex(db)
+        first = index.reachable_pairs(compiled("a+b"))
+        second = index.reachable_pairs(compiled("a+b"))
+        assert first is second
+        assert first == reachable_pairs(db, compiled("a+b"))
+        assert index.hits == 1 and index.misses == 1
+
+    def test_relation_objects_are_deduplicated(self):
+        db = chain_db()
+        index = ReachabilityIndex(db)
+        assert index.relation(NFA.universal("abc")) is index.relation(NFA.universal("abc"))
+
+    def test_invalidation_on_database_mutation(self):
+        db = chain_db()
+        index = ReachabilityIndex(db)
+        nfa = compiled("b")
+        assert (0, 3) not in index.reachable_pairs(nfa)
+        db.add_edge(0, "b", 3)
+        pairs = index.reachable_pairs(nfa)
+        assert (0, 3) in pairs
+        assert pairs == reachable_pairs(db, nfa)
+
+    def test_invalidation_on_added_node(self):
+        db = chain_db()
+        index = ReachabilityIndex(db)
+        nfa = compiled("a*")
+        assert ("late", "late") not in index.reachable_pairs(nfa)
+        db.add_node("late")
+        assert ("late", "late") in index.reachable_pairs(nfa)
+
+    def test_reachable_from_uses_full_pairs_when_available(self):
+        db = chain_db()
+        index = ReachabilityIndex(db)
+        nfa = compiled("a+")
+        index.reachable_pairs(nfa)
+        assert index.reachable_from(nfa, 0) == {1, 2}
+        assert index.hits >= 1
+
+    def test_registry_releases_dropped_databases(self):
+        # Regression: the index must not hold a strong reference back to its
+        # database, or the weak registry would keep every database (and its
+        # pair caches) alive for the process lifetime.
+        import gc
+        import weakref
+
+        db = chain_db()
+        reachability_index(db).reachable_pairs(compiled("a"))
+        witness = weakref.ref(db)
+        del db
+        gc.collect()
+        assert witness() is None
+
+    def test_shared_registry_and_disable(self):
+        db = chain_db()
+        assert reachability_index(db) is reachability_index(db)
+        assert caching_enabled()
+        with caching_disabled():
+            assert not caching_enabled()
+            assert reachability_index(db) is not reachability_index(db)
+        assert caching_enabled()
+
+
+class TestDatabaseAutomatonView:
+    def test_between_matches_db_nfa_between(self):
+        db = chain_db()
+        view = DatabaseAutomatonView(db)
+        words = ["", "a", "ab", "aab", "aaab", "aabc", "bcaa"]
+        for source in [0, 2, 3]:
+            for target in [2, 3]:
+                fresh = db_nfa_between(db, source, [target])
+                shared = view.between(source, [target])
+                for word in words:
+                    assert shared.accepts(word) == fresh.accepts(word)
+
+    def test_missing_endpoints_give_the_empty_language(self):
+        db = chain_db()
+        view = DatabaseAutomatonView(db)
+        assert view.between("ghost", [3]).is_empty()
+        assert view.between(0, ["ghost"]).is_empty()
+
+    def test_views_share_the_transition_table(self):
+        db = chain_db()
+        view = DatabaseAutomatonView(db)
+        first = view.between(0, [3])
+        second = view.between(2, [2])
+        assert first._transitions is second._transitions
+
+    def test_index_view_is_built_once_and_invalidated(self):
+        db = chain_db()
+        index = ReachabilityIndex(db)
+        view = index.view()
+        assert index.view() is view
+        db.add_edge(1, "b", 3)
+        rebuilt = index.view()
+        assert rebuilt is not view
+        assert rebuilt.between(1, [3]).accepts("b")

@@ -75,6 +75,42 @@ class TestInspection:
         assert db.has_edge(1, "a", 2)
         assert not db.has_edge(2, "a", 1)
 
+    def test_has_edge_distinguishes_labels(self):
+        # Regression: the old implementation only indexed (source, target)
+        # per label by linear rebuild; the set index must key on the label.
+        db = GraphDatabase.from_edges([(1, "a", 2)])
+        assert db.has_edge(1, "a", 2)
+        assert not db.has_edge(1, "b", 2)
+        db.add_edge(1, "b", 2)
+        assert db.has_edge(1, "b", 2)
+
+    def test_has_edge_is_constant_time(self):
+        # Regression: ``has_edge`` used to rebuild a set of all same-label
+        # pairs on every call (O(E) per membership test).  With the edge-set
+        # index, thousands of lookups on a large database are instant; the
+        # generous wall-clock bound fails by an order of magnitude on the
+        # rebuild-per-call implementation.
+        import time
+
+        db = GraphDatabase()
+        for i in range(30000):
+            db.add_edge(i, "a", i + 1)
+        start = time.perf_counter()
+        for i in range(0, 30000, 20):
+            assert db.has_edge(i, "a", i + 1)
+            assert not db.has_edge(i + 1, "a", i)
+        assert time.perf_counter() - start < 0.5
+
+    def test_version_counter_tracks_mutations(self):
+        db = GraphDatabase()
+        start = db.version
+        db.add_node("n")
+        assert db.version == start + 1
+        db.add_node("n")  # no-op re-add does not bump
+        assert db.version == start + 1
+        db.add_edge("n", "a", "m")
+        assert db.version > start + 1
+
     def test_path_exists(self):
         db = small_db()
         assert db.path_exists(1, "ab", 3)

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.engine.joins import EdgeRelation, join_morphisms
+from repro.engine.joins import EdgeRelation, _select_edge, join_morphisms, semijoin_reduce
 from repro.engine.results import EvaluationResult, Match
 
 
@@ -35,6 +35,28 @@ class TestJoinMorphisms:
         relation = EdgeRelation([(1, 1), (1, 2)])
         morphisms = list(join_morphisms([("x", "x")], [relation], ["x"], [1, 2]))
         assert [m["x"] for m in morphisms] == [1]
+
+    def test_self_loop_edge_with_bound_endpoint(self):
+        # The self-loop filter must also apply when the variable is already
+        # assigned by a neighbouring edge before the loop edge is expanded.
+        loop = EdgeRelation([(1, 1), (2, 2), (2, 3)])
+        chain = EdgeRelation([(1, 2), (2, 3)])
+        morphisms = list(
+            join_morphisms(
+                [("x", "y"), ("y", "y")], [chain, loop], ["x", "y"], [1, 2, 3]
+            )
+        )
+        assert {(m["x"], m["y"]) for m in morphisms} == {(1, 2)}
+
+    def test_self_loop_edge_with_fixed_assignment(self):
+        loop = EdgeRelation([(1, 1), (2, 3)])
+        morphisms = list(
+            join_morphisms([("x", "x")], [loop], ["x"], [1, 2, 3], fixed={"x": 1})
+        )
+        assert [m["x"] for m in morphisms] == [1]
+        assert not list(
+            join_morphisms([("x", "x")], [loop], ["x"], [1, 2, 3], fixed={"x": 2})
+        )
 
     def test_fixed_assignment(self):
         relation = EdgeRelation([(1, 2), (2, 3)])
@@ -69,6 +91,78 @@ class TestJoinMorphisms:
     def test_mismatched_lengths_rejected(self):
         with pytest.raises(ValueError):
             list(join_morphisms([("x", "y")], [], ["x", "y"], [1]))
+
+    def test_pruning_does_not_change_the_result(self):
+        first = EdgeRelation([(1, 2), (2, 3), (7, 8)])
+        second = EdgeRelation([(2, 9), (3, 9), (5, 6)])
+        endpoints = [("x", "y"), ("y", "z")]
+        pruned = {
+            (m["x"], m["y"], m["z"])
+            for m in join_morphisms(endpoints, [first, second], ["x", "y", "z"], [1, 2, 3, 9])
+        }
+        unpruned = {
+            (m["x"], m["y"], m["z"])
+            for m in join_morphisms(
+                endpoints, [first, second], ["x", "y", "z"], [1, 2, 3, 9], prune=False
+            )
+        }
+        assert pruned == unpruned == {(1, 2, 9), (2, 3, 9)}
+
+
+class TestSelectEdge:
+    def test_prefers_more_bound_endpoints(self):
+        endpoints = [("x", "y"), ("y", "z")]
+        relations = [EdgeRelation([(1, 2)] * 1), EdgeRelation([(2, 9), (3, 9)])]
+        # With ``y`` assigned, both edges have one bound endpoint; with ``x``
+        # assigned, only the first edge does and it must win.
+        assert _select_edge([0, 1], endpoints, relations, {"x": 1}) == 0
+        assert _select_edge([0, 1], endpoints, relations, {"z": 9}) == 1
+
+    def test_ties_broken_by_smaller_relation(self):
+        endpoints = [("x", "y"), ("u", "v")]
+        small = EdgeRelation([(1, 2)])
+        large = EdgeRelation([(1, 2), (2, 3), (3, 4)])
+        assert _select_edge([0, 1], endpoints, [large, small], {}) == 1
+        assert _select_edge([0, 1], endpoints, [small, large], {}) == 0
+
+    def test_respects_remaining_subset(self):
+        endpoints = [("x", "y"), ("u", "v")]
+        small = EdgeRelation([(1, 2)])
+        large = EdgeRelation([(1, 2), (2, 3)])
+        assert _select_edge([0], endpoints, [large, small], {}) == 0
+
+
+class TestSemijoinReduce:
+    def test_dead_pairs_are_pruned(self):
+        first = EdgeRelation([(1, 2), (2, 3), (7, 8)])
+        second = EdgeRelation([(2, 9), (3, 9), (5, 6)])
+        pruned = semijoin_reduce([("x", "y"), ("y", "z")], [first, second])
+        assert pruned[0].pairs == {(1, 2), (2, 3)}
+        assert pruned[1].pairs == {(2, 9), (3, 9)}
+
+    def test_unchanged_relations_keep_identity(self):
+        first = EdgeRelation([(1, 2)])
+        second = EdgeRelation([(2, 3)])
+        pruned = semijoin_reduce([("x", "y"), ("y", "z")], [first, second])
+        assert pruned[0] is first
+        assert pruned[1] is second
+
+    def test_self_loops_restricted_to_diagonal(self):
+        loop = EdgeRelation([(1, 1), (1, 2), (3, 3)])
+        pruned = semijoin_reduce([("x", "x")], [loop])
+        assert pruned[0].pairs == {(1, 1), (3, 3)}
+
+    def test_fixed_assignment_seeds_the_domains(self):
+        relation = EdgeRelation([(1, 2), (2, 3)])
+        pruned = semijoin_reduce([("x", "y")], [relation], fixed={"x": 2})
+        assert pruned[0].pairs == {(2, 3)}
+
+    def test_empty_domain_propagates(self):
+        first = EdgeRelation([(1, 2)])
+        second = EdgeRelation([(3, 4)])
+        pruned = semijoin_reduce([("x", "y"), ("y", "z")], [first, second])
+        assert pruned[0].pairs == set()
+        assert pruned[1].pairs == set()
 
 
 class TestResults:

@@ -50,6 +50,20 @@ class TestReachability:
         nfa = NFA.from_regex(parse_xregex("(a|b|c)+"), ABC)
         assert (0, 0) in reachable_pairs(db, nfa)
 
+    def test_ghost_source_does_not_reach_itself(self):
+        # Regression: the epsilon seed used to report a node outside the
+        # database as reaching itself whenever the NFA accepts epsilon.
+        db = chain_db()
+        nfa = NFA.from_regex(parse_xregex("a*"), ABC)
+        assert reachable_from(db, nfa, "ghost") == set()
+        assert reachable_pairs(db, nfa, sources=["ghost"]) == set()
+        assert reachable_pairs(db, nfa, sources=["ghost", 0]) == {(0, 0), (0, 1), (0, 2)}
+
+    def test_explicit_sources_restrict_the_pairs(self):
+        db = chain_db()
+        nfa = NFA.from_regex(parse_xregex("ab"), ABC)
+        assert reachable_pairs(db, nfa, sources=[1]) == {(1, 3)}
+
 
 class TestWitnessWords:
     def test_find_path_word(self):
@@ -72,6 +86,15 @@ class TestWitnessWords:
         db = chain_db()
         nfa = NFA.from_regex(parse_xregex("a+b"), ABC)
         assert find_path_word(db, nfa, 0, 3, max_length=2) is None
+
+    def test_find_path_word_absent_source_equals_target(self):
+        # Regression: ``source == target`` used to return "" even when the
+        # node is not in the database; absent nodes have no trivial path.
+        db = chain_db()
+        nfa = NFA.from_regex(parse_xregex("a*"), ABC)
+        assert find_path_word(db, nfa, "ghost", "ghost") is None
+        assert find_path_word(db, nfa, "ghost", 3) is None
+        assert find_path_word(db, nfa, 0, "ghost") is None
 
 
 class TestDatabaseAsNFA:
