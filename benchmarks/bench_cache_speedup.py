@@ -1,12 +1,24 @@
-"""E-CACHE — the shared reachability/product cache on the hot path.
+"""E-CACHE — the evaluation kernel generations on the hot path.
 
-A/B measurement of the per-database cache layer (``repro.graphdb.cache``)
-on the Theorem 2 VSF workload: the same fixed vstar-free query is evaluated
-over growing random databases with the cache enabled (default) and bypassed
-via :func:`repro.graphdb.cache.caching_disabled`.  Both modes run the same
-join/pruning code, so the ratio isolates the cache subsystem itself:
-fingerprint-deduplicated unit relations, the once-per-evaluation DB-as-NFA
-view, and the memoised synchronisation products.
+A/B/C measurement of the per-database cache layer (``repro.graphdb.cache``)
+and the bitset BFS kernel (``repro.graphdb.paths``) on the Theorem 2 VSF
+workload: the same fixed vstar-free query is evaluated over growing random
+databases in three configurations:
+
+* **A — seed**: shared caching bypassed (``caching_disabled``) and the
+  set-based BFS kernel (``bitset_kernel_disabled``) — the recompute-per-unit
+  behaviour of the seed revision;
+* **B — PR 1 cache**: the shared reachability cache on, but the set-based
+  kernel and one fresh ``intersect_all`` product per synchronisation group
+  (``product_cache_disabled``) — the first-generation cache subsystem;
+* **C — bitset + product cache**: the second-generation kernel — int-bitmask
+  frontier/visited sets in the product BFS plus the
+  ``SynchronisationProductCache`` that builds each group product once and
+  parameterises the endpoints.
+
+All modes run the same join/pruning code, so the ratios isolate the kernel
+and cache layers.  The LRU bound is exercised separately: a tiny capacity on
+a fresh database must evict (counter > 0) without changing the result.
 
 Reference timings on the development machine (sizes 20/40/80/160, one
 evaluation each):
@@ -14,73 +26,165 @@ evaluation each):
 ==========  =========  ==========  ==========  =========
 mode         20 nodes   40 nodes    80 nodes   160 nodes
 ==========  =========  ==========  ==========  =========
-seed         8.1 ms     53.3 ms     71.7 ms     8.52 s
-no cache     8.9 ms     77.8 ms     65.2 ms    19.41 s
-cached       5.5 ms     37.5 ms     48.6 ms     2.01 s
+A seed       7.5 ms     94.7 ms     62.6 ms    24.47 s
+B PR1 cache  4.7 ms     36.4 ms     34.4 ms     1.95 s
+C bitset     3.0 ms     21.3 ms     29.4 ms     0.75 s
 ==========  =========  ==========  ==========  =========
 
-i.e. ≥2× total against both the seed revision and the cache-bypassed mode
-(the bypassed mode is slower than seed at 160 nodes because the semi-join
-pruning shifts the join's edge-selection order on this workload; with the
-cache on, the memoised synchronisation products more than pay that back).
+i.e. C ≈ 2.6x over B and ≈ 33x over A at the largest size.
+
+Run ``python -m benchmarks.bench_cache_speedup --smoke`` for a fast,
+assertion-checked version of the same harness (used as a CI step so the
+A/B/C machinery cannot rot).
 """
 
+import sys
 import time
 
 from repro.engine.normal_form import normal_form
 from repro.engine.vsf import evaluate_vsf
-from repro.graphdb.cache import caching_disabled
-from repro.workloads import vsf_scaling_query
+from repro.graphdb.cache import (
+    cache_capacity,
+    cache_stats,
+    caching_disabled,
+    invalidate_cache,
+    product_cache_disabled,
+    reachability_index,
+)
+from repro.graphdb.paths import bitset_kernel_disabled
+from repro.workloads import random_workload, vsf_scaling_query
 
 from benchmarks.common import cached_random_db, print_table
 
 SIZES = [20, 40, 80, 160]
+SMOKE_SIZES = [20, 40]
 _QUERY = vsf_scaling_query()
 _NORMAL_FORM = normal_form(_QUERY.conjunctive_xregex)
 
 
-def _timed_evaluation(db) -> float:
+def _timed_evaluation(db):
     start = time.perf_counter()
     result = evaluate_vsf(_QUERY, db, precomputed_normal_form=_NORMAL_FORM)
     elapsed = time.perf_counter() - start
     assert isinstance(result.boolean, bool)
-    return elapsed
+    return elapsed, result
+
+
+def _run_abc(db):
+    """One cold A/B/C sweep (plus a warm C re-run) on ``db``.
+
+    The shared index is invalidated between modes so every mode starts from
+    a cold cache; the booleans are cross-checked for equality.
+    """
+    invalidate_cache(db)
+    with caching_disabled(), bitset_kernel_disabled():
+        seed_time, seed_result = _timed_evaluation(db)
+    invalidate_cache(db)
+    with bitset_kernel_disabled(), product_cache_disabled():
+        pr1_time, pr1_result = _timed_evaluation(db)
+    invalidate_cache(db)
+    full_time, full_result = _timed_evaluation(db)
+    warm_time, warm_result = _timed_evaluation(db)
+    results = [seed_result, pr1_result, full_result, warm_result]
+    assert all(result.tuples == seed_result.tuples for result in results), (
+        "kernel generations disagree on the query answer"
+    )
+    return seed_time, pr1_time, full_time, warm_time
+
+
+def build_rows(sizes):
+    rows = []
+    ratios = (0.0, 0.0)
+    totals = [0.0, 0.0, 0.0]
+    for nodes in sizes:
+        db = cached_random_db(nodes, seed=7)
+        seed_time, pr1_time, full_time, warm_time = _run_abc(db)
+        totals[0] += seed_time
+        totals[1] += pr1_time
+        totals[2] += full_time
+        ratios = (seed_time / full_time, pr1_time / full_time)
+        rows.append(
+            [
+                db.num_nodes(),
+                db.num_edges(),
+                f"{seed_time * 1000:.1f}",
+                f"{pr1_time * 1000:.1f}",
+                f"{full_time * 1000:.1f}",
+                f"{warm_time * 1000:.1f}",
+                f"{seed_time / full_time:.1f}x",
+                f"{pr1_time / full_time:.1f}x",
+            ]
+        )
+    rows.append(
+        [
+            "total",
+            "",
+            f"{totals[0] * 1000:.1f}",
+            f"{totals[1] * 1000:.1f}",
+            f"{totals[2] * 1000:.1f}",
+            "",
+            f"{totals[0] / totals[2]:.1f}x",
+            f"{totals[1] / totals[2]:.1f}x",
+        ]
+    )
+    return rows, ratios
+
+
+HEADER = [
+    "nodes",
+    "edges",
+    "A seed (ms)",
+    "B pr1 (ms)",
+    "C cold (ms)",
+    "C warm (ms)",
+    "C/A",
+    "C/B",
+]
+TITLE = "Kernel generations — Theorem 2 VSF workload (A seed / B PR1 cache / C bitset+product cache)"
+
+
+def eviction_check(capacity=2, nodes=14):
+    """Evaluate on a fresh database under a tiny LRU cap; memory must stay
+    bounded (evictions observed) and the answer must match the uncapped run."""
+    db = random_workload(nodes, alphabet_symbols="abc", edge_factor=2.5, seed=11)
+    reference = evaluate_vsf(_QUERY, db, precomputed_normal_form=_NORMAL_FORM)
+    invalidate_cache(db)
+    with cache_capacity(capacity):
+        index = reachability_index(db)
+        capped = evaluate_vsf(_QUERY, db, precomputed_normal_form=_NORMAL_FORM)
+        evictions = index.evictions
+        entries = index.stats()["totals"]["entries"]
+    invalidate_cache(db)
+    assert capped.tuples == reference.tuples, "LRU eviction changed the answer"
+    assert evictions > 0, "workload did not exceed the LRU cap"
+    return evictions, entries
 
 
 def test_cache_speedup_table(benchmark):
-    def build_rows():
-        rows = []
-        total_cached = 0.0
-        total_uncached = 0.0
-        largest_ratio = 0.0
-        for nodes in SIZES:
-            db = cached_random_db(nodes, seed=7)
-            with caching_disabled():
-                uncached = _timed_evaluation(db)
-            cold = _timed_evaluation(db)
-            warm = _timed_evaluation(db)
-            total_uncached += uncached
-            total_cached += cold
-            largest_ratio = uncached / cold
-            rows.append(
-                [
-                    db.num_nodes(),
-                    db.num_edges(),
-                    f"{uncached * 1000:.1f}",
-                    f"{cold * 1000:.1f}",
-                    f"{warm * 1000:.1f}",
-                    f"{uncached / cold:.1f}x",
-                ]
-            )
-        rows.append(["total", "", f"{total_uncached * 1000:.1f}", f"{total_cached * 1000:.1f}", "", f"{total_uncached / total_cached:.1f}x"])
-        return rows, largest_ratio
+    (rows, ratios) = benchmark.pedantic(lambda: build_rows(SIZES), rounds=1, iterations=1)
+    print_table(TITLE, HEADER, rows)
+    evictions, entries = eviction_check()
+    print(f"\n[LRU bound] capacity=2/cache: evictions={evictions}, resident entries={entries}")
+    seed_ratio, pr1_ratio = ratios
+    # Asserted on the largest size only: the small-size rows are noisy.
+    assert seed_ratio >= 2.0, f"expected >=2x over the seed at the largest size, got {seed_ratio:.2f}x"
+    assert pr1_ratio >= 1.5, f"expected >=1.5x over the PR 1 cache at the largest size, got {pr1_ratio:.2f}x"
 
-    (rows, speedup) = benchmark.pedantic(build_rows, rounds=1, iterations=1)
-    print_table(
-        "Cache subsystem — Theorem 2 VSF workload, cache bypassed vs enabled",
-        ["nodes", "edges", "no cache (ms)", "cold cache (ms)", "warm cache (ms)", "speedup"],
-        rows,
-    )
-    # Asserted on the largest size only: its ~8-10x ratio has enough margin
-    # not to flake on a loaded machine, unlike the small-size rows.
-    assert speedup >= 2.0, f"expected >=2x speedup at the largest size, got {speedup:.2f}x"
+
+def main(argv):
+    smoke = "--smoke" in argv
+    sizes = SMOKE_SIZES if smoke else SIZES
+    rows, ratios = build_rows(sizes)
+    print_table(TITLE, HEADER, rows)
+    evictions, entries = eviction_check()
+    print(f"\n[LRU bound] capacity=2/cache: evictions={evictions}, resident entries={entries}")
+    if not smoke:
+        seed_ratio, pr1_ratio = ratios
+        assert seed_ratio >= 2.0, f"expected >=2x over the seed, got {seed_ratio:.2f}x"
+        assert pr1_ratio >= 1.5, f"expected >=1.5x over the PR 1 cache, got {pr1_ratio:.2f}x"
+    print("\nOK" + (" (smoke)" if smoke else ""))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -17,7 +17,7 @@ from collections import deque
 from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.core.alphabet import Alphabet
-from repro.core.errors import EvaluationError, XregexSyntaxError
+from repro.core.errors import EvaluationError, FrozenAutomatonError, XregexSyntaxError
 from repro.regex import syntax as rx
 
 #: The label used for epsilon transitions.
@@ -30,30 +30,56 @@ State = int
 class NFA:
     """A nondeterministic finite automaton with epsilon transitions."""
 
-    __slots__ = ("_transitions", "start", "accepting", "_num_states", "_fingerprint")
+    __slots__ = ("_transitions", "start", "accepting", "_num_states", "_fingerprint", "_frozen")
 
     def __init__(self) -> None:
         self._transitions: List[List[Tuple[Label, State]]] = []
         self._fingerprint: Optional[Tuple] = None
+        self._frozen: bool = False
         self.start: State = self.add_state()
         self.accepting: Set[State] = set()
         # ``_num_states`` is tracked via the transitions list length.
 
     # -- construction ---------------------------------------------------------
 
+    def freeze(self) -> "NFA":
+        """Make the automaton read-only; further mutation raises.
+
+        Used by the cache layer for views that share a transition table:
+        mutating one view would silently corrupt every other view (and the
+        cached base), so shared views are frozen.  Returns ``self``.
+        """
+        self._frozen = True
+        return self
+
+    @property
+    def frozen(self) -> bool:
+        """Whether the automaton is a read-only view."""
+        return getattr(self, "_frozen", False)
+
+    def _guard_mutation(self) -> None:
+        if getattr(self, "_frozen", False):
+            raise FrozenAutomatonError(
+                "this NFA is a frozen read-only view sharing state with other "
+                "views; build a fresh NFA instead of mutating it"
+            )
+
     def add_state(self) -> State:
         """Add a fresh state and return its identifier."""
+        self._guard_mutation()
         self._transitions.append([])
         self._fingerprint = None
         return len(self._transitions) - 1
 
     def add_transition(self, source: State, label: Label, target: State) -> None:
         """Add a transition ``source --label--> target`` (``None`` = epsilon)."""
+        self._guard_mutation()
         self._transitions[source].append((label, target))
         self._fingerprint = None
 
     def set_accepting(self, state: State) -> None:
         """Mark ``state`` as accepting."""
+        self._guard_mutation()
         self.accepting.add(state)
         self._fingerprint = None
 

@@ -39,5 +39,14 @@ class EvaluationError(ReproError):
     """An evaluation algorithm was used outside its supported setting."""
 
 
+class FrozenAutomatonError(ReproError):
+    """A mutation was attempted on a frozen (read-only) automaton view.
+
+    The cache layer hands out NFA views that share their transition table
+    with other views of the same database; mutating one would silently
+    corrupt all of them, so the views are frozen and raise this error.
+    """
+
+
 class ReductionError(ReproError):
     """A hardness-reduction construction received an invalid instance."""

@@ -21,6 +21,7 @@ from repro.automata.relations import PAD, RegularRelation
 from repro.engine.crpq import edge_relations
 from repro.engine.joins import join_morphisms
 from repro.engine.results import DEFAULT_MATCH_LIMIT, EvaluationResult, Match
+from repro.graphdb.cache import reachability_index
 from repro.graphdb.database import GraphDatabase
 from repro.graphdb.paths import find_path_word
 from repro.queries.ecrpq import ECRPQ
@@ -45,24 +46,38 @@ def evaluate_ecrpq(
     constraint_automata = [
         constraint.relation.automaton(alphabet) for constraint in query.constraints
     ]
-    # The synchronisation verdict only depends on the endpoint pairs the
-    # morphism assigns to the constrained edges; those repeat heavily across
-    # the morphisms of a join, so the verdicts are memoised per evaluation.
-    sync_verdicts: Dict[Tuple[int, Tuple[Tuple[Node, Node], ...]], bool] = {}
+    # The synchronisation verdict only depends on the relation automaton,
+    # the constrained edges' automata and the endpoint pairs the morphism
+    # assigns to them; those repeat heavily across the morphisms of a join
+    # *and* across evaluations.  Two memo levels: an unbounded
+    # per-evaluation dict (the verdict key space is O(|V|^k) per constraint
+    # and must never thrash mid-join), backed by the shared per-database
+    # index so verdicts survive across evaluations (a fresh index under
+    # ``caching_disabled`` makes the second level per-evaluation too).
+    index = reachability_index(db)
+    local_verdicts: Dict[Tuple[int, Tuple[Tuple[Node, Node], ...]], bool] = {}
 
     def check(morphism: Dict[str, Node]) -> bool:
         for constraint_index, (constraint, relation_nfa) in enumerate(
             zip(query.constraints, constraint_automata)
         ):
             tracks = []
-            for index in constraint.edge_indices:
-                source, target = endpoints[index]
-                tracks.append((morphism[source], morphism[target], nfas[index]))
-            key = (constraint_index, tuple((s, t) for s, t, _nfa in tracks))
-            verdict = sync_verdicts.get(key)
+            for edge_index in constraint.edge_indices:
+                source, target = endpoints[edge_index]
+                tracks.append((morphism[source], morphism[target], nfas[edge_index]))
+            track_endpoints = tuple((s, t) for s, t, _nfa in tracks)
+            local_key = (constraint_index, track_endpoints)
+            verdict = local_verdicts.get(local_key)
             if verdict is None:
-                verdict = synchronized_relation_check(db, tracks, relation_nfa)
-                sync_verdicts[key] = verdict
+                verdict = index.sync_verdict(
+                    relation_nfa,
+                    [nfas[edge_index] for edge_index in constraint.edge_indices],
+                    track_endpoints,
+                    lambda tracks=tracks, relation_nfa=relation_nfa: synchronized_relation_check(
+                        db, tracks, relation_nfa
+                    ),
+                )
+                local_verdicts[local_key] = verdict
             if not verdict:
                 return False
         return True

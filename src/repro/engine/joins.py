@@ -152,16 +152,38 @@ def _select_edge(
     edge_relations: Sequence[EdgeRelation],
     assignment: Dict[str, Node],
 ) -> int:
-    """Pick the most constrained remaining edge (most bound endpoints, smallest relation)."""
+    """Pick the remaining edge with the smallest estimated branching cost.
+
+    The cost model counts the *candidate-domain size* the edge would branch
+    over given the current partial assignment — the exact indexed fan-out of
+    the bound endpoint for half-bound edges — rather than the raw relation
+    size alone.  Fully bound edges cost nothing (a membership check that can
+    only prune), half-bound edges cost their column fan-out, unbound edges
+    cost the whole relation.  Ties break on the position in ``remaining``,
+    keeping the selection deterministic; relation sizes only enter through
+    the actual domains, which keeps the semi-join pre-pruning from shifting
+    the search into a worse region (the thm2 @ 160 nodes regression).
+    """
     best_index = remaining[0]
-    best_key = (-1, float("inf"))
+    best_cost: Optional[Tuple[int, int]] = None
     for index in remaining:
         source, target = edge_endpoints[index]
-        bound = (source in assignment) + (target in assignment)
-        key = (bound, -len(edge_relations[index]))
-        if key > best_key:
-            best_key = key
+        relation = edge_relations[index]
+        source_value = assignment.get(source)
+        target_value = assignment.get(target)
+        if source_value is not None and target_value is not None:
+            cost = (0, 0)
+        elif source_value is not None:
+            cost = (1, len(relation.targets_of(source_value)))
+        elif target_value is not None:
+            cost = (1, len(relation.sources_of(target_value)))
+        else:
+            cost = (2, len(relation))
+        if best_cost is None or cost < best_cost:
+            best_cost = cost
             best_index = index
+            if cost == (0, 0):
+                break
     return best_index
 
 

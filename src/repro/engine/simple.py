@@ -29,7 +29,7 @@ from repro.core.errors import FragmentError
 from repro.automata.nfa import NFA, intersect_all
 from repro.engine.joins import join_morphisms
 from repro.engine.results import DEFAULT_MATCH_LIMIT, EvaluationResult, Match
-from repro.graphdb.cache import caching_enabled, reachability_index
+from repro.graphdb.cache import caching_enabled, product_cache_enabled, reachability_index
 from repro.graphdb.database import GraphDatabase
 from repro.graphdb.paths import db_nfa_between, find_path_word
 from repro.queries.cxrpq import CXRPQ
@@ -244,11 +244,16 @@ class _SimpleEvaluator:
         self.image_bound = image_bound
         self._use_cache = caching_enabled()
         index = reachability_index(db)
+        self._index = index
+        self._use_product_cache = self._use_cache and product_cache_enabled()
         self.relations = [index.relation(unit.nfa) for unit in plan.units]
         self.db_view = index.view() if self._use_cache else None
         # Shortest synchronising word per (variable, group endpoints); the
         # check only depends on the endpoints, which repeat across morphisms.
         self._sync_cache: Dict[Tuple[str, Tuple[Tuple[Node, Node], ...]], Optional[Tuple]] = {}
+        # The endpoint-parameterised product view of each variable group,
+        # resolved once per evaluation (not once per morphism).
+        self._group_views: Dict[str, object] = {}
 
     # -- morphism enumeration -----------------------------------------------------
 
@@ -284,16 +289,28 @@ class _SimpleEvaluator:
         The synchronisation product only depends on the endpoints the
         morphism assigns to the group's units, so the result is cached per
         endpoint tuple and shared across the (many) morphisms that agree on
-        that part of the assignment.
+        that part of the assignment.  With the product cache on, the product
+        automaton itself comes from the per-database
+        :class:`~repro.graphdb.cache.SynchronisationProductCache` — built
+        once per (db version, unit fingerprints) and parameterised by the
+        endpoints — so its memoised expansion and shortest words are shared
+        across evaluations (e.g. the VSF disjunct combinations) as well.
         """
         members = self.plan.groups[variable]
-        key = (
-            variable,
-            tuple((morphism[self.plan.units[i].source], morphism[self.plan.units[i].target]) for i in members),
+        endpoints = tuple(
+            (morphism[self.plan.units[i].source], morphism[self.plan.units[i].target]) for i in members
         )
+        key = (variable, endpoints)
         if self._use_cache and key in self._sync_cache:
             return self._sync_cache[key]
-        shortest = self._group_product(morphism, members).shortest_word()
+        if self._use_product_cache:
+            view = self._group_views.get(variable)
+            if view is None:
+                view = self._index.group_product([self.plan.units[i].nfa for i in members])
+                self._group_views[variable] = view
+            shortest = view.shortest_word(endpoints)
+        else:
+            shortest = self._group_product(morphism, members).shortest_word()
         if self._use_cache:
             self._sync_cache[key] = shortest
         return shortest

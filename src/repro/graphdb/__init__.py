@@ -4,16 +4,27 @@ from repro.graphdb.database import GraphDatabase, Edge
 from repro.graphdb.paths import (
     reachable_pairs,
     reachable_from,
+    reachable_to,
     evaluate_rpq,
     find_path_word,
     db_nfa_between,
+    bitset_kernel_disabled,
+    bitset_kernel_enabled,
 )
 from repro.graphdb.cache import (
     DatabaseAutomatonView,
     ReachabilityIndex,
+    SynchronisationProduct,
+    SynchronisationProductCache,
+    cache_capacity,
+    cache_stats,
     caching_disabled,
     caching_enabled,
+    invalidate_cache,
+    product_cache_disabled,
+    product_cache_enabled,
     reachability_index,
+    set_cache_capacity,
 )
 
 __all__ = [
@@ -21,12 +32,23 @@ __all__ = [
     "Edge",
     "reachable_pairs",
     "reachable_from",
+    "reachable_to",
     "evaluate_rpq",
     "find_path_word",
     "db_nfa_between",
+    "bitset_kernel_disabled",
+    "bitset_kernel_enabled",
     "DatabaseAutomatonView",
     "ReachabilityIndex",
+    "SynchronisationProduct",
+    "SynchronisationProductCache",
+    "cache_capacity",
+    "cache_stats",
     "caching_disabled",
     "caching_enabled",
+    "invalidate_cache",
+    "product_cache_disabled",
+    "product_cache_enabled",
     "reachability_index",
+    "set_cache_capacity",
 ]

@@ -2,15 +2,18 @@
 
 Every evaluation algorithm of the reproduction (the Lemma 1 CRPQ join, the
 Lemma 3 simple engine, the Theorem 2 VSF engine, the Theorem 6 bounded
-engine and the ECRPQ engine) bottoms out in two primitives:
+engine and the ECRPQ engine) bottoms out in a handful of primitives:
 
 * ``reachable_pairs(db, nfa)`` — which node pairs are connected by a path
-  labelled by a word of ``L(nfa)``, and
+  labelled by a word of ``L(nfa)``,
 * ``db_nfa_between(db, source, targets)`` — the database viewed as an NFA
-  with designated start/accepting states (Section 2.2).
+  with designated start/accepting states (Section 2.2), and
+* the synchronisation product of one string-variable group — the words
+  readable along the database between all the group's endpoint pairs,
+  intersected with the group's unit automata (proof of Lemma 3).
 
-The seed recomputed both from scratch per unit and per candidate morphism.
-This module provides the shared, per-database cache layer:
+The seed recomputed all of them from scratch per unit and per candidate
+morphism.  This module provides the shared, per-database cache layer:
 
 ``ReachabilityIndex``
     memoises reachability relations keyed by a canonical NFA fingerprint
@@ -20,25 +23,148 @@ This module provides the shared, per-database cache layer:
 
 ``DatabaseAutomatonView``
     builds the DB-as-NFA transition table **once** and hands out lightweight
-    parameterised views (start/accepting only), replacing the per-morphism
-    ``db_nfa_between`` rebuild inside the synchronisation checks.
+    *frozen* parameterised views (start/accepting only), replacing the
+    per-morphism ``db_nfa_between`` rebuild inside the synchronisation checks.
 
-Caches are invalidated automatically when the database mutates (tracked via
+``SynchronisationProductCache``
+    builds each ``intersect_all`` synchronisation product **once** per
+    ``(db version, sorted unit fingerprints)`` and hands out
+    endpoint-parameterised views — the same parameterised-view trick as
+    ``DatabaseAutomatonView.between``, pushed one level up to the whole
+    product automaton.
+
+All caches are LRU-bounded (:func:`set_cache_capacity`, default
+:data:`DEFAULT_CACHE_CAPACITY` entries per cache) with hit/miss/eviction
+counters surfaced through :func:`cache_stats`.  Caches are invalidated
+automatically when the database mutates (tracked via
 ``GraphDatabase.version``).  :func:`caching_disabled` switches the layer off
-for A/B benchmarking against the seed behaviour.
+for A/B benchmarking against the seed behaviour; the flag is a
+:class:`contextvars.ContextVar`, so nested and concurrent (threaded/async)
+uses compose correctly.
 """
 
 from __future__ import annotations
 
 import weakref
+from collections import OrderedDict, deque
 from contextlib import contextmanager
-from typing import Dict, Iterable, Optional, Set, Tuple
+from contextvars import ContextVar
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
-from repro.automata.nfa import NFA
+from repro.automata.nfa import EPSILON_LABEL, NFA, intersect_all
 from repro.graphdb.database import GraphDatabase, Node
 from repro.graphdb.paths import product_search, reachable_pairs
 
 Fingerprint = Tuple
+
+#: Default LRU capacity of each individual cache of a :class:`ReachabilityIndex`.
+DEFAULT_CACHE_CAPACITY = 4096
+
+_CACHING: ContextVar[bool] = ContextVar("repro_caching_enabled", default=True)
+_PRODUCT_CACHE: ContextVar[bool] = ContextVar("repro_product_cache_enabled", default=True)
+_CAPACITY_OVERRIDE: ContextVar[Optional[int]] = ContextVar(
+    "repro_cache_capacity", default=None
+)
+_DEFAULT_CAPACITY = DEFAULT_CACHE_CAPACITY
+
+_MISSING = object()
+
+
+# ---------------------------------------------------------------------------
+# LRU primitive
+# ---------------------------------------------------------------------------
+
+
+class LRUCache:
+    """A bounded mapping with least-recently-used eviction and counters.
+
+    ``get`` counts a hit or a miss and refreshes recency; ``peek`` does
+    neither count nor evict (used for internal derivations that must not
+    distort the user-facing statistics).  ``capacity`` of ``None`` means
+    unbounded (counters still work).
+    """
+
+    __slots__ = ("_data", "capacity", "hits", "misses", "evictions")
+
+    def __init__(self, capacity: Optional[int] = None):
+        self._data: "OrderedDict" = OrderedDict()
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key, default=None):
+        value = self._data.get(key, _MISSING)
+        if value is _MISSING:
+            self.misses += 1
+            return default
+        self.hits += 1
+        self._data.move_to_end(key)
+        return value
+
+    def peek(self, key, default=None):
+        """Uncounted lookup (still refreshes recency on a hit)."""
+        value = self._data.get(key, _MISSING)
+        if value is _MISSING:
+            return default
+        self._data.move_to_end(key)
+        return value
+
+    def put(self, key, value) -> None:
+        self._data[key] = value
+        self._data.move_to_end(key)
+        if self.capacity is not None:
+            while len(self._data) > self.capacity:
+                self._data.popitem(last=False)
+                self.evictions += 1
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key) -> bool:
+        return key in self._data
+
+    def stats(self) -> Dict[str, Optional[int]]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "entries": len(self._data),
+            "capacity": self.capacity,
+        }
+
+
+def _current_capacity() -> Optional[int]:
+    override = _CAPACITY_OVERRIDE.get()
+    return _DEFAULT_CAPACITY if override is None else override
+
+
+def set_cache_capacity(capacity: Optional[int]) -> None:
+    """Set the default per-cache LRU capacity for newly created indexes.
+
+    ``None`` means unbounded.  Existing indexes keep their capacity; use
+    :func:`invalidate_cache` (or mutate the database) to rebuild them.
+    """
+    global _DEFAULT_CAPACITY
+    _DEFAULT_CAPACITY = capacity
+
+
+@contextmanager
+def cache_capacity(capacity: Optional[int]):
+    """Context manager overriding the LRU capacity for indexes created inside."""
+    token = _CAPACITY_OVERRIDE.set(capacity)
+    try:
+        yield
+    finally:
+        _CAPACITY_OVERRIDE.reset(token)
+
+
+# ---------------------------------------------------------------------------
+# DB-as-NFA view
+# ---------------------------------------------------------------------------
 
 
 class DatabaseAutomatonView:
@@ -46,8 +172,10 @@ class DatabaseAutomatonView:
 
     State ``0`` (the base NFA's start) is kept as a transitionless dead
     state; every database node gets its own state.  :meth:`between` returns
-    an :class:`NFA` that *shares* the transition table and only carries its
-    own start/accepting states — callers must treat it as read-only.
+    a **frozen** :class:`NFA` that *shares* the transition table and only
+    carries its own start/accepting states — mutating a view raises
+    :class:`~repro.core.errors.FrozenAutomatonError` instead of silently
+    corrupting every other view and the cached base.
     """
 
     __slots__ = ("_base", "_state_of", "_dead")
@@ -60,6 +188,7 @@ class DatabaseAutomatonView:
             state_of[node] = base.add_state()
         for edge in db.edges:
             base.add_transition(state_of[edge.source], edge.label, state_of[edge.target])
+        base.freeze()
         self._base = base
         self._state_of = state_of
 
@@ -72,11 +201,12 @@ class DatabaseAutomatonView:
 
         Language-equivalent to :func:`repro.graphdb.paths.db_nfa_between`,
         but O(|targets|) instead of O(|D|): the transition table is shared
-        with every other view of this database.
+        with every other view of this database.  The view is frozen.
         """
         view = NFA.__new__(NFA)
         view._transitions = self._base._transitions
         view._fingerprint = None
+        view._frozen = True
         view.start = self._state_of.get(source, self._dead)
         view.accepting = {
             self._state_of[target] for target in targets if target in self._state_of
@@ -84,23 +214,287 @@ class DatabaseAutomatonView:
         return view
 
 
+# ---------------------------------------------------------------------------
+# Synchronisation-product cache (Lemma 3 groups / intersect_all)
+# ---------------------------------------------------------------------------
+
+
+class SynchronisationProduct:
+    """One synchronisation product, built once, endpoints parameterised.
+
+    The Lemma 3 check for a string-variable group with unit automata
+    ``u_1 … u_k`` and endpoint pairs ``(s_i, t_i)`` asks for a (shortest)
+    word ``w`` with ``w ∈ L(u_i)`` and ``w`` labelling a database path
+    ``s_i -> t_i`` for every ``i`` — the language of
+    ``intersect_all([db_between(s_1, t_1), u_1, …])``.
+
+    The *transition structure* of that product is independent of the
+    endpoints: a product state is a per-track database node set (one
+    deterministic subset-construction track per unit occurrence) plus a
+    state set of the units' own intersection NFA.  Only the start state
+    (the tuple of source singletons) and the acceptance condition (every
+    track containing its target) depend on the endpoints.  So the expansion
+    is memoised in ``_successors`` and shared by *all* endpoint pairs — the
+    same parameterised-view trick as :meth:`DatabaseAutomatonView.between`,
+    one level up.
+    """
+
+    __slots__ = ("_db_ref", "_units", "_units_start", "_track_count", "_succ", "_shortest")
+
+    def __init__(self, db: GraphDatabase, unit_nfas: Sequence[NFA]):
+        # Weak: this object lives in a per-database cache; a strong
+        # reference back would keep the database alive forever.
+        self._db_ref = weakref.ref(db)
+        self._track_count = len(unit_nfas)
+        self._units = intersect_all(list(unit_nfas))
+        self._units_start = frozenset(self._units.epsilon_closure({self._units.start}))
+        # (tracks, unit_states) -> tuple of (label, successor state)
+        self._succ: Dict[Tuple, Tuple] = {}
+        # endpoints -> shortest synchronising word (or None)
+        self._shortest: Dict[Tuple[Tuple[Node, Node], ...], Optional[Tuple]] = {}
+
+    @property
+    def track_count(self) -> int:
+        return self._track_count
+
+    def _db(self) -> GraphDatabase:
+        db = self._db_ref()
+        if db is None:
+            raise ReferenceError("the database of this SynchronisationProduct was collected")
+        return db
+
+    def shortest_word(
+        self, endpoints: Sequence[Tuple[Node, Node]]
+    ) -> Optional[Tuple]:
+        """A shortest word synchronising the group at ``endpoints``.
+
+        ``endpoints[i]`` is the ``(source, target)`` node pair of track
+        ``i``; returns ``None`` when no synchronising word exists.  Results
+        are memoised per endpoint tuple.
+        """
+        key = tuple(endpoints)
+        if len(key) != self._track_count:
+            raise ValueError(
+                f"expected {self._track_count} endpoint pairs, got {len(key)}"
+            )
+        cached = self._shortest.get(key, _MISSING)
+        if cached is not _MISSING:
+            return cached
+        result = self._search(key)
+        self._shortest[key] = result
+        return result
+
+    # -- lazy product exploration ------------------------------------------------
+
+    def _successors(self, state: Tuple) -> Tuple:
+        cached = self._succ.get(state)
+        if cached is not None:
+            return cached
+        db = self._db()
+        tracks, unit_states = state
+        found: List[Tuple] = []
+        labels = sorted(
+            {
+                label
+                for unit_state in unit_states
+                for label, _target in self._units.transitions_from(unit_state)
+                if label is not EPSILON_LABEL
+            },
+            key=repr,
+        )
+        for label in labels:
+            next_tracks: List[frozenset] = []
+            feasible = True
+            for track in tracks:
+                stepped: Set[Node] = set()
+                for node in track:
+                    stepped.update(db.successors_by_label(node, label))
+                if not stepped:
+                    feasible = False
+                    break
+                next_tracks.append(frozenset(stepped))
+            if not feasible:
+                continue
+            next_units = self._units.step(unit_states, label)
+            if not next_units:
+                continue
+            found.append((label, (tuple(next_tracks), frozenset(next_units))))
+        result = tuple(found)
+        self._succ[state] = result
+        return result
+
+    def _search(self, endpoints: Tuple[Tuple[Node, Node], ...]) -> Optional[Tuple]:
+        db = self._db()
+        nodes = db.nodes
+        for source, target in endpoints:
+            if source not in nodes or target not in nodes:
+                # Matches db_nfa_between: absent endpoints have no paths,
+                # not even the trivial empty one.
+                return None
+        targets = tuple(target for _source, target in endpoints)
+        accepting_units = self._units.accepting
+
+        def accepts(state: Tuple) -> bool:
+            tracks, unit_states = state
+            if not unit_states & accepting_units:
+                return False
+            return all(target in track for target, track in zip(targets, tracks))
+
+        start = (
+            tuple(frozenset((source,)) for source, _target in endpoints),
+            self._units_start,
+        )
+        if accepts(start):
+            return ()
+        parents: Dict[Tuple, Optional[Tuple]] = {start: None}
+        queue = deque([start])
+        while queue:
+            state = queue.popleft()
+            for label, successor in self._successors(state):
+                if successor in parents:
+                    continue
+                parents[successor] = (state, label)
+                if accepts(successor):
+                    word: List = []
+                    current: Optional[Tuple] = successor
+                    while parents[current] is not None:
+                        previous, via = parents[current]
+                        word.append(via)
+                        current = previous
+                    return tuple(reversed(word))
+                queue.append(successor)
+        return None
+
+
+class _OrderedProduct:
+    """A view re-aligning a canonical product with the caller's track order."""
+
+    __slots__ = ("_product", "_order")
+
+    def __init__(self, product: SynchronisationProduct, order: Sequence[int]):
+        self._product = product
+        # ``None`` marks the identity permutation (the overwhelmingly common
+        # single-track case), skipping the re-alignment on every query.
+        self._order = None if list(order) == sorted(order) == list(range(len(order))) else order
+
+    @property
+    def product(self) -> SynchronisationProduct:
+        return self._product
+
+    def shortest_word(
+        self, endpoints: Sequence[Tuple[Node, Node]]
+    ) -> Optional[Tuple]:
+        if self._order is None:
+            return self._product.shortest_word(tuple(endpoints))
+        endpoints = list(endpoints)
+        if len(endpoints) != self._product.track_count:
+            raise ValueError(
+                f"expected {self._product.track_count} endpoint pairs, got {len(endpoints)}"
+            )
+        return self._product.shortest_word(
+            tuple(endpoints[index] for index in self._order)
+        )
+
+
+class SynchronisationProductCache:
+    """LRU cache of synchronisation products.
+
+    Keyed by ``(db version, sorted unit fingerprints)``: the same group of
+    unit automata (in any order) over the same database revision maps to one
+    shared :class:`SynchronisationProduct`, whose memoised expansion then
+    serves every endpoint combination the join enumerates.
+    """
+
+    __slots__ = ("_lru",)
+
+    def __init__(self, capacity: Optional[int] = None):
+        self._lru = LRUCache(capacity if capacity is not None else _current_capacity())
+
+    def product(self, db: GraphDatabase, unit_nfas: Sequence[NFA]) -> _OrderedProduct:
+        """The shared product of ``unit_nfas`` over ``db``, order-normalised.
+
+        Tracks are sorted by fingerprint so permutations of the same unit
+        multiset share a product; the returned view maps the caller's track
+        order onto the canonical one.
+        """
+        fingerprints = [nfa.fingerprint() for nfa in unit_nfas]
+        order = sorted(range(len(unit_nfas)), key=lambda index: repr(fingerprints[index]))
+        key = (db.version, tuple(fingerprints[index] for index in order))
+        product = self._lru.get(key)
+        if product is None:
+            product = SynchronisationProduct(db, [unit_nfas[index] for index in order])
+            self._lru.put(key, product)
+        return _OrderedProduct(product, order)
+
+    def clear(self) -> None:
+        self._lru.clear()
+
+    def stats(self) -> Dict[str, Optional[int]]:
+        return self._lru.stats()
+
+
+def product_cache_enabled() -> bool:
+    """Whether synchronisation checks go through the shared product cache."""
+    return _PRODUCT_CACHE.get()
+
+
+@contextmanager
+def product_cache_disabled():
+    """Context manager bypassing the synchronisation-product cache.
+
+    With the product cache off (but caching otherwise on) the engines fall
+    back to the PR 1 behaviour: one fresh ``intersect_all`` product per
+    synchronisation group and endpoint tuple.  Used as the "B" arm of the
+    A/B/C benchmark.
+    """
+    token = _PRODUCT_CACHE.set(False)
+    try:
+        yield
+    finally:
+        _PRODUCT_CACHE.reset(token)
+
+
+# ---------------------------------------------------------------------------
+# Per-database reachability index
+# ---------------------------------------------------------------------------
+
+
 class ReachabilityIndex:
-    """Per-database memo of reachability relations, keyed by NFA fingerprint."""
+    """Per-database memo of reachability relations, keyed by NFA fingerprint.
 
-    __slots__ = ("_db_ref", "_version", "_pairs", "_from", "_relations", "_view", "hits", "misses")
+    Every constituent cache is LRU-bounded (``capacity`` entries each,
+    default :func:`set_cache_capacity`), so the index's memory stays bounded
+    on long-running workloads; :meth:`stats` (and the module-level
+    :func:`cache_stats`) surface hit/miss/eviction counters per cache.
+    """
 
-    def __init__(self, db: GraphDatabase):
+    __slots__ = (
+        "_db_ref",
+        "_version",
+        "_pairs",
+        "_from",
+        "_by_source",
+        "_relations",
+        "_verdicts",
+        "_products",
+        "_view",
+        "capacity",
+    )
+
+    def __init__(self, db: GraphDatabase, capacity: Optional[int] = None):
         # Weak back-reference: the registry below maps db -> index weakly,
         # and a strong reference here would keep every database (and its
         # O(|V|^2) pair caches) alive for the process lifetime.
         self._db_ref = weakref.ref(db)
         self._version = db.version
-        self._pairs: Dict[Fingerprint, Set[Tuple[Node, Node]]] = {}
-        self._from: Dict[Tuple[Fingerprint, Node], Set[Node]] = {}
-        self._relations: Dict[Fingerprint, object] = {}
+        self.capacity = capacity if capacity is not None else _current_capacity()
+        self._pairs: LRUCache = LRUCache(self.capacity)  # fingerprint -> pair set
+        self._from: LRUCache = LRUCache(self.capacity)  # (fingerprint, source) -> nodes
+        self._by_source: LRUCache = LRUCache(self.capacity)  # fingerprint -> source map
+        self._relations: LRUCache = LRUCache(self.capacity)  # fingerprint -> EdgeRelation
+        self._verdicts: LRUCache = LRUCache(self.capacity)  # ECRPQ sync verdicts
+        self._products = SynchronisationProductCache(self.capacity)
         self._view: Optional[DatabaseAutomatonView] = None
-        self.hits = 0
-        self.misses = 0
 
     @property
     def db(self) -> GraphDatabase:
@@ -115,10 +509,51 @@ class ReachabilityIndex:
         if db.version != self._version:
             self._pairs.clear()
             self._from.clear()
+            self._by_source.clear()
             self._relations.clear()
+            self._verdicts.clear()
+            self._products.clear()
             self._view = None
             self._version = db.version
         return db
+
+    # -- statistics -------------------------------------------------------------
+
+    def _caches(self) -> Dict[str, LRUCache]:
+        return {
+            "pairs": self._pairs,
+            "from": self._from,
+            "by_source": self._by_source,
+            "relations": self._relations,
+            "verdicts": self._verdicts,
+            "products": self._products._lru,
+        }
+
+    def stats(self) -> Dict[str, Dict[str, Optional[int]]]:
+        """Per-cache and total hit/miss/eviction/entry counters."""
+        per_cache = {name: cache.stats() for name, cache in self._caches().items()}
+        totals = {"hits": 0, "misses": 0, "evictions": 0, "entries": 0}
+        for stats in per_cache.values():
+            for counter in totals:
+                totals[counter] += stats[counter]
+        totals["capacity"] = self.capacity
+        per_cache["totals"] = totals
+        return per_cache
+
+    @property
+    def hits(self) -> int:
+        """Total cache hits across all constituent caches."""
+        return sum(cache.hits for cache in self._caches().values())
+
+    @property
+    def misses(self) -> int:
+        """Total cache misses across all constituent caches."""
+        return sum(cache.misses for cache in self._caches().values())
+
+    @property
+    def evictions(self) -> int:
+        """Total LRU evictions across all constituent caches."""
+        return sum(cache.evictions for cache in self._caches().values())
 
     # -- cached primitives ----------------------------------------------------
 
@@ -128,33 +563,47 @@ class ReachabilityIndex:
         key = nfa.fingerprint()
         cached = self._pairs.get(key)
         if cached is not None:
-            self.hits += 1
             return cached
-        self.misses += 1
         pairs = reachable_pairs(db, nfa)
-        self._pairs[key] = pairs
+        self._pairs.put(key, pairs)
         return pairs
 
     def reachable_from(self, nfa: NFA, source: Node) -> Set[Node]:
-        """Nodes reachable from ``source`` via a word of ``L(nfa)``."""
+        """Nodes reachable from ``source`` via a word of ``L(nfa)``.
+
+        When the all-pairs set of ``nfa`` is already cached, a
+        source-indexed map is built from it **once** per fingerprint (a
+        counted miss), and every subsequent source lookup is an O(1) hit —
+        the seed re-filtered the whole pair set on every new source while
+        counting it as a pure hit.
+        """
         db = self._refresh()
         fingerprint = nfa.fingerprint()
+        by_source = self._by_source.peek(fingerprint)
+        if by_source is not None:
+            self._by_source.hits += 1
+            return by_source.get(source, set())
+        full = self._pairs.peek(fingerprint)
+        if full is not None:
+            # One-time derivation from the cached all-pairs set, counted as
+            # a single ``by_source`` miss; afterwards every source is a
+            # dictionary hit.  Without a cached pair set the lookup falls
+            # through to the per-source path below without touching the
+            # ``by_source`` counters (one logical lookup, one counted
+            # hit-or-miss).
+            self._by_source.misses += 1
+            by_source = {}
+            for origin, target in full:
+                by_source.setdefault(origin, set()).add(target)
+            self._by_source.put(fingerprint, by_source)
+            return by_source.get(source, set())
         key = (fingerprint, source)
         cached = self._from.get(key)
         if cached is not None:
-            self.hits += 1
             return cached
-        full = self._pairs.get(fingerprint)
-        if full is not None:
-            # Derived from the already-cached all-pairs set; memoised per
-            # source so repeated lookups skip the filter.
-            self.hits += 1
-            targets = {target for origin, target in full if origin == source}
-        else:
-            self.misses += 1
-            reached = product_search(db, nfa, source)
-            targets = {node for node, states in reached.items() if states & nfa.accepting}
-        self._from[key] = targets
+        reached = product_search(db, nfa, source)
+        targets = {node for node, states in reached.items() if states & nfa.accepting}
+        self._from.put(key, targets)
         return targets
 
     def relation(self, nfa: NFA):
@@ -171,10 +620,9 @@ class ReachabilityIndex:
         key = nfa.fingerprint()
         cached = self._relations.get(key)
         if cached is not None:
-            self.hits += 1
             return cached
         relation = EdgeRelation(self.reachable_pairs(nfa))
-        self._relations[key] = relation
+        self._relations.put(key, relation)
         return relation
 
     def view(self) -> DatabaseAutomatonView:
@@ -184,6 +632,43 @@ class ReachabilityIndex:
             self._view = DatabaseAutomatonView(db)
         return self._view
 
+    def group_product(self, unit_nfas: Sequence[NFA]) -> _OrderedProduct:
+        """The shared synchronisation product of one string-variable group.
+
+        Endpoint pairs passed to the returned view's ``shortest_word`` must
+        be aligned with ``unit_nfas``; the view translates to the cache's
+        canonical track order internally.
+        """
+        db = self._refresh()
+        return self._products.product(db, unit_nfas)
+
+    def sync_verdict(
+        self,
+        relation_nfa: NFA,
+        track_nfas: Sequence[NFA],
+        endpoints: Sequence[Tuple[Node, Node]],
+        compute: Callable[[], bool],
+    ) -> bool:
+        """Memoised ECRPQ synchronisation verdict.
+
+        Keyed by the relation automaton's fingerprint, the per-track edge
+        automata fingerprints and the endpoint pairs; the verdict only
+        depends on those, so it is shared across morphisms *and* across
+        evaluations on the same database.
+        """
+        self._refresh()
+        key = (
+            relation_nfa.fingerprint(),
+            tuple(nfa.fingerprint() for nfa in track_nfas),
+            tuple(endpoints),
+        )
+        cached = self._verdicts.get(key)
+        if cached is not None:
+            return cached
+        verdict = compute()
+        self._verdicts.put(key, verdict)
+        return verdict
+
 
 # ---------------------------------------------------------------------------
 # Per-database registry
@@ -192,12 +677,11 @@ class ReachabilityIndex:
 _INDEXES: "weakref.WeakKeyDictionary[GraphDatabase, ReachabilityIndex]" = (
     weakref.WeakKeyDictionary()
 )
-_CACHING_ENABLED = True
 
 
 def caching_enabled() -> bool:
-    """Whether the shared cache layer is active."""
-    return _CACHING_ENABLED
+    """Whether the shared cache layer is active in the current context."""
+    return _CACHING.get()
 
 
 def reachability_index(db: GraphDatabase) -> ReachabilityIndex:
@@ -208,7 +692,7 @@ def reachability_index(db: GraphDatabase) -> ReachabilityIndex:
     every call, which reproduces the seed's recompute-per-unit behaviour for
     A/B benchmarking.
     """
-    if not _CACHING_ENABLED:
+    if not _CACHING.get():
         return ReachabilityIndex(db)
     index = _INDEXES.get(db)
     if index is None:
@@ -217,13 +701,49 @@ def reachability_index(db: GraphDatabase) -> ReachabilityIndex:
     return index
 
 
+def invalidate_cache(db: GraphDatabase) -> None:
+    """Drop the shared index of ``db`` (a fresh, cold one is built on demand)."""
+    _INDEXES.pop(db, None)
+
+
+def cache_stats(db: Optional[GraphDatabase] = None) -> Dict[str, Dict[str, Optional[int]]]:
+    """Cache statistics for ``db``'s index, or aggregated over all indexes.
+
+    Returns a mapping from cache name (``pairs``, ``from``, ``by_source``,
+    ``relations``, ``verdicts``, ``products``, plus ``totals``) to
+    ``{hits, misses, evictions, entries, capacity}``.
+    """
+    names = ("pairs", "from", "by_source", "relations", "verdicts", "products", "totals")
+    if db is not None:
+        index = _INDEXES.get(db)
+        if index is None:
+            return {
+                name: {"hits": 0, "misses": 0, "evictions": 0, "entries": 0, "capacity": None}
+                for name in names
+            }
+        return index.stats()
+    aggregate: Dict[str, Dict[str, Optional[int]]] = {
+        name: {"hits": 0, "misses": 0, "evictions": 0, "entries": 0, "capacity": None}
+        for name in names
+    }
+    for index in list(_INDEXES.values()):
+        for name, stats in index.stats().items():
+            into = aggregate[name]
+            for counter in ("hits", "misses", "evictions", "entries"):
+                into[counter] += stats[counter]
+    return aggregate
+
+
 @contextmanager
 def caching_disabled():
-    """Context manager that bypasses the shared cache (for benchmarks)."""
-    global _CACHING_ENABLED
-    previous = _CACHING_ENABLED
-    _CACHING_ENABLED = False
+    """Context manager that bypasses the shared cache (for benchmarks).
+
+    Backed by a :class:`contextvars.ContextVar`, so nested uses restore the
+    surrounding state and concurrent threads or async tasks toggling the
+    flag do not re-enable caching underneath each other.
+    """
+    token = _CACHING.set(False)
     try:
         yield
     finally:
-        _CACHING_ENABLED = previous
+        _CACHING.reset(token)

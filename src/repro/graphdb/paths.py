@@ -5,31 +5,228 @@ for a classical regular expression (compiled to an NFA ``M``) and a graph
 database ``D``, compute which node pairs are connected by a path whose label
 lies in ``L(M)``.  The product construction runs in ``O(|D| · |M|)`` per
 source node, matching the textbook NL algorithm behind Lemma 1.
+
+Two generations of the kernel coexist:
+
+* the **bitset kernel** (default) assigns every database node and NFA state
+  a dense integer id and represents frontier/visited sets as int bitmasks,
+  so the inner BFS loop runs on C-speed integer union/difference instead of
+  Python set operations.  ``reachable_pairs`` additionally selects a
+  **backward** product search automatically when the caller restricts the
+  targets and ``|targets| << |sources|`` (BFS over the reversed database
+  with the reversed NFA).
+* the original **set-based kernel** is kept verbatim behind
+  :func:`bitset_kernel_disabled` for A/B benchmarking and as the oracle of
+  the property-style equivalence tests.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Set, Tuple
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.core.alphabet import Alphabet
 from repro.automata.nfa import EPSILON_LABEL, NFA
 from repro.graphdb.database import GraphDatabase, Node
 from repro.regex import syntax as rx
 
+#: When the candidate targets are this many times smaller than the candidate
+#: sources, ``reachable_pairs`` switches to the backward product search.
+BACKWARD_SEARCH_RATIO = 4
 
-def product_search(
-    db: GraphDatabase,
+_BITSET_KERNEL: ContextVar[bool] = ContextVar("repro_bitset_kernel", default=True)
+
+
+def bitset_kernel_enabled() -> bool:
+    """Whether the bitset BFS kernel is active (default) in this context."""
+    return _BITSET_KERNEL.get()
+
+
+@contextmanager
+def bitset_kernel_disabled():
+    """Context manager that falls back to the set-based kernel.
+
+    Context-local (a :class:`contextvars.ContextVar`), so nested uses and
+    concurrent threads/tasks do not interfere — used by the A/B/C benchmark
+    and by the equivalence tests that compare both kernels.
+    """
+    token = _BITSET_KERNEL.set(False)
+    try:
+        yield
+    finally:
+        _BITSET_KERNEL.reset(token)
+
+
+# ---------------------------------------------------------------------------
+# Bitset kernel
+# ---------------------------------------------------------------------------
+
+
+def _iter_bits(mask: int) -> Iterator[int]:
+    """Yield the indices of the set bits of ``mask`` (ascending)."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+class _NfaTables:
+    """Dense bitmask tables of an NFA, with epsilon transitions pre-closed.
+
+    ``closed[s]`` maps each non-epsilon label to the bitmask of the epsilon
+    closures of all ``label``-successors of ``s``; seeding a search with
+    ``start_mask`` (the closure of the start state) then makes explicit
+    epsilon steps unnecessary: every state of a closure is individually
+    present in the visited mask.
+    """
+
+    __slots__ = ("start_mask", "accepting_mask", "accepting_states", "closed")
+
+    def __init__(self, nfa: NFA):
+        closure_masks: List[int] = []
+        for state in range(nfa.num_states):
+            mask = 0
+            for member in nfa.epsilon_closure({state}):
+                mask |= 1 << member
+            closure_masks.append(mask)
+        self.start_mask = closure_masks[nfa.start]
+        accepting_mask = 0
+        for state in nfa.accepting:
+            accepting_mask |= 1 << state
+        self.accepting_mask = accepting_mask
+        self.accepting_states = set(nfa.accepting)
+        closed: List[Dict[Hashable, int]] = []
+        for state in range(nfa.num_states):
+            per_label: Dict[Hashable, int] = {}
+            for label, target in nfa.transitions_from(state):
+                if label is EPSILON_LABEL:
+                    continue
+                per_label[label] = per_label.get(label, 0) | closure_masks[target]
+            closed.append(per_label)
+        self.closed = closed
+
+
+def _product_search_masks(
+    adjacency_of,
+    in_db,
+    tables: _NfaTables,
+    source: Node,
+) -> Dict[Node, int]:
+    """Single-source product BFS; per-node bitmask of reachable NFA states."""
+    reached: Dict[Node, int] = {}
+    if not in_db(source):
+        return reached
+    reached[source] = tables.start_mask
+    queue: deque = deque()
+    queue.append((source, tables.start_mask))
+    closed = tables.closed
+    while queue:
+        node, delta = queue.popleft()
+        adjacency = adjacency_of(node)
+        if not adjacency:
+            continue
+        step: Dict[Hashable, int] = {}
+        for state in _iter_bits(delta):
+            for label, target_mask in closed[state].items():
+                if label in adjacency:
+                    step[label] = step.get(label, 0) | target_mask
+        for label, target_mask in step.items():
+            for db_target in adjacency[label]:
+                known = reached.get(db_target, 0)
+                fresh = target_mask & ~known
+                if fresh:
+                    reached[db_target] = known | fresh
+                    queue.append((db_target, fresh))
+    return reached
+
+
+def _reachable_pairs_bitset(
+    adjacency_of,
+    tables: _NfaTables,
+    candidates: Sequence[Node],
+) -> Set[Tuple[Node, Node]]:
+    """Multi-source product BFS with int-bitmask source sets.
+
+    Every product state ``(node, nfa_state)`` carries the bitmask of source
+    indices known to reach it; newly arrived sources are propagated in bulk
+    via integer or/and-not instead of per-source BFS or Python set algebra.
+    """
+    reached: Dict[Tuple[Node, int], int] = {}
+    dirty: Dict[Tuple[Node, int], int] = {}
+    queue: deque = deque()
+    queued: Set[Tuple[Node, int]] = set()
+    start_states = list(_iter_bits(tables.start_mask))
+    for index, source in enumerate(candidates):
+        bit = 1 << index
+        for state in start_states:
+            key = (source, state)
+            reached[key] = reached.get(key, 0) | bit
+            dirty[key] = dirty.get(key, 0) | bit
+            if key not in queued:
+                queued.add(key)
+                queue.append(key)
+    closed = tables.closed
+    while queue:
+        key = queue.popleft()
+        queued.discard(key)
+        delta = dirty.pop(key, 0)
+        if not delta:
+            continue
+        node, state = key
+        transitions = closed[state]
+        if not transitions:
+            continue
+        adjacency = adjacency_of(node)
+        if not adjacency:
+            continue
+        for label, target_mask in transitions.items():
+            db_targets = adjacency.get(label)
+            if not db_targets:
+                continue
+            for db_target in db_targets:
+                for nfa_target in _iter_bits(target_mask):
+                    successor = (db_target, nfa_target)
+                    known = reached.get(successor, 0)
+                    fresh = delta & ~known
+                    if not fresh:
+                        continue
+                    reached[successor] = known | fresh
+                    dirty[successor] = dirty.get(successor, 0) | fresh
+                    if successor not in queued:
+                        queued.add(successor)
+                        queue.append(successor)
+    accepting = tables.accepting_states
+    pairs: Set[Tuple[Node, Node]] = set()
+    for (node, state), source_mask in reached.items():
+        if state in accepting:
+            for index in _iter_bits(source_mask):
+                pairs.add((candidates[index], node))
+    return pairs
+
+
+def _reverse_adjacency(db: GraphDatabase) -> Dict[Node, Dict[str, List[Node]]]:
+    """The ``node -> {label: [predecessors]}`` index of the reversed database."""
+    reverse: Dict[Node, Dict[str, List[Node]]] = {}
+    for edge in db.edges:
+        reverse.setdefault(edge.target, {}).setdefault(edge.label, []).append(edge.source)
+    return reverse
+
+
+# ---------------------------------------------------------------------------
+# Set-based kernel (seed behaviour, kept as the A/B oracle)
+# ---------------------------------------------------------------------------
+
+
+def _product_search_sets(
+    adjacency_of,
+    in_db,
     nfa: NFA,
     source: Node,
 ) -> Dict[Node, Set[int]]:
-    """All pairs ``(node, nfa_state)`` reachable from ``(source, start)``.
-
-    Returns a mapping from database node to the set of NFA states reachable
-    while walking a common label sequence.
-    """
     reached: Dict[Node, Set[int]] = {}
-    if source not in db.nodes:
+    if not in_db(source):
         # A node outside the database reaches nothing — not even itself via
         # epsilon, because paths of length 0 only exist at database nodes.
         return reached
@@ -40,42 +237,25 @@ def product_search(
         queue.append((source, state))
     while queue:
         node, state = queue.popleft()
+        adjacency = adjacency_of(node)
         for label, nfa_target in nfa.transitions_from(state):
             if label is EPSILON_LABEL:
                 if nfa_target not in reached.get(node, set()):
                     reached.setdefault(node, set()).add(nfa_target)
                     queue.append((node, nfa_target))
                 continue
-            for db_target in db.successors_by_label(node, label):
+            for db_target in adjacency.get(label, ()):
                 if nfa_target not in reached.get(db_target, set()):
                     reached.setdefault(db_target, set()).add(nfa_target)
                     queue.append((db_target, nfa_target))
     return reached
 
 
-def reachable_from(db: GraphDatabase, nfa: NFA, source: Node) -> Set[Node]:
-    """Nodes reachable from ``source`` via a path labelled by a word of ``L(nfa)``."""
-    reached = product_search(db, nfa, source)
-    return {node for node, states in reached.items() if states & nfa.accepting}
-
-
-def reachable_pairs(
+def _reachable_pairs_sets(
     db: GraphDatabase,
     nfa: NFA,
-    sources: Optional[Iterable[Node]] = None,
+    candidates: Sequence[Node],
 ) -> Set[Tuple[Node, Node]]:
-    """All pairs ``(u, v)`` connected by a path labelled by a word of ``L(nfa)``.
-
-    Implemented as a *single* multi-source BFS over the product graph: every
-    product state ``(node, nfa_state)`` carries the set of sources that reach
-    it, and newly arrived sources are propagated in bulk set operations
-    instead of one full BFS per source.  Sources outside the database are
-    ignored (they have no paths, not even the trivial empty one).
-    """
-    candidates = list(sources) if sources is not None else sorted(db.nodes, key=repr)
-    candidates = [source for source in candidates if source in db.nodes]
-    if not candidates:
-        return set()
     initial_states = nfa.epsilon_closure({nfa.start})
     accepting = nfa.accepting
     # reached: product state -> sources known to reach it.
@@ -121,6 +301,156 @@ def reachable_pairs(
             for source in sources_here:
                 pairs.add((source, node))
     return pairs
+
+
+# ---------------------------------------------------------------------------
+# Public API
+# ---------------------------------------------------------------------------
+
+
+def product_search(
+    db: GraphDatabase,
+    nfa: NFA,
+    source: Node,
+) -> Dict[Node, Set[int]]:
+    """All pairs ``(node, nfa_state)`` reachable from ``(source, start)``.
+
+    Returns a mapping from database node to the set of NFA states reachable
+    while walking a common label sequence.
+    """
+    if not _BITSET_KERNEL.get():
+        return _product_search_sets(
+            db.labelled_successors, db.nodes.__contains__, nfa, source
+        )
+    tables = _NfaTables(nfa)
+    masks = _product_search_masks(
+        db.labelled_successors, db.nodes.__contains__, tables, source
+    )
+    return {node: set(_iter_bits(mask)) for node, mask in masks.items()}
+
+
+def reachable_from(db: GraphDatabase, nfa: NFA, source: Node) -> Set[Node]:
+    """Nodes reachable from ``source`` via a path labelled by a word of ``L(nfa)``."""
+    if not _BITSET_KERNEL.get():
+        reached = _product_search_sets(
+            db.labelled_successors, db.nodes.__contains__, nfa, source
+        )
+        return {node for node, states in reached.items() if states & nfa.accepting}
+    tables = _NfaTables(nfa)
+    masks = _product_search_masks(
+        db.labelled_successors, db.nodes.__contains__, tables, source
+    )
+    accepting_mask = tables.accepting_mask
+    return {node for node, mask in masks.items() if mask & accepting_mask}
+
+
+def reachable_to(db: GraphDatabase, nfa: NFA, target: Node) -> Set[Node]:
+    """Nodes that reach ``target`` via a path labelled by a word of ``L(nfa)``.
+
+    The backward counterpart of :func:`reachable_from`: a single-source
+    product BFS from ``target`` over the reversed database with the reversed
+    NFA.
+    """
+    if target not in db.nodes:
+        return set()
+    reversed_nfa = nfa.reverse()
+    reverse = _reverse_adjacency(db)
+    adjacency_of = lambda node: reverse.get(node, {})  # noqa: E731
+    if not _BITSET_KERNEL.get():
+        reached = _product_search_sets(
+            adjacency_of, db.nodes.__contains__, reversed_nfa, target
+        )
+        return {
+            node for node, states in reached.items() if states & reversed_nfa.accepting
+        }
+    tables = _NfaTables(reversed_nfa)
+    masks = _product_search_masks(adjacency_of, db.nodes.__contains__, tables, target)
+    accepting_mask = tables.accepting_mask
+    return {node for node, mask in masks.items() if mask & accepting_mask}
+
+
+def reachable_pairs(
+    db: GraphDatabase,
+    nfa: NFA,
+    sources: Optional[Iterable[Node]] = None,
+    targets: Optional[Iterable[Node]] = None,
+) -> Set[Tuple[Node, Node]]:
+    """All pairs ``(u, v)`` connected by a path labelled by a word of ``L(nfa)``.
+
+    Implemented as a *single* multi-source BFS over the product graph; with
+    the bitset kernel the per-product-state source sets are int bitmasks, so
+    propagation is bulk integer arithmetic.  Nodes outside the database are
+    ignored (they have no paths, not even the trivial empty one).
+
+    ``sources`` and ``targets`` optionally restrict the first/second pair
+    component.  When ``targets`` is given and is much smaller than the
+    candidate source set (ratio :data:`BACKWARD_SEARCH_RATIO`), the search
+    runs **backward** from the targets over the reversed product graph,
+    which costs ``O(|D| · |M|)`` per *target* instead of per source.
+    """
+    # The sorted all-nodes list is only materialised when a forward search
+    # actually needs candidate sources; the backward branch just needs the
+    # candidate count for its selection ratio.
+    source_list: Optional[List[Node]] = None
+    if sources is not None:
+        source_list = [source for source in sources if source in db.nodes]
+        source_count = len(source_list)
+    else:
+        source_count = len(db.nodes)
+    target_list: Optional[List[Node]] = None
+    if targets is not None:
+        seen: Set[Node] = set()
+        target_list = []
+        for target in targets:
+            if target in db.nodes and target not in seen:
+                seen.add(target)
+                target_list.append(target)
+        if not target_list:
+            return set()
+    if not source_count:
+        return set()
+    if (
+        _BITSET_KERNEL.get()
+        and target_list is not None
+        and len(target_list) * BACKWARD_SEARCH_RATIO <= source_count
+    ):
+        pairs = _backward_reachable_pairs(db, nfa, target_list)
+        if source_list is not None:
+            allowed = set(source_list)
+            return {pair for pair in pairs if pair[0] in allowed}
+        return pairs
+    if source_list is None:
+        source_list = sorted(db.nodes, key=repr)
+    if not _BITSET_KERNEL.get():
+        pairs = _reachable_pairs_sets(db, nfa, source_list)
+    else:
+        tables = _NfaTables(nfa)
+        pairs = _reachable_pairs_bitset(db.labelled_successors, tables, source_list)
+    if target_list is not None:
+        allowed = set(target_list)
+        pairs = {pair for pair in pairs if pair[1] in allowed}
+    return pairs
+
+
+def _backward_reachable_pairs(
+    db: GraphDatabase,
+    nfa: NFA,
+    target_list: Sequence[Node],
+) -> Set[Tuple[Node, Node]]:
+    """Multi-source product BFS from the *targets* over the reversed product.
+
+    A pair ``(u, t)`` is connected by a word of ``L(nfa)`` iff ``u`` is
+    reached from ``t`` in the reversed database by the reversed word, which
+    the reversed NFA accepts — so the forward kernel applies verbatim to the
+    reversed structures, with the pair components swapped on the way out.
+    """
+    reversed_nfa = nfa.reverse()
+    reverse = _reverse_adjacency(db)
+    tables = _NfaTables(reversed_nfa)
+    swapped = _reachable_pairs_bitset(
+        lambda node: reverse.get(node, {}), tables, list(target_list)
+    )
+    return {(source, target) for target, source in swapped}
 
 
 def evaluate_rpq(

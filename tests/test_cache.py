@@ -1,12 +1,24 @@
 """Tests for the shared reachability/product cache subsystem."""
 
+import threading
+
+import pytest
+
 from repro.core.alphabet import Alphabet
-from repro.automata.nfa import NFA
+from repro.core.errors import FrozenAutomatonError
+from repro.automata.nfa import NFA, intersect_all
 from repro.graphdb.cache import (
     DatabaseAutomatonView,
+    LRUCache,
     ReachabilityIndex,
+    SynchronisationProductCache,
+    cache_capacity,
+    cache_stats,
     caching_disabled,
     caching_enabled,
+    invalidate_cache,
+    product_cache_disabled,
+    product_cache_enabled,
     reachability_index,
 )
 from repro.graphdb.database import GraphDatabase
@@ -79,8 +91,39 @@ class TestReachabilityIndex:
         index = ReachabilityIndex(db)
         nfa = compiled("a+")
         index.reachable_pairs(nfa)
+        # The first lookup derives a source-indexed map from the cached
+        # all-pairs set — a one-time, counted miss, NOT a linear filter
+        # counted as a hit (the seed's accounting bug).
         assert index.reachable_from(nfa, 0) == {1, 2}
-        assert index.hits >= 1
+        stats = index.stats()
+        assert stats["by_source"]["misses"] == 1
+        assert stats["by_source"]["hits"] == 0
+        # Every further source lookup is an O(1) dictionary hit, whatever
+        # the source, without touching the pair set again.
+        assert index.reachable_from(nfa, 0) == {1, 2}
+        assert index.reachable_from(nfa, 1) == {2}
+        assert index.reachable_from(nfa, 3) == set()
+        stats = index.stats()
+        assert stats["by_source"]["hits"] == 3
+        assert stats["by_source"]["misses"] == 1
+        # No single-source product searches were run at all.
+        assert stats["from"]["misses"] == 0
+
+    def test_reachable_from_without_pairs_counts_one_miss_per_lookup(self):
+        # Without a cached all-pairs set the lookup goes straight to the
+        # per-source path: exactly one counted miss per new source, and the
+        # ``by_source`` counters stay untouched (no double counting).
+        db = chain_db()
+        index = ReachabilityIndex(db)
+        nfa = compiled("a+")
+        assert index.reachable_from(nfa, 0) == {1, 2}
+        assert index.reachable_from(nfa, 1) == {2}
+        assert index.reachable_from(nfa, 0) == {1, 2}
+        stats = index.stats()
+        assert stats["from"]["misses"] == 2
+        assert stats["from"]["hits"] == 1
+        assert stats["by_source"]["misses"] == 0
+        assert stats["by_source"]["hits"] == 0
 
     def test_registry_releases_dropped_databases(self):
         # Regression: the index must not hold a strong reference back to its
@@ -140,3 +183,215 @@ class TestDatabaseAutomatonView:
         rebuilt = index.view()
         assert rebuilt is not view
         assert rebuilt.between(1, [3]).accepts("b")
+
+    def test_views_are_frozen(self):
+        # Regression: views share the base transition table, so a mutation
+        # on one view used to silently corrupt every other view (and the
+        # cached base).  Views are now read-only.
+        db = chain_db()
+        view = DatabaseAutomatonView(db)
+        first = view.between(0, [3])
+        with pytest.raises(FrozenAutomatonError):
+            first.add_transition(first.start, "c", first.start)
+        with pytest.raises(FrozenAutomatonError):
+            first.add_state()
+        with pytest.raises(FrozenAutomatonError):
+            first.set_accepting(first.start)
+        # The shared table (observed through a second view) is untouched.
+        second = view.between(0, [3])
+        assert not second.accepts("c")
+        assert second.accepts("aab")
+        assert first.frozen and second.frozen
+
+    def test_base_automaton_is_frozen_too(self):
+        db = chain_db()
+        view = DatabaseAutomatonView(db)
+        with pytest.raises(FrozenAutomatonError):
+            view._base.add_transition(view._base.start, "a", view._base.start)
+
+
+class TestCachingToggle:
+    def test_nested_contexts_restore_correctly(self):
+        # Regression: the flag used to be a module global, so the inner
+        # context's exit re-enabled caching underneath the outer one.
+        assert caching_enabled()
+        with caching_disabled():
+            assert not caching_enabled()
+            with caching_disabled():
+                assert not caching_enabled()
+            assert not caching_enabled(), "inner exit must not re-enable caching"
+        assert caching_enabled()
+
+    def test_threads_do_not_interfere(self):
+        # A benchmark thread holding caching_disabled() must not have the
+        # flag flipped back by another thread entering and leaving its own
+        # context (ContextVars are per-thread/task).
+        observed = {}
+        barrier = threading.Barrier(2)
+
+        def holder():
+            with caching_disabled():
+                barrier.wait()  # toggler enters its context now
+                barrier.wait()  # toggler has exited again
+                observed["holder"] = caching_enabled()
+
+        def toggler():
+            barrier.wait()
+            with caching_disabled():
+                pass
+            barrier.wait()
+
+        threads = [threading.Thread(target=holder), threading.Thread(target=toggler)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert observed["holder"] is False
+        assert caching_enabled()
+
+
+class TestLRUCache:
+    def test_eviction_order_and_counters(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refreshes "a"; "b" is now oldest
+        cache.put("c", 3)
+        assert cache.evictions == 1
+        assert "b" not in cache and "a" in cache and "c" in cache
+        assert cache.get("b") is None
+        assert cache.stats() == {
+            "hits": 1,
+            "misses": 1,
+            "evictions": 1,
+            "entries": 2,
+            "capacity": 2,
+        }
+
+    def test_peek_does_not_count(self):
+        cache = LRUCache(4)
+        cache.put("a", 1)
+        assert cache.peek("a") == 1
+        assert cache.peek("zzz") is None
+        assert cache.hits == 0 and cache.misses == 0
+
+    def test_unbounded_capacity(self):
+        cache = LRUCache(None)
+        for index in range(100):
+            cache.put(index, index)
+        assert len(cache) == 100 and cache.evictions == 0
+
+
+class TestSynchronisationProductCache:
+    def two_unit_case(self):
+        db = chain_db()
+        units = [compiled("a*b"), NFA.universal("abc")]
+        return db, units
+
+    def oracle_shortest(self, db, units, endpoints):
+        automata = []
+        for (source, target), unit in zip(endpoints, units):
+            automata.append(db_nfa_between(db, source, [target]))
+            automata.append(unit)
+        return intersect_all(automata).shortest_word()
+
+    def assert_equivalent(self, db, units, endpoints, word):
+        oracle = self.oracle_shortest(db, units, endpoints)
+        if oracle is None:
+            assert word is None
+            return
+        assert word is not None
+        assert len(word) == len(oracle)
+        text = "".join(word)
+        for (source, target), unit in zip(endpoints, units):
+            assert unit.accepts(word)
+            assert db.path_exists(source, text, target)
+
+    def test_matches_intersect_all_oracle(self):
+        db, units = self.two_unit_case()
+        cache = SynchronisationProductCache()
+        nodes = sorted(db.nodes, key=repr)
+        for s1 in nodes:
+            for t1 in nodes[:2]:
+                endpoints = ((s1, t1), (s1, t1))
+                word = cache.product(db, units).shortest_word(endpoints)
+                self.assert_equivalent(db, units, endpoints, word)
+
+    def test_product_is_shared_across_endpoints_and_permutations(self):
+        db, units = self.two_unit_case()
+        cache = SynchronisationProductCache()
+        first = cache.product(db, units)
+        second = cache.product(db, units)
+        permuted = cache.product(db, list(reversed(units)))
+        assert first.product is second.product
+        assert first.product is permuted.product
+        assert cache.stats()["entries"] == 1
+        # The permuted view re-aligns the endpoints, so asymmetric endpoint
+        # pairs give the same answer either way.
+        endpoints = ((0, 3), (1, 2))
+        straight = first.shortest_word(endpoints)
+        swapped = permuted.shortest_word((endpoints[1], endpoints[0]))
+        assert (straight is None) == (swapped is None)
+        if straight is not None:
+            assert len(straight) == len(swapped)
+
+    def test_keyed_by_database_version(self):
+        db, units = self.two_unit_case()
+        cache = SynchronisationProductCache()
+        before = cache.product(db, units).product
+        db.add_edge(0, "b", 3)
+        after = cache.product(db, units).product
+        assert before is not after
+        word = after.shortest_word(((0, 3), (0, 3)))
+        self.assert_equivalent(db, units, ((0, 3), (0, 3)), word)
+
+    def test_absent_endpoints_have_no_word(self):
+        db, units = self.two_unit_case()
+        cache = SynchronisationProductCache()
+        assert cache.product(db, units).shortest_word((("ghost", 3), (0, 3))) is None
+        assert cache.product(db, units).shortest_word(((0, "ghost"), (0, 3))) is None
+
+    def test_track_count_mismatch_rejected(self):
+        db, units = self.two_unit_case()
+        cache = SynchronisationProductCache()
+        with pytest.raises(ValueError):
+            cache.product(db, units).shortest_word(((0, 3),))
+
+    def test_product_cache_toggle(self):
+        assert product_cache_enabled()
+        with product_cache_disabled():
+            assert not product_cache_enabled()
+            with product_cache_disabled():
+                assert not product_cache_enabled()
+            assert not product_cache_enabled()
+        assert product_cache_enabled()
+
+
+class TestCacheStats:
+    def test_index_stats_shape(self):
+        db = chain_db()
+        with cache_capacity(7):
+            index = ReachabilityIndex(db)
+        index.reachable_pairs(compiled("a+b"))
+        index.reachable_pairs(compiled("a+b"))
+        stats = index.stats()
+        for name in ("pairs", "from", "by_source", "relations", "verdicts", "products", "totals"):
+            assert name in stats
+        assert stats["pairs"]["hits"] == 1
+        assert stats["pairs"]["misses"] == 1
+        assert stats["pairs"]["capacity"] == 7
+        assert stats["totals"]["hits"] == index.hits
+        assert stats["totals"]["misses"] == index.misses
+
+    def test_module_level_cache_stats(self):
+        db = chain_db()
+        invalidate_cache(db)
+        index = reachability_index(db)
+        index.reachable_pairs(compiled("ab"))
+        per_db = cache_stats(db)
+        assert per_db["pairs"]["misses"] >= 1
+        aggregate = cache_stats()
+        assert aggregate["pairs"]["misses"] >= per_db["pairs"]["misses"]
+        invalidate_cache(db)
+        cold = cache_stats(db)
+        assert cold["pairs"]["misses"] == 0 and cold["pairs"]["hits"] == 0

@@ -131,6 +131,49 @@ class TestSelectEdge:
         large = EdgeRelation([(1, 2), (2, 3)])
         assert _select_edge([0], endpoints, [large, small], {}) == 0
 
+    def test_half_bound_edges_weigh_domain_fanout_not_relation_size(self):
+        # Regression (thm2 @ 160 nodes): with only relation sizes in the
+        # key, semi-join pruning could steer the search into a large
+        # branching region.  The cost model must count the *actual*
+        # candidate domain of the bound endpoint: the big relation with
+        # fan-out 1 from x=1 beats the small relation with fan-out 3.
+        endpoints = [("x", "y"), ("x", "z")]
+        big_relation_small_fanout = EdgeRelation([(1, 2)] + [(9, k) for k in range(10)])
+        small_relation_big_fanout = EdgeRelation([(1, 2), (1, 3), (1, 4)])
+        assert (
+            _select_edge(
+                [0, 1],
+                endpoints,
+                [big_relation_small_fanout, small_relation_big_fanout],
+                {"x": 1},
+            )
+            == 0
+        )
+        # Reversed positions: the decision follows the fan-out, not the index.
+        assert (
+            _select_edge(
+                [0, 1],
+                endpoints,
+                [small_relation_big_fanout, big_relation_small_fanout],
+                {"x": 1},
+            )
+            == 1
+        )
+
+    def test_fully_bound_edges_always_win(self):
+        endpoints = [("x", "y"), ("u", "v")]
+        bound_check = EdgeRelation([(1, 2), (2, 3), (3, 4), (4, 5)])
+        tiny = EdgeRelation([(7, 8)])
+        assert (
+            _select_edge([0, 1], endpoints, [bound_check, tiny], {"x": 1, "y": 2}) == 0
+        )
+
+    def test_backward_fanout_counts_for_target_bound_edges(self):
+        endpoints = [("x", "y"), ("z", "y")]
+        many_sources = EdgeRelation([(k, 5) for k in range(6)])
+        few_sources = EdgeRelation([(1, 5), (2, 6)])
+        assert _select_edge([0, 1], endpoints, [many_sources, few_sources], {"y": 5}) == 1
+
 
 class TestSemijoinReduce:
     def test_dead_pairs_are_pruned(self):

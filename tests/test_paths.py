@@ -9,6 +9,7 @@ from repro.graphdb.paths import (
     find_path_word,
     reachable_from,
     reachable_pairs,
+    reachable_to,
 )
 from repro.regex.parser import parse_xregex
 
@@ -63,6 +64,21 @@ class TestReachability:
         db = chain_db()
         nfa = NFA.from_regex(parse_xregex("ab"), ABC)
         assert reachable_pairs(db, nfa, sources=[1]) == {(1, 3)}
+
+    def test_explicit_targets_restrict_the_pairs(self):
+        db = chain_db()
+        nfa = NFA.from_regex(parse_xregex("a+b"), ABC)
+        # One target against all (five) sources triggers the backward search.
+        assert reachable_pairs(db, nfa, targets=[3]) == {(0, 3), (1, 3), (2, 3)}
+        assert reachable_pairs(db, nfa, sources=[1, 2], targets=[3]) == {(1, 3), (2, 3)}
+        assert reachable_pairs(db, nfa, targets=[0]) == set()
+
+    def test_reachable_to_is_the_backward_reachable_from(self):
+        db = chain_db()
+        nfa = NFA.from_regex(parse_xregex("a+"), ABC)
+        assert reachable_to(db, nfa, 2) == {0, 1, 2}
+        assert reachable_to(db, nfa, 0) == set()
+        assert reachable_to(db, nfa, "ghost") == set()
 
 
 class TestWitnessWords:
