@@ -34,6 +34,11 @@ def edge_relations(
     Relations come from the shared per-database reachability cache, so
     repeated edge regexes (within one query or across queries on the same
     database, e.g. the Theorem 6 instantiation loop) are computed once.
+    With the CSR kernel active they are lazy: the join only materialises
+    the rows it actually branches over, choosing the forward or backward
+    product search per edge from which endpoint is bound — which is what
+    makes :func:`crpq_check` (both output endpoints fixed) run in a few
+    per-source rows instead of full pair sets.
     """
     alphabet = alphabet or db.alphabet()
     index = reachability_index(db)

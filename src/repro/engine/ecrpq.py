@@ -41,6 +41,9 @@ def evaluate_ecrpq(
 ) -> EvaluationResult:
     """Evaluate an ECRPQ, returning ``q(D)``."""
     alphabet = alphabet or db.alphabet()
+    # Lazy CSR relations (see engine.crpq.edge_relations): with ``fixed``
+    # endpoints the join expands per-source rows — backward for
+    # target-bound edges — instead of materialising full pair sets.
     relations, nfas = edge_relations(query, db, alphabet)
     endpoints = [(edge.source, edge.target) for edge in query.pattern.edges]
     constraint_automata = [

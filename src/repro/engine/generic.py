@@ -61,6 +61,8 @@ def evaluate_generic(
     index = reachability_index(db)
     db_view = index.view()
     # Necessary condition: some path (of any label) connects the endpoints.
+    # One shared (lazy, under the CSR kernel) relation serves every edge;
+    # with ``fixed`` endpoints only the touched rows ever materialise.
     relation = index.relation(universal)
     relations = [relation for _ in endpoints]
     result = EvaluationResult()

@@ -9,24 +9,45 @@ once: a greedy, index-backed backtracking join.
 
 from __future__ import annotations
 
-from collections import defaultdict
-from typing import Callable, Dict, Hashable, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from collections import deque
+from typing import Callable, Dict, FrozenSet, Hashable, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 Node = Hashable
 
+#: Shared immutable empty row, handed out for every miss instead of a fresh
+#: ``set()`` allocation inside the innermost backtracking loop.
+_EMPTY_NODES: FrozenSet[Node] = frozenset()
+
 
 class EdgeRelation:
-    """A binary relation over database nodes with hash indexes on both columns."""
+    """A binary relation over database nodes with hash indexes on both columns.
+
+    The row indexes hold **frozen** sets: ``targets_of``/``sources_of`` hand
+    them out directly (no defensive copy per call), and a caller that tries
+    to mutate a returned row gets an ``AttributeError`` instead of silently
+    corrupting the index for every later lookup.  Callers that need a
+    mutable set make their own copy on demand.
+    """
+
+    #: Eager relations always hold their full pair set; the lazy CSR-backed
+    #: relation (:class:`repro.graphdb.cache.LazyRelation`) overrides this.
+    materialised = True
 
     __slots__ = ("pairs", "by_source", "by_target")
 
     def __init__(self, pairs: Iterable[Tuple[Node, Node]]):
         self.pairs: Set[Tuple[Node, Node]] = set(pairs)
-        self.by_source: Dict[Node, Set[Node]] = defaultdict(set)
-        self.by_target: Dict[Node, Set[Node]] = defaultdict(set)
+        by_source: Dict[Node, Set[Node]] = {}
+        by_target: Dict[Node, Set[Node]] = {}
         for source, target in self.pairs:
-            self.by_source[source].add(target)
-            self.by_target[target].add(source)
+            by_source.setdefault(source, set()).add(target)
+            by_target.setdefault(target, set()).add(source)
+        self.by_source: Dict[Node, FrozenSet[Node]] = {
+            source: frozenset(targets) for source, targets in by_source.items()
+        }
+        self.by_target: Dict[Node, FrozenSet[Node]] = {
+            target: frozenset(sources) for target, sources in by_target.items()
+        }
 
     def __contains__(self, pair: Tuple[Node, Node]) -> bool:
         return pair in self.pairs
@@ -34,11 +55,15 @@ class EdgeRelation:
     def __len__(self) -> int:
         return len(self.pairs)
 
-    def targets_of(self, source: Node) -> Set[Node]:
-        return self.by_source.get(source, set())
+    def size_hint(self) -> int:
+        """The cost-model size (exact for eager relations)."""
+        return len(self.pairs)
 
-    def sources_of(self, target: Node) -> Set[Node]:
-        return self.by_target.get(target, set())
+    def targets_of(self, source: Node) -> FrozenSet[Node]:
+        return self.by_source.get(source, _EMPTY_NODES)
+
+    def sources_of(self, target: Node) -> FrozenSet[Node]:
+        return self.by_target.get(target, _EMPTY_NODES)
 
 
 def semijoin_reduce(
@@ -56,41 +81,159 @@ def semijoin_reduce(
     front.  The result enumerates exactly the same complete morphisms, but
     the backtracking search touches far fewer dead branches.  Relations that
     lose no pairs are returned as the original objects (identity preserved).
+
+    Two refinements over the naive fixpoint loop:
+
+    * **dirty-variable worklist** — after the initial pass, an edge is only
+      refiltered when one of its incident variables' domains actually
+      shrank, instead of refiltering every edge's whole pair set per round;
+    * **lazy relations stay lazy** — an unmaterialised CSR-backed relation
+      (``relation.materialised`` is ``False``) enters the fixpoint only
+      once one of its endpoint domains is known, and is then expanded *from
+      that domain* with per-source rows — **backward** (``sources_of``, the
+      reversed product search) when the target side is the bound or smaller
+      one, forward otherwise.  Only when no domain ever becomes available
+      (a pattern component with no fixed variable and no eager edge) is a
+      single lazy edge forced to its full pair set per component, and the
+      domains it yields activate its neighbours row-wise.
     """
     if not edge_endpoints:
         return list(edge_relations)
+    count = len(edge_endpoints)
     domains: Dict[str, Set[Node]] = {
         variable: {value} for variable, value in (fixed or {}).items()
     }
-    pairs_per_edge: List[Set[Tuple[Node, Node]]] = [relation.pairs for relation in edge_relations]
-    changed = True
-    while changed:
-        changed = False
-        filtered_per_edge: List[Set[Tuple[Node, Node]]] = []
-        for (source, target), pairs in zip(edge_endpoints, pairs_per_edge):
-            domain_source = domains.get(source)
-            domain_target = domains.get(target)
-            filtered = {
-                (u, v)
-                for u, v in pairs
-                if (source != target or u == v)
-                and (domain_source is None or u in domain_source)
-                and (domain_target is None or v in domain_target)
+    edges_of_variable: Dict[str, List[int]] = {}
+    for index, (source, target) in enumerate(edge_endpoints):
+        edges_of_variable.setdefault(source, []).append(index)
+        if target != source:
+            edges_of_variable.setdefault(target, []).append(index)
+
+    # ``None`` marks a lazy edge whose expansion is still deferred.
+    pairs_per_edge: List[Optional[Set[Tuple[Node, Node]]]] = [None] * count
+    deferred: Set[int] = set()
+
+    pending: deque = deque()
+    in_pending: Set[str] = set()
+
+    def mark_dirty(variable: str) -> None:
+        if variable not in in_pending:
+            in_pending.add(variable)
+            pending.append(variable)
+
+    def update_domains(index: int) -> None:
+        source, target = edge_endpoints[index]
+        pairs = pairs_per_edge[index]
+        for variable, column in (
+            (source, {u for u, _ in pairs}),
+            (target, {v for _, v in pairs}),
+        ):
+            previous = domains.get(variable)
+            if previous is None:
+                domains[variable] = column
+                mark_dirty(variable)
+            elif not previous <= column:
+                domains[variable] = previous & column
+                mark_dirty(variable)
+
+    def filter_edge(index: int) -> None:
+        source, target = edge_endpoints[index]
+        domain_source = domains.get(source)
+        domain_target = domains.get(target)
+        pairs = pairs_per_edge[index]
+        filtered = {
+            (u, v)
+            for u, v in pairs
+            if (source != target or u == v)
+            and (domain_source is None or u in domain_source)
+            and (domain_target is None or v in domain_target)
+        }
+        pairs_per_edge[index] = filtered
+        update_domains(index)
+
+    def activate_lazy(index: int) -> None:
+        """Expand a deferred lazy edge from its known endpoint domain(s).
+
+        The expansion direction follows the bound side: when the target
+        domain is the (only) known one or the smaller one, the rows come
+        from the backward product search (``sources_of``); otherwise the
+        forward rows are used.
+        """
+        relation = edge_relations[index]
+        source, target = edge_endpoints[index]
+        domain_source = domains.get(source)
+        domain_target = domains.get(target)
+        if source == target:
+            pairs = {
+                (value, value)
+                for value in domain_source
+                if value in relation.targets_of(value)
             }
-            filtered_per_edge.append(filtered)
-            for variable, column in ((source, {u for u, _ in filtered}), (target, {v for _, v in filtered})):
-                previous = domains.get(variable)
-                if previous is None:
-                    domains[variable] = column
-                    changed = True
-                elif not previous <= column:
-                    domains[variable] = previous & column
-                    changed = True
-        pairs_per_edge = filtered_per_edge
-    return [
-        relation if pairs == relation.pairs else EdgeRelation(pairs)
-        for pairs, relation in zip(pairs_per_edge, edge_relations)
-    ]
+        elif domain_target is None or (
+            domain_source is not None and len(domain_source) <= len(domain_target)
+        ):
+            pairs = {
+                (u, v)
+                for u in domain_source
+                for v in relation.targets_of(u)
+                if domain_target is None or v in domain_target
+            }
+        else:
+            pairs = {
+                (u, v)
+                for v in domain_target
+                for u in relation.sources_of(v)
+                if domain_source is None or u in domain_source
+            }
+        deferred.discard(index)
+        pairs_per_edge[index] = pairs
+        update_domains(index)
+
+    # Initial pass: eager (or already materialised) edges are filtered once;
+    # lazy edges whose endpoints have no domain yet are deferred.
+    for index, relation in enumerate(edge_relations):
+        source, target = edge_endpoints[index]
+        if not getattr(relation, "materialised", True) and not (
+            source in domains or target in domains
+        ):
+            deferred.add(index)
+            continue
+        if getattr(relation, "materialised", True):
+            pairs_per_edge[index] = relation.pairs
+            filter_edge(index)
+        else:
+            activate_lazy(index)
+
+    while True:
+        while pending:
+            variable = pending.popleft()
+            in_pending.discard(variable)
+            for index in edges_of_variable.get(variable, ()):
+                if index in deferred:
+                    activate_lazy(index)
+                elif pairs_per_edge[index] is not None:
+                    filter_edge(index)
+        if not deferred:
+            break
+        # A pattern component made solely of lazy edges with no fixed
+        # variable: force exactly one edge, whose columns then activate the
+        # rest of the component row-wise through the worklist (the forced
+        # edge's endpoints had no domains, so ``update_domains`` necessarily
+        # creates them and marks both variables dirty).
+        forced = min(deferred)
+        deferred.discard(forced)
+        pairs_per_edge[forced] = edge_relations[forced].pairs
+        filter_edge(forced)
+
+    reduced: List[EdgeRelation] = []
+    for pairs, relation in zip(pairs_per_edge, edge_relations):
+        # The identity check would force an unmaterialised lazy relation to
+        # its full pair set — compare only when the pairs already exist.
+        if getattr(relation, "materialised", True) and pairs == relation.pairs:
+            reduced.append(relation)
+        else:
+            reduced.append(EdgeRelation(pairs))
+    return reduced
 
 
 def join_morphisms(
@@ -159,10 +302,19 @@ def _select_edge(
     the bound endpoint for half-bound edges — rather than the raw relation
     size alone.  Fully bound edges cost nothing (a membership check that can
     only prune), half-bound edges cost their column fan-out, unbound edges
-    cost the whole relation.  Ties break on the position in ``remaining``,
-    keeping the selection deterministic; relation sizes only enter through
-    the actual domains, which keeps the semi-join pre-pruning from shifting
-    the search into a worse region (the thm2 @ 160 nodes regression).
+    cost the relation's ``size_hint`` (exact for eager relations; for a lazy
+    CSR relation a pessimistic ``n²`` bound, so the planner prefers binding
+    through already-materialised edges first).  Ties break on the position
+    in ``remaining``, keeping the selection deterministic; relation sizes
+    only enter through the actual domains, which keeps the semi-join
+    pre-pruning from shifting the search into a worse region (the thm2 @
+    160 nodes regression).
+
+    For a target-bound edge the fan-out probe *is* the backward product
+    search: a lazy relation's ``sources_of`` row runs over the reversed CSR
+    arrays with the reversed NFA, and the memoised row is then reused by
+    the expansion itself — the planner chooses the search direction simply
+    by which endpoint is bound.
     """
     best_index = remaining[0]
     best_cost: Optional[Tuple[int, int]] = None
@@ -178,7 +330,7 @@ def _select_edge(
         elif target_value is not None:
             cost = (1, len(relation.sources_of(target_value)))
         else:
-            cost = (2, len(relation))
+            cost = (2, relation.size_hint())
         if best_cost is None or cost < best_cost:
             best_cost = cost
             best_index = index

@@ -234,7 +234,13 @@ class _SimpleEvaluator:
     :class:`~repro.graphdb.cache.ReachabilityIndex`: unit relations are
     memoised by NFA fingerprint (identical units — e.g. repeated ``VarRef``
     universal automata — share one relation), and the DB-as-NFA transition
-    table is built once per evaluation instead of once per morphism.
+    table is built once per evaluation instead of once per morphism.  With
+    the CSR kernel active the unit relations are
+    :class:`~repro.graphdb.cache.LazyRelation` views: on endpoint-bound
+    evaluations (``fixed``, the Check problem) dense ``VarRef`` relations
+    expand row by row — backward over the reversed CSR arrays when the
+    target side is the bound one — instead of materialising ``O(n²)`` pair
+    sets, and the synchronisation products explore bitmask track states.
     """
 
     def __init__(self, plan: _UnitPlan, db: GraphDatabase, alphabet: Alphabet, image_bound: Optional[int]):

@@ -31,7 +31,16 @@ morphism.  This module provides the shared, per-database cache layer:
     ``(db version, sorted unit fingerprints)`` and hands out
     endpoint-parameterised views — the same parameterised-view trick as
     ``DatabaseAutomatonView.between``, pushed one level up to the whole
-    product automaton.
+    product automaton.  Under the CSR kernel the product explores **int
+    bitmask** track states over dense node ids instead of frozensets.
+
+``LazyRelation`` / ``ReachabilityIndex.csr()``
+    the third-generation layer: one label-grouped CSR adjacency snapshot
+    (forward *and* reversed) per database version, and reachability
+    relations whose rows (``targets_of``/``sources_of``) are product
+    searches run on demand and memoised per source — dense relations only
+    materialise ``O(n²)`` pair sets when a join genuinely enumerates them
+    unbound.
 
 All caches are LRU-bounded (:func:`set_cache_capacity`, default
 :data:`DEFAULT_CACHE_CAPACITY` entries per cache) with hit/miss/eviction
@@ -49,11 +58,20 @@ import weakref
 from collections import OrderedDict, deque
 from contextlib import contextmanager
 from contextvars import ContextVar
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, Hashable, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.automata.nfa import EPSILON_LABEL, NFA, intersect_all
 from repro.graphdb.database import GraphDatabase, Node
-from repro.graphdb.paths import product_search, reachable_pairs
+from repro.graphdb.paths import (
+    CsrAdjacency,
+    _iter_bits,
+    _NfaTables,
+    _product_search_csr,
+    _reachable_pairs_csr,
+    csr_kernel_enabled,
+    product_search,
+    reachable_pairs,
+)
 
 Fingerprint = Tuple
 
@@ -237,9 +255,27 @@ class SynchronisationProduct:
     is memoised in ``_successors`` and shared by *all* endpoint pairs — the
     same parameterised-view trick as :meth:`DatabaseAutomatonView.between`,
     one level up.
+
+    With the CSR kernel active the per-track node subsets and the unit
+    state set are **int bitmasks** over dense ids (sharing the
+    :class:`~repro.graphdb.paths._NfaTables` machinery of the BFS kernel),
+    so the subset step is bulk integer or-ing over precomputed per-label
+    successor masks instead of per-node set unions.  The frozenset
+    expansion is kept behind :func:`~repro.graphdb.paths.csr_kernel_disabled`
+    as the second-generation oracle; both expansions memoise independently.
     """
 
-    __slots__ = ("_db_ref", "_units", "_units_start", "_track_count", "_succ", "_shortest")
+    __slots__ = (
+        "_db_ref",
+        "_units",
+        "_units_start",
+        "_track_count",
+        "_succ",
+        "_succ_masks",
+        "_unit_tables",
+        "_csr",
+        "_shortest",
+    )
 
     def __init__(self, db: GraphDatabase, unit_nfas: Sequence[NFA]):
         # Weak: this object lives in a per-database cache; a strong
@@ -250,8 +286,12 @@ class SynchronisationProduct:
         self._units_start = frozenset(self._units.epsilon_closure({self._units.start}))
         # (tracks, unit_states) -> tuple of (label, successor state)
         self._succ: Dict[Tuple, Tuple] = {}
-        # endpoints -> shortest synchronising word (or None)
-        self._shortest: Dict[Tuple[Tuple[Node, Node], ...], Optional[Tuple]] = {}
+        # Bitmask twin of ``_succ``: (track masks, unit-state mask) states.
+        self._succ_masks: Dict[Tuple, Tuple] = {}
+        self._unit_tables: Optional[_NfaTables] = None
+        self._csr: Optional[CsrAdjacency] = None
+        # (kernel arm, endpoints) -> shortest synchronising word (or None)
+        self._shortest: Dict[Tuple, Optional[Tuple]] = {}
 
     @property
     def track_count(self) -> int:
@@ -277,12 +317,122 @@ class SynchronisationProduct:
             raise ValueError(
                 f"expected {self._track_count} endpoint pairs, got {len(key)}"
             )
-        cached = self._shortest.get(key, _MISSING)
+        # The memo is keyed by kernel arm as well: the two expansions must
+        # stay independently exercisable, or an A/B toggle on a warm product
+        # would compare the CSR kernel with its own memoised results.
+        use_masks = csr_kernel_enabled()
+        memo_key = (use_masks, key)
+        cached = self._shortest.get(memo_key, _MISSING)
         if cached is not _MISSING:
             return cached
-        result = self._search(key)
-        self._shortest[key] = result
+        result = self._search_masks(key) if use_masks else self._search(key)
+        self._shortest[memo_key] = result
         return result
+
+    # -- bitmask product exploration (third-generation kernel) -------------------
+
+    def _tables(self) -> _NfaTables:
+        """Dense bitmask tables of the units' intersection NFA (built once)."""
+        if self._unit_tables is None:
+            self._unit_tables = _NfaTables(self._units)
+        return self._unit_tables
+
+    def _csr_snapshot(self) -> CsrAdjacency:
+        """The CSR arrays of the product's database (one snapshot, shared)."""
+        if self._csr is None:
+            db = self._db()
+            if _CACHING.get():
+                self._csr = reachability_index(db).csr()
+            else:
+                self._csr = CsrAdjacency(db)
+        return self._csr
+
+    def _successors_masks(self, state: Tuple) -> Tuple:
+        """Successor list of a bitmask product state, memoised.
+
+        ``state`` is ``(track_masks, unit_mask)``: per-track node-id
+        bitmasks plus the epsilon-closed unit-state bitmask.  Per label the
+        track step is a bulk or over the CSR-derived per-node successor
+        masks; the unit step comes pre-closed from ``_NfaTables``.
+        """
+        cached = self._succ_masks.get(state)
+        if cached is not None:
+            return cached
+        csr = self._csr_snapshot()
+        tables = self._tables()
+        tracks, unit_mask = state
+        per_label_units: Dict[Hashable, int] = {}
+        for unit_state in _iter_bits(unit_mask):
+            for label, target_mask in tables.closed[unit_state].items():
+                per_label_units[label] = per_label_units.get(label, 0) | target_mask
+        found: List[Tuple] = []
+        for label in sorted(per_label_units, key=repr):
+            step = csr.step_masks(label)
+            if step is None:
+                continue
+            next_tracks: List[int] = []
+            feasible = True
+            for track in tracks:
+                stepped = 0
+                remaining = track
+                while remaining:
+                    low = remaining & -remaining
+                    stepped |= step[low.bit_length() - 1]
+                    remaining ^= low
+                if not stepped:
+                    feasible = False
+                    break
+                next_tracks.append(stepped)
+            if not feasible:
+                continue
+            found.append((label, (tuple(next_tracks), per_label_units[label])))
+        result = tuple(found)
+        self._succ_masks[state] = result
+        return result
+
+    def _search_masks(self, endpoints: Tuple[Tuple[Node, Node], ...]) -> Optional[Tuple]:
+        """Breadth-first shortest synchronising word over bitmask states."""
+        csr = self._csr_snapshot()
+        node_id = csr.node_id
+        for source, target in endpoints:
+            if source not in node_id or target not in node_id:
+                # Matches db_nfa_between: absent endpoints have no paths,
+                # not even the trivial empty one.
+                return None
+        tables = self._tables()
+        accepting_mask = tables.accepting_mask
+        target_bits = tuple(1 << node_id[target] for _source, target in endpoints)
+
+        def accepts(state: Tuple) -> bool:
+            tracks, unit_mask = state
+            if not unit_mask & accepting_mask:
+                return False
+            return all(bit & track for bit, track in zip(target_bits, tracks))
+
+        start = (
+            tuple(1 << node_id[source] for source, _target in endpoints),
+            tables.start_mask,
+        )
+        if accepts(start):
+            return ()
+        parents: Dict[Tuple, Optional[Tuple]] = {start: None}
+        queue = deque([start])
+        while queue:
+            state = queue.popleft()
+            for label, successor in self._successors_masks(state):
+                if successor in parents:
+                    continue
+                parents[successor] = (state, label)
+                if accepts(successor):
+                    word: List = []
+                    current: Optional[Tuple] = successor
+                    while parents[current] is not None:
+                        previous, via = parents[current]
+                        word.append(via)
+                        current = previous
+                    return tuple(reversed(word))
+                queue.append(successor)
+        return None
 
     # -- lazy product exploration ------------------------------------------------
 
@@ -455,6 +605,131 @@ def product_cache_disabled():
 
 
 # ---------------------------------------------------------------------------
+# Lazy per-source reachability relation (third-generation kernel)
+# ---------------------------------------------------------------------------
+
+_EMPTY_NODES: frozenset = frozenset()
+
+
+class LazyRelation:
+    """A reachability relation materialised row by row, on demand.
+
+    Duck-types :class:`~repro.engine.joins.EdgeRelation`: ``targets_of`` /
+    ``sources_of`` / membership / ``pairs`` / ``len``.  The difference is
+    *when* work happens:
+
+    * ``targets_of(u)`` runs one forward CSR product search from ``u`` (and
+      memoises the row), so a target-unbound edge with a bound source costs
+      ``O(|D| · |M|)`` — never the full pair set;
+    * ``sources_of(v)`` runs the **backward** product search over the
+      reversed CSR arrays with the reversed NFA — the planner's
+      target-bound direction choice bottoms out here;
+    * ``pairs`` (and ``len``) force full materialisation via one
+      multi-source CSR BFS, after which the row indexes are complete and
+      the object behaves exactly like an eager ``EdgeRelation``.
+
+    ``semijoin_reduce`` keeps unmaterialised lazy relations out of the
+    pair-level fixpoint until a neighbouring domain is known, which is what
+    keeps dense relations (e.g. the universal ``VarRef`` automata) from
+    ever materialising ``O(n²)`` pair sets on endpoint-bound workloads.
+    """
+
+    __slots__ = ("_csr", "_tables", "_reversed_tables", "_rows", "_cols", "_pairs")
+
+    def __init__(self, csr: CsrAdjacency, nfa: NFA):
+        self._csr = csr
+        self._tables = _NfaTables(nfa)
+        # The reversed tables are derived eagerly (cheap, O(|M|)) so the
+        # NFA itself does not have to be retained.
+        self._reversed_tables = _NfaTables(nfa.reverse())
+        self._rows: Dict[int, frozenset] = {}  # source id -> frozen target nodes
+        self._cols: Dict[int, frozenset] = {}  # target id -> frozen source nodes
+        self._pairs: Optional[Set[Tuple[Node, Node]]] = None
+
+    @property
+    def materialised(self) -> bool:
+        """Whether the full pair set has been forced already."""
+        return self._pairs is not None
+
+    def size_hint(self) -> int:
+        """An upper bound on ``len(self)`` that never forces materialisation."""
+        if self._pairs is not None:
+            return len(self._pairs)
+        return self._csr.num_nodes * self._csr.num_nodes
+
+    def targets_of(self, source: Node) -> frozenset:
+        source_id = self._csr.node_id.get(source)
+        if source_id is None:
+            return _EMPTY_NODES
+        row = self._rows.get(source_id)
+        if row is None:
+            masks = _product_search_csr(self._csr.forward, self._tables, source_id)
+            accepting = self._tables.accepting_mask
+            nodes = self._csr.nodes
+            row = frozenset(
+                nodes[node] for node, mask in masks.items() if mask & accepting
+            )
+            self._rows[source_id] = row
+        return row
+
+    def sources_of(self, target: Node) -> frozenset:
+        target_id = self._csr.node_id.get(target)
+        if target_id is None:
+            return _EMPTY_NODES
+        column = self._cols.get(target_id)
+        if column is None:
+            masks = _product_search_csr(
+                self._csr.backward, self._reversed_tables, target_id
+            )
+            accepting = self._reversed_tables.accepting_mask
+            nodes = self._csr.nodes
+            column = frozenset(
+                nodes[node] for node, mask in masks.items() if mask & accepting
+            )
+            self._cols[target_id] = column
+        return column
+
+    def __contains__(self, pair: Tuple[Node, Node]) -> bool:
+        source, target = pair
+        if self._pairs is not None:
+            return pair in self._pairs
+        target_id = self._csr.node_id.get(target)
+        if target_id is not None and target_id in self._cols:
+            return source in self._cols[target_id]
+        return target in self.targets_of(source)
+
+    @property
+    def pairs(self) -> Set[Tuple[Node, Node]]:
+        """The full pair set (forces materialisation, then memoised)."""
+        if self._pairs is None:
+            id_pairs = _reachable_pairs_csr(
+                self._csr.forward, self._tables, list(range(self._csr.num_nodes))
+            )
+            nodes = self._csr.nodes
+            self._pairs = {(nodes[u], nodes[v]) for u, v in id_pairs}
+            # Complete the row/column indexes in one pass so subsequent
+            # lookups are dictionary hits, exactly like an eager relation.
+            rows: Dict[int, Set[Node]] = {}
+            cols: Dict[int, Set[Node]] = {}
+            for u, v in id_pairs:
+                rows.setdefault(u, set()).add(nodes[v])
+                cols.setdefault(v, set()).add(nodes[u])
+            self._rows = {
+                u: frozenset(targets) for u, targets in rows.items()
+            }
+            self._cols = {
+                v: frozenset(sources) for v, sources in cols.items()
+            }
+            for node_id in range(self._csr.num_nodes):
+                self._rows.setdefault(node_id, _EMPTY_NODES)
+                self._cols.setdefault(node_id, _EMPTY_NODES)
+        return self._pairs
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+
+# ---------------------------------------------------------------------------
 # Per-database reachability index
 # ---------------------------------------------------------------------------
 
@@ -478,6 +753,7 @@ class ReachabilityIndex:
         "_verdicts",
         "_products",
         "_view",
+        "_csr",
         "capacity",
     )
 
@@ -491,10 +767,11 @@ class ReachabilityIndex:
         self._pairs: LRUCache = LRUCache(self.capacity)  # fingerprint -> pair set
         self._from: LRUCache = LRUCache(self.capacity)  # (fingerprint, source) -> nodes
         self._by_source: LRUCache = LRUCache(self.capacity)  # fingerprint -> source map
-        self._relations: LRUCache = LRUCache(self.capacity)  # fingerprint -> EdgeRelation
+        self._relations: LRUCache = LRUCache(self.capacity)  # fingerprint -> relation
         self._verdicts: LRUCache = LRUCache(self.capacity)  # ECRPQ sync verdicts
         self._products = SynchronisationProductCache(self.capacity)
         self._view: Optional[DatabaseAutomatonView] = None
+        self._csr: LRUCache = LRUCache(1)  # singleton CSR snapshot per version
 
     @property
     def db(self) -> GraphDatabase:
@@ -514,6 +791,7 @@ class ReachabilityIndex:
             self._verdicts.clear()
             self._products.clear()
             self._view = None
+            self._csr.clear()
             self._version = db.version
         return db
 
@@ -527,6 +805,7 @@ class ReachabilityIndex:
             "relations": self._relations,
             "verdicts": self._verdicts,
             "products": self._products._lru,
+            "csr": self._csr,
         }
 
     def stats(self) -> Dict[str, Dict[str, Optional[int]]]:
@@ -606,22 +885,48 @@ class ReachabilityIndex:
         self._from.put(key, targets)
         return targets
 
-    def relation(self, nfa: NFA):
-        """The cached :class:`~repro.engine.joins.EdgeRelation` of ``nfa``.
+    def csr(self) -> CsrAdjacency:
+        """The CSR adjacency snapshot of the database, built once per version.
 
-        Deduplicates the indexed-relation objects as well as the raw pair
-        sets, so identical unit automata share one relation instance.
+        Covers both directions, so repeated backward queries
+        (``reachable_to`` / ``reachable_pairs(targets=…)``) share one
+        reversed index instead of re-deriving it per call; the build shows
+        up as a single counted miss under ``cache_stats()['csr']`` and every
+        reuse as a hit.
+        """
+        db = self._refresh()
+        csr = self._csr.get(db.version)
+        if csr is None:
+            csr = CsrAdjacency(db)
+            self._csr.put(csr.version, csr)
+        return csr
+
+    def relation(self, nfa: NFA):
+        """The cached join relation of ``nfa``.
+
+        With the CSR kernel active this is a :class:`LazyRelation` — rows
+        are product searches run on demand and memoised per source/target,
+        so a dense relation only ever materialises the part a join actually
+        touches.  With the CSR kernel off (the second-generation arm) it is
+        an eagerly materialised :class:`~repro.engine.joins.EdgeRelation`
+        over the full pair set.  Either way the relation objects are
+        deduplicated by fingerprint, so identical unit automata share one
+        instance (and its memoised rows).
         """
         # Local import: the engine layer imports graphdb.cache at module
         # scope, so importing joins lazily avoids a circular import.
         from repro.engine.joins import EdgeRelation
 
         self._refresh()
-        key = nfa.fingerprint()
+        lazy = csr_kernel_enabled()
+        key = (lazy, nfa.fingerprint())
         cached = self._relations.get(key)
         if cached is not None:
             return cached
-        relation = EdgeRelation(self.reachable_pairs(nfa))
+        if lazy:
+            relation = LazyRelation(self.csr(), nfa)
+        else:
+            relation = EdgeRelation(self.reachable_pairs(nfa))
         self._relations.put(key, relation)
         return relation
 
@@ -710,10 +1015,19 @@ def cache_stats(db: Optional[GraphDatabase] = None) -> Dict[str, Dict[str, Optio
     """Cache statistics for ``db``'s index, or aggregated over all indexes.
 
     Returns a mapping from cache name (``pairs``, ``from``, ``by_source``,
-    ``relations``, ``verdicts``, ``products``, plus ``totals``) to
+    ``relations``, ``verdicts``, ``products``, ``csr``, plus ``totals``) to
     ``{hits, misses, evictions, entries, capacity}``.
     """
-    names = ("pairs", "from", "by_source", "relations", "verdicts", "products", "totals")
+    names = (
+        "pairs",
+        "from",
+        "by_source",
+        "relations",
+        "verdicts",
+        "products",
+        "csr",
+        "totals",
+    )
     if db is not None:
         index = _INDEXES.get(db)
         if index is None:

@@ -6,15 +6,23 @@ database ``D``, compute which node pairs are connected by a path whose label
 lies in ``L(M)``.  The product construction runs in ``O(|D| · |M|)`` per
 source node, matching the textbook NL algorithm behind Lemma 1.
 
-Two generations of the kernel coexist:
+Three generations of the kernel coexist:
 
-* the **bitset kernel** (default) assigns every database node and NFA state
-  a dense integer id and represents frontier/visited sets as int bitmasks,
-  so the inner BFS loop runs on C-speed integer union/difference instead of
-  Python set operations.  ``reachable_pairs`` additionally selects a
-  **backward** product search automatically when the caller restricts the
-  targets and ``|targets| << |sources|`` (BFS over the reversed database
-  with the reversed NFA).
+* the **CSR kernel** (default) walks :class:`CsrAdjacency` — label-grouped
+  ``indptr``/``indices`` arrays over dense node ids, built **once per
+  database version** in both the forward and the reversed direction and
+  shared through the per-database :class:`~repro.graphdb.cache.ReachabilityIndex`.
+  The inner BFS loop indexes flat integer arrays instead of hashing node
+  objects, and backward searches reuse the memoised reversed arrays instead
+  of rebuilding a reversed-edge index per call.
+* the **bitset kernel** assigns every database node and NFA state a dense
+  integer id and represents frontier/visited sets as int bitmasks, so the
+  inner BFS loop runs on C-speed integer union/difference instead of Python
+  set operations.  ``reachable_pairs`` additionally selects a **backward**
+  product search automatically when the caller restricts the targets and
+  ``|targets| << |sources|`` (BFS over the reversed database with the
+  reversed NFA).  It remains available behind :func:`csr_kernel_disabled`
+  as the second-generation A/B arm.
 * the original **set-based kernel** is kept verbatim behind
   :func:`bitset_kernel_disabled` for A/B benchmarking and as the oracle of
   the property-style equivalence tests.
@@ -37,6 +45,7 @@ from repro.regex import syntax as rx
 BACKWARD_SEARCH_RATIO = 4
 
 _BITSET_KERNEL: ContextVar[bool] = ContextVar("repro_bitset_kernel", default=True)
+_CSR_KERNEL: ContextVar[bool] = ContextVar("repro_csr_kernel", default=True)
 
 
 def bitset_kernel_enabled() -> bool:
@@ -57,6 +66,30 @@ def bitset_kernel_disabled():
         yield
     finally:
         _BITSET_KERNEL.reset(token)
+
+
+def csr_kernel_enabled() -> bool:
+    """Whether the third-generation CSR kernel is active in this context.
+
+    The CSR kernel builds on the bitset representation, so disabling the
+    bitset kernel also disables the CSR kernel.
+    """
+    return _CSR_KERNEL.get() and _BITSET_KERNEL.get()
+
+
+@contextmanager
+def csr_kernel_disabled():
+    """Context manager that falls back to the second-generation bitset kernel.
+
+    With the CSR kernel off (but the bitset kernel on) the searches run over
+    the per-node adjacency dictionaries and relations are materialised
+    eagerly — the PR 2 behaviour, kept as the "C" arm of the benchmark.
+    """
+    token = _CSR_KERNEL.set(False)
+    try:
+        yield
+    finally:
+        _CSR_KERNEL.reset(token)
 
 
 # ---------------------------------------------------------------------------
@@ -106,6 +139,192 @@ class _NfaTables:
                 per_label[label] = per_label.get(label, 0) | closure_masks[target]
             closed.append(per_label)
         self.closed = closed
+
+
+class CsrAdjacency:
+    """Label-grouped CSR adjacency arrays of one database snapshot.
+
+    Every node gets a dense integer id (``node_id`` / ``nodes``); for each
+    label the successors are stored as a classic ``indptr``/``indices``
+    array pair (``indptr[u]:indptr[u+1]`` is the slice of ``indices``
+    holding ``u``'s targets).  Both the **forward** and the **reversed**
+    direction are built in one pass over the edge list, so backward product
+    searches never rebuild a reversed-edge index per call — the snapshot is
+    memoised per database version by
+    :meth:`repro.graphdb.cache.ReachabilityIndex.csr`.
+
+    The snapshot holds no reference back to the database: like an eager pair
+    set, it describes the database *version* it was built from.
+    """
+
+    __slots__ = ("version", "nodes", "node_id", "num_nodes", "forward", "backward",
+                 "_step_masks")
+
+    def __init__(self, db: GraphDatabase):
+        self.version = db.version
+        self.nodes: List[Node] = sorted(db.nodes, key=repr)
+        self.node_id: Dict[Node, int] = {node: index for index, node in enumerate(self.nodes)}
+        self.num_nodes = len(self.nodes)
+        forward_per_label: Dict[str, List[Tuple[int, int]]] = {}
+        backward_per_label: Dict[str, List[Tuple[int, int]]] = {}
+        node_id = self.node_id
+        for edge in db.edges:
+            source_id = node_id[edge.source]
+            target_id = node_id[edge.target]
+            forward_per_label.setdefault(edge.label, []).append((source_id, target_id))
+            backward_per_label.setdefault(edge.label, []).append((target_id, source_id))
+        self.forward = {
+            label: self._pack(pairs) for label, pairs in forward_per_label.items()
+        }
+        self.backward = {
+            label: self._pack(pairs) for label, pairs in backward_per_label.items()
+        }
+        # Per-label successor bitmasks (node id -> int mask), derived lazily
+        # from the forward CSR slices for the bitset product-track stepping.
+        self._step_masks: Dict[str, List[int]] = {}
+
+    def _pack(self, pairs: List[Tuple[int, int]]) -> Tuple[List[int], List[int]]:
+        """Counting-sort ``(source, target)`` id pairs into indptr/indices."""
+        n = self.num_nodes
+        indptr = [0] * (n + 1)
+        for source_id, _target_id in pairs:
+            indptr[source_id + 1] += 1
+        for index in range(n):
+            indptr[index + 1] += indptr[index]
+        indices = [0] * len(pairs)
+        cursor = list(indptr)
+        for source_id, target_id in pairs:
+            indices[cursor[source_id]] = target_id
+            cursor[source_id] += 1
+        return indptr, indices
+
+    def step_masks(self, label: str) -> Optional[List[int]]:
+        """Per-node successor bitmasks for ``label`` (``None`` if unused).
+
+        ``masks[u]`` is the int bitmask of the ``label``-successors of node
+        id ``u``; built once per label on first use and shared by every
+        product-track step.
+        """
+        masks = self._step_masks.get(label)
+        if masks is None:
+            entry = self.forward.get(label)
+            if entry is None:
+                return None
+            indptr, indices = entry
+            masks = [0] * self.num_nodes
+            for node in range(self.num_nodes):
+                mask = 0
+                for position in range(indptr[node], indptr[node + 1]):
+                    mask |= 1 << indices[position]
+                masks[node] = mask
+            self._step_masks[label] = masks
+        return masks
+
+
+def _shared_csr(db: GraphDatabase) -> CsrAdjacency:
+    """The per-database-version CSR snapshot, via the shared cache layer.
+
+    Routed through :func:`repro.graphdb.cache.reachability_index` so the
+    arrays are built once per database version (with honest hit/miss
+    counters under ``cache_stats()['csr']``); under ``caching_disabled`` a
+    fresh snapshot is built per call, reproducing the seed's
+    rebuild-per-query behaviour for A/B measurements.
+    """
+    # Local import: cache imports this module at module scope.
+    from repro.graphdb.cache import reachability_index
+
+    return reachability_index(db).csr()
+
+
+def _product_search_csr(
+    label_csr: Dict[str, Tuple[List[int], List[int]]],
+    tables: _NfaTables,
+    source_id: int,
+) -> Dict[int, int]:
+    """Single-source product BFS over CSR arrays; node id -> NFA state mask."""
+    reached: Dict[int, int] = {source_id: tables.start_mask}
+    queue: deque = deque()
+    queue.append((source_id, tables.start_mask))
+    closed = tables.closed
+    while queue:
+        node, delta = queue.popleft()
+        step: Dict[Hashable, int] = {}
+        for state in _iter_bits(delta):
+            for label, target_mask in closed[state].items():
+                step[label] = step.get(label, 0) | target_mask
+        for label, target_mask in step.items():
+            entry = label_csr.get(label)
+            if entry is None:
+                continue
+            indptr, indices = entry
+            for position in range(indptr[node], indptr[node + 1]):
+                db_target = indices[position]
+                known = reached.get(db_target, 0)
+                fresh = target_mask & ~known
+                if fresh:
+                    reached[db_target] = known | fresh
+                    queue.append((db_target, fresh))
+    return reached
+
+
+def _reachable_pairs_csr(
+    label_csr: Dict[str, Tuple[List[int], List[int]]],
+    tables: _NfaTables,
+    candidates: Sequence[int],
+) -> Set[Tuple[int, int]]:
+    """Multi-source product BFS over CSR arrays (dense-id counterpart of
+    :func:`_reachable_pairs_bitset`); returns ``(candidate id, node id)``
+    pairs."""
+    reached: Dict[Tuple[int, int], int] = {}
+    dirty: Dict[Tuple[int, int], int] = {}
+    queue: deque = deque()
+    queued: Set[Tuple[int, int]] = set()
+    start_states = list(_iter_bits(tables.start_mask))
+    for index, source_id in enumerate(candidates):
+        bit = 1 << index
+        for state in start_states:
+            key = (source_id, state)
+            reached[key] = reached.get(key, 0) | bit
+            dirty[key] = dirty.get(key, 0) | bit
+            if key not in queued:
+                queued.add(key)
+                queue.append(key)
+    closed = tables.closed
+    while queue:
+        key = queue.popleft()
+        queued.discard(key)
+        delta = dirty.pop(key, 0)
+        if not delta:
+            continue
+        node, state = key
+        transitions = closed[state]
+        if not transitions:
+            continue
+        for label, target_mask in transitions.items():
+            entry = label_csr.get(label)
+            if entry is None:
+                continue
+            indptr, indices = entry
+            for position in range(indptr[node], indptr[node + 1]):
+                db_target = indices[position]
+                for nfa_target in _iter_bits(target_mask):
+                    successor = (db_target, nfa_target)
+                    known = reached.get(successor, 0)
+                    fresh = delta & ~known
+                    if not fresh:
+                        continue
+                    reached[successor] = known | fresh
+                    dirty[successor] = dirty.get(successor, 0) | fresh
+                    if successor not in queued:
+                        queued.add(successor)
+                        queue.append(successor)
+    accepting = tables.accepting_states
+    pairs: Set[Tuple[int, int]] = set()
+    for (node, state), source_mask in reached.items():
+        if state in accepting:
+            for index in _iter_bits(source_mask):
+                pairs.add((candidates[index], node))
+    return pairs
 
 
 def _product_search_masks(
@@ -323,6 +542,14 @@ def product_search(
             db.labelled_successors, db.nodes.__contains__, nfa, source
         )
     tables = _NfaTables(nfa)
+    if csr_kernel_enabled():
+        csr = _shared_csr(db)
+        source_id = csr.node_id.get(source)
+        if source_id is None:
+            return {}
+        id_masks = _product_search_csr(csr.forward, tables, source_id)
+        nodes = csr.nodes
+        return {nodes[node]: set(_iter_bits(mask)) for node, mask in id_masks.items()}
     masks = _product_search_masks(
         db.labelled_successors, db.nodes.__contains__, tables, source
     )
@@ -337,10 +564,18 @@ def reachable_from(db: GraphDatabase, nfa: NFA, source: Node) -> Set[Node]:
         )
         return {node for node, states in reached.items() if states & nfa.accepting}
     tables = _NfaTables(nfa)
+    accepting_mask = tables.accepting_mask
+    if csr_kernel_enabled():
+        csr = _shared_csr(db)
+        source_id = csr.node_id.get(source)
+        if source_id is None:
+            return set()
+        id_masks = _product_search_csr(csr.forward, tables, source_id)
+        nodes = csr.nodes
+        return {nodes[node] for node, mask in id_masks.items() if mask & accepting_mask}
     masks = _product_search_masks(
         db.labelled_successors, db.nodes.__contains__, tables, source
     )
-    accepting_mask = tables.accepting_mask
     return {node for node, mask in masks.items() if mask & accepting_mask}
 
 
@@ -354,6 +589,16 @@ def reachable_to(db: GraphDatabase, nfa: NFA, target: Node) -> Set[Node]:
     if target not in db.nodes:
         return set()
     reversed_nfa = nfa.reverse()
+    if csr_kernel_enabled():
+        # The reversed adjacency comes from the per-version CSR snapshot —
+        # built once and shared with every other backward search instead of
+        # re-indexing the whole edge list per call.
+        csr = _shared_csr(db)
+        tables = _NfaTables(reversed_nfa)
+        id_masks = _product_search_csr(csr.backward, tables, csr.node_id[target])
+        accepting_mask = tables.accepting_mask
+        nodes = csr.nodes
+        return {nodes[node] for node, mask in id_masks.items() if mask & accepting_mask}
     reverse = _reverse_adjacency(db)
     adjacency_of = lambda node: reverse.get(node, {})  # noqa: E731
     if not _BITSET_KERNEL.get():
@@ -419,10 +664,27 @@ def reachable_pairs(
             allowed = set(source_list)
             return {pair for pair in pairs if pair[0] in allowed}
         return pairs
-    if source_list is None:
+    if source_list is None and not csr_kernel_enabled():
         source_list = sorted(db.nodes, key=repr)
     if not _BITSET_KERNEL.get():
         pairs = _reachable_pairs_sets(db, nfa, source_list)
+    elif csr_kernel_enabled():
+        csr = _shared_csr(db)
+        if source_list is None:
+            source_ids: List[int] = list(range(csr.num_nodes))
+        else:
+            # Duplicate candidates collapse onto one dense id each.
+            seen_ids: Set[int] = set()
+            source_ids = []
+            for source in source_list:
+                source_id = csr.node_id[source]
+                if source_id not in seen_ids:
+                    seen_ids.add(source_id)
+                    source_ids.append(source_id)
+        tables = _NfaTables(nfa)
+        id_pairs = _reachable_pairs_csr(csr.forward, tables, source_ids)
+        nodes = csr.nodes
+        pairs = {(nodes[source_id], nodes[node]) for source_id, node in id_pairs}
     else:
         tables = _NfaTables(nfa)
         pairs = _reachable_pairs_bitset(db.labelled_successors, tables, source_list)
@@ -445,8 +707,20 @@ def _backward_reachable_pairs(
     reversed structures, with the pair components swapped on the way out.
     """
     reversed_nfa = nfa.reverse()
-    reverse = _reverse_adjacency(db)
     tables = _NfaTables(reversed_nfa)
+    if csr_kernel_enabled():
+        csr = _shared_csr(db)
+        target_ids = []
+        seen_ids: Set[int] = set()
+        for target in target_list:
+            target_id = csr.node_id[target]
+            if target_id not in seen_ids:
+                seen_ids.add(target_id)
+                target_ids.append(target_id)
+        swapped_ids = _reachable_pairs_csr(csr.backward, tables, target_ids)
+        nodes = csr.nodes
+        return {(nodes[source], nodes[target]) for target, source in swapped_ids}
+    reverse = _reverse_adjacency(db)
     swapped = _reachable_pairs_bitset(
         lambda node: reverse.get(node, {}), tables, list(target_list)
     )

@@ -20,6 +20,31 @@ class TestEdgeRelation:
         assert relation.targets_of(1) == set()
         assert len(relation) == 0
 
+    def test_misses_share_one_immutable_empty_row(self):
+        # Regression: every miss used to allocate a fresh ``set()`` inside
+        # the innermost backtracking loop.
+        relation = EdgeRelation([(1, 2)])
+        assert relation.targets_of("absent") is relation.sources_of("absent")
+        assert relation.targets_of("absent") is EdgeRelation([]).targets_of(0)
+
+    def test_caller_mutation_cannot_corrupt_the_index(self):
+        # Regression: hits used to hand out the mutable index sets — a
+        # caller calling ``.add``/``.discard`` on the result silently
+        # corrupted the relation for every later lookup.
+        relation = EdgeRelation([(1, 2), (1, 3), (2, 3)])
+        row = relation.targets_of(1)
+        with pytest.raises(AttributeError):
+            row.add(99)
+        with pytest.raises(AttributeError):
+            relation.sources_of(3).discard(1)
+        with pytest.raises(AttributeError):
+            relation.targets_of("absent").add(99)
+        # Mutating a caller-made copy is fine and leaves the index intact.
+        copy = set(row)
+        copy.add(99)
+        assert relation.targets_of(1) == {2, 3}
+        assert relation.sources_of(3) == {1, 2}
+
 
 class TestJoinMorphisms:
     def test_two_edge_chain(self):
