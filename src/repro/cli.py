@@ -5,24 +5,41 @@ Usage examples::
     python -m repro.cli classify "x{a|b}(&x|c)+"
     python -m repro.cli evaluate graph.edges --edge "x w{a|b} y" --edge "y &w z" --output x z
     python -m repro.cli evaluate graph.json  --edge "x a+b y" --boolean --image-bound 2
+    python -m repro.cli batch requests.jsonl --database social=social.edges
+    python -m repro.cli serve --database social=social.edges < requests.jsonl
 
 Each ``--edge`` takes three whitespace-separated fields: the source node
 variable, the xregex label (surface syntax of :mod:`repro.regex.parser`, so
 labels themselves must not contain whitespace), and the target node variable.
+
+``serve`` and ``batch`` speak the JSON-lines protocol of
+:mod:`repro.service.requests`: one request object per line in, one response
+envelope per line out.  ``serve`` streams from stdin (responses are written
+as they complete and carry the request ``id``); ``batch`` evaluates a file
+of requests and prints the responses in input order.
 """
 
 from __future__ import annotations
 
 import argparse
+import asyncio
 import sys
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, TextIO
 
 from repro.core.errors import ReproError
 from repro.engine.engine import evaluate
+from repro.graphdb.cache import cache_stats
 from repro.graphdb.io import load_database
 from repro.queries.cxrpq import CXRPQ
 from repro.regex import properties as props
 from repro.regex.parser import parse_xregex
+from repro.service import (
+    DatabaseRegistry,
+    QueryRequest,
+    QueryService,
+    render_cache_stats,
+    render_service_stats,
+)
 
 
 def _parse_edge_argument(argument: str):
@@ -65,6 +82,50 @@ def build_parser() -> argparse.ArgumentParser:
         help="opt into the bounded oracle for unrestricted queries (max path length)",
     )
     run.add_argument("--limit", type=int, default=20, help="maximum number of answer tuples to print")
+    run.add_argument(
+        "--stats",
+        action="store_true",
+        help="print the database's cache statistics after evaluation",
+    )
+
+    def add_service_arguments(command):
+        command.add_argument(
+            "--database",
+            dest="databases",
+            action="append",
+            default=[],
+            metavar="NAME=PATH",
+            help="register a database shard under NAME (repeatable); requests may "
+            "also reference graph file paths directly",
+        )
+        command.add_argument("--concurrency", type=int, default=2, help="worker count")
+        command.add_argument(
+            "--batch-size", type=int, default=8, help="maximum tickets per shard batch"
+        )
+        command.add_argument(
+            "--max-pending", type=int, default=256, help="admission queue bound"
+        )
+        command.add_argument(
+            "--no-dedup",
+            action="store_true",
+            help="disable in-flight deduplication of identical requests",
+        )
+        command.add_argument(
+            "--stats",
+            action="store_true",
+            help="print service and per-shard cache statistics to stderr at the end",
+        )
+
+    serve = commands.add_parser(
+        "serve", help="serve JSONL query requests from stdin (responses on stdout)"
+    )
+    add_service_arguments(serve)
+
+    batch = commands.add_parser(
+        "batch", help="evaluate a JSONL request file; responses in input order"
+    )
+    batch.add_argument("requests", help="path to a JSON-lines request file")
+    add_service_arguments(batch)
     return parser
 
 
@@ -107,7 +168,99 @@ def command_evaluate(arguments: argparse.Namespace) -> int:
         print(f"answers  : {len(result.tuples)}")
         for row in sorted(result.tuples, key=repr)[: arguments.limit]:
             print("  ", row)
+    if arguments.stats:
+        # Same renderer as the serving layer's per-shard telemetry, so the
+        # ad-hoc CLI view and `repro serve --stats` cannot drift apart.
+        print(render_cache_stats(cache_stats(db)))
     return 0
+
+
+def _build_service(arguments: argparse.Namespace) -> QueryService:
+    for option in ("concurrency", "batch_size", "max_pending"):
+        if getattr(arguments, option) < 1:
+            raise ReproError(f"--{option.replace('_', '-')} must be at least 1")
+    registry = DatabaseRegistry()
+    for declaration in arguments.databases:
+        name, separator, path = declaration.partition("=")
+        if not separator or not name or not path:
+            raise ReproError(
+                f"--database expects NAME=PATH, got {declaration!r}"
+            )
+        registry.load(name, path)
+    return QueryService(
+        registry,
+        concurrency=arguments.concurrency,
+        max_pending=arguments.max_pending,
+        batch_size=arguments.batch_size,
+        dedup=not arguments.no_dedup,
+    )
+
+
+def command_serve(arguments: argparse.Namespace, in_stream: Optional[TextIO] = None) -> int:
+    """The stdin/stdout JSON-lines request loop (no network dependency).
+
+    Responses are written as their evaluations complete — possibly out of
+    order across databases — and carry the request ``id`` for correlation;
+    submission applies backpressure once ``--max-pending`` is reached.
+    """
+    service = _build_service(arguments)
+    stream = in_stream if in_stream is not None else sys.stdin
+
+    async def run() -> None:
+        async with service:
+            tasks = set()
+
+            def emit(task: "asyncio.Task") -> None:
+                tasks.discard(task)
+                if not task.cancelled():
+                    print(task.result().to_json(), flush=True)
+
+            while True:
+                # The blocking read happens on a thread, so queued work keeps
+                # draining while we wait for the next request line.
+                line = await asyncio.to_thread(stream.readline)
+                if not line:
+                    break
+                line = line.strip()
+                if not line:
+                    continue
+                # Backpressure must bound the *task set*, not just the
+                # broker queue: stop reading new lines while max-pending
+                # submissions are already in flight, or a piped request
+                # firehose would accumulate one task per line.
+                while len(tasks) >= arguments.max_pending:
+                    await asyncio.wait(tasks, return_when=asyncio.FIRST_COMPLETED)
+                task = asyncio.create_task(service.submit_line(line, overflow="wait"))
+                tasks.add(task)
+                task.add_done_callback(emit)
+            if tasks:
+                await asyncio.gather(*tasks)
+        if arguments.stats:
+            print(render_service_stats(service.stats()), file=sys.stderr)
+
+    asyncio.run(run())
+    return 0
+
+
+def command_batch(arguments: argparse.Namespace) -> int:
+    """Evaluate a JSONL request file; print responses in input order."""
+    service = _build_service(arguments)
+    with open(arguments.requests, "r", encoding="utf-8") as handle:
+        lines = [line.strip() for line in handle if line.strip()]
+
+    async def run() -> List:
+        async with service:
+            return await service.run_batch_lines(lines)
+
+    results = asyncio.run(run())
+    failures = 0
+    for result in results:
+        if not result.ok:
+            failures += 1
+        print(result.to_json())
+    if arguments.stats:
+        print(render_service_stats(service.stats()), file=sys.stderr)
+    return 0 if failures == 0 else 1
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -116,6 +269,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     try:
         if arguments.command == "classify":
             return command_classify(arguments)
+        if arguments.command == "serve":
+            return command_serve(arguments)
+        if arguments.command == "batch":
+            return command_batch(arguments)
         return command_evaluate(arguments)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)

@@ -60,6 +60,48 @@ def evaluate(
     raise EvaluationError(f"unsupported query type {type(query).__name__}")
 
 
+def _select_cxrpq_engine(
+    query: CXRPQ, generic_path_bound: Optional[int]
+) -> Optional[str]:
+    """The engine the dispatcher would pick for ``query``, or ``None``.
+
+    ``None`` means no complete algorithm applies (an unrestricted CXRPQ
+    without an image bound and without the bounded-oracle opt-in).  Shared
+    by :func:`evaluate` and :func:`can_evaluate`, so admission-time
+    validation (e.g. the query service rejecting unservable requests before
+    queueing them) cannot drift from the dispatch itself.
+    """
+    fragment = query.fragment()
+    if fragment is Fragment.CRPQ:
+        return "crpq"
+    if query.image_bound is not None:
+        return "bounded"
+    if fragment is Fragment.SIMPLE:
+        return "simple"
+    if fragment in (Fragment.VSF, Fragment.VSF_FLAT):
+        return "vsf"
+    if generic_path_bound is not None:
+        return "generic"
+    return None
+
+
+def can_evaluate(query: Query, *, generic_path_bound: Optional[int] = None) -> bool:
+    """Whether :func:`evaluate` has a (complete or opted-in) engine for ``query``.
+
+    Never evaluates anything; used for admission-time validation so that a
+    request which would only fail at evaluation time can be rejected before
+    it consumes queue capacity.
+    """
+    if isinstance(query, UnionQuery):
+        return all(
+            can_evaluate(member, generic_path_bound=generic_path_bound)
+            for member in query.queries
+        )
+    if isinstance(query, CXRPQ):
+        return _select_cxrpq_engine(query, generic_path_bound) is not None
+    return isinstance(query, (CRPQ, ECRPQ))
+
+
 def _evaluate_cxrpq(
     query: CXRPQ,
     db: GraphDatabase,
@@ -67,20 +109,20 @@ def _evaluate_cxrpq(
     generic_path_bound: Optional[int],
     **kwargs,
 ) -> EvaluationResult:
-    fragment = query.fragment()
-    if fragment is Fragment.CRPQ:
+    engine = _select_cxrpq_engine(query, generic_path_bound)
+    if engine == "crpq":
         crpq = CRPQ(
             [(edge.source, edge.label, edge.target) for edge in query.pattern.edges],
             query.output_variables,
         )
         return evaluate_crpq(crpq, db, alphabet, **kwargs)
-    if query.image_bound is not None:
+    if engine == "bounded":
         return evaluate_bounded(query, db, alphabet=alphabet, **kwargs)
-    if fragment is Fragment.SIMPLE:
+    if engine == "simple":
         return evaluate_simple(query, db, alphabet, **kwargs)
-    if fragment in (Fragment.VSF, Fragment.VSF_FLAT):
+    if engine == "vsf":
         return evaluate_vsf(query, db, alphabet, **kwargs)
-    if generic_path_bound is not None:
+    if engine == "generic":
         return evaluate_generic(query, db, generic_path_bound, alphabet, **kwargs)
     raise EvaluationError(
         "the query is not vstar-free and has no image bound; no complete evaluation "

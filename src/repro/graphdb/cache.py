@@ -78,6 +78,12 @@ Fingerprint = Tuple
 #: Default LRU capacity of each individual cache of a :class:`ReachabilityIndex`.
 DEFAULT_CACHE_CAPACITY = 4096
 
+#: The ``lazy_rows`` store cache holds this many times the index capacity:
+#: a row store must outlive the relation objects it serves, or eviction
+#: churn in the ``relations`` LRU would take the memoised rows down with
+#: every evicted relation (the two caches would cycle in lockstep).
+LAZY_ROW_GENERATIONS = 4
+
 _CACHING: ContextVar[bool] = ContextVar("repro_caching_enabled", default=True)
 _PRODUCT_CACHE: ContextVar[bool] = ContextVar("repro_product_cache_enabled", default=True)
 _CAPACITY_OVERRIDE: ContextVar[Optional[int]] = ContextVar(
@@ -611,6 +617,28 @@ def product_cache_disabled():
 _EMPTY_NODES: frozenset = frozenset()
 
 
+class _LazyRowStore:
+    """The row/column memo of a lazy relation, shareable across generations.
+
+    :class:`LazyRelation` objects live in the LRU-bounded ``relations`` cache
+    of a :class:`ReachabilityIndex`; under eviction churn a relation object
+    can die and be rebuilt many times for the same ``(db version, NFA
+    fingerprint)``.  The *rows* it memoised are pure functions of exactly
+    that key, so they are kept in this separate store, handed to every
+    fingerprint-equal relation the index creates — an evicted-and-rebuilt
+    relation starts with all previously computed rows instead of re-running
+    the product searches.  The stores themselves sit in their own LRU
+    (``cache_stats()['lazy_rows']``), so total memory stays bounded.
+    """
+
+    __slots__ = ("rows", "cols", "pairs")
+
+    def __init__(self):
+        self.rows: Dict[int, frozenset] = {}  # source id -> frozen target nodes
+        self.cols: Dict[int, frozenset] = {}  # target id -> frozen source nodes
+        self.pairs: Optional[Set[Tuple[Node, Node]]] = None
+
+
 class LazyRelation:
     """A reachability relation materialised row by row, on demand.
 
@@ -634,34 +662,43 @@ class LazyRelation:
     ever materialising ``O(n²)`` pair sets on endpoint-bound workloads.
     """
 
-    __slots__ = ("_csr", "_tables", "_reversed_tables", "_rows", "_cols", "_pairs")
+    __slots__ = ("_csr", "_tables", "_reversed_tables", "_store")
 
-    def __init__(self, csr: CsrAdjacency, nfa: NFA):
+    def __init__(
+        self,
+        csr: CsrAdjacency,
+        nfa: NFA,
+        tables: Optional[_NfaTables] = None,
+        reversed_tables: Optional[_NfaTables] = None,
+        store: Optional[_LazyRowStore] = None,
+    ):
         self._csr = csr
-        self._tables = _NfaTables(nfa)
+        self._tables = tables if tables is not None else _NfaTables(nfa)
         # The reversed tables are derived eagerly (cheap, O(|M|)) so the
         # NFA itself does not have to be retained.
-        self._reversed_tables = _NfaTables(nfa.reverse())
-        self._rows: Dict[int, frozenset] = {}  # source id -> frozen target nodes
-        self._cols: Dict[int, frozenset] = {}  # target id -> frozen source nodes
-        self._pairs: Optional[Set[Tuple[Node, Node]]] = None
+        self._reversed_tables = (
+            reversed_tables if reversed_tables is not None else _NfaTables(nfa.reverse())
+        )
+        # The row memo may be shared with fingerprint-equal relations of
+        # other LRU generations (see _LazyRowStore).
+        self._store = store if store is not None else _LazyRowStore()
 
     @property
     def materialised(self) -> bool:
         """Whether the full pair set has been forced already."""
-        return self._pairs is not None
+        return self._store.pairs is not None
 
     def size_hint(self) -> int:
         """An upper bound on ``len(self)`` that never forces materialisation."""
-        if self._pairs is not None:
-            return len(self._pairs)
+        if self._store.pairs is not None:
+            return len(self._store.pairs)
         return self._csr.num_nodes * self._csr.num_nodes
 
     def targets_of(self, source: Node) -> frozenset:
         source_id = self._csr.node_id.get(source)
         if source_id is None:
             return _EMPTY_NODES
-        row = self._rows.get(source_id)
+        row = self._store.rows.get(source_id)
         if row is None:
             masks = _product_search_csr(self._csr.forward, self._tables, source_id)
             accepting = self._tables.accepting_mask
@@ -669,14 +706,14 @@ class LazyRelation:
             row = frozenset(
                 nodes[node] for node, mask in masks.items() if mask & accepting
             )
-            self._rows[source_id] = row
+            self._store.rows[source_id] = row
         return row
 
     def sources_of(self, target: Node) -> frozenset:
         target_id = self._csr.node_id.get(target)
         if target_id is None:
             return _EMPTY_NODES
-        column = self._cols.get(target_id)
+        column = self._store.cols.get(target_id)
         if column is None:
             masks = _product_search_csr(
                 self._csr.backward, self._reversed_tables, target_id
@@ -686,27 +723,29 @@ class LazyRelation:
             column = frozenset(
                 nodes[node] for node, mask in masks.items() if mask & accepting
             )
-            self._cols[target_id] = column
+            self._store.cols[target_id] = column
         return column
 
     def __contains__(self, pair: Tuple[Node, Node]) -> bool:
         source, target = pair
-        if self._pairs is not None:
-            return pair in self._pairs
+        store = self._store
+        if store.pairs is not None:
+            return pair in store.pairs
         target_id = self._csr.node_id.get(target)
-        if target_id is not None and target_id in self._cols:
-            return source in self._cols[target_id]
+        if target_id is not None and target_id in store.cols:
+            return source in store.cols[target_id]
         return target in self.targets_of(source)
 
     @property
     def pairs(self) -> Set[Tuple[Node, Node]]:
         """The full pair set (forces materialisation, then memoised)."""
-        if self._pairs is None:
+        store = self._store
+        if store.pairs is None:
             id_pairs = _reachable_pairs_csr(
                 self._csr.forward, self._tables, list(range(self._csr.num_nodes))
             )
             nodes = self._csr.nodes
-            self._pairs = {(nodes[u], nodes[v]) for u, v in id_pairs}
+            store.pairs = {(nodes[u], nodes[v]) for u, v in id_pairs}
             # Complete the row/column indexes in one pass so subsequent
             # lookups are dictionary hits, exactly like an eager relation.
             rows: Dict[int, Set[Node]] = {}
@@ -714,16 +753,16 @@ class LazyRelation:
             for u, v in id_pairs:
                 rows.setdefault(u, set()).add(nodes[v])
                 cols.setdefault(v, set()).add(nodes[u])
-            self._rows = {
+            store.rows = {
                 u: frozenset(targets) for u, targets in rows.items()
             }
-            self._cols = {
+            store.cols = {
                 v: frozenset(sources) for v, sources in cols.items()
             }
             for node_id in range(self._csr.num_nodes):
-                self._rows.setdefault(node_id, _EMPTY_NODES)
-                self._cols.setdefault(node_id, _EMPTY_NODES)
-        return self._pairs
+                store.rows.setdefault(node_id, _EMPTY_NODES)
+                store.cols.setdefault(node_id, _EMPTY_NODES)
+        return store.pairs
 
     def __len__(self) -> int:
         return len(self.pairs)
@@ -754,6 +793,8 @@ class ReachabilityIndex:
         "_products",
         "_view",
         "_csr",
+        "_nfa_tables",
+        "_lazy_rows",
         "capacity",
     )
 
@@ -772,6 +813,12 @@ class ReachabilityIndex:
         self._products = SynchronisationProductCache(self.capacity)
         self._view: Optional[DatabaseAutomatonView] = None
         self._csr: LRUCache = LRUCache(1)  # singleton CSR snapshot per version
+        self._nfa_tables: LRUCache = LRUCache(self.capacity)  # (reverse, fp) -> tables
+        # (version, fp) -> row store; oversized relative to the relation LRU
+        # so stores survive relation eviction churn (see LAZY_ROW_GENERATIONS).
+        self._lazy_rows: LRUCache = LRUCache(
+            None if self.capacity is None else self.capacity * LAZY_ROW_GENERATIONS
+        )
 
     @property
     def db(self) -> GraphDatabase:
@@ -792,6 +839,8 @@ class ReachabilityIndex:
             self._products.clear()
             self._view = None
             self._csr.clear()
+            self._nfa_tables.clear()
+            self._lazy_rows.clear()
             self._version = db.version
         return db
 
@@ -806,6 +855,8 @@ class ReachabilityIndex:
             "verdicts": self._verdicts,
             "products": self._products._lru,
             "csr": self._csr,
+            "nfa_tables": self._nfa_tables,
+            "lazy_rows": self._lazy_rows,
         }
 
     def stats(self) -> Dict[str, Dict[str, Optional[int]]]:
@@ -885,6 +936,27 @@ class ReachabilityIndex:
         self._from.put(key, targets)
         return targets
 
+    def nfa_tables(self, nfa: NFA, reverse: bool = False) -> _NfaTables:
+        """The dense bitmask tables of ``nfa``, memoised by fingerprint.
+
+        Every public kernel entry point used to rebuild
+        :class:`~repro.graphdb.paths._NfaTables` per call — cheap
+        individually, but repeated for every ``paths`` query on the same
+        unit automaton.  Tables only depend on the automaton (not on the
+        database), so they are memoised under the automaton's fingerprint;
+        ``reverse=True`` memoises the tables of ``nfa.reverse()`` under the
+        *forward* fingerprint, so backward searches share one reversal per
+        automaton as well.  Counters surface under
+        ``cache_stats()['nfa_tables']``.
+        """
+        self._refresh()
+        key = (reverse, nfa.fingerprint())
+        tables = self._nfa_tables.get(key)
+        if tables is None:
+            tables = _NfaTables(nfa.reverse() if reverse else nfa)
+            self._nfa_tables.put(key, tables)
+        return tables
+
     def csr(self) -> CsrAdjacency:
         """The CSR adjacency snapshot of the database, built once per version.
 
@@ -912,19 +984,38 @@ class ReachabilityIndex:
         over the full pair set.  Either way the relation objects are
         deduplicated by fingerprint, so identical unit automata share one
         instance (and its memoised rows).
+
+        Lazy relations draw their row memo from a shared
+        :class:`_LazyRowStore` keyed by ``(db version, fingerprint)``:
+        when eviction churn in the ``relations`` LRU drops and recreates a
+        relation, the recreated object starts with every previously
+        computed row instead of a cold memo
+        (``cache_stats()['lazy_rows']``).
         """
         # Local import: the engine layer imports graphdb.cache at module
         # scope, so importing joins lazily avoids a circular import.
         from repro.engine.joins import EdgeRelation
 
-        self._refresh()
+        db = self._refresh()
         lazy = csr_kernel_enabled()
-        key = (lazy, nfa.fingerprint())
+        fingerprint = nfa.fingerprint()
+        key = (lazy, fingerprint)
         cached = self._relations.get(key)
         if cached is not None:
             return cached
         if lazy:
-            relation = LazyRelation(self.csr(), nfa)
+            store_key = (db.version, fingerprint)
+            store = self._lazy_rows.get(store_key)
+            if store is None:
+                store = _LazyRowStore()
+                self._lazy_rows.put(store_key, store)
+            relation = LazyRelation(
+                self.csr(),
+                nfa,
+                tables=self.nfa_tables(nfa),
+                reversed_tables=self.nfa_tables(nfa, reverse=True),
+                store=store,
+            )
         else:
             relation = EdgeRelation(self.reachable_pairs(nfa))
         self._relations.put(key, relation)
@@ -1015,7 +1106,8 @@ def cache_stats(db: Optional[GraphDatabase] = None) -> Dict[str, Dict[str, Optio
     """Cache statistics for ``db``'s index, or aggregated over all indexes.
 
     Returns a mapping from cache name (``pairs``, ``from``, ``by_source``,
-    ``relations``, ``verdicts``, ``products``, ``csr``, plus ``totals``) to
+    ``relations``, ``verdicts``, ``products``, ``csr``, ``nfa_tables``,
+    ``lazy_rows``, plus ``totals``) to
     ``{hits, misses, evictions, entries, capacity}``.
     """
     names = (
@@ -1026,6 +1118,8 @@ def cache_stats(db: Optional[GraphDatabase] = None) -> Dict[str, Dict[str, Optio
         "verdicts",
         "products",
         "csr",
+        "nfa_tables",
+        "lazy_rows",
         "totals",
     )
     if db is not None:

@@ -113,9 +113,45 @@ def save_json(db: GraphDatabase, path: PathLike) -> None:
     Path(path).write_text(dumps_json(db), encoding="utf-8")
 
 
-def load_database(path: PathLike, alphabet: Optional[Alphabet] = None) -> GraphDatabase:
-    """Load a database, guessing the format from the file extension."""
+def sniff_format(path: PathLike) -> str:
+    """Guess the graph format of a file: ``"json"`` or ``"edges"``.
+
+    The extension wins (``.json`` → JSON, anything else → edge list) except
+    for extension-less or generic (``.txt``) files, where the first
+    non-whitespace character decides: JSON graph files always start with
+    ``{``, edge lists never do (``#`` comments, ``node`` declarations or a
+    source identifier).
+    """
     path = Path(path)
-    if path.suffix.lower() == ".json":
+    suffix = path.suffix.lower()
+    if suffix == ".json":
+        return "json"
+    if suffix in ("", ".txt"):
+        try:
+            with open(path, "r", encoding="utf-8", errors="replace") as handle:
+                head = handle.read(256)
+        except OSError:
+            return "edges"
+        if head.lstrip().startswith("{"):
+            return "json"
+    return "edges"
+
+
+def load_database(
+    path: PathLike,
+    alphabet: Optional[Alphabet] = None,
+    fmt: Optional[str] = None,
+) -> GraphDatabase:
+    """Load a database, guessing the format from the file unless ``fmt`` is given.
+
+    ``fmt`` may be ``"json"`` or ``"edges"`` to force a parser (the database
+    registry of :mod:`repro.service` passes it through for explicitly
+    declared shards); otherwise :func:`sniff_format` decides.
+    """
+    if fmt is None:
+        fmt = sniff_format(path)
+    if fmt == "json":
         return load_json(path, alphabet)
-    return load_edge_list(path, alphabet)
+    if fmt == "edges":
+        return load_edge_list(path, alphabet)
+    raise GraphFormatError(f"unknown graph format {fmt!r} (expected 'json' or 'edges')")

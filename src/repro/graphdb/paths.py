@@ -221,6 +221,23 @@ class CsrAdjacency:
         return masks
 
 
+def _shared_tables(db: GraphDatabase, nfa: NFA, reverse: bool = False) -> _NfaTables:
+    """The bitmask tables of ``nfa`` (or its reversal), via the shared cache.
+
+    Memoised by NFA fingerprint in the per-database
+    :class:`~repro.graphdb.cache.ReachabilityIndex` (counters under
+    ``cache_stats()['nfa_tables']``); under ``caching_disabled`` a fresh
+    table set is built per call, reproducing the rebuild-per-query seed
+    behaviour for A/B measurements.
+    """
+    # Local import: cache imports this module at module scope.
+    from repro.graphdb.cache import caching_enabled, reachability_index
+
+    if caching_enabled():
+        return reachability_index(db).nfa_tables(nfa, reverse=reverse)
+    return _NfaTables(nfa.reverse() if reverse else nfa)
+
+
 def _shared_csr(db: GraphDatabase) -> CsrAdjacency:
     """The per-database-version CSR snapshot, via the shared cache layer.
 
@@ -541,7 +558,7 @@ def product_search(
         return _product_search_sets(
             db.labelled_successors, db.nodes.__contains__, nfa, source
         )
-    tables = _NfaTables(nfa)
+    tables = _shared_tables(db, nfa)
     if csr_kernel_enabled():
         csr = _shared_csr(db)
         source_id = csr.node_id.get(source)
@@ -563,7 +580,7 @@ def reachable_from(db: GraphDatabase, nfa: NFA, source: Node) -> Set[Node]:
             db.labelled_successors, db.nodes.__contains__, nfa, source
         )
         return {node for node, states in reached.items() if states & nfa.accepting}
-    tables = _NfaTables(nfa)
+    tables = _shared_tables(db, nfa)
     accepting_mask = tables.accepting_mask
     if csr_kernel_enabled():
         csr = _shared_csr(db)
@@ -588,13 +605,12 @@ def reachable_to(db: GraphDatabase, nfa: NFA, target: Node) -> Set[Node]:
     """
     if target not in db.nodes:
         return set()
-    reversed_nfa = nfa.reverse()
     if csr_kernel_enabled():
         # The reversed adjacency comes from the per-version CSR snapshot —
         # built once and shared with every other backward search instead of
         # re-indexing the whole edge list per call.
         csr = _shared_csr(db)
-        tables = _NfaTables(reversed_nfa)
+        tables = _shared_tables(db, nfa, reverse=True)
         id_masks = _product_search_csr(csr.backward, tables, csr.node_id[target])
         accepting_mask = tables.accepting_mask
         nodes = csr.nodes
@@ -602,13 +618,14 @@ def reachable_to(db: GraphDatabase, nfa: NFA, target: Node) -> Set[Node]:
     reverse = _reverse_adjacency(db)
     adjacency_of = lambda node: reverse.get(node, {})  # noqa: E731
     if not _BITSET_KERNEL.get():
+        reversed_nfa = nfa.reverse()
         reached = _product_search_sets(
             adjacency_of, db.nodes.__contains__, reversed_nfa, target
         )
         return {
             node for node, states in reached.items() if states & reversed_nfa.accepting
         }
-    tables = _NfaTables(reversed_nfa)
+    tables = _shared_tables(db, nfa, reverse=True)
     masks = _product_search_masks(adjacency_of, db.nodes.__contains__, tables, target)
     accepting_mask = tables.accepting_mask
     return {node for node, mask in masks.items() if mask & accepting_mask}
@@ -681,12 +698,12 @@ def reachable_pairs(
                 if source_id not in seen_ids:
                     seen_ids.add(source_id)
                     source_ids.append(source_id)
-        tables = _NfaTables(nfa)
+        tables = _shared_tables(db, nfa)
         id_pairs = _reachable_pairs_csr(csr.forward, tables, source_ids)
         nodes = csr.nodes
         pairs = {(nodes[source_id], nodes[node]) for source_id, node in id_pairs}
     else:
-        tables = _NfaTables(nfa)
+        tables = _shared_tables(db, nfa)
         pairs = _reachable_pairs_bitset(db.labelled_successors, tables, source_list)
     if target_list is not None:
         allowed = set(target_list)
@@ -706,8 +723,7 @@ def _backward_reachable_pairs(
     the reversed NFA accepts — so the forward kernel applies verbatim to the
     reversed structures, with the pair components swapped on the way out.
     """
-    reversed_nfa = nfa.reverse()
-    tables = _NfaTables(reversed_nfa)
+    tables = _shared_tables(db, nfa, reverse=True)
     if csr_kernel_enabled():
         csr = _shared_csr(db)
         target_ids = []

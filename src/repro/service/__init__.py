@@ -1,0 +1,48 @@
+"""``repro.service`` — the async batched query-serving layer.
+
+A production-shaped subsystem above the evaluation kernel: named database
+shards loaded once (:class:`DatabaseRegistry`), a bounded admission queue
+with per-shard FIFO batching and in-flight request deduplication
+(:class:`QueryBroker`), and a worker pool that evaluates each batch with
+**database affinity** — one shard's warm caches per worker at a time, with
+per-shard locking around the non-thread-safe index
+(:class:`EvaluationWorkerPool`).  :class:`QueryService` ties the three
+together; ``repro serve`` / ``repro batch`` expose them as a JSON-lines
+protocol on stdin/stdout.
+"""
+
+from repro.service.broker import AdmissionQueueFull, QueryBroker, Ticket
+from repro.service.registry import (
+    DatabaseEvictedError,
+    DatabaseRegistry,
+    RegisteredDatabase,
+    UnknownDatabaseError,
+)
+from repro.service.requests import (
+    QueryRequest,
+    QuerySpec,
+    RequestFormatError,
+    ServiceResult,
+)
+from repro.service.service import QueryService, serve_batch
+from repro.service.telemetry import render_cache_stats, render_service_stats
+from repro.service.workers import EvaluationWorkerPool
+
+__all__ = [
+    "AdmissionQueueFull",
+    "DatabaseEvictedError",
+    "DatabaseRegistry",
+    "EvaluationWorkerPool",
+    "QueryBroker",
+    "QueryRequest",
+    "QueryService",
+    "QuerySpec",
+    "RegisteredDatabase",
+    "RequestFormatError",
+    "ServiceResult",
+    "Ticket",
+    "UnknownDatabaseError",
+    "render_cache_stats",
+    "render_service_stats",
+    "serve_batch",
+]

@@ -1,0 +1,241 @@
+"""Admission, batching and deduplication of service requests.
+
+The broker sits between :meth:`QueryService.submit` and the worker pool:
+
+* **bounded admission** — at most ``max_pending`` tickets may be queued;
+  beyond that :meth:`QueryBroker.submit` raises :class:`AdmissionQueueFull`
+  (load shedding) unless the caller opts into waiting for room;
+* **per-shard FIFO batching** — tickets are queued per database shard and
+  handed to workers in batches of up to ``batch_size``, preserving arrival
+  order within a shard; shards take turns round-robin so one hot shard
+  cannot starve the others;
+* **deduplication** — identical in-flight requests (same registration
+  generation, same database version, same query fingerprint — semantics
+  included) share a single ticket and therefore a single kernel
+  evaluation; every subscriber still receives its own
+  :class:`~repro.service.requests.ServiceResult` envelope.
+
+The broker is event-loop confined: all methods must be called from the loop
+thread (the worker pool only crosses into threads for the kernel calls
+themselves, holding a per-shard lock).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.core.errors import ReproError
+from repro.queries.cxrpq import CXRPQ
+from repro.service.registry import DatabaseRegistry, RegisteredDatabase
+from repro.service.requests import QueryRequest
+
+
+class AdmissionQueueFull(ReproError):
+    """Raised when a request would exceed the broker's ``max_pending`` bound."""
+
+
+class Ticket:
+    """One logical evaluation: a future shared by all deduplicated requests."""
+
+    __slots__ = (
+        "key",
+        "entry",
+        "query",
+        "generic_path_bound",
+        "future",
+        "enqueued_at",
+        "started_at",
+        "evaluation_s",
+        "cache_hits",
+        "cache_misses",
+    )
+
+    def __init__(
+        self,
+        key: Tuple,
+        entry: RegisteredDatabase,
+        query: CXRPQ,
+        generic_path_bound: Optional[int],
+    ):
+        self.key = key
+        self.entry = entry
+        self.query = query
+        self.generic_path_bound = generic_path_bound
+        self.future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self.enqueued_at = time.perf_counter()
+        #: Set by the worker when the evaluation actually starts.
+        self.started_at: Optional[float] = None
+        self.evaluation_s = 0.0
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+
+class QueryBroker:
+    """Bounded admission queue with per-shard FIFO batching and dedup."""
+
+    def __init__(
+        self,
+        *,
+        max_pending: int = 256,
+        batch_size: int = 8,
+        dedup: bool = True,
+    ):
+        if max_pending < 1:
+            raise ValueError("max_pending must be at least 1")
+        if batch_size < 1:
+            raise ValueError("batch_size must be at least 1")
+        self.max_pending = max_pending
+        self.batch_size = batch_size
+        self.dedup = dedup
+        self._queues: Dict[str, Deque[Ticket]] = {}
+        self._shard_order: Deque[str] = deque()
+        self._inflight: Dict[Tuple, Ticket] = {}
+        self._pending = 0
+        self._closed = False
+        self._wake = asyncio.Event()
+        self._room = asyncio.Event()
+        self._room.set()
+        # counters
+        self.admitted = 0
+        self.deduplicated = 0
+        self.rejected = 0
+        self.batches = 0
+
+    # -- submission -------------------------------------------------------------
+
+    def submit(
+        self,
+        request: QueryRequest,
+        entry: RegisteredDatabase,
+        query: CXRPQ,
+        *,
+        shedding: bool = True,
+    ) -> Tuple[Ticket, bool]:
+        """Admit ``request`` against the resolved ``entry``.
+
+        Returns ``(ticket, deduplicated)``; the caller awaits
+        ``ticket.future``.  Raises :class:`AdmissionQueueFull` when the
+        queue is at capacity and the request does not deduplicate onto an
+        existing ticket (a dedup share consumes no extra queue slot).
+        ``shedding=False`` marks a backpressure retry: the overflow still
+        raises, but is not counted as shed load in :meth:`stats`.
+        """
+        if self._closed:
+            raise ReproError("the query broker is closed")
+        key = (
+            entry.name,
+            entry.generation,
+            entry.version,
+            request.spec.fingerprint(query),
+        )
+        if self.dedup:
+            ticket = self._inflight.get(key)
+            if ticket is not None:
+                self.deduplicated += 1
+                return ticket, True
+        if self._pending >= self.max_pending:
+            if shedding:
+                self.rejected += 1
+            raise AdmissionQueueFull(
+                f"admission queue full ({self._pending}/{self.max_pending} pending)"
+            )
+        ticket = Ticket(key, entry, query, request.spec.generic_path_bound)
+        if self.dedup:
+            self._inflight[key] = ticket
+        queue = self._queues.get(entry.name)
+        if queue is None:
+            queue = self._queues[entry.name] = deque()
+        if not queue:
+            self._shard_order.append(entry.name)
+        queue.append(ticket)
+        self._pending += 1
+        self.admitted += 1
+        if self._pending >= self.max_pending:
+            self._room.clear()
+        self._wake.set()
+        return ticket, False
+
+    async def wait_for_room(self) -> None:
+        """Block until the queue has capacity again (backpressure mode)."""
+        while self._pending >= self.max_pending and not self._closed:
+            await self._room.wait()
+
+    # -- consumption (worker side) ----------------------------------------------
+
+    def _pop_batch(self) -> Optional[Tuple[str, List[Ticket]]]:
+        while self._shard_order:
+            shard = self._shard_order.popleft()
+            queue = self._queues.get(shard)
+            if not queue:
+                continue
+            batch: List[Ticket] = []
+            while queue and len(batch) < self.batch_size:
+                batch.append(queue.popleft())
+            self._pending -= len(batch)
+            self.batches += 1
+            if queue:
+                # Round-robin: the shard goes to the back of the order so
+                # other shards get a turn before its next batch.
+                self._shard_order.append(shard)
+            if self._pending < self.max_pending:
+                self._room.set()
+            return shard, batch
+        return None
+
+    async def next_batch(self) -> Optional[Tuple[str, List[Ticket]]]:
+        """The next ``(shard, tickets)`` batch, or ``None`` once closed and drained.
+
+        Within a shard the tickets are in arrival (FIFO) order; across
+        shards batches rotate round-robin.
+        """
+        while True:
+            batch = self._pop_batch()
+            if batch is not None:
+                return batch
+            if self._closed:
+                return None
+            self._wake.clear()
+            # No awaits between the clear and the wait: a submission arriving
+            # in between sets the event before we sleep, so no lost wakeup.
+            await self._wake.wait()
+
+    def ticket_done(self, ticket: Ticket) -> None:
+        """Retire a finished ticket from the dedup map.
+
+        Called by the worker pool after resolving the future; later
+        identical requests start a fresh evaluation (against warm caches)
+        instead of receiving a stale result forever.
+        """
+        current = self._inflight.get(ticket.key)
+        if current is ticket:
+            del self._inflight[ticket.key]
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop accepting work; queued tickets still drain through workers."""
+        self._closed = True
+        self._wake.set()
+        self._room.set()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def pending_count(self) -> int:
+        """Tickets admitted but not yet handed to a worker batch."""
+        return self._pending
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "admitted": self.admitted,
+            "deduplicated": self.deduplicated,
+            "rejected": self.rejected,
+            "batches": self.batches,
+            "pending": self._pending,
+            "inflight_keys": len(self._inflight),
+        }

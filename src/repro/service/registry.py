@@ -1,0 +1,191 @@
+"""Named, versioned, evictable database shards for the query service.
+
+The per-database cache machinery (:mod:`repro.graphdb.cache`) only pays off
+when many queries hit the *same* :class:`~repro.graphdb.database.GraphDatabase`
+object: the reachability index is keyed weakly by object identity, so a
+server that reloaded the file per request would evaluate cold every time.
+The registry is the serving layer's answer — each shard is loaded **once**
+(via :func:`repro.graphdb.io.load_database`) and every request naming it
+shares the object, its version counter and therefore its warm caches.
+
+Entries carry a registry-wide *generation* number, bumped on every
+(re-)registration.  In-flight work holds the :class:`RegisteredDatabase`
+snapshot it was admitted against; after :meth:`DatabaseRegistry.evict` the
+snapshot no longer passes :meth:`DatabaseRegistry.is_current`, which is how
+the worker pool invalidates batches that were queued against a shard that
+has since been evicted or replaced (the requests fail with
+:class:`DatabaseEvictedError` instead of evaluating against a retired
+shard).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.alphabet import Alphabet
+from repro.core.errors import ReproError
+from repro.graphdb.cache import cache_stats, invalidate_cache
+from repro.graphdb.database import GraphDatabase
+from repro.graphdb.io import load_database
+
+
+class UnknownDatabaseError(ReproError):
+    """Raised when a request references a database the registry cannot resolve."""
+
+
+class DatabaseEvictedError(ReproError):
+    """Raised into in-flight requests whose shard was evicted before evaluation."""
+
+
+@dataclass(frozen=True)
+class RegisteredDatabase:
+    """An immutable snapshot of one registration event.
+
+    ``generation`` identifies the registration, not the database contents —
+    re-registering a name (even with the same object) yields a fresh
+    generation, and dedup keys include it so answers computed against a
+    retired registration are never handed to requests admitted after a
+    replacement.
+    """
+
+    name: str
+    db: GraphDatabase = field(repr=False)
+    generation: int
+    source: str = "<memory>"
+
+    @property
+    def version(self) -> int:
+        """The database's own mutation counter (cache invalidation key)."""
+        return self.db.version
+
+
+class DatabaseRegistry:
+    """The service's name → database mapping; load once, share, evict."""
+
+    def __init__(self, alphabet: Optional[Alphabet] = None):
+        self._alphabet = alphabet
+        self._entries: Dict[str, RegisteredDatabase] = {}
+        self._generation = 0
+        self._loads = 0
+        self._evictions = 0
+
+    # -- registration ----------------------------------------------------------
+
+    def register(
+        self, name: str, db: GraphDatabase, source: str = "<memory>"
+    ) -> RegisteredDatabase:
+        """Register (or replace) a shard under ``name``."""
+        self._generation += 1
+        entry = RegisteredDatabase(
+            name=name, db=db, generation=self._generation, source=source
+        )
+        self._entries[name] = entry
+        return entry
+
+    def load(
+        self, name: str, path: str, fmt: Optional[str] = None
+    ) -> RegisteredDatabase:
+        """Load a graph file **once** and register it under ``name``.
+
+        Re-loading an already-registered ``name`` from the same path is a
+        no-op returning the live entry (the warm caches survive); a
+        different path replaces the registration.
+        """
+        existing = self._entries.get(name)
+        if existing is not None and existing.source == str(path):
+            return existing
+        self._loads += 1
+        db = load_database(path, self._alphabet, fmt=fmt)
+        return self.register(name, db, source=str(path))
+
+    def peek(self, ref: str) -> Optional[RegisteredDatabase]:
+        """The live entry named ``ref``, or ``None`` — never touches the disk."""
+        return self._entries.get(ref)
+
+    def resolve(self, ref: str) -> RegisteredDatabase:
+        """The entry named ``ref``, auto-loading a path reference on first use.
+
+        A ``ref`` that is not a registered name but names an existing file
+        is loaded and registered under the path string itself, so ad-hoc
+        requests can address graph files directly while still sharing one
+        load (and one warm cache) per path.  The load blocks on disk I/O —
+        async callers should :meth:`peek` first and dispatch the miss to a
+        thread (as :meth:`QueryService.submit` does).
+        """
+        entry = self._entries.get(ref)
+        if entry is not None:
+            return entry
+        if os.path.exists(ref):
+            return self.load(ref, ref)
+        raise UnknownDatabaseError(
+            f"unknown database {ref!r} (registered: {sorted(self._entries) or 'none'})"
+        )
+
+    def get(self, name: str) -> RegisteredDatabase:
+        entry = self._entries.get(name)
+        if entry is None:
+            raise UnknownDatabaseError(
+                f"unknown database {name!r} (registered: {sorted(self._entries) or 'none'})"
+            )
+        return entry
+
+    # -- eviction and liveness -------------------------------------------------
+
+    def evict(self, name: str) -> bool:
+        """Drop a shard; returns whether it was registered.
+
+        The shared reachability index of the evicted database is
+        invalidated so its memory is reclaimable immediately; in-flight
+        batches admitted against the old entry fail their
+        :meth:`is_current` check and are rejected safely by the workers.
+        """
+        entry = self._entries.pop(name, None)
+        if entry is None:
+            return False
+        self._evictions += 1
+        invalidate_cache(entry.db)
+        return True
+
+    def is_current(self, entry: RegisteredDatabase) -> bool:
+        """Whether ``entry`` is still the live registration of its name."""
+        current = self._entries.get(entry.name)
+        return current is not None and current.generation == entry.generation
+
+    # -- inspection -------------------------------------------------------------
+
+    def names(self) -> List[str]:
+        return sorted(self._entries)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def cache_stats(self, name: str) -> Dict[str, Dict[str, Optional[int]]]:
+        """The shard's reachability-cache counters (see ``graphdb.cache``)."""
+        return cache_stats(self.get(name).db)
+
+    def stats(self) -> Dict[str, object]:
+        """Registry counters plus per-shard size and cache totals."""
+        shards = {}
+        for name, entry in sorted(self._entries.items()):
+            totals = cache_stats(entry.db)["totals"]
+            shards[name] = {
+                "generation": entry.generation,
+                "version": entry.version,
+                "source": entry.source,
+                "nodes": entry.db.num_nodes(),
+                "edges": entry.db.num_edges(),
+                "cache_hits": totals["hits"],
+                "cache_misses": totals["misses"],
+                "cache_entries": totals["entries"],
+            }
+        return {
+            "registered": len(self._entries),
+            "loads": self._loads,
+            "evictions": self._evictions,
+            "shards": shards,
+        }

@@ -1,0 +1,281 @@
+"""Request and response envelopes of the query service.
+
+The service speaks JSON lines (one object per line, no network framing).  A
+request names a database shard, a CXRPQ (edges in the surface syntax of
+:mod:`repro.regex.parser`) and its semantics::
+
+    {"id": "r1", "database": "social", "edges": [["x", "w{a|b}", "y"], ["y", "&w", "z"]],
+     "output": ["x", "z"]}
+    {"id": "r2", "database": "social", "edges": [["x", "a+b", "y"]], "boolean": true,
+     "image_bound": 2}
+
+``image_bound`` may be an integer or ``"log"`` (Theorem 6 semantics);
+``generic_path_bound`` opts unrestricted queries into the bounded oracle.
+The response is a :class:`ServiceResult` envelope carrying the answer plus
+queue-wait / evaluation / cache-hit telemetry::
+
+    {"id": "r1", "ok": true, "database": "social", "boolean": true,
+     "tuples": [["n1", "n3"]], "deduplicated": false,
+     "timing": {"queue_wait_s": ..., "evaluation_s": ..., "total_s": ...},
+     "cache": {"hits": 41, "misses": 7}}
+
+Requests are *fingerprinted* — a canonical tuple of the edge triples, output
+variables and semantics — so the broker can collapse identical in-flight
+requests onto one evaluation future (`(db version, fingerprint, semantics)`
+dedup).  The fingerprint is computed over the parsed xregexes' canonical
+string form, so surface-syntax variation (whitespace-free alternates like
+``a|b`` vs ``(a|b)``) does not defeat deduplication.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.core.errors import ReproError
+from repro.queries.cxrpq import CXRPQ
+from repro.regex.parser import parse_xregex
+
+
+class RequestFormatError(ReproError):
+    """Raised when a JSONL request line cannot be parsed or validated."""
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """A CXRPQ plus evaluation semantics, in wire form.
+
+    ``edges`` holds ``(source, label, target)`` triples with the label in
+    surface xregex syntax; ``output_variables`` empty means a Boolean query;
+    ``image_bound`` is ``None``, an ``int`` or ``"log"``;
+    ``generic_path_bound`` opts unrestricted queries into the bounded
+    oracle.
+    """
+
+    edges: Tuple[Tuple[str, str, str], ...]
+    output_variables: Tuple[str, ...] = ()
+    image_bound: Optional[Union[int, str]] = None
+    generic_path_bound: Optional[int] = None
+    #: Memoised :meth:`fingerprint` (parsing the edges is the costly part);
+    #: excluded from equality/repr so specs still compare by content.
+    _fingerprint: Optional[Tuple] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    def to_query(self) -> CXRPQ:
+        """Parse the spec into a :class:`~repro.queries.cxrpq.CXRPQ`.
+
+        Raises :class:`~repro.core.errors.ReproError` subclasses on invalid
+        xregex syntax — callers validate at admission time so malformed
+        requests never occupy queue capacity.
+        """
+        return CXRPQ(
+            [(source, label, target) for source, label, target in self.edges],
+            output_variables=self.output_variables,
+            image_bound=self.image_bound,
+        )
+
+    def fingerprint(self, query: Optional[CXRPQ] = None) -> Tuple:
+        """A canonical, hashable identity of the query and its semantics.
+
+        Computed over the *parsed* edge xregexes (canonical ``to_string``
+        form), so two spellings of the same expression share a fingerprint
+        and deduplicate against each other.  Memoised per spec object; pass
+        the already-parsed ``query`` (as the broker does) to avoid
+        re-parsing the edge labels on the admission hot path.
+        """
+        if self._fingerprint is None:
+            if query is not None:
+                expressions = [expr.to_string() for expr in query.xregexes()]
+            else:
+                expressions = [
+                    parse_xregex(label).to_string() for _source, label, _target in self.edges
+                ]
+            canonical_edges = tuple(
+                (source, expression, target)
+                for (source, _label, target), expression in zip(self.edges, expressions)
+            )
+            object.__setattr__(
+                self,
+                "_fingerprint",
+                (
+                    canonical_edges,
+                    self.output_variables,
+                    self.image_bound,
+                    self.generic_path_bound,
+                ),
+            )
+        return self._fingerprint
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "QuerySpec":
+        edges_raw = payload.get("edges")
+        if not isinstance(edges_raw, list) or not edges_raw:
+            raise RequestFormatError("request needs a non-empty 'edges' list")
+        edges: List[Tuple[str, str, str]] = []
+        for entry in edges_raw:
+            if not isinstance(entry, (list, tuple)) or len(entry) != 3:
+                raise RequestFormatError(
+                    f"each edge must be [source, label, target], got {entry!r}"
+                )
+            source, label, target = entry
+            edges.append((str(source), str(label), str(target)))
+        output = payload.get("output")
+        if output is None:
+            output = ()
+        elif not isinstance(output, (list, tuple)):
+            # A bare string would silently split into per-character
+            # variables; reject it like a malformed edge entry.
+            raise RequestFormatError(
+                f"'output' must be a list of variable names, got {output!r}"
+            )
+        if payload.get("boolean") and output:
+            raise RequestFormatError(
+                "request cannot set both 'boolean': true and 'output' variables"
+            )
+        image_bound = payload.get("image_bound")
+        if image_bound is not None and image_bound != "log":
+            try:
+                image_bound = int(image_bound)
+            except (TypeError, ValueError):
+                raise RequestFormatError(
+                    f"'image_bound' must be an integer or 'log', got {image_bound!r}"
+                ) from None
+        generic_path_bound = payload.get("generic_path_bound")
+        if generic_path_bound is not None:
+            try:
+                generic_path_bound = int(generic_path_bound)
+            except (TypeError, ValueError):
+                raise RequestFormatError(
+                    f"'generic_path_bound' must be an integer, got {generic_path_bound!r}"
+                ) from None
+        return cls(
+            edges=tuple(edges),
+            output_variables=tuple(str(variable) for variable in output),
+            image_bound=image_bound,
+            generic_path_bound=generic_path_bound,
+        )
+
+    def to_payload(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"edges": [list(edge) for edge in self.edges]}
+        if self.output_variables:
+            payload["output"] = list(self.output_variables)
+        else:
+            payload["boolean"] = True
+        if self.image_bound is not None:
+            payload["image_bound"] = self.image_bound
+        if self.generic_path_bound is not None:
+            payload["generic_path_bound"] = self.generic_path_bound
+        return payload
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """One service request: a database reference plus a query spec."""
+
+    database: str
+    spec: QuerySpec
+    request_id: Optional[str] = None
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "QueryRequest":
+        if not isinstance(payload, dict):
+            raise RequestFormatError(f"request must be a JSON object, got {payload!r}")
+        database = payload.get("database")
+        if not database or not isinstance(database, str):
+            raise RequestFormatError("request needs a 'database' name or path")
+        request_id = payload.get("id")
+        return cls(
+            database=database,
+            spec=QuerySpec.from_payload(payload),
+            request_id=None if request_id is None else str(request_id),
+        )
+
+    @classmethod
+    def from_json(cls, line: str) -> "QueryRequest":
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError as error:
+            raise RequestFormatError(f"invalid JSON request: {error}") from error
+        return cls.from_payload(payload)
+
+    def to_payload(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"database": self.database}
+        if self.request_id is not None:
+            payload["id"] = self.request_id
+        payload.update(self.spec.to_payload())
+        return payload
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_payload(), sort_keys=True)
+
+
+@dataclass
+class ServiceResult:
+    """The response envelope: answer plus per-request telemetry.
+
+    ``queue_wait_s`` is the time between admission and the start of the
+    evaluation that produced this answer; for a deduplicated request it is
+    the wait until the *shared* evaluation started (possibly 0.0 when the
+    request attached to an evaluation already in flight).  ``cache_hits`` /
+    ``cache_misses`` are the shard index's counter deltas over that
+    evaluation.
+    """
+
+    database: str
+    ok: bool
+    request_id: Optional[str] = None
+    boolean: Optional[bool] = None
+    tuples: Optional[List[Tuple]] = None
+    error: Optional[str] = None
+    deduplicated: bool = False
+    queue_wait_s: float = 0.0
+    evaluation_s: float = 0.0
+    total_s: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    database_version: Optional[int] = None
+    exhaustive: bool = True
+
+    def to_payload(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "id": self.request_id,
+            "ok": self.ok,
+            "database": self.database,
+        }
+        if self.ok:
+            payload["boolean"] = self.boolean
+            if self.tuples is not None:
+                payload["tuples"] = [list(row) for row in self.tuples]
+            if not self.exhaustive:
+                payload["exhaustive"] = False
+        else:
+            payload["error"] = self.error
+        payload["deduplicated"] = self.deduplicated
+        payload["timing"] = {
+            "queue_wait_s": round(self.queue_wait_s, 6),
+            "evaluation_s": round(self.evaluation_s, 6),
+            "total_s": round(self.total_s, 6),
+        }
+        payload["cache"] = {"hits": self.cache_hits, "misses": self.cache_misses}
+        if self.database_version is not None:
+            payload["database_version"] = self.database_version
+        return payload
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_payload(), sort_keys=True)
+
+    @classmethod
+    def failure(
+        cls,
+        request: "QueryRequest",
+        error: Union[str, BaseException],
+    ) -> "ServiceResult":
+        """An error envelope for ``request`` (admission or evaluation failure)."""
+        return cls(
+            database=request.database,
+            ok=False,
+            request_id=request.request_id,
+            error=str(error),
+        )

@@ -1,0 +1,71 @@
+"""Rendering of cache/service telemetry — one code path for CLI and service.
+
+``repro evaluate --stats``, ``repro serve --stats`` and ``repro batch
+--stats`` all funnel through :func:`render_cache_stats`, so the counters a
+developer sees ad hoc and the counters the serving layer reports per shard
+are formatted (and therefore eyeballed and diffed) identically.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+#: Column order of a cache-stats table row.
+_COUNTERS = ("hits", "misses", "evictions", "entries", "capacity")
+
+
+def render_cache_stats(
+    stats: Dict[str, Dict[str, Optional[int]]], title: str = "cache stats"
+) -> str:
+    """A small aligned text table of ``repro.graphdb.cache.cache_stats()`` output.
+
+    ``totals`` is always printed last; the other caches keep their reported
+    order.  Returns a string (no printing) so callers can route it to
+    stdout, stderr or a log uniformly.
+    """
+    names = [name for name in stats if name != "totals"]
+    if "totals" in stats:
+        names.append("totals")
+    header = ["cache", *(counter for counter in _COUNTERS)]
+    rows = []
+    for name in names:
+        entry = stats[name]
+        rows.append(
+            [
+                name,
+                *(
+                    "-" if entry.get(counter) is None else str(entry.get(counter, 0))
+                    for counter in _COUNTERS
+                ),
+            ]
+        )
+    widths = [len(cell) for cell in header]
+    for row in rows:
+        widths = [max(width, len(cell)) for width, cell in zip(widths, row)]
+    lines = [f"[{title}]"]
+    lines.append("  ".join(cell.ljust(width) for cell, width in zip(header, widths)))
+    for row in rows:
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_service_stats(stats: Dict[str, object]) -> str:
+    """A readable multi-section dump of ``QueryService.stats()``."""
+    lines = ["[service stats]"]
+    for section in ("broker", "workers"):
+        payload = stats.get(section, {})
+        pairs = ", ".join(f"{key}={value}" for key, value in sorted(payload.items()))
+        lines.append(f"{section:8}: {pairs}")
+    registry = stats.get("registry", {})
+    lines.append(
+        "registry: "
+        + ", ".join(
+            f"{key}={value}"
+            for key, value in sorted(registry.items())
+            if key != "shards"
+        )
+    )
+    for name, shard in sorted(registry.get("shards", {}).items()):
+        pairs = ", ".join(f"{key}={value}" for key, value in sorted(shard.items()))
+        lines.append(f"  shard {name}: {pairs}")
+    return "\n".join(lines)

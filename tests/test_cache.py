@@ -395,3 +395,113 @@ class TestCacheStats:
         invalidate_cache(db)
         cold = cache_stats(db)
         assert cold["pairs"]["misses"] == 0 and cold["pairs"]["hits"] == 0
+
+
+class TestNfaTablesMemo:
+    def test_tables_memoised_by_fingerprint(self):
+        db = chain_db()
+        invalidate_cache(db)
+        index = reachability_index(db)
+        first = index.nfa_tables(compiled("a+b"))
+        again = index.nfa_tables(compiled("a+b"))
+        assert first is again
+        stats = index.stats()["nfa_tables"]
+        assert stats["hits"] == 1 and stats["misses"] == 1
+
+    def test_forward_and_reverse_memoised_separately(self):
+        db = chain_db()
+        invalidate_cache(db)
+        index = reachability_index(db)
+        nfa = compiled("a+b")
+        forward = index.nfa_tables(nfa)
+        backward = index.nfa_tables(nfa, reverse=True)
+        assert forward is not backward
+        assert index.nfa_tables(nfa, reverse=True) is backward
+        assert index.stats()["nfa_tables"]["entries"] == 2
+
+    def test_public_paths_calls_hit_the_memo(self):
+        from repro.graphdb.paths import reachable_from, reachable_to
+
+        db = chain_db()
+        invalidate_cache(db)
+        nfa = compiled("a*b")
+        for _ in range(3):
+            reachable_from(db, nfa, 0)
+        reachable_to(db, nfa, 3)
+        stats = cache_stats(db)["nfa_tables"]
+        assert stats["misses"] == 2  # one forward, one reversed build
+        assert stats["hits"] >= 2
+
+    def test_caching_disabled_builds_fresh_tables(self):
+        from repro.graphdb.paths import reachable_from
+
+        db = chain_db()
+        invalidate_cache(db)
+        with caching_disabled():
+            reachable_from(db, compiled("a*b"), 0)
+        assert cache_stats(db)["nfa_tables"]["misses"] == 0
+
+    def test_invalidated_on_database_mutation(self):
+        db = chain_db()
+        invalidate_cache(db)
+        index = reachability_index(db)
+        index.nfa_tables(compiled("a+b"))
+        db.add_edge(0, "b", 2)
+        index.nfa_tables(compiled("a+b"))
+        # The mutation dropped the memo, so the second build is a miss, not
+        # a hit (counters themselves persist across invalidation).
+        assert index.stats()["nfa_tables"]["hits"] == 0
+        assert index.stats()["nfa_tables"]["misses"] == 2
+
+
+class TestLazyRowStoreSharing:
+    def test_rows_survive_relation_eviction(self):
+        db = chain_db()
+        invalidate_cache(db)
+        with cache_capacity(2):
+            index = reachability_index(db)
+            relation = index.relation(compiled("a+b"))
+            row = relation.targets_of(0)
+            # Two more fingerprints evict the first relation object from the
+            # capacity-2 relations LRU...
+            index.relation(compiled("b"))
+            index.relation(compiled("c"))
+            rebuilt = index.relation(compiled("a+b"))
+            assert rebuilt is not relation
+            # ...but the rebuilt relation starts from the shared row store.
+            assert rebuilt._store is relation._store
+            assert rebuilt.targets_of(0) == row
+            stats = index.stats()["lazy_rows"]
+            assert stats["hits"] == 1
+        invalidate_cache(db)
+
+    def test_store_capacity_outsizes_the_relation_lru(self):
+        from repro.graphdb.cache import LAZY_ROW_GENERATIONS
+
+        db = chain_db()
+        invalidate_cache(db)
+        with cache_capacity(3):
+            index = reachability_index(db)
+            index.relation(compiled("a"))
+            stats = index.stats()
+            assert stats["relations"]["capacity"] == 3
+            assert stats["lazy_rows"]["capacity"] == 3 * LAZY_ROW_GENERATIONS
+        invalidate_cache(db)
+
+    def test_store_dropped_on_database_mutation(self):
+        db = chain_db()
+        invalidate_cache(db)
+        index = reachability_index(db)
+        relation = index.relation(compiled("a+b"))
+        relation.targets_of(0)
+        db.add_edge(3, "b", 1)
+        rebuilt = index.relation(compiled("a+b"))
+        assert rebuilt._store is not relation._store
+        assert index.stats()["lazy_rows"]["misses"] == 2  # both builds were misses
+
+    def test_stats_include_new_cache_names(self):
+        db = chain_db()
+        invalidate_cache(db)
+        for mapping in (reachability_index(db).stats(), cache_stats(db), cache_stats()):
+            assert "nfa_tables" in mapping
+            assert "lazy_rows" in mapping
