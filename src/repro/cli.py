@@ -5,7 +5,8 @@ Usage examples::
     python -m repro.cli classify "x{a|b}(&x|c)+"
     python -m repro.cli evaluate graph.edges --edge "x w{a|b} y" --edge "y &w z" --output x z
     python -m repro.cli evaluate graph.json  --edge "x a+b y" --boolean --image-bound 2
-    python -m repro.cli batch requests.jsonl --database social=social.edges
+    python -m repro.cli compact graph.edges graph.rgsnap
+    python -m repro.cli batch requests.jsonl --database social=social.rgsnap
     python -m repro.cli serve --database social=social.edges < requests.jsonl
 
 Each ``--edge`` takes three whitespace-separated fields: the source node
@@ -17,12 +18,18 @@ labels themselves must not contain whitespace), and the target node variable.
 envelope per line out.  ``serve`` streams from stdin (responses are written
 as they complete and carry the request ``id``); ``batch`` evaluates a file
 of requests and prints the responses in input order.
+
+``compact`` compiles any graph file into the binary ``.rgsnap`` snapshot
+format of :mod:`repro.graphdb.storage`; every command that takes a graph
+file accepts snapshots, and ``serve``/``batch`` cold-load snapshot shards
+lazily on the first query that names them.
 """
 
 from __future__ import annotations
 
 import argparse
 import asyncio
+import os
 import sys
 from typing import List, Optional, Sequence, TextIO
 
@@ -30,6 +37,7 @@ from repro.core.errors import ReproError
 from repro.engine.engine import evaluate
 from repro.graphdb.cache import cache_stats
 from repro.graphdb.io import load_database
+from repro.graphdb.storage import save_snapshot
 from repro.queries.cxrpq import CXRPQ
 from repro.regex import properties as props
 from repro.regex.parser import parse_xregex
@@ -62,7 +70,10 @@ def build_parser() -> argparse.ArgumentParser:
     classify.add_argument("xregex", help="an xregex in the surface syntax")
 
     run = commands.add_parser("evaluate", help="evaluate a CXRPQ on a graph file")
-    run.add_argument("database", help="path to an edge-list (.edges/.txt) or JSON (.json) graph file")
+    run.add_argument(
+        "database",
+        help="path to an edge-list (.edges/.txt), JSON (.json) or snapshot (.rgsnap) graph file",
+    )
     run.add_argument(
         "--edge",
         dest="edges",
@@ -126,6 +137,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     batch.add_argument("requests", help="path to a JSON-lines request file")
     add_service_arguments(batch)
+
+    compact = commands.add_parser(
+        "compact",
+        help="compile a graph file into a binary .rgsnap snapshot (mmap-loaded, "
+        "pre-built CSR adjacency, checksummed)",
+    )
+    compact.add_argument("input", help="path to an edge-list, JSON or snapshot graph file")
+    compact.add_argument("output", help="path of the snapshot to write (conventionally .rgsnap)")
+    compact.add_argument(
+        "--input-format",
+        choices=("edges", "json", "rgsnap"),
+        default=None,
+        help="force the input parser instead of sniffing the file",
+    )
     return parser
 
 
@@ -186,7 +211,14 @@ def _build_service(arguments: argparse.Namespace) -> QueryService:
             raise ReproError(
                 f"--database expects NAME=PATH, got {declaration!r}"
             )
-        registry.load(name, path)
+        if path.endswith(".rgsnap"):
+            # Snapshot shards cold-load lazily on the first query that
+            # names them: startup stays O(1) in the number of declared
+            # snapshots, and the load itself is an mmap with the CSR
+            # adjacency pre-seeded.
+            registry.register_lazy(name, path)
+        else:
+            registry.load(name, path)
     return QueryService(
         registry,
         concurrency=arguments.concurrency,
@@ -263,6 +295,16 @@ def command_batch(arguments: argparse.Namespace) -> int:
     return 0 if failures == 0 else 1
 
 
+def command_compact(arguments: argparse.Namespace) -> int:
+    """Compile a graph file into a binary ``.rgsnap`` snapshot."""
+    db = load_database(arguments.input, fmt=arguments.input_format)
+    save_snapshot(db, arguments.output)
+    written = os.path.getsize(arguments.output)
+    print(f"input    : {arguments.input} ({db.num_nodes()} nodes, {db.num_edges()} edges)")
+    print(f"snapshot : {arguments.output} ({written} bytes)")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     arguments = parser.parse_args(argv)
@@ -273,6 +315,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return command_serve(arguments)
         if arguments.command == "batch":
             return command_batch(arguments)
+        if arguments.command == "compact":
+            return command_compact(arguments)
         return command_evaluate(arguments)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)

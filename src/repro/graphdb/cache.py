@@ -793,6 +793,7 @@ class ReachabilityIndex:
         "_products",
         "_view",
         "_csr",
+        "_csr_preloaded",
         "_nfa_tables",
         "_lazy_rows",
         "capacity",
@@ -813,6 +814,7 @@ class ReachabilityIndex:
         self._products = SynchronisationProductCache(self.capacity)
         self._view: Optional[DatabaseAutomatonView] = None
         self._csr: LRUCache = LRUCache(1)  # singleton CSR snapshot per version
+        self._csr_preloaded = 0  # snapshots seeded by the storage layer
         self._nfa_tables: LRUCache = LRUCache(self.capacity)  # (reverse, fp) -> tables
         # (version, fp) -> row store; oversized relative to the relation LRU
         # so stores survive relation eviction churn (see LAZY_ROW_GENERATIONS).
@@ -860,8 +862,14 @@ class ReachabilityIndex:
         }
 
     def stats(self) -> Dict[str, Dict[str, Optional[int]]]:
-        """Per-cache and total hit/miss/eviction/entry counters."""
+        """Per-cache and total hit/miss/eviction/entry counters.
+
+        The ``csr`` entry additionally carries ``preloaded``: how many
+        adjacency snapshots were seeded from persistent storage
+        (:func:`preload_csr`) instead of being rebuilt from the edge list.
+        """
         per_cache = {name: cache.stats() for name, cache in self._caches().items()}
+        per_cache["csr"]["preloaded"] = self._csr_preloaded
         totals = {"hits": 0, "misses": 0, "evictions": 0, "entries": 0}
         for stats in per_cache.values():
             for counter in totals:
@@ -972,6 +980,25 @@ class ReachabilityIndex:
             csr = CsrAdjacency(db)
             self._csr.put(csr.version, csr)
         return csr
+
+    def preload_csr(self, csr: CsrAdjacency) -> bool:
+        """Seed the adjacency snapshot from persistent storage (no rebuild).
+
+        Used by :mod:`repro.graphdb.storage` when a database is loaded from
+        an ``.rgsnap`` file: the stored arrays *are* the CSR snapshot, so the
+        first query should find it in place instead of re-deriving it from
+        the edge list.  A snapshot whose version does not match the live
+        database (the database mutated between load and preload) is refused
+        — returns whether the snapshot was accepted.  Accepted preloads are
+        counted under ``cache_stats()['csr']['preloaded']``, not as hits or
+        misses: seeding is neither a lookup nor a rebuild.
+        """
+        db = self._refresh()
+        if csr.version != db.version:
+            return False
+        self._csr.put(csr.version, csr)
+        self._csr_preloaded += 1
+        return True
 
     def relation(self, nfa: NFA):
         """The cached join relation of ``nfa``.
@@ -1102,13 +1129,27 @@ def invalidate_cache(db: GraphDatabase) -> None:
     _INDEXES.pop(db, None)
 
 
+def preload_csr(db: GraphDatabase, csr: CsrAdjacency) -> bool:
+    """Seed ``db``'s shared index with a storage-loaded CSR snapshot.
+
+    Returns whether the snapshot was accepted (see
+    :meth:`ReachabilityIndex.preload_csr`).  Under :func:`caching_disabled`
+    there is no shared index to seed, so the preload is a no-op — queries in
+    that mode rebuild per call by design.
+    """
+    if not _CACHING.get():
+        return False
+    return reachability_index(db).preload_csr(csr)
+
+
 def cache_stats(db: Optional[GraphDatabase] = None) -> Dict[str, Dict[str, Optional[int]]]:
     """Cache statistics for ``db``'s index, or aggregated over all indexes.
 
     Returns a mapping from cache name (``pairs``, ``from``, ``by_source``,
     ``relations``, ``verdicts``, ``products``, ``csr``, ``nfa_tables``,
     ``lazy_rows``, plus ``totals``) to
-    ``{hits, misses, evictions, entries, capacity}``.
+    ``{hits, misses, evictions, entries, capacity}``; the ``csr`` entry also
+    carries ``preloaded`` (snapshots seeded from persistent storage).
     """
     names = (
         "pairs",
@@ -1125,20 +1166,25 @@ def cache_stats(db: Optional[GraphDatabase] = None) -> Dict[str, Dict[str, Optio
     if db is not None:
         index = _INDEXES.get(db)
         if index is None:
-            return {
+            cold = {
                 name: {"hits": 0, "misses": 0, "evictions": 0, "entries": 0, "capacity": None}
                 for name in names
             }
+            cold["csr"]["preloaded"] = 0
+            return cold
         return index.stats()
     aggregate: Dict[str, Dict[str, Optional[int]]] = {
         name: {"hits": 0, "misses": 0, "evictions": 0, "entries": 0, "capacity": None}
         for name in names
     }
+    aggregate["csr"]["preloaded"] = 0
     for index in list(_INDEXES.values()):
         for name, stats in index.stats().items():
             into = aggregate[name]
             for counter in ("hits", "misses", "evictions", "entries"):
                 into[counter] += stats[counter]
+            if "preloaded" in stats:
+                into["preloaded"] += stats["preloaded"]
     return aggregate
 
 

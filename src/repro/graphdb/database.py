@@ -101,6 +101,34 @@ class GraphDatabase:
         self._version += 1
         return edge
 
+    def _ingest_edges(self, triples: Iterable[Tuple[Node, str, Node]]) -> None:
+        """Bulk-append already-validated edges without bumping the version.
+
+        Loader-internal (see :mod:`repro.graphdb.storage`): hydrating a
+        snapshot-backed database materialises the edge indexes for arcs the
+        version counter already accounts for, so caches keyed by the version
+        (the preloaded CSR snapshot in particular) must stay valid.  Labels
+        are trusted — they come from a snapshot that was written from a
+        validated database — hence no alphabet checks and no per-edge method
+        dispatch.
+        """
+        forward = self._forward
+        backward = self._backward
+        by_label = self._by_label
+        forward_by_label = self._forward_by_label
+        edge_set = self._edge_set
+        nodes = self._nodes
+        edges = self._edges
+        for source, label, target in triples:
+            nodes.add(source)
+            nodes.add(target)
+            edges.append(Edge(source, label, target))
+            forward[source].append((label, target))
+            backward[target].append((label, source))
+            by_label[label].append((source, target))
+            forward_by_label.setdefault(source, {}).setdefault(label, []).append(target)
+            edge_set.add((source, label, target))
+
     def add_word_path(self, source: Node, word: str, target: Node, prefix: str = "_p") -> List[Node]:
         """Add a path from ``source`` to ``target`` labelled with ``word``.
 

@@ -8,7 +8,9 @@ Two plain-text formats are supported:
 * **JSON** — ``{"nodes": [...], "edges": [[source, label, target], ...]}``.
 
 Both keep node identifiers as strings, which is what the synthetic workload
-generators and the examples use.
+generators and the examples use.  A third, binary format lives in
+:mod:`repro.graphdb.storage` — the mmap-able ``.rgsnap`` snapshot —
+and :func:`sniff_format`/:func:`load_database` route to it transparently.
 """
 
 from __future__ import annotations
@@ -22,6 +24,12 @@ from repro.core.errors import ReproError
 from repro.graphdb.database import GraphDatabase
 
 PathLike = Union[str, Path]
+
+#: First bytes of every ``.rgsnap`` snapshot (see :mod:`repro.graphdb.storage`).
+#: ``\x93`` keeps the file un-decodable as UTF-8 text and the embedded NUL
+#: marks it as binary for the sniffing heuristics.  Defined here (not in
+#: ``storage``) so the sniffer needs no import of the storage machinery.
+SNAPSHOT_MAGIC = b"\x93RGSNAP\x00"
 
 
 class GraphFormatError(ReproError):
@@ -65,9 +73,25 @@ def dumps_edge_list(db: GraphDatabase) -> str:
     return "\n".join(lines) + "\n"
 
 
+def _read_text(path: PathLike) -> str:
+    """Read a text graph file, turning binary junk into a format error.
+
+    A binary file (an ``.rgsnap`` snapshot handed to a text parser, or any
+    other non-UTF-8 content) used to escape as a raw ``UnicodeDecodeError``;
+    parse problems are the loader's contract, so it is wrapped as
+    :class:`GraphFormatError`.
+    """
+    try:
+        return Path(path).read_text(encoding="utf-8")
+    except UnicodeDecodeError as error:
+        raise GraphFormatError(
+            f"{path} is not valid UTF-8 text (a binary file?): {error}"
+        ) from error
+
+
 def load_edge_list(path: PathLike, alphabet: Optional[Alphabet] = None) -> GraphDatabase:
     """Load the edge-list format from a file."""
-    return loads_edge_list(Path(path).read_text(encoding="utf-8"), alphabet)
+    return loads_edge_list(_read_text(path), alphabet)
 
 
 def save_edge_list(db: GraphDatabase, path: PathLike) -> None:
@@ -105,7 +129,7 @@ def dumps_json(db: GraphDatabase) -> str:
 
 def load_json(path: PathLike, alphabet: Optional[Alphabet] = None) -> GraphDatabase:
     """Load the JSON graph format from a file."""
-    return loads_json(Path(path).read_text(encoding="utf-8"), alphabet)
+    return loads_json(_read_text(path), alphabet)
 
 
 def save_json(db: GraphDatabase, path: PathLike) -> None:
@@ -114,25 +138,41 @@ def save_json(db: GraphDatabase, path: PathLike) -> None:
 
 
 def sniff_format(path: PathLike) -> str:
-    """Guess the graph format of a file: ``"json"`` or ``"edges"``.
+    """Guess the graph format of a file: ``"rgsnap"``, ``"json"`` or ``"edges"``.
 
-    The extension wins (``.json`` → JSON, anything else → edge list) except
-    for extension-less or generic (``.txt``) files, where the first
-    non-whitespace character decides: JSON graph files always start with
-    ``{``, edge lists never do (``#`` comments, ``node`` declarations or a
-    source identifier).
+    The file is probed in **binary** mode, so a snapshot (or any other
+    binary file) never trips a ``UnicodeDecodeError`` here: the snapshot
+    magic bytes win over everything, then the extension decides
+    (``.rgsnap`` → snapshot, ``.json`` → JSON), and any remaining file
+    containing NUL bytes in its head is rejected outright as binary.  For
+    extension-less or generic (``.txt``) text files the first non-whitespace
+    character disambiguates: JSON graph files always start with ``{``, edge
+    lists never do (``#`` comments, ``node`` declarations or a source
+    identifier).
     """
     path = Path(path)
     suffix = path.suffix.lower()
+    try:
+        with open(path, "rb") as handle:
+            head = handle.read(256)
+    except OSError:
+        # The load that follows will surface the real I/O problem; fall
+        # back to the extension so the error names the intended parser.
+        if suffix == ".rgsnap":
+            return "rgsnap"
+        return "json" if suffix == ".json" else "edges"
+    if head.startswith(SNAPSHOT_MAGIC) or suffix == ".rgsnap":
+        return "rgsnap"
     if suffix == ".json":
         return "json"
+    if b"\x00" in head:
+        raise GraphFormatError(
+            f"{path} looks like a binary file, not a known graph format "
+            "(expected an edge list, JSON, or an .rgsnap snapshot)"
+        )
     if suffix in ("", ".txt"):
-        try:
-            with open(path, "r", encoding="utf-8", errors="replace") as handle:
-                head = handle.read(256)
-        except OSError:
-            return "edges"
-        if head.lstrip().startswith("{"):
+        text = head.decode("utf-8", errors="replace")
+        if text.lstrip().startswith("{"):
             return "json"
     return "edges"
 
@@ -144,9 +184,9 @@ def load_database(
 ) -> GraphDatabase:
     """Load a database, guessing the format from the file unless ``fmt`` is given.
 
-    ``fmt`` may be ``"json"`` or ``"edges"`` to force a parser (the database
-    registry of :mod:`repro.service` passes it through for explicitly
-    declared shards); otherwise :func:`sniff_format` decides.
+    ``fmt`` may be ``"json"``, ``"edges"`` or ``"rgsnap"`` to force a parser
+    (the database registry of :mod:`repro.service` passes it through for
+    explicitly declared shards); otherwise :func:`sniff_format` decides.
     """
     if fmt is None:
         fmt = sniff_format(path)
@@ -154,4 +194,12 @@ def load_database(
         return load_json(path, alphabet)
     if fmt == "edges":
         return load_edge_list(path, alphabet)
-    raise GraphFormatError(f"unknown graph format {fmt!r} (expected 'json' or 'edges')")
+    if fmt == "rgsnap":
+        # Local import: storage sits above this module (it reuses
+        # GraphFormatError and the magic constant defined here).
+        from repro.graphdb.storage import load_snapshot
+
+        return load_snapshot(path, alphabet)
+    raise GraphFormatError(
+        f"unknown graph format {fmt!r} (expected 'json', 'edges' or 'rgsnap')"
+    )

@@ -183,6 +183,35 @@ class CsrAdjacency:
         # from the forward CSR slices for the bitset product-track stepping.
         self._step_masks: Dict[str, List[int]] = {}
 
+    @classmethod
+    def from_arrays(
+        cls,
+        version: int,
+        nodes: Sequence[Node],
+        forward: Dict[str, Tuple[Sequence[int], Sequence[int]]],
+        backward: Dict[str, Tuple[Sequence[int], Sequence[int]]],
+    ) -> "CsrAdjacency":
+        """Wrap pre-built ``indptr``/``indices`` arrays without a rebuild.
+
+        Used by :mod:`repro.graphdb.storage` to construct the adjacency
+        snapshot directly over the ``memoryview`` slices of an mmapped
+        ``.rgsnap`` file: the array sections are consumed as-is (any
+        integer-indexable sequence works — lists, ``array.array`` or cast
+        memoryviews), so loading skips the per-edge counting sort entirely.
+        ``version`` must be the owning database's version counter, or the
+        per-version memo in
+        :meth:`repro.graphdb.cache.ReachabilityIndex.csr` would miss.
+        """
+        snapshot = cls.__new__(cls)
+        snapshot.version = version
+        snapshot.nodes = list(nodes)
+        snapshot.node_id = {node: index for index, node in enumerate(snapshot.nodes)}
+        snapshot.num_nodes = len(snapshot.nodes)
+        snapshot.forward = dict(forward)
+        snapshot.backward = dict(backward)
+        snapshot._step_masks = {}
+        return snapshot
+
     def _pack(self, pairs: List[Tuple[int, int]]) -> Tuple[List[int], List[int]]:
         """Counting-sort ``(source, target)`` id pairs into indptr/indices."""
         n = self.num_nodes

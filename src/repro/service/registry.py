@@ -16,13 +16,19 @@ the worker pool invalidates batches that were queued against a shard that
 has since been evicted or replaced (the requests fail with
 :class:`DatabaseEvictedError` instead of evaluating against a retired
 shard).
+
+Shards can also be declared **lazily** (:meth:`DatabaseRegistry.register_lazy`):
+the path is recorded but nothing touches the disk until the first query
+resolves the name.  ``repro serve``/``repro batch`` use this for ``.rgsnap``
+snapshot shards, so a server fronting many persisted graphs starts instantly
+and cold-loads (mmap + preloaded CSR) each shard on first use.
 """
 
 from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.alphabet import Alphabet
 from repro.core.errors import ReproError
@@ -67,6 +73,9 @@ class DatabaseRegistry:
     def __init__(self, alphabet: Optional[Alphabet] = None):
         self._alphabet = alphabet
         self._entries: Dict[str, RegisteredDatabase] = {}
+        # name -> (path, fmt) declarations whose load is deferred to the
+        # first query that resolves the name (snapshot cold-loading).
+        self._pending: Dict[str, Tuple[str, Optional[str]]] = {}
         self._generation = 0
         self._loads = 0
         self._evictions = 0
@@ -82,7 +91,24 @@ class DatabaseRegistry:
             name=name, db=db, generation=self._generation, source=source
         )
         self._entries[name] = entry
+        self._pending.pop(name, None)
         return entry
+
+    def register_lazy(self, name: str, path: str, fmt: Optional[str] = None) -> None:
+        """Declare a shard whose file is loaded on the first query naming it.
+
+        Nothing touches the disk here — the path (and optional forced
+        format) is recorded, and :meth:`resolve`/:meth:`get` perform the
+        one-time load when the name is first used.  Used for ``.rgsnap``
+        snapshot shards, where cold-loading is cheap (mmap + preloaded CSR)
+        and eager loading of every declared shard would defeat the point of
+        the persistent backend.  Re-declaring a pending name just replaces
+        the recorded path; a live registration under ``name`` is evicted so
+        the next query sees the declared file.
+        """
+        if name in self._entries:
+            self.evict(name)
+        self._pending[name] = (str(path), fmt)
 
     def load(
         self, name: str, path: str, fmt: Optional[str] = None
@@ -104,30 +130,48 @@ class DatabaseRegistry:
         """The live entry named ``ref``, or ``None`` — never touches the disk."""
         return self._entries.get(ref)
 
+    def _load_pending(self, name: str) -> Optional[RegisteredDatabase]:
+        """Perform the deferred load of a lazily declared shard, if any."""
+        declaration = self._pending.get(name)
+        if declaration is None:
+            return None
+        path, fmt = declaration
+        # register() (via load()) drops the pending declaration; on a failed
+        # load it stays pending, so the next query retries instead of the
+        # name silently disappearing.
+        return self.load(name, path, fmt=fmt)
+
     def resolve(self, ref: str) -> RegisteredDatabase:
         """The entry named ``ref``, auto-loading a path reference on first use.
 
-        A ``ref`` that is not a registered name but names an existing file
-        is loaded and registered under the path string itself, so ad-hoc
-        requests can address graph files directly while still sharing one
-        load (and one warm cache) per path.  The load blocks on disk I/O —
-        async callers should :meth:`peek` first and dispatch the miss to a
-        thread (as :meth:`QueryService.submit` does).
+        Lazily declared shards (:meth:`register_lazy`) are cold-loaded here,
+        on the first query that names them.  A ``ref`` that is not a
+        registered name but names an existing file is loaded and registered
+        under the path string itself, so ad-hoc requests can address graph
+        files directly while still sharing one load (and one warm cache) per
+        path.  The load blocks on disk I/O — async callers should
+        :meth:`peek` first and dispatch the miss to a thread (as
+        :meth:`QueryService.submit` does).
         """
         entry = self._entries.get(ref)
+        if entry is not None:
+            return entry
+        entry = self._load_pending(ref)
         if entry is not None:
             return entry
         if os.path.exists(ref):
             return self.load(ref, ref)
         raise UnknownDatabaseError(
-            f"unknown database {ref!r} (registered: {sorted(self._entries) or 'none'})"
+            f"unknown database {ref!r} (registered: {sorted(self.names()) or 'none'})"
         )
 
     def get(self, name: str) -> RegisteredDatabase:
         entry = self._entries.get(name)
         if entry is None:
+            entry = self._load_pending(name)
+        if entry is None:
             raise UnknownDatabaseError(
-                f"unknown database {name!r} (registered: {sorted(self._entries) or 'none'})"
+                f"unknown database {name!r} (registered: {sorted(self.names()) or 'none'})"
             )
         return entry
 
@@ -141,9 +185,14 @@ class DatabaseRegistry:
         batches admitted against the old entry fail their
         :meth:`is_current` check and are rejected safely by the workers.
         """
+        pending = self._pending.pop(name, None) is not None
         entry = self._entries.pop(name, None)
         if entry is None:
-            return False
+            if pending:
+                # An unloaded lazy declaration has no caches to invalidate,
+                # but dropping it is still an eviction of the name.
+                self._evictions += 1
+            return pending
         self._evictions += 1
         invalidate_cache(entry.db)
         return True
@@ -156,20 +205,26 @@ class DatabaseRegistry:
     # -- inspection -------------------------------------------------------------
 
     def names(self) -> List[str]:
-        return sorted(self._entries)
+        """All addressable shard names, loaded and lazily declared alike."""
+        return sorted(set(self._entries) | set(self._pending))
 
     def __contains__(self, name: object) -> bool:
-        return name in self._entries
+        return name in self._entries or name in self._pending
 
     def __len__(self) -> int:
-        return len(self._entries)
+        return len(set(self._entries) | set(self._pending))
 
     def cache_stats(self, name: str) -> Dict[str, Dict[str, Optional[int]]]:
         """The shard's reachability-cache counters (see ``graphdb.cache``)."""
         return cache_stats(self.get(name).db)
 
     def stats(self) -> Dict[str, object]:
-        """Registry counters plus per-shard size and cache totals."""
+        """Registry counters plus per-shard size and cache totals.
+
+        Lazily declared shards that have not been cold-loaded yet appear
+        with ``pending=True`` and their declared source; no disk I/O happens
+        here.
+        """
         shards = {}
         for name, entry in sorted(self._entries.items()):
             totals = cache_stats(entry.db)["totals"]
@@ -183,8 +238,11 @@ class DatabaseRegistry:
                 "cache_misses": totals["misses"],
                 "cache_entries": totals["entries"],
             }
+        for name, (path, _fmt) in sorted(self._pending.items()):
+            shards[name] = {"source": path, "pending": True}
         return {
             "registered": len(self._entries),
+            "pending": len(self._pending),
             "loads": self._loads,
             "evictions": self._evictions,
             "shards": shards,

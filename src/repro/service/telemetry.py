@@ -10,8 +10,10 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
-#: Column order of a cache-stats table row.
-_COUNTERS = ("hits", "misses", "evictions", "entries", "capacity")
+#: Column order of a cache-stats table row.  ``preloaded`` only exists for
+#: the ``csr`` cache (snapshots seeded from persistent storage); caches
+#: without a counter render it as ``-``.
+_COUNTERS = ("hits", "misses", "evictions", "entries", "capacity", "preloaded")
 
 
 def render_cache_stats(

@@ -3,14 +3,99 @@
 from __future__ import annotations
 
 import random
+from contextlib import nullcontext
 from typing import List, Optional, Sequence, Tuple
 
 from repro.core.alphabet import Alphabet
+from repro.automata.nfa import NFA
+from repro.graphdb.database import GraphDatabase
+from repro.graphdb.generators import random_graph
+from repro.graphdb.paths import bitset_kernel_disabled, csr_kernel_disabled
+from repro.graphdb.storage import dump_snapshot_bytes, load_snapshot_bytes
 from repro.regex import syntax as rx
+from repro.regex.parser import parse_xregex
 
 #: A small alphabet used throughout the tests.
 AB = Alphabet("ab")
 ABC = Alphabet("abc")
+
+# -- kernel cross-validation fixtures -----------------------------------------
+#
+# One pool of regular expressions and database shapes shared by every
+# per-kernel equivalence suite (bitset, CSR, differential): the kernels must
+# be pinned to each other on the *same* inputs, or a drift could hide in the
+# gap between two ad-hoc pools.
+
+#: Regular expressions exercised against every kernel arm.
+REGEX_POOL = [
+    "a",
+    "a*",
+    "a+b",
+    "(a|b)+",
+    "ab*c",
+    "(ab)+",
+    "a?b+c?",
+    "(a|bc)*",
+]
+
+#: ``(num_nodes, num_edges)`` shapes of the random equivalence databases.
+DB_SHAPES = [
+    (6, 10),
+    (12, 30),
+    (20, 55),
+]
+
+#: Every kernel arm as ``(name, context-manager factory)``: the default CSR
+#: kernel, the second-generation bitset kernel, and the seed set kernel.
+KERNEL_ARMS = [
+    ("csr", nullcontext),
+    ("bitset", csr_kernel_disabled),
+    ("sets", bitset_kernel_disabled),
+]
+
+
+def compiled(pattern: str) -> NFA:
+    """Compile a surface-syntax regex over the shared ``abc`` alphabet."""
+    return NFA.from_regex(parse_xregex(pattern), ABC)
+
+
+def databases():
+    """The shared random equivalence databases (deterministic seeds)."""
+    for num_nodes, num_edges in DB_SHAPES:
+        for seed in (0, 1, 2):
+            yield random_graph(num_nodes, num_edges, ABC, seed=seed)
+
+
+def stringified(db: GraphDatabase) -> GraphDatabase:
+    """A copy of ``db`` with every node name forced to a string.
+
+    The on-disk formats (edge list, JSON, ``.rgsnap``) all keep node
+    identifiers as strings; comparing an in-memory database with integer
+    nodes against its own round trip would therefore always fail.  Running
+    every arm on the stringified copy makes answers directly comparable.
+    """
+    copy = GraphDatabase()
+    for node in db.nodes:
+        copy.add_node(str(node))
+    for source, label, target in db.edges:
+        copy.add_edge(str(source), label, str(target))
+    return copy
+
+
+def snapshot_round_trip(db: GraphDatabase):
+    """``db`` serialised to ``.rgsnap`` bytes and loaded back (in memory)."""
+    return load_snapshot_bytes(dump_snapshot_bytes(db))
+
+
+def edge_multiset(db: GraphDatabase) -> List[Tuple]:
+    """The sorted multiset of ``(source, label, target)`` triples."""
+    return sorted((tuple(edge) for edge in db.edges), key=repr)
+
+
+def assert_same_database(left: GraphDatabase, right: GraphDatabase) -> None:
+    """Structural equality: same node set, same edge multiset."""
+    assert left.nodes == right.nodes
+    assert edge_multiset(left) == edge_multiset(right)
 
 
 def random_classical_regex(rng: random.Random, symbols: str = "ab", depth: int = 3) -> rx.Xregex:

@@ -12,7 +12,6 @@ import random
 
 import pytest
 
-from repro.core.alphabet import Alphabet
 from repro.automata.nfa import NFA
 from repro.engine.joins import EdgeRelation, semijoin_reduce
 from repro.graphdb.cache import (
@@ -33,36 +32,8 @@ from repro.graphdb.paths import (
     reachable_pairs,
     reachable_to,
 )
-from repro.regex.parser import parse_xregex
 
-ABC = Alphabet("abc")
-
-REGEX_POOL = [
-    "a",
-    "a*",
-    "a+b",
-    "(a|b)+",
-    "ab*c",
-    "(ab)+",
-    "a?b+c?",
-    "(a|bc)*",
-]
-
-DB_SHAPES = [
-    (6, 10),
-    (12, 30),
-    (20, 55),
-]
-
-
-def compiled(pattern: str) -> NFA:
-    return NFA.from_regex(parse_xregex(pattern), ABC)
-
-
-def databases():
-    for num_nodes, num_edges in DB_SHAPES:
-        for seed in (0, 1, 2):
-            yield random_graph(num_nodes, num_edges, ABC, seed=seed)
+from helpers import ABC, REGEX_POOL, compiled, databases
 
 
 class TestCsrToggle:

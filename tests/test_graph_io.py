@@ -1,10 +1,14 @@
-"""Tests for graph-database loading and saving."""
+"""Tests for graph-database loading and saving (text formats and .rgsnap)."""
+
+import random
+import struct
 
 import pytest
 
 from repro.core.alphabet import Alphabet
 from repro.graphdb.database import GraphDatabase
 from repro.graphdb.io import (
+    SNAPSHOT_MAGIC,
     GraphFormatError,
     dumps_edge_list,
     dumps_json,
@@ -13,13 +17,47 @@ from repro.graphdb.io import (
     loads_json,
     save_edge_list,
     save_json,
+    sniff_format,
 )
+from repro.graphdb.storage import (
+    SCHEMA_VERSION,
+    SnapshotDatabase,
+    dump_snapshot_bytes,
+    load_snapshot,
+    load_snapshot_bytes,
+    save_snapshot,
+)
+
+from helpers import assert_same_database, stringified
 
 
 def sample_db() -> GraphDatabase:
     db = GraphDatabase.from_edges(
         [("u", "a", "v"), ("v", "b", "w"), ("u", "a", "w")]
     )
+    db.add_node("isolated")
+    return db
+
+
+def quirky_random_db(seed: int) -> GraphDatabase:
+    """A random database exercising the structural corner cases.
+
+    Mixes self-loops, multi-label parallel edges, duplicate arcs and
+    isolated nodes — everything a lossy serialiser would flatten.
+    """
+    rng = random.Random(seed)
+    db = GraphDatabase()
+    nodes = [f"n{index}" for index in range(rng.randint(2, 9))]
+    for node in nodes:
+        db.add_node(node)
+    for _ in range(rng.randint(0, 18)):
+        source, target = rng.choice(nodes), rng.choice(nodes)
+        db.add_edge(source, rng.choice("abc"), target)
+    # Guaranteed corner cases on top of the random arcs.
+    db.add_edge(nodes[0], "a", nodes[0])  # self-loop
+    db.add_edge(nodes[0], "a", nodes[-1])  # parallel edges ...
+    db.add_edge(nodes[0], "b", nodes[-1])  # ... under different labels
+    db.add_edge(nodes[0], "a", nodes[-1])  # duplicate arc (multigraph)
     db.add_node("isolated")
     return db
 
@@ -83,3 +121,147 @@ class TestJsonFormat:
         loaded = load_database(path)
         assert loaded.num_edges() == 3
         assert loaded.has_edge("u", "a", "v")
+
+
+class TestPropertyRoundTrips:
+    """db → dumps/save → load → db equality, for every format."""
+
+    CASES = [GraphDatabase(), sample_db()] + [quirky_random_db(seed) for seed in range(8)]
+
+    @pytest.mark.parametrize("case", range(len(CASES)))
+    def test_edge_list_round_trip(self, case):
+        db = self.CASES[case]
+        assert_same_database(db, loads_edge_list(dumps_edge_list(db)))
+
+    @pytest.mark.parametrize("case", range(len(CASES)))
+    def test_json_round_trip(self, case):
+        db = self.CASES[case]
+        assert_same_database(db, loads_json(dumps_json(db)))
+
+    @pytest.mark.parametrize("case", range(len(CASES)))
+    def test_snapshot_round_trip(self, case):
+        db = self.CASES[case]
+        assert_same_database(db, load_snapshot_bytes(dump_snapshot_bytes(db)))
+
+    @pytest.mark.parametrize("case", range(len(CASES)))
+    def test_snapshot_file_round_trip(self, case, tmp_path):
+        db = self.CASES[case]
+        path = tmp_path / "graph.rgsnap"
+        save_snapshot(db, path)
+        loaded = load_database(path)
+        assert isinstance(loaded, SnapshotDatabase)
+        assert_same_database(db, loaded)
+
+    def test_integer_nodes_become_strings_like_the_text_formats(self):
+        db = GraphDatabase.from_edges([(0, "a", 1), (1, "b", 0)])
+        text_loaded = loads_edge_list(dumps_edge_list(db))
+        snap_loaded = load_snapshot_bytes(dump_snapshot_bytes(db))
+        assert_same_database(text_loaded, snap_loaded)
+        assert_same_database(stringified(db), snap_loaded)
+
+
+class TestSnapshotFormat:
+    def snapshot(self) -> bytes:
+        return dump_snapshot_bytes(sample_db())
+
+    def test_snapshot_preserves_isolated_nodes_and_labels(self):
+        loaded = load_snapshot_bytes(self.snapshot())
+        assert "isolated" in loaded
+        assert loaded.alphabet().symbols == frozenset("ab")
+        assert loaded.has_edge("u", "a", "v")
+
+    def test_sniff_magic_without_extension(self, tmp_path):
+        path = tmp_path / "graph"
+        path.write_bytes(self.snapshot())
+        assert sniff_format(path) == "rgsnap"
+        assert_same_database(sample_db(), load_database(path))
+
+    def test_sniff_rgsnap_extension(self, tmp_path):
+        path = tmp_path / "graph.rgsnap"
+        path.write_bytes(self.snapshot())
+        assert sniff_format(path) == "rgsnap"
+
+    def test_corrupted_checksum_rejected(self, tmp_path):
+        blob = bytearray(self.snapshot())
+        blob[-1] ^= 0xFF  # flip a payload byte; the header crc must catch it
+        with pytest.raises(GraphFormatError, match="checksum"):
+            load_snapshot_bytes(bytes(blob))
+        path = tmp_path / "corrupt.rgsnap"
+        path.write_bytes(bytes(blob))
+        with pytest.raises(GraphFormatError, match="checksum"):
+            load_database(path)
+
+    def test_truncated_file_rejected(self, tmp_path):
+        blob = self.snapshot()
+        for cut in (0, 4, len(SNAPSHOT_MAGIC), 40, len(blob) - 6):
+            with pytest.raises(GraphFormatError, match="truncated"):
+                load_snapshot_bytes(blob[:cut])
+        path = tmp_path / "truncated.rgsnap"
+        path.write_bytes(blob[: len(blob) - 6])
+        with pytest.raises(GraphFormatError, match="truncated"):
+            load_snapshot(path)
+
+    def test_future_schema_version_rejected(self):
+        blob = bytearray(self.snapshot())
+        # The schema version is the u16 straight after the 8-byte magic.
+        struct.pack_into("<H", blob, len(SNAPSHOT_MAGIC), SCHEMA_VERSION + 1)
+        with pytest.raises(GraphFormatError, match="newer"):
+            load_snapshot_bytes(bytes(blob))
+
+    def test_malformed_but_checksummed_arrays_rejected(self):
+        # Regression: the crc32 only proves the payload is what the writer
+        # wrote — a buggy/foreign writer emitting an out-of-range node id
+        # used to load cleanly and blow up later as a raw IndexError deep
+        # in the kernel (or silently drop edges on a non-monotonic indptr).
+        import zlib
+
+        blob = bytearray(self.snapshot())
+        header_size = struct.calcsize("<8sHHIQQIIQ")
+        # Rewrite the last u32 of the payload (a backward indices entry) to
+        # an id far beyond num_nodes, then recompute the checksum.
+        struct.pack_into("<I", blob, len(blob) - 4, 999)
+        crc = zlib.crc32(bytes(blob[header_size:])) & 0xFFFFFFFF
+        struct.pack_into("<I", blob, header_size - 12, crc)
+        with pytest.raises(GraphFormatError, match="out of range"):
+            load_snapshot_bytes(bytes(blob))
+
+    def test_bad_magic_rejected(self):
+        blob = bytearray(self.snapshot())
+        blob[0] ^= 0xFF
+        with pytest.raises(GraphFormatError, match="magic"):
+            load_snapshot_bytes(bytes(blob))
+
+    def test_colliding_node_names_refused_at_save(self):
+        db = GraphDatabase.from_edges([(1, "a", 2)])
+        db.add_node("1")  # str(1) == "1": the name table would be ambiguous
+        with pytest.raises(GraphFormatError, match="distinct"):
+            dump_snapshot_bytes(db)
+
+
+class TestBinarySafeSniffing:
+    """Regression: binary files must fail cleanly, never as UnicodeDecodeError."""
+
+    def test_sniffing_a_snapshot_is_binary_safe(self, tmp_path):
+        # Before the fix sniff_format opened files in text mode; a snapshot
+        # (or any binary file) reached the text parsers and escaped as a
+        # raw UnicodeDecodeError instead of a format diagnosis.
+        path = tmp_path / "graph.bin"
+        path.write_bytes(b"\x00\x01\x02\xff binary junk \x00\x00")
+        with pytest.raises(GraphFormatError):
+            sniff_format(path)
+        with pytest.raises(GraphFormatError):
+            load_database(path)
+
+    def test_forced_text_format_on_binary_wraps_decode_errors(self, tmp_path):
+        path = tmp_path / "graph.edges"
+        path.write_bytes(b"\xff\xfe not utf-8 \xff")
+        with pytest.raises(GraphFormatError, match="UTF-8"):
+            load_database(path, fmt="edges")
+
+    def test_non_utf8_text_without_nuls_still_fails_cleanly(self, tmp_path):
+        # No NUL bytes, so the sniffer routes it to the edge-list parser;
+        # the parser must wrap the decode failure, not leak it.
+        path = tmp_path / "graph.edges"
+        path.write_bytes(b"u a v\n\xff\xff\n")
+        with pytest.raises(GraphFormatError, match="UTF-8"):
+            load_database(path)

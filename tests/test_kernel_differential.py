@@ -1,0 +1,171 @@
+"""One differential harness pinning every kernel generation to the others.
+
+Four arms evaluate identical workloads on identical inputs:
+
+* **csr** — the default third-generation kernel,
+* **bitset** — the second generation, behind ``csr_kernel_disabled``,
+* **sets** — the seed kernel, behind ``bitset_kernel_disabled``,
+* **snapshot** — the default kernel on a database round-tripped through the
+  binary ``.rgsnap`` format (mmap-style preloaded CSR arrays).
+
+Graphs come from :mod:`repro.graphdb.generators` under a fixed seed and are
+stringified first (the on-disk formats keep node identifiers as strings, so
+all arms see the same node names).  Answers are compared as canonical
+strings — byte-identical, not merely set-equal — and the engine-level cases
+additionally pin the fragment classification and dispatcher verdict.
+The shared pools in ``tests/helpers.py`` replace the per-file copies the
+bitset/CSR suites used to carry, so every equivalence suite draws from the
+same inputs.
+"""
+
+import random
+from pathlib import Path
+
+from repro.automata.nfa import NFA
+from repro.core.alphabet import Alphabet
+from repro.engine.engine import _select_cxrpq_engine, evaluate
+from repro.graphdb.cache import cache_stats
+from repro.graphdb.generators import cycle_database, layered_graph, random_graph
+from repro.graphdb.paths import reachable_pairs
+from repro.queries.cxrpq import CXRPQ
+from repro.regex.parser import parse_xregex
+
+from helpers import (
+    ABC,
+    KERNEL_ARMS,
+    REGEX_POOL,
+    assert_same_database,
+    compiled,
+    snapshot_round_trip,
+    stringified,
+)
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+#: Engine-level workloads: ``(edges, output variables, image bound)``.  The
+#: pool deliberately spans the dispatcher: a classical CRPQ, a string-variable
+#: synchronisation query (simple fragment), a vstar-free query with output,
+#: and an image-bounded interpretation.
+QUERY_TEMPLATES = [
+    ((("x", "(a|b)*c", "y"),), ("x", "y"), None),
+    ((("x", "w{a|b}", "y"), ("y", "&w", "z")), (), None),
+    ((("x", "w{a|b}c*", "y"), ("y", "&w|c", "z")), ("x", "z"), None),
+    ((("x", "w{(a|b)+}&w", "y"),), (), 2),
+]
+
+
+def case_graphs():
+    """The randomized differential graphs (deterministic, string nodes)."""
+    graphs = []
+    for num_nodes, num_edges in ((6, 14), (10, 26), (14, 40)):
+        for seed in (3, 4):
+            graphs.append(random_graph(num_nodes, num_edges, ABC, seed=seed))
+    graphs.append(layered_graph(3, 4, ABC, seed=5))
+    graphs.append(cycle_database("abcab"))
+    return [stringified(graph) for graph in graphs]
+
+
+def build_query(template) -> CXRPQ:
+    edges, output, image_bound = template
+    return CXRPQ(
+        [(source, parse_xregex(label), target) for source, label, target in edges],
+        output_variables=output,
+        image_bound=image_bound,
+    )
+
+
+def answer_signature(result, has_output: bool) -> str:
+    """A canonical string of one evaluation's answer (byte-comparable)."""
+    tuples = sorted(result.tuples, key=repr) if has_output else None
+    return repr((result.boolean, tuples, result.exhaustive))
+
+
+class TestRpqDifferential:
+    def test_all_arms_agree_on_randomized_cases(self):
+        rng = random.Random(96321)
+        cases = 0
+        for db in case_graphs():
+            snapshot = snapshot_round_trip(db)
+            for pattern in rng.sample(REGEX_POOL, 4):
+                nfa = compiled(pattern)
+                signatures = {}
+                for name, arm in KERNEL_ARMS:
+                    with arm():
+                        signatures[name] = repr(sorted(reachable_pairs(db, nfa), key=repr))
+                signatures["snapshot"] = repr(
+                    sorted(reachable_pairs(snapshot, nfa), key=repr)
+                )
+                reference = signatures["sets"]
+                for name, signature in signatures.items():
+                    assert signature == reference, (
+                        f"kernel arm {name!r} diverges on pattern {pattern!r}: "
+                        f"{signature} != {reference}"
+                    )
+                cases += 1
+        assert cases >= 25, f"the harness must cover >= 25 cases, ran {cases}"
+
+    def test_snapshot_arm_never_rebuilds_the_adjacency(self):
+        snapshot = snapshot_round_trip(stringified(random_graph(12, 30, ABC, seed=7)))
+        reachable_pairs(snapshot, compiled("(a|b)+"))
+        stats = cache_stats(snapshot)["csr"]
+        assert stats["preloaded"] == 1
+        assert stats["misses"] == 0, "the snapshot arm rebuilt the CSR arrays"
+        # The hot path must not have forced the per-edge dictionary indexes.
+        assert not snapshot.hydrated
+
+
+class TestEngineDifferential:
+    def test_all_arms_agree_on_query_workloads(self):
+        for db in case_graphs()[:4]:
+            snapshot = snapshot_round_trip(db)
+            for template in QUERY_TEMPLATES:
+                query = build_query(template)
+                has_output = bool(query.output_variables)
+                # The dispatcher verdict is a function of the query alone;
+                # pin it so a future arm cannot silently change engines.
+                verdict = _select_cxrpq_engine(query, None)
+                assert verdict is not None
+                signatures = {}
+                for name, arm in KERNEL_ARMS:
+                    with arm():
+                        assert _select_cxrpq_engine(query, None) == verdict
+                        signatures[name] = answer_signature(
+                            evaluate(query, db), has_output
+                        )
+                signatures["snapshot"] = answer_signature(
+                    evaluate(query, snapshot), has_output
+                )
+                reference = signatures["sets"]
+                for name, signature in signatures.items():
+                    assert signature == reference, (
+                        f"engine arm {name!r} diverges on {template}: "
+                        f"{signature} != {reference}"
+                    )
+
+
+class TestExampleFixtures:
+    def fixture_paths(self):
+        return sorted(EXAMPLES_DIR.rglob("*.edges")) + sorted(
+            EXAMPLES_DIR.rglob("*.json")
+        )
+
+    def test_every_fixture_round_trips_and_evaluates_identically(self):
+        from repro.graphdb.io import load_database
+
+        paths = self.fixture_paths()
+        assert paths, "no graph fixtures found under examples/"
+        for path in paths:
+            db = load_database(path)
+            snapshot = snapshot_round_trip(db)
+            assert_same_database(db, snapshot)
+            symbols = sorted(db.alphabet())
+            patterns = [symbols[0], f"{symbols[0]}*"]
+            if len(symbols) >= 2:
+                patterns.append(f"({symbols[0]}|{symbols[1]})+")
+            if len(symbols) >= 3:
+                patterns.append(f"({symbols[0]}|{symbols[1]})*{symbols[2]}")
+            for pattern in patterns:
+                nfa = NFA.from_regex(parse_xregex(pattern), Alphabet(symbols))
+                assert sorted(reachable_pairs(db, nfa), key=repr) == sorted(
+                    reachable_pairs(snapshot, nfa), key=repr
+                )

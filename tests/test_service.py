@@ -12,6 +12,7 @@ from repro.cli import build_parser, command_serve, main
 from repro.engine.engine import evaluate
 from repro.graphdb.database import GraphDatabase
 from repro.graphdb.io import save_edge_list, save_json
+from repro.graphdb.storage import SnapshotDatabase, save_snapshot
 from repro.service import (
     AdmissionQueueFull,
     DatabaseEvictedError,
@@ -447,6 +448,111 @@ class TestService:
 
 
 # ---------------------------------------------------------------------------
+# Snapshot-backed shards: lazy cold-loading, shared files, eviction
+# ---------------------------------------------------------------------------
+
+
+class TestSnapshotShards:
+    def snapshot_path(self, tmp_path):
+        path = tmp_path / "g.rgsnap"
+        save_snapshot(small_db(), path)
+        return path
+
+    def test_lazy_registration_defers_the_load_to_first_query(self, tmp_path):
+        path = self.snapshot_path(tmp_path)
+        registry = DatabaseRegistry()
+        registry.register_lazy("g", str(path))
+        # Declared but not loaded: addressable, no disk I/O yet.
+        assert "g" in registry and len(registry) == 1
+        assert registry.peek("g") is None
+        assert registry.stats()["loads"] == 0
+        assert registry.stats()["shards"]["g"] == {"source": str(path), "pending": True}
+        entry = registry.resolve("g")
+        assert isinstance(entry.db, SnapshotDatabase)
+        assert registry.stats()["loads"] == 1
+        assert registry.stats()["pending"] == 0
+        # The cold load pre-seeded the CSR arrays from the snapshot.
+        assert cache_stats(entry.db)["csr"]["preloaded"] == 1
+        # Resolving again reuses the live entry (one load, warm caches).
+        assert registry.resolve("g") is entry
+
+    def test_lazy_shard_loads_through_the_service_on_first_request(self, tmp_path):
+        path = self.snapshot_path(tmp_path)
+        registry = DatabaseRegistry()
+        registry.register_lazy("g", str(path))
+        spec = output_spec("a")
+        results = serve_batch([QueryRequest("g", spec)], registry, use_threads=False)
+        assert results[0].ok
+        direct = evaluate(spec.to_query(), small_db())
+        assert [tuple(row) for row in results[0].tuples] == sorted(direct.tuples, key=repr)
+        assert registry.stats()["loads"] == 1
+
+    def test_two_shards_backed_by_one_snapshot_file_evaluate_concurrently(self, tmp_path):
+        # Two registrations of the same .rgsnap file get independent mmaps,
+        # databases and caches: concurrent batches across both shards (real
+        # threads, so the kernel actually runs in parallel workers) must not
+        # race each other or the mapping.
+        path = self.snapshot_path(tmp_path)
+        registry = DatabaseRegistry()
+        registry.register_lazy("s1", str(path))
+        registry.register_lazy("s2", str(path))
+        specs = [boolean_spec(), output_spec("a"), output_spec("a|b")]
+        requests = [
+            QueryRequest(name, spec, request_id=f"{name}.{index}")
+            for index, spec in enumerate(specs * 3)
+            for name in ("s1", "s2")
+        ]
+        results = serve_batch(requests, registry, concurrency=3, use_threads=True)
+        assert all(result.ok for result in results)
+        entry_one, entry_two = registry.get("s1"), registry.get("s2")
+        assert entry_one.db is not entry_two.db
+        by_request = {result.request_id: result for result in results}
+        for index, spec in enumerate(specs * 3):
+            direct = evaluate(spec.to_query(), small_db())
+            for name in ("s1", "s2"):
+                result = by_request[f"{name}.{index}"]
+                assert result.boolean == direct.boolean
+                if spec.output_variables:
+                    assert [tuple(row) for row in result.tuples] == sorted(
+                        direct.tuples, key=repr
+                    )
+
+    def test_eviction_of_snapshot_shard_mid_batch_fails_safely(self, tmp_path):
+        path = self.snapshot_path(tmp_path)
+
+        async def scenario():
+            registry = DatabaseRegistry()
+            registry.register_lazy("g", str(path))
+            entry = registry.resolve("g")
+            assert isinstance(entry.db, SnapshotDatabase)
+            broker = QueryBroker(max_pending=8, batch_size=4)
+            spec = output_spec("a")
+            ticket, _ = broker.submit(QueryRequest("g", spec), entry, spec.to_query())
+            registry.evict("g")
+            pool = EvaluationWorkerPool(
+                broker, registry, concurrency=1, use_threads=False
+            )
+            pool.start()
+            broker.close()
+            await pool.join()
+            with pytest.raises(DatabaseEvictedError):
+                ticket.future.result()
+            assert pool.stats()["evicted"] == 1
+
+        run(scenario())
+
+    def test_evicting_a_pending_declaration_drops_it(self, tmp_path):
+        path = self.snapshot_path(tmp_path)
+        registry = DatabaseRegistry()
+        registry.register_lazy("g", str(path))
+        assert registry.evict("g")
+        assert "g" not in registry
+        assert registry.stats()["loads"] == 0  # never touched the disk
+        with pytest.raises(UnknownDatabaseError):
+            registry.get("g")
+
+
+# ---------------------------------------------------------------------------
 # CLI: batch and serve end-to-end
 # ---------------------------------------------------------------------------
 
@@ -512,6 +618,36 @@ class TestCliBatch:
         code = main(["batch", str(service_files / "requests.jsonl"), "--concurrency", "0"])
         assert code == 1
         assert "--concurrency" in capsys.readouterr().err
+
+
+class TestCliCompact:
+    def test_compact_then_batch_over_the_snapshot(self, service_files, capsys):
+        snapshot = service_files / "g.rgsnap"
+        assert main(["compact", str(service_files / "g.edges"), str(snapshot)]) == 0
+        assert "snapshot" in capsys.readouterr().out
+        code = main(
+            [
+                "batch",
+                str(service_files / "requests.jsonl"),
+                "--database", f"g={snapshot}",
+                "--stats",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        lines = [json.loads(line) for line in captured.out.strip().splitlines()]
+        assert [line["id"] for line in lines] == ["r1", "r2", "r3"]
+        assert all(line["ok"] for line in lines)
+        assert lines[1]["tuples"] == [["n1", "n2"], ["n2", "n3"]]
+        # The snapshot shard was declared lazily and cold-loaded on first use.
+        assert "loads=1" in captured.err and "pending=0" in captured.err
+
+    def test_compact_rejects_binary_junk_input(self, tmp_path, capsys):
+        junk = tmp_path / "junk.bin"
+        junk.write_bytes(b"\x00\xff\x00 junk")
+        code = main(["compact", str(junk), str(tmp_path / "out.rgsnap")])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
 
 
 class TestCliServe:
