@@ -35,7 +35,7 @@ from typing import List, Optional, Sequence, TextIO
 
 from repro.core.errors import ReproError
 from repro.engine.engine import evaluate
-from repro.graphdb.cache import cache_stats
+from repro.graphdb.cache import cache_stats, database_statistics
 from repro.graphdb.io import load_database
 from repro.graphdb.storage import save_snapshot
 from repro.queries.cxrpq import CXRPQ
@@ -150,6 +150,25 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("edges", "json", "rgsnap"),
         default=None,
         help="force the input parser instead of sniffing the file",
+    )
+    compact.add_argument(
+        "--force",
+        action="store_true",
+        help="overwrite the output file if it already exists",
+    )
+    stats_group = compact.add_mutually_exclusive_group()
+    stats_group.add_argument(
+        "--stats",
+        dest="stats",
+        action="store_true",
+        default=True,
+        help="embed planner statistics in the snapshot (default)",
+    )
+    stats_group.add_argument(
+        "--no-stats",
+        dest="stats",
+        action="store_false",
+        help="write a stats-less snapshot (byte-identical to the pre-stats format)",
     )
     return parser
 
@@ -297,11 +316,17 @@ def command_batch(arguments: argparse.Namespace) -> int:
 
 def command_compact(arguments: argparse.Namespace) -> int:
     """Compile a graph file into a binary ``.rgsnap`` snapshot."""
+    if os.path.exists(arguments.output) and not arguments.force:
+        raise ReproError(
+            f"output file {arguments.output} already exists; pass --force to overwrite"
+        )
     db = load_database(arguments.input, fmt=arguments.input_format)
-    save_snapshot(db, arguments.output)
+    statistics = database_statistics(db) if arguments.stats else None
+    save_snapshot(db, arguments.output, statistics=statistics)
     written = os.path.getsize(arguments.output)
     print(f"input    : {arguments.input} ({db.num_nodes()} nodes, {db.num_edges()} edges)")
     print(f"snapshot : {arguments.output} ({written} bytes)")
+    print(f"stats    : {statistics.describe() if statistics else '(none)'}")
     return 0
 
 

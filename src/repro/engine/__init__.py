@@ -18,8 +18,18 @@ Every fragment gets the algorithm the paper gives for it:
   CXRPQs (no complete algorithm is known, Section 8),
 * :mod:`repro.engine.engine` — a dispatcher that classifies a query and picks
   the appropriate algorithm.
+
+The backtracking join underneath them plans with per-database cardinality
+statistics (:mod:`repro.engine.planner`); ``planner_v2_disabled`` reverts to
+the heuristic v1 planner for A/B comparisons.
 """
 
+from repro.engine.planner import (
+    planner_stats,
+    planner_v2_disabled,
+    planner_v2_enabled,
+    reset_planner_stats,
+)
 from repro.engine.results import EvaluationResult, Match
 from repro.engine.crpq import evaluate_crpq
 from repro.engine.ecrpq import evaluate_ecrpq
@@ -42,4 +52,8 @@ __all__ = [
     "evaluate_generic",
     "evaluate",
     "evaluate_union",
+    "planner_stats",
+    "planner_v2_disabled",
+    "planner_v2_enabled",
+    "reset_planner_stats",
 ]

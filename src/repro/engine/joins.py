@@ -5,12 +5,21 @@ morphism ``h`` from the pattern nodes to the database nodes such that each
 edge's endpoints land in a per-edge relation (plus, for CXRPQ/ECRPQ,
 additional synchronisation constraints).  This module implements that search
 once: a greedy, index-backed backtracking join.
+
+Planning decisions — which edge to bind next, which deferred lazy edge an
+all-lazy component forces, and which direction a lazy edge expands from —
+are delegated to an explicit :class:`repro.engine.planner.JoinPlan` built
+once per join.  The plan's costs come from per-database cardinality
+statistics (planner v2, the default); the previous inline heuristics remain
+available behind :func:`repro.engine.planner.planner_v2_disabled`.
 """
 
 from __future__ import annotations
 
 from collections import deque
 from typing import Callable, Dict, FrozenSet, Hashable, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.engine.planner import JoinPlan
 
 Node = Hashable
 
@@ -70,6 +79,7 @@ def semijoin_reduce(
     edge_endpoints: Sequence[Tuple[str, str]],
     edge_relations: Sequence[EdgeRelation],
     fixed: Optional[Dict[str, Node]] = None,
+    plan: Optional[JoinPlan] = None,
 ) -> List[EdgeRelation]:
     """Restrict each relation by its neighbours before backtracking.
 
@@ -91,14 +101,17 @@ def semijoin_reduce(
       (``relation.materialised`` is ``False``) enters the fixpoint only
       once one of its endpoint domains is known, and is then expanded *from
       that domain* with per-source rows — **backward** (``sources_of``, the
-      reversed product search) when the target side is the bound or smaller
-      one, forward otherwise.  Only when no domain ever becomes available
+      reversed product search) or forward, as chosen by the plan's
+      estimated frontier costs.  Only when no domain ever becomes available
       (a pattern component with no fixed variable and no eager edge) is a
-      single lazy edge forced to its full pair set per component, and the
-      domains it yields activate its neighbours row-wise.
+      single lazy edge — the one the plan estimates cheapest to materialise
+      — forced to its full pair set per component, and the domains it
+      yields activate its neighbours row-wise.
     """
     if not edge_endpoints:
         return list(edge_relations)
+    if plan is None:
+        plan = JoinPlan(edge_endpoints, edge_relations)
     count = len(edge_endpoints)
     domains: Dict[str, Set[Node]] = {
         variable: {value} for variable, value in (fixed or {}).items()
@@ -154,10 +167,11 @@ def semijoin_reduce(
     def activate_lazy(index: int) -> None:
         """Expand a deferred lazy edge from its known endpoint domain(s).
 
-        The expansion direction follows the bound side: when the target
-        domain is the (only) known one or the smaller one, the rows come
-        from the backward product search (``sources_of``); otherwise the
-        forward rows are used.
+        The expansion direction is the plan's call: with one bound side
+        there is no choice; with both bound, planner v2 compares the
+        estimated frontiers (domain size × direction-aware expected
+        fanout), v1 simply the domain sizes.  ``sources_of`` rows run the
+        backward product search over the reversed CSR arrays.
         """
         relation = edge_relations[index]
         source, target = edge_endpoints[index]
@@ -169,9 +183,7 @@ def semijoin_reduce(
                 for value in domain_source
                 if value in relation.targets_of(value)
             }
-        elif domain_target is None or (
-            domain_source is not None and len(domain_source) <= len(domain_target)
-        ):
+        elif plan.activation_direction(index, domain_source, domain_target) == "forward":
             pairs = {
                 (u, v)
                 for u in domain_source
@@ -216,13 +228,15 @@ def semijoin_reduce(
         if not deferred:
             break
         # A pattern component made solely of lazy edges with no fixed
-        # variable: force exactly one edge, whose columns then activate the
-        # rest of the component row-wise through the worklist (the forced
-        # edge's endpoints had no domains, so ``update_domains`` necessarily
-        # creates them and marks both variables dirty).
-        forced = min(deferred)
+        # variable: force exactly one edge — the plan's estimated-cheapest
+        # relation — whose columns then activate the rest of the component
+        # row-wise through the worklist (the forced edge's endpoints had no
+        # domains, so ``update_domains`` necessarily creates them and marks
+        # both variables dirty).
+        forced = plan.forced_edge(deferred)
         deferred.discard(forced)
         pairs_per_edge[forced] = edge_relations[forced].pairs
+        plan.note_forced(len(pairs_per_edge[forced]))
         filter_edge(forced)
 
     reduced: List[EdgeRelation] = []
@@ -276,7 +290,15 @@ def join_morphisms(
     if unknown:
         raise ValueError(f"fixed assignment mentions unknown pattern nodes {unknown}")
     if prune:
-        edge_relations = semijoin_reduce(edge_endpoints, edge_relations, fixed)
+        edge_relations = semijoin_reduce(
+            edge_endpoints,
+            edge_relations,
+            fixed,
+            plan=JoinPlan(edge_endpoints, edge_relations),
+        )
+    # The backtracking phase plans over the (possibly reduced) relations —
+    # the reduction replaces pair sets, so pre-reduction estimates are stale.
+    plan = JoinPlan(edge_endpoints, edge_relations)
     remaining = list(range(len(edge_endpoints)))
     yield from _extend(
         assignment,
@@ -286,6 +308,7 @@ def join_morphisms(
         pattern_nodes,
         database_nodes,
         check,
+        plan,
     )
 
 
@@ -294,6 +317,7 @@ def _select_edge(
     edge_endpoints: Sequence[Tuple[str, str]],
     edge_relations: Sequence[EdgeRelation],
     assignment: Dict[str, Node],
+    plan: Optional[JoinPlan] = None,
 ) -> int:
     """Pick the remaining edge with the smallest estimated branching cost.
 
@@ -302,13 +326,14 @@ def _select_edge(
     the bound endpoint for half-bound edges — rather than the raw relation
     size alone.  Fully bound edges cost nothing (a membership check that can
     only prune), half-bound edges cost their column fan-out, unbound edges
-    cost the relation's ``size_hint`` (exact for eager relations; for a lazy
-    CSR relation a pessimistic ``n²`` bound, so the planner prefers binding
-    through already-materialised edges first).  Ties break on the position
-    in ``remaining``, keeping the selection deterministic; relation sizes
-    only enter through the actual domains, which keeps the semi-join
-    pre-pruning from shifting the search into a worse region (the thm2 @
-    160 nodes regression).
+    cost the plan's estimated relation cardinality (planner v2: a
+    statistics sketch for unmaterialised lazy relations, exact otherwise;
+    v1: the raw ``size_hint``, a pessimistic ``n²`` for lazy relations, so
+    binding goes through already-materialised edges first).  Ties break on
+    the position in ``remaining``, keeping the selection deterministic;
+    relation sizes only enter through the actual domains, which keeps the
+    semi-join pre-pruning from shifting the search into a worse region (the
+    thm2 @ 160 nodes regression).
 
     For a target-bound edge the fan-out probe *is* the backward product
     search: a lazy relation's ``sources_of`` row runs over the reversed CSR
@@ -316,6 +341,8 @@ def _select_edge(
     the expansion itself — the planner chooses the search direction simply
     by which endpoint is bound.
     """
+    if plan is None:
+        plan = JoinPlan(edge_endpoints, edge_relations)
     best_index = remaining[0]
     best_cost: Optional[Tuple[int, int]] = None
     for index in remaining:
@@ -330,7 +357,7 @@ def _select_edge(
         elif target_value is not None:
             cost = (1, len(relation.sources_of(target_value)))
         else:
-            cost = (2, relation.size_hint())
+            cost = (2, plan.unbound_cost(index))
         if best_cost is None or cost < best_cost:
             best_cost = cost
             best_index = index
@@ -347,13 +374,16 @@ def _extend(
     pattern_nodes: Sequence[str],
     database_nodes: Sequence[Node],
     check: Optional[Callable[[Dict[str, Node]], bool]],
+    plan: Optional[JoinPlan] = None,
 ) -> Iterator[Dict[str, Node]]:
+    if plan is None:
+        plan = JoinPlan(edge_endpoints, edge_relations)
     if not remaining:
         # Assign any pattern nodes that occur in no edge.
         unassigned = [node for node in pattern_nodes if node not in assignment]
         yield from _assign_isolated(assignment, unassigned, database_nodes, check)
         return
-    index = _select_edge(remaining, edge_endpoints, edge_relations, assignment)
+    index = _select_edge(remaining, edge_endpoints, edge_relations, assignment, plan)
     rest = [edge for edge in remaining if edge != index]
     source, target = edge_endpoints[index]
     relation = edge_relations[index]
@@ -361,7 +391,7 @@ def _extend(
     target_value = assignment.get(target)
     if source_value is not None and target_value is not None:
         if (source_value, target_value) in relation:
-            yield from _extend(assignment, rest, edge_endpoints, edge_relations, pattern_nodes, database_nodes, check)
+            yield from _extend(assignment, rest, edge_endpoints, edge_relations, pattern_nodes, database_nodes, check, plan)
         return
     if source_value is not None:
         candidates = relation.targets_of(source_value)
@@ -369,14 +399,14 @@ def _extend(
             candidates = candidates & {source_value}
         for candidate in sorted(candidates, key=repr):
             assignment[target] = candidate
-            yield from _extend(assignment, rest, edge_endpoints, edge_relations, pattern_nodes, database_nodes, check)
+            yield from _extend(assignment, rest, edge_endpoints, edge_relations, pattern_nodes, database_nodes, check, plan)
             del assignment[target]
         return
     if target_value is not None:
         candidates = relation.sources_of(target_value)
         for candidate in sorted(candidates, key=repr):
             assignment[source] = candidate
-            yield from _extend(assignment, rest, edge_endpoints, edge_relations, pattern_nodes, database_nodes, check)
+            yield from _extend(assignment, rest, edge_endpoints, edge_relations, pattern_nodes, database_nodes, check, plan)
             del assignment[source]
         return
     for pair_source, pair_target in sorted(relation.pairs, key=repr):
@@ -384,7 +414,7 @@ def _extend(
             continue
         assignment[source] = pair_source
         assignment[target] = pair_target
-        yield from _extend(assignment, rest, edge_endpoints, edge_relations, pattern_nodes, database_nodes, check)
+        yield from _extend(assignment, rest, edge_endpoints, edge_relations, pattern_nodes, database_nodes, check, plan)
         if source != target:
             del assignment[target]
         del assignment[source]

@@ -72,6 +72,7 @@ from repro.graphdb.paths import (
     product_search,
     reachable_pairs,
 )
+from repro.graphdb.stats import GraphStatistics
 
 Fingerprint = Tuple
 
@@ -662,7 +663,7 @@ class LazyRelation:
     ever materialising ``O(n²)`` pair sets on endpoint-bound workloads.
     """
 
-    __slots__ = ("_csr", "_tables", "_reversed_tables", "_store")
+    __slots__ = ("_csr", "_tables", "_reversed_tables", "_store", "_statistics")
 
     def __init__(
         self,
@@ -671,6 +672,7 @@ class LazyRelation:
         tables: Optional[_NfaTables] = None,
         reversed_tables: Optional[_NfaTables] = None,
         store: Optional[_LazyRowStore] = None,
+        statistics: Optional[Callable[[], GraphStatistics]] = None,
     ):
         self._csr = csr
         self._tables = tables if tables is not None else _NfaTables(nfa)
@@ -682,6 +684,10 @@ class LazyRelation:
         # The row memo may be shared with fingerprint-equal relations of
         # other LRU generations (see _LazyRowStore).
         self._store = store if store is not None else _LazyRowStore()
+        # Zero-arg provider of the database's GraphStatistics — the planner's
+        # cost-model hook.  Optional: without it, estimates degrade to the
+        # pessimistic ``size_hint`` bound.
+        self._statistics = statistics
 
     @property
     def materialised(self) -> bool:
@@ -693,6 +699,39 @@ class LazyRelation:
         if self._store.pairs is not None:
             return len(self._store.pairs)
         return self._csr.num_nodes * self._csr.num_nodes
+
+    def labels(self) -> frozenset:
+        """The edge labels this relation's automaton can traverse."""
+        return frozenset(
+            label
+            for per_state in self._tables.closed
+            for label in per_state
+        )
+
+    @property
+    def accepts_empty(self) -> bool:
+        """Whether the automaton accepts the empty word (diagonal pairs)."""
+        return bool(self._tables.start_mask & self._tables.accepting_mask)
+
+    def plan_statistics(self) -> Optional[GraphStatistics]:
+        """The database statistics backing cost estimates (``None`` if unavailable)."""
+        if self._statistics is None:
+            return None
+        return self._statistics()
+
+    def estimate_pairs(self) -> int:
+        """Estimated ``len(self)`` without forcing materialisation.
+
+        Exact once materialised; otherwise a cardinality-sketch estimate
+        from the database statistics, falling back to the pessimistic
+        ``size_hint`` (n²) bound when no statistics are available.
+        """
+        if self._store.pairs is not None:
+            return len(self._store.pairs)
+        statistics = self.plan_statistics()
+        if statistics is None:
+            return self.size_hint()
+        return statistics.estimate_pairs(self.labels(), accepts_empty=self.accepts_empty)
 
     def targets_of(self, source: Node) -> frozenset:
         source_id = self._csr.node_id.get(source)
@@ -794,6 +833,8 @@ class ReachabilityIndex:
         "_view",
         "_csr",
         "_csr_preloaded",
+        "_stats",
+        "_stats_preloaded",
         "_nfa_tables",
         "_lazy_rows",
         "capacity",
@@ -815,6 +856,8 @@ class ReachabilityIndex:
         self._view: Optional[DatabaseAutomatonView] = None
         self._csr: LRUCache = LRUCache(1)  # singleton CSR snapshot per version
         self._csr_preloaded = 0  # snapshots seeded by the storage layer
+        self._stats: LRUCache = LRUCache(1)  # singleton GraphStatistics per version
+        self._stats_preloaded = 0  # statistics seeded by the storage layer
         self._nfa_tables: LRUCache = LRUCache(self.capacity)  # (reverse, fp) -> tables
         # (version, fp) -> row store; oversized relative to the relation LRU
         # so stores survive relation eviction churn (see LAZY_ROW_GENERATIONS).
@@ -841,6 +884,7 @@ class ReachabilityIndex:
             self._products.clear()
             self._view = None
             self._csr.clear()
+            self._stats.clear()
             self._nfa_tables.clear()
             self._lazy_rows.clear()
             self._version = db.version
@@ -857,6 +901,7 @@ class ReachabilityIndex:
             "verdicts": self._verdicts,
             "products": self._products._lru,
             "csr": self._csr,
+            "stats": self._stats,
             "nfa_tables": self._nfa_tables,
             "lazy_rows": self._lazy_rows,
         }
@@ -864,12 +909,14 @@ class ReachabilityIndex:
     def stats(self) -> Dict[str, Dict[str, Optional[int]]]:
         """Per-cache and total hit/miss/eviction/entry counters.
 
-        The ``csr`` entry additionally carries ``preloaded``: how many
-        adjacency snapshots were seeded from persistent storage
-        (:func:`preload_csr`) instead of being rebuilt from the edge list.
+        The ``csr`` and ``stats`` entries additionally carry ``preloaded``:
+        how many adjacency snapshots / statistics blocks were seeded from
+        persistent storage (:func:`preload_csr`, :func:`preload_statistics`)
+        instead of being rebuilt from the edge list.
         """
         per_cache = {name: cache.stats() for name, cache in self._caches().items()}
         per_cache["csr"]["preloaded"] = self._csr_preloaded
+        per_cache["stats"]["preloaded"] = self._stats_preloaded
         totals = {"hits": 0, "misses": 0, "evictions": 0, "entries": 0}
         for stats in per_cache.values():
             for counter in totals:
@@ -1000,6 +1047,39 @@ class ReachabilityIndex:
         self._csr_preloaded += 1
         return True
 
+    def statistics(self) -> GraphStatistics:
+        """The cardinality statistics of the database, built once per version.
+
+        Computed from the CSR snapshot (so a snapshot-backed database is
+        summarised without hydrating its per-edge indexes) and cached in a
+        version-keyed singleton exactly like :meth:`csr`; snapshot loads
+        seed it zero-copy through :meth:`preload_statistics` instead.
+        Counters surface under ``cache_stats()['stats']``.
+        """
+        db = self._refresh()
+        statistics = self._stats.get(db.version)
+        if statistics is None:
+            statistics = GraphStatistics.from_csr(self.csr())
+            statistics.version = db.version
+            self._stats.put(db.version, statistics)
+        return statistics
+
+    def preload_statistics(self, statistics: GraphStatistics) -> bool:
+        """Seed the statistics from persistent storage (no recomputation).
+
+        The twin of :meth:`preload_csr` for the optional ``.rgsnap``
+        statistics section: a block whose version does not match the live
+        database is refused — returns whether the block was accepted.
+        Accepted preloads count under ``cache_stats()['stats']['preloaded']``,
+        not as hits or misses.
+        """
+        db = self._refresh()
+        if statistics.version != db.version:
+            return False
+        self._stats.put(db.version, statistics)
+        self._stats_preloaded += 1
+        return True
+
     def relation(self, nfa: NFA):
         """The cached join relation of ``nfa``.
 
@@ -1042,6 +1122,7 @@ class ReachabilityIndex:
                 tables=self.nfa_tables(nfa),
                 reversed_tables=self.nfa_tables(nfa, reverse=True),
                 store=store,
+                statistics=self.statistics,
             )
         else:
             relation = EdgeRelation(self.reachable_pairs(nfa))
@@ -1142,14 +1223,36 @@ def preload_csr(db: GraphDatabase, csr: CsrAdjacency) -> bool:
     return reachability_index(db).preload_csr(csr)
 
 
+def preload_statistics(db: GraphDatabase, statistics: GraphStatistics) -> bool:
+    """Seed ``db``'s shared index with a storage-loaded statistics block.
+
+    Returns whether the block was accepted (see
+    :meth:`ReachabilityIndex.preload_statistics`).  Under
+    :func:`caching_disabled` there is no shared index to seed — no-op.
+    """
+    if not _CACHING.get():
+        return False
+    return reachability_index(db).preload_statistics(statistics)
+
+
+def database_statistics(db: GraphDatabase) -> GraphStatistics:
+    """The :class:`GraphStatistics` of ``db`` (computed or preloaded).
+
+    Goes through the shared index so repeated callers (the planner, the
+    CLI's compact-time computation) see one block per database version.
+    """
+    return reachability_index(db).statistics()
+
+
 def cache_stats(db: Optional[GraphDatabase] = None) -> Dict[str, Dict[str, Optional[int]]]:
     """Cache statistics for ``db``'s index, or aggregated over all indexes.
 
     Returns a mapping from cache name (``pairs``, ``from``, ``by_source``,
-    ``relations``, ``verdicts``, ``products``, ``csr``, ``nfa_tables``,
-    ``lazy_rows``, plus ``totals``) to
-    ``{hits, misses, evictions, entries, capacity}``; the ``csr`` entry also
-    carries ``preloaded`` (snapshots seeded from persistent storage).
+    ``relations``, ``verdicts``, ``products``, ``csr``, ``stats``,
+    ``nfa_tables``, ``lazy_rows``, plus ``totals``) to
+    ``{hits, misses, evictions, entries, capacity}``; the ``csr`` and
+    ``stats`` entries also carry ``preloaded`` (blocks seeded from
+    persistent storage).
     """
     names = (
         "pairs",
@@ -1159,6 +1262,7 @@ def cache_stats(db: Optional[GraphDatabase] = None) -> Dict[str, Dict[str, Optio
         "verdicts",
         "products",
         "csr",
+        "stats",
         "nfa_tables",
         "lazy_rows",
         "totals",
@@ -1171,6 +1275,7 @@ def cache_stats(db: Optional[GraphDatabase] = None) -> Dict[str, Dict[str, Optio
                 for name in names
             }
             cold["csr"]["preloaded"] = 0
+            cold["stats"]["preloaded"] = 0
             return cold
         return index.stats()
     aggregate: Dict[str, Dict[str, Optional[int]]] = {
@@ -1178,6 +1283,7 @@ def cache_stats(db: Optional[GraphDatabase] = None) -> Dict[str, Dict[str, Optio
         for name in names
     }
     aggregate["csr"]["preloaded"] = 0
+    aggregate["stats"]["preloaded"] = 0
     for index in list(_INDEXES.values()):
         for name, stats in index.stats().items():
             into = aggregate[name]

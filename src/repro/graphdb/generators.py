@@ -236,6 +236,59 @@ def random_nfa(
     return nfa
 
 
+def deep_chain(
+    chain_length: int,
+    hub_fanout: Optional[int] = None,
+    marker_edges: int = 3,
+    seed: int = 0,
+) -> GraphDatabase:
+    """An adversarial family for the join planner: long chain + high-fanout hub.
+
+    The construction (labels ``a``/``b``/``c``):
+
+    * a chain ``c0 -a-> c1 -a-> … -a-> c{L-1}`` of ``chain_length`` nodes;
+    * a single ``hub`` node with ``b`` arcs *to* ``hub_fanout`` chain nodes
+      (default: half the chain, chosen deterministically from ``seed``) and
+      a ``b`` arc *from every chain node back* — so the ``b+`` reachability
+      relation is near-quadratic: every chain node reaches the hub in one
+      step and all its spokes in two;
+    * ``marker_edges`` selective ``c`` arcs near the chain head
+      (``c_i -c-> c_{i+1}``).
+
+    An all-lazy component like ``(x) -b+-> (y) -c-> (z)`` is the worst case
+    for a lowest-index forced-edge choice: forcing the ``b+`` edge
+    materialises the near-quadratic hub relation, while forcing the ``c``
+    edge yields ``marker_edges`` pairs whose columns then activate the
+    ``b+`` edge row-wise.  Cardinality statistics see exactly this (the
+    ``c`` label is rare, ``b`` is dense), which is what planner v2 keys on.
+    """
+    if chain_length < 2:
+        raise ValueError("deep_chain needs a chain of at least 2 nodes")
+    if hub_fanout is None:
+        hub_fanout = max(1, chain_length // 2)
+    hub_fanout = min(hub_fanout, chain_length)
+    marker_edges = min(marker_edges, chain_length - 1)
+    rng = random.Random(seed)
+    db = GraphDatabase(Alphabet("abc"))
+    chain = [f"c{index}" for index in range(chain_length)]
+    for node in chain:
+        db.add_node(node)
+    db.add_node("hub")
+    for previous, current in zip(chain, chain[1:]):
+        db.add_edge(previous, "a", current)
+    # Spokes first include the chain head so the marker region is reachable
+    # through the hub (keeping b+ ∘ c non-empty), the rest sampled.
+    spokes = {chain[0]}
+    spokes.update(rng.sample(chain, hub_fanout))
+    for spoke in sorted(spokes):
+        db.add_edge("hub", "b", spoke)
+    for node in chain:
+        db.add_edge(node, "b", "hub")
+    for index in range(marker_edges):
+        db.add_edge(chain[index], "c", chain[index + 1])
+    return db
+
+
 def layered_graph(
     layers: int,
     width: int,

@@ -1,0 +1,392 @@
+"""Per-database cardinality statistics: the planner's cost-model substrate.
+
+The join planner (:mod:`repro.engine.planner`) needs cheap, precomputed
+answers to questions of the form "roughly how many pairs does the
+reachability relation of this automaton hold?" and "how wide does a frontier
+get after stepping a bound domain through these labels?" — *before* running
+the product searches whose cost it is trying to avoid.  This module computes
+exactly those summaries once per database version:
+
+* **per-label degree histograms** — log2-bucketed out- and in-degree
+  distributions, plus the distinct source/target counts and the edge count
+  of every label (all derived from the CSR ``indptr`` arrays, so computing
+  them never touches the per-edge dictionary indexes of a snapshot-backed
+  database);
+* **reachability-fanout samples** — the forward and backward full-alphabet
+  closure sizes of a small deterministic sample of nodes, giving an
+  empirical transitive-fanout scale the per-label single-step counts cannot
+  see.
+
+The estimators deliberately trade accuracy for monotonicity: an automaton
+over a rare label must always estimate cheaper than one over a hub label.
+Absolute error is irrelevant — the planner only ever *compares* estimates.
+
+Statistics serialise to a compact, schema-evolvable payload
+(:meth:`GraphStatistics.to_payload`) stored as an optional ``.rgsnap``
+section (:mod:`repro.graphdb.storage`): unknown keys are ignored on read, a
+payload written by a *newer* stats schema raises
+:class:`UnsupportedStatsVersion` so loaders can skip the section gracefully
+(the graph itself still loads), and a malformed payload raises
+:class:`StatsFormatError` loudly.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from repro.graphdb.paths import CsrAdjacency
+
+#: Bumped whenever the payload layout changes incompatibly; readers refuse
+#: newer versions (by skipping the optional section, not the snapshot).
+STATS_VERSION = 1
+
+#: How many nodes the reachability-fanout sample visits by default.  Small on
+#: purpose: computing statistics must stay a vanishing fraction of the work
+#: the planner uses them to avoid.
+DEFAULT_FANOUT_SAMPLES = 24
+
+#: The deterministic seed of the fanout sample — statistics are part of the
+#: plan, and plans must be reproducible across runs and processes.
+SAMPLE_SEED = 0
+
+
+class StatsFormatError(ValueError):
+    """A statistics payload is malformed (not merely from a newer schema)."""
+
+
+class UnsupportedStatsVersion(StatsFormatError):
+    """A statistics payload was written by a newer stats schema.
+
+    Loaders treat this as "no statistics available" rather than an error:
+    the section is an optional accelerator, so an old reader skips it and
+    keeps serving the graph.
+    """
+
+
+class LabelStatistics:
+    """The degree summary of one edge label."""
+
+    __slots__ = (
+        "edge_count",
+        "distinct_sources",
+        "distinct_targets",
+        "out_histogram",
+        "in_histogram",
+    )
+
+    def __init__(
+        self,
+        edge_count: int,
+        distinct_sources: int,
+        distinct_targets: int,
+        out_histogram: Sequence[int],
+        in_histogram: Sequence[int],
+    ):
+        self.edge_count = edge_count
+        self.distinct_sources = distinct_sources
+        self.distinct_targets = distinct_targets
+        #: ``histogram[b]`` counts the nodes whose degree lies in
+        #: ``[2**b, 2**(b+1))`` — zero-degree nodes are not bucketed (they
+        #: are ``num_nodes - distinct_sources/targets``).
+        self.out_histogram = list(out_histogram)
+        self.in_histogram = list(in_histogram)
+
+    def __repr__(self) -> str:
+        return (
+            f"LabelStatistics(edges={self.edge_count}, "
+            f"sources={self.distinct_sources}, targets={self.distinct_targets})"
+        )
+
+
+def _degree_summary(
+    indptr: Sequence[int], num_nodes: int
+) -> Tuple[int, List[int]]:
+    """``(distinct nodes with degree > 0, log2 degree histogram)`` of one CSR side."""
+    distinct = 0
+    histogram: List[int] = []
+    for node in range(num_nodes):
+        degree = indptr[node + 1] - indptr[node]
+        if degree <= 0:
+            continue
+        distinct += 1
+        bucket = degree.bit_length() - 1
+        if bucket >= len(histogram):
+            histogram.extend([0] * (bucket + 1 - len(histogram)))
+        histogram[bucket] += 1
+    return distinct, histogram
+
+
+def _closure_size(
+    adjacency: Dict[str, Tuple[Sequence[int], Sequence[int]]],
+    num_nodes: int,
+    source: int,
+) -> int:
+    """The size of ``source``'s full-alphabet closure (source included)."""
+    seen = bytearray(num_nodes)
+    seen[source] = 1
+    count = 1
+    stack = [source]
+    sections = list(adjacency.values())
+    while stack:
+        node = stack.pop()
+        for indptr, indices in sections:
+            for position in range(indptr[node], indptr[node + 1]):
+                target = indices[position]
+                if not seen[target]:
+                    seen[target] = 1
+                    count += 1
+                    stack.append(target)
+    return count
+
+
+class GraphStatistics:
+    """Cardinality summaries of one database version, with cost estimators.
+
+    Instances are immutable in spirit (the planner shares one per database
+    version); ``version`` is the only field ever reassigned — the storage
+    layer stamps it with the freshly loaded database's version counter so
+    :meth:`repro.graphdb.cache.ReachabilityIndex.preload_statistics` can
+    apply the same staleness guard as the CSR preload.
+    """
+
+    __slots__ = (
+        "version",
+        "num_nodes",
+        "num_edges",
+        "labels",
+        "forward_samples",
+        "backward_samples",
+        "sample_seed",
+    )
+
+    def __init__(
+        self,
+        num_nodes: int,
+        num_edges: int,
+        labels: Dict[str, LabelStatistics],
+        forward_samples: Sequence[int],
+        backward_samples: Sequence[int],
+        sample_seed: int = SAMPLE_SEED,
+        version: Optional[int] = None,
+    ):
+        self.version = version
+        self.num_nodes = num_nodes
+        self.num_edges = num_edges
+        self.labels = dict(labels)
+        self.forward_samples = list(forward_samples)
+        self.backward_samples = list(backward_samples)
+        self.sample_seed = sample_seed
+
+    # -- construction ------------------------------------------------------------
+
+    @classmethod
+    def from_csr(
+        cls,
+        csr: CsrAdjacency,
+        samples: int = DEFAULT_FANOUT_SAMPLES,
+        seed: int = SAMPLE_SEED,
+    ) -> "GraphStatistics":
+        """Compute statistics from a CSR adjacency snapshot.
+
+        Everything is derived from the ``indptr``/``indices`` arrays, so a
+        snapshot-backed database never hydrates its per-edge dictionary
+        indexes to be summarised.  The fanout sample is deterministic in
+        ``(seed, num_nodes)``.
+        """
+        num_nodes = csr.num_nodes
+        labels: Dict[str, LabelStatistics] = {}
+        num_edges = 0
+        for label in sorted(csr.forward, key=repr):
+            fwd_indptr, fwd_indices = csr.forward[label]
+            bwd_indptr, _bwd_indices = csr.backward[label]
+            edge_count = len(fwd_indices)
+            num_edges += edge_count
+            distinct_sources, out_histogram = _degree_summary(fwd_indptr, num_nodes)
+            distinct_targets, in_histogram = _degree_summary(bwd_indptr, num_nodes)
+            labels[label] = LabelStatistics(
+                edge_count, distinct_sources, distinct_targets, out_histogram, in_histogram
+            )
+        if num_nodes <= samples:
+            sampled = list(range(num_nodes))
+        else:
+            sampled = sorted(random.Random(seed).sample(range(num_nodes), samples))
+        forward_samples = [
+            _closure_size(csr.forward, num_nodes, node) for node in sampled
+        ]
+        backward_samples = [
+            _closure_size(csr.backward, num_nodes, node) for node in sampled
+        ]
+        return cls(
+            num_nodes,
+            num_edges,
+            labels,
+            forward_samples,
+            backward_samples,
+            sample_seed=seed,
+            version=csr.version,
+        )
+
+    # -- estimators --------------------------------------------------------------
+
+    @property
+    def mean_forward_reach(self) -> float:
+        """Mean sampled forward-closure size (``num_nodes`` when unsampled)."""
+        if not self.forward_samples:
+            return float(self.num_nodes)
+        return sum(self.forward_samples) / len(self.forward_samples)
+
+    @property
+    def mean_backward_reach(self) -> float:
+        """Mean sampled backward-closure size (``num_nodes`` when unsampled)."""
+        if not self.backward_samples:
+            return float(self.num_nodes)
+        return sum(self.backward_samples) / len(self.backward_samples)
+
+    def edge_frequency(self, labels: Iterable[str]) -> float:
+        """The fraction of all arcs carrying a label from ``labels``."""
+        if not self.num_edges:
+            return 0.0
+        covered = sum(
+            self.labels[label].edge_count for label in labels if label in self.labels
+        )
+        return covered / self.num_edges
+
+    def support(self, labels: Iterable[str], forward: bool = True) -> int:
+        """Estimated count of nodes with an arc in ``labels`` leaving (entering) them.
+
+        The per-label distinct counts are summed and capped at the node
+        count — an upper bound on the union, which is the safe direction
+        for a quantity the planner multiplies costs by.
+        """
+        total = 0
+        for label in labels:
+            entry = self.labels.get(label)
+            if entry is None:
+                continue
+            total += entry.distinct_sources if forward else entry.distinct_targets
+        return min(total, self.num_nodes)
+
+    def expected_row(self, labels: Iterable[str], forward: bool = True) -> int:
+        """Estimated size of one reachability row over ``labels``.
+
+        The sampled full-alphabet closure scale, discounted by the fraction
+        of arcs the automaton's labels can actually traverse.  Exact for
+        neither single-step nor transitive automata — but monotone in label
+        rarity, which is the property the planner's comparisons need.
+        """
+        frequency = self.edge_frequency(labels)
+        if frequency == 0.0:
+            return 1
+        reach = self.mean_forward_reach if forward else self.mean_backward_reach
+        return max(1, min(self.num_nodes, round(reach * frequency)))
+
+    def estimate_pairs(
+        self, labels: Iterable[str], accepts_empty: bool = False
+    ) -> int:
+        """Estimated cardinality of a reachability relation over ``labels``.
+
+        ``accepts_empty`` adds the diagonal (an automaton accepting the
+        empty word relates every node to itself).
+        """
+        labels = list(labels)
+        if not labels:
+            return self.num_nodes if accepts_empty else 0
+        estimate = self.support(labels, forward=True) * self.expected_row(
+            labels, forward=True
+        )
+        if accepts_empty:
+            estimate += self.num_nodes
+        return min(estimate, self.num_nodes * self.num_nodes + self.num_nodes)
+
+    def estimate_frontier(
+        self, bound_count: int, labels: Iterable[str], forward: bool = True
+    ) -> int:
+        """Estimated frontier after expanding ``bound_count`` bound nodes."""
+        return bound_count * self.expected_row(labels, forward=forward)
+
+    # -- serialisation -----------------------------------------------------------
+
+    def to_payload(self) -> bytes:
+        """Serialise to the compact, schema-evolvable statistics payload."""
+        document = {
+            "stats_version": STATS_VERSION,
+            "num_nodes": self.num_nodes,
+            "num_edges": self.num_edges,
+            "sample_seed": self.sample_seed,
+            "labels": {
+                label: {
+                    "edges": entry.edge_count,
+                    "sources": entry.distinct_sources,
+                    "targets": entry.distinct_targets,
+                    "out_hist": entry.out_histogram,
+                    "in_hist": entry.in_histogram,
+                }
+                for label, entry in sorted(self.labels.items())
+            },
+            "fanout": {
+                "forward": self.forward_samples,
+                "backward": self.backward_samples,
+            },
+        }
+        return json.dumps(document, sort_keys=True, separators=(",", ":")).encode("utf-8")
+
+    @classmethod
+    def from_payload(cls, payload: bytes) -> "GraphStatistics":
+        """Deserialise a statistics payload.
+
+        Unknown keys are ignored (older readers keep working as the payload
+        grows); a ``stats_version`` newer than :data:`STATS_VERSION` raises
+        :class:`UnsupportedStatsVersion` so callers can skip the section; a
+        malformed payload raises :class:`StatsFormatError`.
+        """
+        try:
+            document = json.loads(payload.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise StatsFormatError(f"malformed statistics payload: {error}") from error
+        if not isinstance(document, dict):
+            raise StatsFormatError("statistics payload is not an object")
+        version = document.get("stats_version")
+        if not isinstance(version, int) or version < 1:
+            raise StatsFormatError(f"invalid statistics schema version {version!r}")
+        if version > STATS_VERSION:
+            raise UnsupportedStatsVersion(
+                f"statistics schema version {version} is newer than this reader "
+                f"(supports up to {STATS_VERSION})"
+            )
+        try:
+            labels = {
+                str(label): LabelStatistics(
+                    int(entry["edges"]),
+                    int(entry["sources"]),
+                    int(entry["targets"]),
+                    [int(value) for value in entry.get("out_hist", [])],
+                    [int(value) for value in entry.get("in_hist", [])],
+                )
+                for label, entry in document.get("labels", {}).items()
+            }
+            fanout = document.get("fanout", {})
+            return cls(
+                int(document["num_nodes"]),
+                int(document["num_edges"]),
+                labels,
+                [int(value) for value in fanout.get("forward", [])],
+                [int(value) for value in fanout.get("backward", [])],
+                sample_seed=int(document.get("sample_seed", SAMPLE_SEED)),
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            raise StatsFormatError(f"malformed statistics payload: {error}") from error
+
+    def describe(self) -> str:
+        """A one-line human summary (used by ``repro compact``)."""
+        return (
+            f"{len(self.labels)} labels, {len(self.forward_samples)} fanout samples, "
+            f"{self.num_nodes} nodes / {self.num_edges} edges summarised"
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"GraphStatistics(nodes={self.num_nodes}, edges={self.num_edges}, "
+            f"labels={len(self.labels)})"
+        )

@@ -21,13 +21,20 @@ File layout (all integers little-endian, array sections 4-byte aligned)::
              edge counts   u32[num_labels]    arcs per label
              per label     fwd indptr u32[n+1] · fwd indices u32[count]
                            bwd indptr u32[n+1] · bwd indices u32[count]
+    optional sections, gated by header flag bits:
+             FLAG_STATS    stats length u32 · statistics blob, padded
+                           (:meth:`repro.graphdb.stats.GraphStatistics.to_payload`)
 
 Schema guarantees: the magic bytes never change; ``schema_version`` is
 bumped whenever the payload layout does, and a reader refuses versions newer
 than it knows (old snapshots keep loading as the format evolves, never the
-reverse, silently).  The crc32 covers the whole payload, so a flipped bit or
-a truncated file fails loudly with :class:`~repro.graphdb.io.GraphFormatError`
-instead of producing a subtly wrong graph.
+reverse, silently).  Optional trailing sections are announced by header
+*flag* bits instead of a schema bump: a flags-0 snapshot (every file written
+before the section existed) loads unchanged, while unknown flag bits — a
+future writer this reader cannot interpret — are refused loudly.  The crc32
+covers the whole payload, so a flipped bit or a truncated file fails loudly
+with :class:`~repro.graphdb.io.GraphFormatError` instead of producing a
+subtly wrong graph.
 
 Loading constructs a :class:`SnapshotDatabase`: its node set is populated
 eagerly (cheap, one string table), its CSR adjacency is wrapped **directly
@@ -51,15 +58,32 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Un
 
 from repro.core.alphabet import Alphabet
 from repro.core.errors import AlphabetError
-from repro.graphdb.cache import caching_enabled, preload_csr, reachability_index
+from repro.graphdb.cache import (
+    caching_enabled,
+    preload_csr,
+    preload_statistics,
+    reachability_index,
+)
 from repro.graphdb.database import Edge, GraphDatabase, Node
 from repro.graphdb.io import SNAPSHOT_MAGIC, GraphFormatError
 from repro.graphdb.paths import CsrAdjacency
+from repro.graphdb.stats import (
+    GraphStatistics,
+    StatsFormatError,
+    UnsupportedStatsVersion,
+)
 
 PathLike = Union[str, Path]
 
 #: Bumped whenever the payload layout changes; readers refuse newer versions.
 SCHEMA_VERSION = 1
+
+#: Header flag: the payload carries an optional statistics section after the
+#: CSR arrays (see :mod:`repro.graphdb.stats`).
+FLAG_STATS = 1 << 0
+
+#: Every flag bit this reader understands; unknown bits are refused.
+_KNOWN_FLAGS = FLAG_STATS
 
 # magic 8s · schema u16 · flags u16 · itemsize u32 · num_nodes u64 ·
 # num_edges u64 · num_labels u32 · payload crc32 u32 · payload length u64
@@ -344,8 +368,16 @@ def _csr_of(db: GraphDatabase) -> CsrAdjacency:
     return CsrAdjacency(db)
 
 
-def dump_snapshot_bytes(db: GraphDatabase) -> bytes:
-    """Serialise ``db`` to the binary ``.rgsnap`` snapshot format."""
+def dump_snapshot_bytes(
+    db: GraphDatabase, statistics: Optional[GraphStatistics] = None
+) -> bytes:
+    """Serialise ``db`` to the binary ``.rgsnap`` snapshot format.
+
+    With ``statistics`` given, the block is appended as an optional,
+    flag-gated section (``FLAG_STATS``) so loaders can seed the planner's
+    cost model zero-copy; without it the output is byte-identical to the
+    stats-less format (flags 0).
+    """
     csr = _csr_of(db)
     names = [str(node) for node in csr.nodes]
     if len(set(names)) != len(names):
@@ -368,11 +400,26 @@ def dump_snapshot_bytes(db: GraphDatabase) -> bytes:
         for indptr, indices in (csr.forward[label], csr.backward[label]):
             sections.append(_pack_u32(indptr))
             sections.append(_pack_u32(indices))
+    flags = 0
+    if statistics is not None:
+        if (
+            statistics.num_nodes != len(names)
+            or statistics.num_edges != sum(counts)
+        ):
+            raise GraphFormatError(
+                "statistics block does not describe this database "
+                f"(stats: {statistics.num_nodes} nodes / {statistics.num_edges} "
+                f"edges, database: {len(names)} / {sum(counts)})"
+            )
+        blob = statistics.to_payload()
+        sections.append(_pack_u32((len(blob),)))
+        sections.append(_pack_blob(blob))
+        flags |= FLAG_STATS
     payload = b"".join(sections)
     header = _HEADER.pack(
         SNAPSHOT_MAGIC,
         SCHEMA_VERSION,
-        0,  # flags (reserved)
+        flags,
         4,  # array item size
         len(names),
         sum(counts),
@@ -401,7 +448,7 @@ def load_snapshot_bytes(
     (
         magic,
         schema,
-        _flags,
+        flags,
         item_size,
         num_nodes,
         num_edges,
@@ -418,6 +465,11 @@ def load_snapshot_bytes(
         )
     if schema < 1:
         raise GraphFormatError(f"invalid snapshot schema version {schema}")
+    if flags & ~_KNOWN_FLAGS:
+        raise GraphFormatError(
+            f"snapshot uses unknown flag bits 0x{flags & ~_KNOWN_FLAGS:x}; "
+            "upgrade repro to load it"
+        )
     if item_size != 4:
         raise GraphFormatError(f"unsupported snapshot array item size {item_size}")
     if len(view) - _HEADER.size < payload_length:
@@ -443,14 +495,45 @@ def load_snapshot_bytes(
         raise GraphFormatError(
             "inconsistent snapshot: per-label edge counts do not sum to the header total"
         )
+    statistics: Optional[GraphStatistics] = None
+    if flags & FLAG_STATS:
+        (stats_length,), cursor = _read_u32(payload, cursor, 1)
+        stats_end = cursor + stats_length
+        if stats_end > len(payload):
+            raise GraphFormatError(
+                "truncated snapshot: the statistics section runs past the payload"
+            )
+        try:
+            statistics = GraphStatistics.from_payload(bytes(payload[cursor:stats_end]))
+        except UnsupportedStatsVersion:
+            # A future writer's statistics schema: the section is an
+            # optional accelerator, so skip it and load the graph — the
+            # planner recomputes statistics on demand.
+            statistics = None
+        except StatsFormatError as error:
+            raise GraphFormatError(f"inconsistent snapshot: {error}") from error
+        if statistics is not None and (
+            statistics.num_nodes != num_nodes or statistics.num_edges != num_edges
+        ):
+            raise GraphFormatError(
+                "inconsistent snapshot: the statistics section disagrees with "
+                "the header node/edge counts"
+            )
     db = SnapshotDatabase(names, forward, backward, alphabet=alphabet, buffer=buffer)
     preload_csr(db, db.snapshot_csr)
+    if statistics is not None:
+        # Stamp the block with the freshly constructed database's version so
+        # the index accepts it under the same staleness guard as the CSR.
+        statistics.version = db.version
+        preload_statistics(db, statistics)
     return db
 
 
-def save_snapshot(db: GraphDatabase, path: PathLike) -> None:
+def save_snapshot(
+    db: GraphDatabase, path: PathLike, statistics: Optional[GraphStatistics] = None
+) -> None:
     """Write ``db`` to ``path`` in the ``.rgsnap`` snapshot format."""
-    Path(path).write_bytes(dump_snapshot_bytes(db))
+    Path(path).write_bytes(dump_snapshot_bytes(db, statistics=statistics))
 
 
 def load_snapshot(path: PathLike, alphabet: Optional[Alphabet] = None) -> SnapshotDatabase:

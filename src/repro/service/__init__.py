@@ -25,7 +25,11 @@ from repro.service.requests import (
     ServiceResult,
 )
 from repro.service.service import QueryService, serve_batch
-from repro.service.telemetry import render_cache_stats, render_service_stats
+from repro.service.telemetry import (
+    render_cache_stats,
+    render_planner_stats,
+    render_service_stats,
+)
 from repro.service.workers import EvaluationWorkerPool
 
 __all__ = [
@@ -43,6 +47,7 @@ __all__ = [
     "Ticket",
     "UnknownDatabaseError",
     "render_cache_stats",
+    "render_planner_stats",
     "render_service_stats",
     "serve_batch",
 ]

@@ -10,10 +10,29 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
+from repro.engine.planner import planner_stats
+
 #: Column order of a cache-stats table row.  ``preloaded`` only exists for
-#: the ``csr`` cache (snapshots seeded from persistent storage); caches
-#: without a counter render it as ``-``.
+#: the ``csr`` and ``stats`` caches (blocks seeded from persistent
+#: storage); caches without a counter render it as ``-``.
 _COUNTERS = ("hits", "misses", "evictions", "entries", "capacity", "preloaded")
+
+
+def render_planner_stats(
+    counters: Optional[Dict[str, int]] = None, title: str = "planner"
+) -> str:
+    """One line of join-planner decision counters (why plans looked the way they did).
+
+    Renders :func:`repro.engine.planner.planner_stats` by default; pass
+    ``counters`` to render a snapshot taken elsewhere.  Surfaces through
+    ``repro evaluate --stats`` and the service's ``--stats`` dumps, so a
+    slow query can be attributed to (for example) a forced materialisation
+    without re-running it under a profiler.
+    """
+    if counters is None:
+        counters = planner_stats()
+    pairs = ", ".join(f"{key}={value}" for key, value in sorted(counters.items()))
+    return f"[{title}]\n{pairs}"
 
 
 def render_cache_stats(
@@ -48,6 +67,10 @@ def render_cache_stats(
     lines.append("  ".join(cell.ljust(width) for cell, width in zip(header, widths)))
     for row in rows:
         lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+    # The planner block rides along with every cache-stats dump: the cache
+    # counters say what was reused, the planner counters say why the join
+    # touched what it touched — one picture, one code path.
+    lines.append(render_planner_stats())
     return "\n".join(lines)
 
 
@@ -70,4 +93,8 @@ def render_service_stats(stats: Dict[str, object]) -> str:
     for name, shard in sorted(registry.get("shards", {}).items()):
         pairs = ", ".join(f"{key}={value}" for key, value in sorted(shard.items()))
         lines.append(f"  shard {name}: {pairs}")
+    lines.append(
+        "planner : "
+        + ", ".join(f"{key}={value}" for key, value in sorted(planner_stats().items()))
+    )
     return "\n".join(lines)

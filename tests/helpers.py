@@ -8,6 +8,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro.core.alphabet import Alphabet
 from repro.automata.nfa import NFA
+from repro.engine.planner import planner_v2_disabled
 from repro.graphdb.database import GraphDatabase
 from repro.graphdb.generators import random_graph
 from repro.graphdb.paths import bitset_kernel_disabled, csr_kernel_disabled
@@ -51,6 +52,14 @@ KERNEL_ARMS = [
     ("csr", nullcontext),
     ("bitset", csr_kernel_disabled),
     ("sets", bitset_kernel_disabled),
+]
+
+#: The planner axis of the differential harness: the cost-based v2 planner
+#: (default) against the heuristic v1 oracle.  Plans may differ, answers
+#: may not.
+PLANNER_ARMS = [
+    ("planner-v2", nullcontext),
+    ("planner-v1", planner_v2_disabled),
 ]
 
 

@@ -116,3 +116,62 @@ class TestEvaluate:
         )
         assert code == 1
         assert "error:" in capsys.readouterr().err
+
+
+class TestEvaluateStats:
+    def test_stats_include_the_planner_block(self, graph_file, capsys):
+        code = main(
+            [
+                "evaluate",
+                graph_file,
+                "--edge", "x (a|b)+ y",
+                "--boolean",
+                "--stats",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "[cache stats]" in output
+        assert "stats" in output  # the statistics cache row
+        assert "[planner]" in output
+        assert "edges_planned=" in output
+        assert "forced_materialisations=" in output
+
+
+class TestCompact:
+    def test_refuses_to_overwrite_without_force(self, graph_file, tmp_path, capsys):
+        target = tmp_path / "out.rgsnap"
+        assert main(["compact", graph_file, str(target)]) == 0
+        capsys.readouterr()
+        before = target.read_bytes()
+        assert main(["compact", graph_file, str(target)]) == 1
+        assert "already exists" in capsys.readouterr().err
+        assert target.read_bytes() == before  # nothing was clobbered
+        assert main(["compact", graph_file, str(target), "--force"]) == 0
+
+    def test_stats_section_written_by_default(self, graph_file, tmp_path, capsys):
+        from repro.graphdb.cache import cache_stats
+        from repro.graphdb.storage import load_snapshot
+
+        target = tmp_path / "stats.rgsnap"
+        assert main(["compact", graph_file, str(target)]) == 0
+        output = capsys.readouterr().out
+        assert "stats    :" in output and "(none)" not in output
+        snapshot = load_snapshot(target)
+        assert cache_stats(snapshot)["stats"]["preloaded"] == 1
+
+    def test_no_stats_writes_the_pre_stats_format(self, graph_file, tmp_path, capsys):
+        from repro.graphdb.cache import cache_stats
+        from repro.graphdb.storage import load_snapshot
+
+        plain = tmp_path / "plain.rgsnap"
+        rich = tmp_path / "rich.rgsnap"
+        assert main(["compact", graph_file, str(plain), "--no-stats"]) == 0
+        assert "(none)" in capsys.readouterr().out
+        assert main(["compact", graph_file, str(rich)]) == 0
+        assert plain.stat().st_size < rich.stat().st_size
+        snapshot = load_snapshot(plain)
+        assert cache_stats(snapshot)["stats"]["preloaded"] == 0
+        # A stats-less snapshot still answers queries identically.
+        assert main(["evaluate", str(plain), "--edge", "x (a|b)+ y", "--boolean"]) == 0
+        assert "satisfied: True" in capsys.readouterr().out

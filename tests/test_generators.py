@@ -4,6 +4,7 @@ from repro.core.alphabet import Alphabet
 from repro.automata.nfa import NFA
 from repro.graphdb.generators import (
     cycle_database,
+    deep_chain,
     genealogy_graph,
     layered_graph,
     message_network,
@@ -69,6 +70,40 @@ class TestStructuredGraphs:
         assert db.path_exists(planted["suspect_a"], "ab", planted["suspect_b"])
         assert db.path_exists(planted["suspect_a"], "abab", planted["contact"])
         assert db.path_exists(planted["suspect_b"], "abab", planted["contact"])
+
+
+class TestDeepChain:
+    def test_shape(self):
+        db = deep_chain(20, hub_fanout=5, marker_edges=3)
+        assert db.num_nodes() == 21  # chain + hub
+        labels = {edge.label for edge in db.edges}
+        assert labels == {"a", "b", "c"}
+        # One a-chain, every chain node feeds the hub, three markers.
+        a_edges = [edge for edge in db.edges if edge.label == "a"]
+        c_edges = [edge for edge in db.edges if edge.label == "c"]
+        assert len(a_edges) == 19
+        assert len(c_edges) == 3
+        assert all(edge.target == "hub" or edge.source == "hub"
+                   for edge in db.edges if edge.label == "b")
+
+    def test_deterministic_in_seed(self):
+        left = deep_chain(30, seed=4)
+        right = deep_chain(30, seed=4)
+        assert sorted(map(tuple, left.edges)) == sorted(map(tuple, right.edges))
+        assert sorted(map(tuple, left.edges)) != sorted(
+            map(tuple, deep_chain(30, seed=5).edges)
+        )
+
+    def test_hub_spokes_include_the_chain_head(self):
+        db = deep_chain(16, hub_fanout=2, marker_edges=2)
+        # The marker region stays reachable through the hub.
+        assert db.path_exists("hub", "b", "c0")
+
+    def test_rejects_degenerate_chains(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            deep_chain(1)
 
 
 class TestAutomatonConversions:

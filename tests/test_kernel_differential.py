@@ -16,6 +16,12 @@ additionally pin the fragment classification and dispatcher verdict.
 The shared pools in ``tests/helpers.py`` replace the per-file copies the
 bitset/CSR suites used to carry, so every equivalence suite draws from the
 same inputs.
+
+The engine-level cases additionally run under a **planner axis**
+(``PLANNER_ARMS``): the cost-based v2 planner against the heuristic v1
+oracle.  Plans may differ — edge order, forced-edge choice, expansion
+direction — but answers may not; caches are invalidated between planner
+arms so each arm genuinely plans from cold relations.
 """
 
 import random
@@ -24,8 +30,13 @@ from pathlib import Path
 from repro.automata.nfa import NFA
 from repro.core.alphabet import Alphabet
 from repro.engine.engine import _select_cxrpq_engine, evaluate
-from repro.graphdb.cache import cache_stats
-from repro.graphdb.generators import cycle_database, layered_graph, random_graph
+from repro.graphdb.cache import cache_stats, invalidate_cache
+from repro.graphdb.generators import (
+    cycle_database,
+    deep_chain,
+    layered_graph,
+    random_graph,
+)
 from repro.graphdb.paths import reachable_pairs
 from repro.queries.cxrpq import CXRPQ
 from repro.regex.parser import parse_xregex
@@ -33,6 +44,7 @@ from repro.regex.parser import parse_xregex
 from helpers import (
     ABC,
     KERNEL_ARMS,
+    PLANNER_ARMS,
     REGEX_POOL,
     assert_same_database,
     compiled,
@@ -126,21 +138,80 @@ class TestEngineDifferential:
                 verdict = _select_cxrpq_engine(query, None)
                 assert verdict is not None
                 signatures = {}
-                for name, arm in KERNEL_ARMS:
-                    with arm():
-                        assert _select_cxrpq_engine(query, None) == verdict
-                        signatures[name] = answer_signature(
-                            evaluate(query, db), has_output
+                for planner_name, planner_arm in PLANNER_ARMS:
+                    # Cold relations per planner arm: a relation the other
+                    # arm already materialised would make the plans moot.
+                    invalidate_cache(db)
+                    invalidate_cache(snapshot)
+                    with planner_arm():
+                        for name, arm in KERNEL_ARMS:
+                            with arm():
+                                assert _select_cxrpq_engine(query, None) == verdict
+                                signatures[f"{name}/{planner_name}"] = (
+                                    answer_signature(evaluate(query, db), has_output)
+                                )
+                        signatures[f"snapshot/{planner_name}"] = answer_signature(
+                            evaluate(query, snapshot), has_output
                         )
-                signatures["snapshot"] = answer_signature(
-                    evaluate(query, snapshot), has_output
-                )
-                reference = signatures["sets"]
+                reference = signatures["sets/planner-v2"]
                 for name, signature in signatures.items():
                     assert signature == reference, (
                         f"engine arm {name!r} diverges on {template}: "
                         f"{signature} != {reference}"
                     )
+
+
+class TestPlannerDifferential:
+    """The planner axis on all-lazy workloads — where plans actually differ.
+
+    ``QUERY_TEMPLATES`` above runs every kernel arm under both planner arms,
+    but its queries carry string variables and pass through the simple or
+    vstar-free engines too.  The workloads here are pure conjunctions of
+    classical regexes — every relation lazy, every planner decision (edge
+    order, forced materialisation, expansion direction) live.
+    """
+
+    ALL_LAZY_TEMPLATES = [
+        ((("x", "b+", "y"), ("y", "c", "z")), (), None),
+        ((("x", "(a|b)+", "y"), ("y", "c", "z")), ("x", "z"), None),
+        ((("x", "a*c", "y"), ("y", "b", "z"), ("z", "a", "w")), ("x", "w"), None),
+        ((("x", "a+", "y"), ("z", "c", "w")), (), None),  # two components
+    ]
+
+    def planner_graphs(self):
+        graphs = [
+            stringified(random_graph(10, 26, ABC, seed=13)),
+            stringified(layered_graph(3, 4, ABC, seed=6)),
+        ]
+        graphs.append(deep_chain(24, seed=2))  # adversarial forced-edge family
+        return graphs
+
+    def test_planner_arms_agree_on_all_lazy_components(self):
+        cases = 0
+        for db in self.planner_graphs():
+            snapshot = snapshot_round_trip(db)
+            for template in self.ALL_LAZY_TEMPLATES:
+                query = build_query(template)
+                has_output = bool(query.output_variables)
+                signatures = {}
+                for planner_name, planner_arm in PLANNER_ARMS:
+                    invalidate_cache(db)
+                    invalidate_cache(snapshot)
+                    with planner_arm():
+                        signatures[f"memory/{planner_name}"] = answer_signature(
+                            evaluate(query, db), has_output
+                        )
+                        signatures[f"snapshot/{planner_name}"] = answer_signature(
+                            evaluate(query, snapshot), has_output
+                        )
+                reference = signatures["memory/planner-v2"]
+                for name, signature in signatures.items():
+                    assert signature == reference, (
+                        f"planner arm {name!r} diverges on {template}: "
+                        f"{signature} != {reference}"
+                    )
+                cases += 1
+        assert cases >= 12
 
 
 class TestExampleFixtures:

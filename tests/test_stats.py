@@ -1,0 +1,265 @@
+"""Tests for the statistics subsystem (graphdb/stats.py) and its persistence.
+
+Covers the three layers the statistics touch: computation from a CSR
+snapshot (degree summaries, fanout samples, estimator monotonicity),
+serialisation (round trip, schema evolution, malformed payloads) and the
+optional ``.rgsnap`` section (flag gating, preload counters, backward and
+forward compatibility of the snapshot format itself).
+"""
+
+import struct
+
+import pytest
+
+from repro.core.alphabet import Alphabet
+from repro.graphdb.cache import (
+    cache_stats,
+    database_statistics,
+    reachability_index,
+)
+from repro.graphdb.database import GraphDatabase
+from repro.graphdb.generators import deep_chain, random_graph
+from repro.graphdb.io import GraphFormatError
+from repro.graphdb.paths import CsrAdjacency, reachable_pairs
+from repro.graphdb.stats import (
+    STATS_VERSION,
+    GraphStatistics,
+    StatsFormatError,
+    UnsupportedStatsVersion,
+)
+from repro.graphdb.storage import (
+    FLAG_STATS,
+    _HEADER,
+    dump_snapshot_bytes,
+    load_snapshot_bytes,
+)
+
+from helpers import ABC, compiled, stringified
+
+
+def small_db() -> GraphDatabase:
+    return GraphDatabase.from_edges(
+        [
+            ("n1", "a", "n2"),
+            ("n1", "a", "n3"),
+            ("n2", "a", "n3"),
+            ("n2", "b", "n1"),
+            ("n3", "c", "n1"),
+        ]
+    )
+
+
+class TestComputation:
+    def test_per_label_summaries(self):
+        stats = GraphStatistics.from_csr(CsrAdjacency(small_db()))
+        assert stats.num_nodes == 3
+        assert stats.num_edges == 5
+        assert set(stats.labels) == {"a", "b", "c"}
+        a = stats.labels["a"]
+        assert a.edge_count == 3
+        assert a.distinct_sources == 2  # n1, n2
+        assert a.distinct_targets == 2  # n2, n3
+        # n1 has out-degree 2 (bucket 1), n2 out-degree 1 (bucket 0).
+        assert a.out_histogram == [1, 1]
+        c = stats.labels["c"]
+        assert c.edge_count == 1
+        assert c.distinct_sources == 1
+        assert c.distinct_targets == 1
+
+    def test_fanout_samples_cover_small_graphs_exactly(self):
+        db = small_db()
+        stats = GraphStatistics.from_csr(CsrAdjacency(db))
+        # n <= sample budget: every node is sampled, closures include self.
+        assert len(stats.forward_samples) == 3
+        assert all(size >= 1 for size in stats.forward_samples)
+        # The graph is strongly connected over {a,b,c}: full closures.
+        assert stats.forward_samples == [3, 3, 3]
+        assert stats.backward_samples == [3, 3, 3]
+
+    def test_estimates_are_monotone_in_label_rarity(self):
+        db = deep_chain(60)
+        stats = GraphStatistics.from_csr(CsrAdjacency(db))
+        # 'b' (hub label) is dense, 'c' (markers) rare: a b-relation must
+        # estimate strictly costlier than a c-relation.
+        assert stats.estimate_pairs({"b"}) > stats.estimate_pairs({"c"})
+        assert stats.edge_frequency({"c"}) < stats.edge_frequency({"b"})
+        assert stats.estimate_pairs({}) == 0
+        assert stats.estimate_pairs({}, accepts_empty=True) == stats.num_nodes
+
+    def test_estimates_are_capped_and_deterministic(self):
+        db = stringified(random_graph(40, 160, ABC, seed=11))
+        first = GraphStatistics.from_csr(CsrAdjacency(db))
+        second = GraphStatistics.from_csr(CsrAdjacency(db))
+        assert first.to_payload() == second.to_payload()
+        cap = first.num_nodes * first.num_nodes + first.num_nodes
+        assert first.estimate_pairs({"a", "b", "c"}, accepts_empty=True) <= cap
+        assert first.expected_row({"a"}) <= first.num_nodes
+        assert first.support({"a", "b", "c"}) <= first.num_nodes
+
+
+class TestSerialisation:
+    def test_round_trip(self):
+        original = GraphStatistics.from_csr(CsrAdjacency(small_db()))
+        restored = GraphStatistics.from_payload(original.to_payload())
+        assert restored.num_nodes == original.num_nodes
+        assert restored.num_edges == original.num_edges
+        assert restored.forward_samples == original.forward_samples
+        assert restored.backward_samples == original.backward_samples
+        for label, entry in original.labels.items():
+            twin = restored.labels[label]
+            assert twin.edge_count == entry.edge_count
+            assert twin.distinct_sources == entry.distinct_sources
+            assert twin.distinct_targets == entry.distinct_targets
+            assert twin.out_histogram == entry.out_histogram
+            assert twin.in_histogram == entry.in_histogram
+        # Estimators agree after the round trip.
+        assert restored.estimate_pairs({"a"}) == original.estimate_pairs({"a"})
+
+    def test_unknown_keys_are_ignored(self):
+        import json
+
+        document = json.loads(GraphStatistics.from_csr(CsrAdjacency(small_db())).to_payload())
+        document["future_field"] = {"anything": 1}
+        document["labels"]["a"]["future_per_label"] = [1, 2, 3]
+        restored = GraphStatistics.from_payload(json.dumps(document).encode("utf-8"))
+        assert restored.labels["a"].edge_count == 3
+
+    def test_newer_stats_version_is_refused(self):
+        import json
+
+        document = json.loads(GraphStatistics.from_csr(CsrAdjacency(small_db())).to_payload())
+        document["stats_version"] = STATS_VERSION + 1
+        with pytest.raises(UnsupportedStatsVersion):
+            GraphStatistics.from_payload(json.dumps(document).encode("utf-8"))
+
+    @pytest.mark.parametrize(
+        "payload",
+        [b"not json", b"[1,2,3]", b'{"stats_version": 0}', b'{"stats_version": 1}'],
+    )
+    def test_malformed_payloads_fail_loudly(self, payload):
+        with pytest.raises(StatsFormatError):
+            GraphStatistics.from_payload(payload)
+
+
+class TestCacheIntegration:
+    def test_statistics_computed_once_per_version(self):
+        db = small_db()
+        index = reachability_index(db)
+        first = index.statistics()
+        assert index.statistics() is first
+        stats = cache_stats(db)["stats"]
+        assert stats["misses"] == 1
+        assert stats["hits"] == 1
+        assert stats["preloaded"] == 0
+
+    def test_statistics_invalidate_on_mutation(self):
+        db = small_db()
+        index = reachability_index(db)
+        before = index.statistics()
+        db.add_edge("n3", "a", "n2")
+        after = index.statistics()
+        assert after is not before
+        assert after.num_edges == before.num_edges + 1
+        assert after.version == db.version
+
+
+class TestSnapshotSection:
+    def test_round_trip_preloads_statistics(self):
+        db = stringified(random_graph(12, 30, ABC, seed=7))
+        statistics = database_statistics(db)
+        snapshot = load_snapshot_bytes(dump_snapshot_bytes(db, statistics=statistics))
+        counters = cache_stats(snapshot)["stats"]
+        assert counters["preloaded"] == 1
+        # The preloaded block serves queries without recomputation and
+        # without hydrating the snapshot's per-edge indexes.
+        preloaded = reachability_index(snapshot).statistics()
+        after = cache_stats(snapshot)["stats"]
+        assert after["misses"] == 0, "a preloaded statistics block was recomputed"
+        assert after["hits"] == 1
+        assert preloaded.num_edges == statistics.num_edges
+        assert not snapshot.hydrated
+        # And the graph itself is intact.
+        assert sorted(reachable_pairs(snapshot, compiled("(a|b)+")), key=repr) == sorted(
+            reachable_pairs(db, compiled("(a|b)+")), key=repr
+        )
+
+    def test_stats_flag_set_only_when_requested(self):
+        db = stringified(random_graph(8, 18, ABC, seed=1))
+        plain = dump_snapshot_bytes(db)
+        with_stats = dump_snapshot_bytes(db, statistics=database_statistics(db))
+        assert _HEADER.unpack(plain[: _HEADER.size])[2] == 0
+        assert _HEADER.unpack(with_stats[: _HEADER.size])[2] == FLAG_STATS
+        assert len(with_stats) > len(plain)
+
+    def test_stats_less_snapshots_still_load(self):
+        # The exact byte stream every pre-stats writer produced: flags 0.
+        db = stringified(random_graph(8, 18, ABC, seed=2))
+        snapshot = load_snapshot_bytes(dump_snapshot_bytes(db))
+        assert cache_stats(snapshot)["stats"]["preloaded"] == 0
+        assert sorted(reachable_pairs(snapshot, compiled("a+"))) == sorted(
+            reachable_pairs(db, compiled("a+"))
+        )
+
+    def test_unknown_flag_bits_are_refused(self):
+        db = stringified(random_graph(6, 12, ABC, seed=3))
+        blob = bytearray(dump_snapshot_bytes(db))
+        fields = list(_HEADER.unpack(blob[: _HEADER.size]))
+        fields[2] = 1 << 7  # a flag bit this reader does not know
+        blob[: _HEADER.size] = _HEADER.pack(*fields)
+        with pytest.raises(GraphFormatError, match="unknown flag bits"):
+            load_snapshot_bytes(bytes(blob))
+
+    def test_newer_stats_schema_is_skipped_not_fatal(self):
+        import json
+
+        db = stringified(random_graph(6, 12, ABC, seed=4))
+        statistics = database_statistics(db)
+        document = json.loads(statistics.to_payload())
+        document["stats_version"] = STATS_VERSION + 1
+        future = GraphStatistics.from_csr(CsrAdjacency(db))  # for num checks
+        blob = json.dumps(document).encode("utf-8")
+
+        # Build a snapshot whose stats section carries the future payload.
+        plain = dump_snapshot_bytes(db)
+        header = list(_HEADER.unpack(plain[: _HEADER.size]))
+        import zlib
+
+        payload = plain[_HEADER.size :] + struct.pack("<I", len(blob)) + blob + b"\x00" * (
+            (-len(blob)) % 4
+        )
+        header[2] = FLAG_STATS
+        header[7] = zlib.crc32(payload) & 0xFFFFFFFF
+        header[8] = len(payload)
+        snapshot = load_snapshot_bytes(_HEADER.pack(*header) + payload)
+        # The graph loads; the future-schema statistics are simply skipped.
+        assert cache_stats(snapshot)["stats"]["preloaded"] == 0
+        assert snapshot.num_edges() == db.num_edges()
+        assert future.num_edges == db.num_edges()
+
+    def test_corrupt_stats_section_is_fatal(self):
+        import zlib
+
+        db = stringified(random_graph(6, 12, ABC, seed=5))
+        plain = dump_snapshot_bytes(db)
+        header = list(_HEADER.unpack(plain[: _HEADER.size]))
+        blob = b"garbage!"
+        payload = plain[_HEADER.size :] + struct.pack("<I", len(blob)) + blob
+        header[2] = FLAG_STATS
+        header[7] = zlib.crc32(payload) & 0xFFFFFFFF
+        header[8] = len(payload)
+        with pytest.raises(GraphFormatError, match="inconsistent snapshot"):
+            load_snapshot_bytes(_HEADER.pack(*header) + payload)
+
+    def test_mismatched_stats_block_is_refused_at_write_time(self):
+        db = stringified(random_graph(6, 12, ABC, seed=6))
+        other = stringified(random_graph(9, 20, ABC, seed=6))
+        foreign = database_statistics(other)
+        with pytest.raises(GraphFormatError, match="does not describe"):
+            dump_snapshot_bytes(db, statistics=foreign)
+
+    def test_snapshot_backed_statistics_do_not_hydrate(self):
+        db = stringified(random_graph(10, 24, ABC, seed=8))
+        snapshot = load_snapshot_bytes(dump_snapshot_bytes(db))  # stats-less
+        statistics = reachability_index(snapshot).statistics()
+        assert statistics.num_edges == db.num_edges()
+        assert not snapshot.hydrated
