@@ -1,0 +1,52 @@
+"""Project-specific static analysis: the invariants the type system can't see.
+
+``repro lint`` (see :mod:`repro.cli`) drives the rule engine of
+:mod:`repro.analysis.core` over the repository and enforces the concurrency,
+cache and hydration contracts the engine/service layers rely on:
+
+=======  ==================================================================
+RA101    no blocking calls lexically inside ``async def`` in ``service/``
+RA102    ``# guarded-by: <lock>`` attributes only touched under their lock
+RA103    cache internals owned by ``graphdb/cache.py``; keys version-scoped
+RA104    snapshot hot paths never force dictionary-index hydration
+RA105    ContextVar kill-switches ``.set()`` only in their defining module
+RA106    shared frozen relation rows are copied before mutation
+=======  ==================================================================
+
+Stdlib-only (``ast``), so the checks run wherever the package runs.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.core import (
+    DEFAULT_SCAN_PATHS,
+    Baseline,
+    Example,
+    Finding,
+    LintError,
+    LintReport,
+    Project,
+    Rule,
+    SourceFile,
+    lint_source,
+    run_lint,
+    run_rules,
+)
+from repro.analysis.rules import ALL_RULES, RULES_BY_ID
+
+__all__ = [
+    "ALL_RULES",
+    "Baseline",
+    "DEFAULT_SCAN_PATHS",
+    "Example",
+    "Finding",
+    "LintError",
+    "LintReport",
+    "Project",
+    "RULES_BY_ID",
+    "Rule",
+    "SourceFile",
+    "lint_source",
+    "run_lint",
+    "run_rules",
+]

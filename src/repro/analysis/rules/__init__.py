@@ -1,0 +1,26 @@
+"""The rule set of :mod:`repro.analysis` — one module per invariant.
+
+Each module exposes a ``RULE`` singleton (a :class:`repro.analysis.core.Rule`)
+carrying its id, rationale and embedded good/bad fixture corpus.  Adding a
+rule means adding a module here and listing it in :data:`ALL_RULES`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.analysis.core import Rule
+from repro.analysis.rules.ra101 import RULE as RA101
+from repro.analysis.rules.ra102 import RULE as RA102
+from repro.analysis.rules.ra103 import RULE as RA103
+from repro.analysis.rules.ra104 import RULE as RA104
+from repro.analysis.rules.ra105 import RULE as RA105
+from repro.analysis.rules.ra106 import RULE as RA106
+
+#: Every shipped rule, in id order.
+ALL_RULES: List[Rule] = [RA101, RA102, RA103, RA104, RA105, RA106]
+
+#: Rule id -> rule, for ``repro lint --explain``.
+RULES_BY_ID: Dict[str, Rule] = {rule.rule_id: rule for rule in ALL_RULES}
+
+__all__ = ["ALL_RULES", "RULES_BY_ID"]

@@ -1,0 +1,165 @@
+"""RA101 — no blocking calls lexically inside ``async def`` in the service layer.
+
+The serving layer (PR 4) runs one asyncio event loop per process; a blocking
+call on the loop — ``time.sleep``, file IO, a graph load, or a kernel entry
+point such as ``evaluate``/``reachable_pairs`` — stalls every in-flight
+request, not just its own.  The repo's contract is that blocking work
+crosses to a thread via ``asyncio.to_thread`` (ContextVars propagate across
+that hop, so the kill-switch flags still apply).  This rule flags calls to
+known blocking names inside ``async def`` bodies unless the call sits inside
+an ``asyncio.to_thread(...)`` dispatch; nested *synchronous* ``def``/
+``lambda`` bodies are skipped — they run on whatever thread calls them, and
+the dispatch site is where the contract is checked.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List
+
+from repro.analysis.core import (
+    Example,
+    Finding,
+    Project,
+    Rule,
+    SourceFile,
+    terminal_name,
+)
+
+#: Terminal names whose call blocks: stdlib sleeps and file IO, graph
+#: loading/persistence, and every kernel/engine evaluation entry point.
+BLOCKING_NAMES = frozenset(
+    {
+        "sleep",
+        "open",
+        "load_database",
+        "save_snapshot",
+        "load_snapshot",
+        "evaluate",
+        "evaluate_rpq",
+        "reachable_pairs",
+        "reachable_from",
+        "reachable_to",
+        "find_path_word",
+        "product_search",
+    }
+)
+
+
+class _AsyncBlockingVisitor(ast.NodeVisitor):
+    def __init__(self, rule: "Ra101", source: SourceFile) -> None:
+        self.rule = rule
+        self.source = source
+        self.async_depth = 0
+        self.findings: List[Finding] = []
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self.async_depth += 1
+        for statement in node.body:
+            self.visit(statement)
+        self.async_depth -= 1
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        # A nested sync def is a callable value, not code running on the
+        # loop here; its own call sites carry the obligation.
+        saved, self.async_depth = self.async_depth, 0
+        for statement in node.body:
+            self.visit(statement)
+        self.async_depth = saved
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        saved, self.async_depth = self.async_depth, 0
+        self.visit(node.body)
+        self.async_depth = saved
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = terminal_name(node.func)
+        if name == "to_thread":
+            # Everything inside an asyncio.to_thread(...) dispatch runs on a
+            # worker thread — blocking there is the whole point.
+            return
+        if self.async_depth and name in BLOCKING_NAMES:
+            self.findings.append(
+                self.rule.finding(
+                    self.source,
+                    node.lineno,
+                    f"blocking call {name}() inside 'async def' — dispatch it "
+                    "via asyncio.to_thread so the event loop keeps serving",
+                )
+            )
+        self.generic_visit(node)
+
+
+class Ra101(Rule):
+    rule_id = "RA101"
+    title = "blocking call inside async def"
+    rationale = (
+        "The service layer runs one asyncio event loop per process; a "
+        "blocking call (time.sleep, file IO, load_database, or a kernel "
+        "entry point such as evaluate/reachable_pairs) executed directly "
+        "inside an 'async def' stalls every in-flight request on that loop. "
+        "Blocking work must cross to a worker thread via asyncio.to_thread "
+        "— ContextVars (the cache/kernel kill-switches) propagate across "
+        "that hop, so semantics are preserved."
+    )
+    examples = {
+        "bad": [
+            Example(
+                code=(
+                    "import time\n"
+                    "\n"
+                    "async def handle(request):\n"
+                    "    time.sleep(0.01)  # stalls the whole event loop\n"
+                    "    return request\n"
+                ),
+                path="src/repro/service/fixture.py",
+            ),
+            Example(
+                code=(
+                    "from repro.engine.engine import evaluate\n"
+                    "\n"
+                    "async def run(query, db):\n"
+                    "    return evaluate(query, db)\n"
+                ),
+                path="src/repro/service/fixture.py",
+            ),
+        ],
+        "good": [
+            Example(
+                code=(
+                    "import asyncio\n"
+                    "from repro.engine.engine import evaluate\n"
+                    "\n"
+                    "async def run(query, db):\n"
+                    "    return await asyncio.to_thread(evaluate, query, db)\n"
+                ),
+                path="src/repro/service/fixture.py",
+            ),
+            Example(
+                code=(
+                    "import time\n"
+                    "\n"
+                    "def warm_up(db):\n"
+                    "    time.sleep(0.01)  # sync code may block freely\n"
+                    "    return db\n"
+                    "\n"
+                    "async def read_line(stream):\n"
+                    "    import asyncio\n"
+                    "    return await asyncio.to_thread(stream.readline)\n"
+                ),
+                path="src/repro/service/fixture.py",
+            ),
+        ],
+    }
+
+    def applies(self, path: str) -> bool:
+        anchored = "/" + path
+        return "/service/" in anchored or anchored.endswith("/cli.py")
+
+    def check(self, source: SourceFile, project: Project) -> Iterator[Finding]:
+        visitor = _AsyncBlockingVisitor(self, source)
+        visitor.visit(source.tree)
+        return iter(visitor.findings)
+
+
+RULE = Ra101()

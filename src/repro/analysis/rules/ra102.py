@@ -1,0 +1,224 @@
+"""RA102 — lock discipline for attributes declared ``# guarded-by: <lock>``.
+
+The service layer crosses threads on purpose (``asyncio.to_thread`` for
+shard loads and kernel evaluations), so some state is shared between the
+event loop and worker threads.  The repo's convention: an ``__init__``
+assignment may carry a trailing ``# guarded-by: <lock>`` comment naming a
+sibling lock attribute, after which every *other* method of that class may
+only read or write the attribute inside a ``with self.<lock>:`` block.  The
+comment is the declaration; this rule is the enforcement — an unlocked
+access elsewhere in the class is exactly the kind of "only used for stats"
+read that turns into a torn snapshot under concurrency.
+
+Accesses inside nested ``def``/``lambda`` bodies are checked with **no**
+locks held even when the definition site sits inside a ``with`` block: the
+closure may run long after the lock was released.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, FrozenSet, Iterator, List, Union
+
+from repro.analysis.core import (
+    Example,
+    Finding,
+    Project,
+    Rule,
+    SourceFile,
+)
+
+_GUARD_COMMENT = re.compile(r"#\s*guarded-by:\s*(?P<lock>\w+)")
+
+_AnyFunction = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+def _self_attribute(node: ast.expr) -> str:
+    """``self.X`` → ``"X"``; anything else → ``""``."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return ""
+
+
+class Ra102(Rule):
+    rule_id = "RA102"
+    title = "guarded attribute accessed outside its lock"
+    rationale = (
+        "State shared between the event loop and asyncio.to_thread worker "
+        "threads is declared by a '# guarded-by: <lock>' comment on its "
+        "__init__ assignment. After that declaration, every other method "
+        "must touch the attribute inside 'with self.<lock>:' — including "
+        "read-only stats paths, which otherwise return torn values (a "
+        "counter from before an eviction paired with a table from after). "
+        "Nested functions are checked lock-free: a closure can outlive the "
+        "with-block it was created in."
+    )
+    examples = {
+        "bad": [
+            Example(
+                code=(
+                    "import threading\n"
+                    "\n"
+                    "class Counter:\n"
+                    "    def __init__(self):\n"
+                    "        self._lock = threading.Lock()\n"
+                    "        self._hits = 0  # guarded-by: _lock\n"
+                    "\n"
+                    "    def bump(self):\n"
+                    "        self._hits += 1\n"
+                ),
+                path="src/repro/service/fixture.py",
+            ),
+            Example(
+                code=(
+                    "import threading\n"
+                    "\n"
+                    "class Registry:\n"
+                    "    def __init__(self):\n"
+                    "        self._lock = threading.RLock()\n"
+                    "        self._entries = {}  # guarded-by: _lock\n"
+                    "\n"
+                    "    def stats(self):\n"
+                    "        return {'entries': len(self._entries)}\n"
+                ),
+                path="src/repro/service/fixture.py",
+            ),
+        ],
+        "good": [
+            Example(
+                code=(
+                    "import threading\n"
+                    "\n"
+                    "class Counter:\n"
+                    "    def __init__(self):\n"
+                    "        self._lock = threading.Lock()\n"
+                    "        self._hits = 0  # guarded-by: _lock\n"
+                    "\n"
+                    "    def bump(self):\n"
+                    "        with self._lock:\n"
+                    "            self._hits += 1\n"
+                ),
+                path="src/repro/service/fixture.py",
+            ),
+            Example(
+                code=(
+                    "import threading\n"
+                    "\n"
+                    "class Registry:\n"
+                    "    def __init__(self):\n"
+                    "        self._lock = threading.RLock()\n"
+                    "        self._entries = {}  # guarded-by: _lock\n"
+                    "        self._label = 'main'  # undeclared: not checked\n"
+                    "\n"
+                    "    def stats(self):\n"
+                    "        with self._lock:\n"
+                    "            count = len(self._entries)\n"
+                    "        return {'entries': count, 'label': self._label}\n"
+                ),
+                path="src/repro/service/fixture.py",
+            ),
+        ],
+    }
+
+    def applies(self, path: str) -> bool:
+        # tests/ build intentionally-unlocked fixtures; the contract guards
+        # production classes.
+        return not ("/" + path).startswith("/tests/")
+
+    def check(self, source: SourceFile, project: Project) -> Iterator[Finding]:
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(source, node)
+
+    def _check_class(
+        self, source: SourceFile, cls: ast.ClassDef
+    ) -> Iterator[Finding]:
+        guards = self._declared_guards(source, cls)
+        if not guards:
+            return
+        for member in cls.body:
+            if (
+                isinstance(member, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and member.name != "__init__"
+            ):
+                yield from self._check_function(source, member, guards)
+
+    def _declared_guards(
+        self, source: SourceFile, cls: ast.ClassDef
+    ) -> Dict[str, str]:
+        """``# guarded-by:`` declarations on ``self.X = ...`` lines in ``__init__``."""
+        guards: Dict[str, str] = {}
+        init = next(
+            (
+                member
+                for member in cls.body
+                if isinstance(member, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and member.name == "__init__"
+            ),
+            None,
+        )
+        if init is None:
+            return guards
+        for statement in ast.walk(init):
+            targets: List[ast.expr] = []
+            if isinstance(statement, ast.Assign):
+                targets = list(statement.targets)
+            elif isinstance(statement, ast.AnnAssign):
+                targets = [statement.target]
+            for target in targets:
+                attribute = _self_attribute(target)
+                if not attribute:
+                    continue
+                match = _GUARD_COMMENT.search(source.line_comment(target.lineno))
+                if match is not None:
+                    guards[attribute] = match.group("lock")
+        return guards
+
+    def _check_function(
+        self, source: SourceFile, function: _AnyFunction, guards: Dict[str, str]
+    ) -> Iterator[Finding]:
+        findings: List[Finding] = []
+
+        def walk(node: ast.AST, held: FrozenSet[str]) -> None:
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                acquired = set(held)
+                for item in node.items:
+                    lock = _self_attribute(item.context_expr)
+                    if lock:
+                        acquired.add(lock)
+                for item in node.items:
+                    walk(item.context_expr, held)
+                for statement in node.body:
+                    walk(statement, frozenset(acquired))
+                return
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                # Closures can run after the lock is released — check them
+                # as if no lock were held.
+                for child in ast.iter_child_nodes(node):
+                    walk(child, frozenset())
+                return
+            attribute = _self_attribute(node) if isinstance(node, ast.expr) else ""
+            if attribute in guards and guards[attribute] not in held:
+                findings.append(
+                    self.finding(
+                        source,
+                        node.lineno,
+                        f"self.{attribute} is declared guarded-by "
+                        f"{guards[attribute]} but is accessed outside "
+                        f"'with self.{guards[attribute]}'",
+                    )
+                )
+            for child in ast.iter_child_nodes(node):
+                walk(child, held)
+
+        for statement in function.body:
+            walk(statement, frozenset())
+        return iter(findings)
+
+
+RULE = Ra102()

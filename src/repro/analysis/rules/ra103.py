@@ -1,0 +1,210 @@
+"""RA103 — cache discipline: no outside mutation, version-scoped keys inside.
+
+Two halves of one contract around :mod:`repro.graphdb.cache`:
+
+* **Outside** ``graphdb/cache.py``, nothing mutates a cache's internals
+  directly.  The cache's public surface (``hits``/``misses`` counters,
+  ``invalidate_cache``, the ``preload_*`` seeds) is the only supported way
+  in; reaching for ``index._entries.clear()`` or assigning to a private
+  attribute bypasses the LRU accounting and the version bookkeeping that
+  keeps cached answers honest.
+
+* **Inside** ``cache.py``, every function that stores into a cache
+  (``.put(...)``) must be version-safe: either the function consults
+  ``_refresh(...)`` (the version-change flush) or the key tuple it builds
+  carries a ``.version`` component.  A key without either serves stale
+  answers the first time a database mutates after being cached against.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional
+
+from repro.analysis.core import (
+    Example,
+    Finding,
+    Project,
+    Rule,
+    SourceFile,
+    receiver_name,
+    terminal_name,
+)
+
+#: Receiver names treated as cache-like objects for the outside-mutation check.
+_CACHE_RECEIVERS = ("cache", "index", "lru")
+
+#: Method names that mutate a container in place.
+_MUTATORS = frozenset(
+    {
+        "clear",
+        "pop",
+        "popitem",
+        "setdefault",
+        "update",
+        "move_to_end",
+        "append",
+        "extend",
+        "insert",
+        "add",
+        "discard",
+        "remove",
+    }
+)
+
+
+def _is_cache_receiver(name: Optional[str]) -> bool:
+    if name is None:
+        return False
+    lowered = name.lower()
+    return (
+        lowered in _CACHE_RECEIVERS
+        or lowered.endswith("_cache")
+        or lowered.endswith("_index")
+    )
+
+
+def _private_cache_attribute(node: ast.expr) -> bool:
+    """Whether ``node`` is ``<cache-like>._private`` (an internals access)."""
+    return (
+        isinstance(node, ast.Attribute)
+        and node.attr.startswith("_")
+        and _is_cache_receiver(receiver_name(node))
+    )
+
+
+class Ra103(Rule):
+    rule_id = "RA103"
+    title = "cache internals mutated outside cache.py / unversioned cache key"
+    rationale = (
+        "graphdb/cache.py owns all cache state: outside it, code may read "
+        "public counters and call the public API, but mutating private "
+        "internals (index._entries.clear(), cache._hits = 0) bypasses LRU "
+        "accounting and version bookkeeping. Inside cache.py, a function "
+        "that put()s into a cache must be version-safe — call _refresh() "
+        "(which flushes on db.version change) or build its key tuple with a "
+        ".version component — or the cache serves stale answers after the "
+        "first mutation."
+    )
+    examples = {
+        "bad": [
+            Example(
+                code=(
+                    "def reset(index):\n"
+                    "    index._entries.clear()\n"
+                    "    index._hits = 0\n"
+                ),
+                path="src/repro/engine/fixture.py",
+            ),
+            Example(
+                code=(
+                    "class _Store:\n"
+                    "    def put(self, key, value):\n"
+                    "        pass\n"
+                    "\n"
+                    "def remember(cache, db, label, value):\n"
+                    "    cache.put((label,), value)\n"
+                ),
+                path="src/repro/graphdb/cache.py",
+            ),
+        ],
+        "good": [
+            Example(
+                code=(
+                    "def report(index):\n"
+                    "    return {'hits': index.hits, 'misses': index.misses}\n"
+                ),
+                path="src/repro/engine/fixture.py",
+            ),
+            Example(
+                code=(
+                    "def remember(cache, db, label, value):\n"
+                    "    cache.put((db.version, label), value)\n"
+                    "\n"
+                    "class Index:\n"
+                    "    def store(self, db, key, value):\n"
+                    "        self._refresh(db)\n"
+                    "        self._relation_cache.put(key, value)\n"
+                ),
+                path="src/repro/graphdb/cache.py",
+            ),
+        ],
+    }
+
+    def applies(self, path: str) -> bool:
+        return not ("/" + path).startswith("/tests/")
+
+    def check(self, source: SourceFile, project: Project) -> Iterator[Finding]:
+        if source.path.endswith("graphdb/cache.py"):
+            yield from self._check_put_keys(source)
+        else:
+            yield from self._check_outside_mutation(source)
+
+    # -- outside cache.py: internals are hands-off -----------------------------
+
+    def _check_outside_mutation(self, source: SourceFile) -> Iterator[Finding]:
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Attribute) and isinstance(
+                node.ctx, (ast.Store, ast.Del)
+            ):
+                if _private_cache_attribute(node):
+                    yield self._mutation_finding(source, node)
+            elif isinstance(node, ast.Subscript) and isinstance(
+                node.ctx, (ast.Store, ast.Del)
+            ):
+                if _private_cache_attribute(node.value):
+                    yield self._mutation_finding(source, node)
+            elif isinstance(node, ast.Call):
+                function = node.func
+                if (
+                    isinstance(function, ast.Attribute)
+                    and function.attr in _MUTATORS
+                    and _private_cache_attribute(function.value)
+                ):
+                    yield self._mutation_finding(source, node)
+
+    def _mutation_finding(self, source: SourceFile, node: ast.AST) -> Finding:
+        return self.finding(
+            source,
+            getattr(node, "lineno", 1),
+            "cache internals mutated outside graphdb/cache.py — use the "
+            "public cache API (invalidate_cache, preload_*) instead",
+        )
+
+    # -- inside cache.py: keys must be version-scoped --------------------------
+
+    def _check_put_keys(self, source: SourceFile) -> Iterator[Finding]:
+        for node in ast.walk(source.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_function(source, node)
+
+    def _check_function(
+        self, source: SourceFile, function: ast.AST
+    ) -> Iterator[Finding]:
+        puts: List[ast.Call] = []
+        version_scoped = False
+        refreshes = False
+        for node in ast.walk(function):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if node is not function:
+                    continue
+            if isinstance(node, ast.Call):
+                name = terminal_name(node.func)
+                if name == "put":
+                    puts.append(node)
+                elif name == "_refresh":
+                    refreshes = True
+            elif isinstance(node, ast.Attribute) and node.attr == "version":
+                version_scoped = True
+        if puts and not (version_scoped or refreshes):
+            for put in puts:
+                yield self.finding(
+                    source,
+                    put.lineno,
+                    "cache .put() in a function that neither calls _refresh() "
+                    "nor builds a version-scoped key — stale answers survive "
+                    "database mutation",
+                )
+
+
+RULE = Ra103()

@@ -1,0 +1,122 @@
+"""RA104 — hydration discipline: hot paths must not force dictionary indexes.
+
+PR 5's ``.rgsnap`` snapshots load as a :class:`SnapshotDatabase` whose
+per-edge dictionary indexes are **lazy**: the mmap carries the CSR arrays
+the kernels need, and the dictionaries only materialise if something walks
+``db.edges`` or calls ``_ingest_edges``.  That hydration is a full
+parse-scale rebuild — exactly the cost the snapshot format exists to avoid —
+so the contract is that the query hot path (``graphdb/paths.py``, the
+``engine/`` join machinery, everything under ``service/``) never triggers
+it.  The oracle kernels that *do* need the dictionaries (bitset/set arms
+used for differential testing) carry an explicit
+``# lint-allow: RA104 (...)`` justification; anything else reaching for
+``db.edges`` or ``_ingest_edges`` in those modules is a performance
+regression waiting for a large snapshot to expose it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import (
+    Example,
+    Finding,
+    Project,
+    Rule,
+    SourceFile,
+    receiver_name,
+)
+
+#: Receiver names treated as database objects (``db.edges`` forces hydration;
+#: ``pattern.edges`` and friends are unrelated).
+_DB_RECEIVERS = frozenset({"db", "database", "graph", "snapshot", "shard"})
+
+
+class Ra104(Rule):
+    rule_id = "RA104"
+    title = "hydration-forcing database access on a snapshot hot path"
+    rationale = (
+        "Snapshot databases (.rgsnap) answer CSR-kernel queries straight "
+        "off the mmap; their per-edge dictionary indexes hydrate lazily and "
+        "cost a full parse-scale rebuild. Iterating db.edges or calling "
+        "_ingest_edges from graphdb/paths.py, engine/ or service/ forces "
+        "that rebuild onto the query hot path, silently discarding the "
+        "snapshot backend's cold-start win. Oracle kernels that need the "
+        "dictionaries by design carry a '# lint-allow: RA104 (reason)' "
+        "pragma; everything else must use the CSR adjacency or the public "
+        "num_nodes()/num_edges() counters."
+    )
+    examples = {
+        "bad": [
+            Example(
+                code=(
+                    "def label_histogram(db):\n"
+                    "    counts = {}\n"
+                    "    for edge in db.edges:\n"
+                    "        counts[edge.label] = counts.get(edge.label, 0) + 1\n"
+                    "    return counts\n"
+                ),
+                path="src/repro/engine/fixture.py",
+            ),
+            Example(
+                code=(
+                    "def rebuild(db, triples):\n"
+                    "    db._ingest_edges(triples)\n"
+                ),
+                path="src/repro/service/fixture.py",
+            ),
+        ],
+        "good": [
+            Example(
+                code=(
+                    "def shard_size(db):\n"
+                    "    return db.num_nodes(), db.num_edges()\n"
+                ),
+                path="src/repro/service/fixture.py",
+            ),
+            Example(
+                code=(
+                    "def oracle_scan(db):\n"
+                    "    pairs = set()\n"
+                    "    for edge in db.edges:  # lint-allow: RA104 (set-kernel oracle hydrates by design)\n"
+                    "        pairs.add((edge.source, edge.target))\n"
+                    "    return pairs\n"
+                ),
+                path="src/repro/graphdb/paths.py",
+            ),
+        ],
+    }
+
+    def applies(self, path: str) -> bool:
+        anchored = "/" + path
+        return (
+            anchored.endswith("graphdb/paths.py")
+            or "/engine/" in anchored
+            or "/service/" in anchored
+        )
+
+    def check(self, source: SourceFile, project: Project) -> Iterator[Finding]:
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Call):
+                function = node.func
+                if isinstance(function, ast.Attribute) and function.attr == "_ingest_edges":
+                    yield self.finding(
+                        source,
+                        node.lineno,
+                        "_ingest_edges() forces full dictionary-index hydration "
+                        "— hot paths must stay on the CSR adjacency",
+                    )
+            elif isinstance(node, ast.Attribute) and node.attr == "edges":
+                receiver = receiver_name(node)
+                if receiver is not None and receiver.lower() in _DB_RECEIVERS:
+                    yield self.finding(
+                        source,
+                        node.lineno,
+                        f"{receiver}.edges forces full dictionary-index "
+                        "hydration on a snapshot database — use the CSR "
+                        "adjacency or num_edges()",
+                    )
+
+
+RULE = Ra104()

@@ -1,0 +1,188 @@
+"""RA106 — never mutate the shared frozen rows a relation hands out.
+
+:class:`~repro.engine.joins.EdgeRelation` and the lazy CSR-backed relations
+return *shared* row sets: ``targets_of()``/``sources_of()`` adjacency sets
+and the ``pairs`` collection are either cached in the per-database
+reachability index or views the relation keeps reusing.  The join machinery
+treats them as frozen — a caller that does ``rows = relation.targets_of(n);
+rows.add(...)`` is writing into the cache every other query reads, which is
+the worst kind of bug: answers change only after a particular query
+sequence warmed the cache.  The contract: copy first (``set(rows)``), then
+mutate the copy.  This rule tracks names bound from the sharing accessors
+inside each ``engine/`` function and flags in-place mutating method calls
+on them (or directly on ``.pairs`` / an accessor's result); rebinding a
+name through ``set(...)``/``frozenset(...)``/``list(...)``/``sorted(...)``
+clears the taint.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Set, Union
+
+from repro.analysis.core import (
+    Example,
+    Finding,
+    Project,
+    Rule,
+    SourceFile,
+    terminal_name,
+)
+
+#: Accessors whose result is shared with the relation/cache, not a copy.
+_SHARING_ACCESSORS = frozenset({"targets_of", "sources_of"})
+
+#: Attributes whose value is shared row storage.
+_SHARED_ATTRIBUTES = frozenset({"pairs"})
+
+#: In-place set/list/dict mutators.
+_MUTATORS = frozenset(
+    {
+        "add",
+        "update",
+        "discard",
+        "remove",
+        "clear",
+        "pop",
+        "intersection_update",
+        "difference_update",
+        "symmetric_difference_update",
+        "append",
+        "extend",
+        "insert",
+        "setdefault",
+    }
+)
+
+#: Constructors that copy — assignment through them clears the taint.
+_COPYING_CALLS = frozenset({"set", "frozenset", "list", "sorted", "tuple", "dict"})
+
+_AnyFunction = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+def _is_shared_expression(node: ast.expr) -> bool:
+    """Whether ``node`` evaluates to relation-shared row storage."""
+    if isinstance(node, ast.Attribute) and node.attr in _SHARED_ATTRIBUTES:
+        return True
+    if isinstance(node, ast.Call):
+        return terminal_name(node.func) in _SHARING_ACCESSORS
+    return False
+
+
+class Ra106(Rule):
+    rule_id = "RA106"
+    title = "in-place mutation of shared frozen relation rows"
+    rationale = (
+        "EdgeRelation/LazyRelation hand out *shared* row storage: "
+        "targets_of()/sources_of() adjacency sets and .pairs live in the "
+        "per-database reachability cache and are reused across queries. "
+        "Mutating one in place (rows = relation.targets_of(n); "
+        "rows.add(...)) writes into every later query's answer — a "
+        "corruption that only reproduces after a specific cache-warming "
+        "sequence. Copy first (set(rows)) and mutate the copy."
+    )
+    examples = {
+        "bad": [
+            Example(
+                code=(
+                    "def extend(relation, node):\n"
+                    "    rows = relation.targets_of(node)\n"
+                    "    rows.add(node)\n"
+                    "    return rows\n"
+                ),
+                path="src/repro/engine/fixture.py",
+            ),
+            Example(
+                code=(
+                    "def merge(relation, extra):\n"
+                    "    relation.pairs.update(extra)\n"
+                    "    return relation.pairs\n"
+                ),
+                path="src/repro/engine/fixture.py",
+            ),
+        ],
+        "good": [
+            Example(
+                code=(
+                    "def extend(relation, node):\n"
+                    "    rows = set(relation.targets_of(node))\n"
+                    "    rows.add(node)\n"
+                    "    return rows\n"
+                ),
+                path="src/repro/engine/fixture.py",
+            ),
+            Example(
+                code=(
+                    "def merge(relation, extra):\n"
+                    "    pairs = set(relation.pairs)\n"
+                    "    pairs.update(extra)\n"
+                    "    return pairs\n"
+                ),
+                path="src/repro/engine/fixture.py",
+            ),
+        ],
+    }
+
+    def applies(self, path: str) -> bool:
+        return "/engine/" in ("/" + path)
+
+    def check(self, source: SourceFile, project: Project) -> Iterator[Finding]:
+        for node in ast.walk(source.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_function(source, node)
+
+    def _check_function(
+        self, source: SourceFile, function: _AnyFunction
+    ) -> Iterator[Finding]:
+        tainted: Set[str] = set()
+        findings: List[Finding] = []
+
+        def scan(node: ast.AST) -> None:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if node is not function:
+                    return  # nested functions get their own pass
+            if isinstance(node, ast.Assign):
+                scan(node.value)
+                shared = _is_shared_expression(node.value)
+                copied = (
+                    isinstance(node.value, ast.Call)
+                    and terminal_name(node.value.func) in _COPYING_CALLS
+                )
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        if shared and not copied:
+                            tainted.add(target.id)
+                        else:
+                            tainted.discard(target.id)
+                return
+            if isinstance(node, ast.Call):
+                func = node.func
+                if isinstance(func, ast.Attribute) and func.attr in _MUTATORS:
+                    target = func.value
+                    mutates_shared = _is_shared_expression(target) or (
+                        isinstance(target, ast.Name) and target.id in tainted
+                    )
+                    if mutates_shared:
+                        what = (
+                            target.id
+                            if isinstance(target, ast.Name)
+                            else terminal_name(target) or "shared rows"
+                        )
+                        findings.append(
+                            self.finding(
+                                source,
+                                node.lineno,
+                                f"in-place .{func.attr}() on shared relation "
+                                f"rows ({what}) — copy with set(...) before "
+                                "mutating",
+                            )
+                        )
+            for child in ast.iter_child_nodes(node):
+                scan(child)
+
+        for statement in function.body:
+            scan(statement)
+        return iter(findings)
+
+
+RULE = Ra106()

@@ -170,6 +170,39 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_false",
         help="write a stats-less snapshot (byte-identical to the pre-stats format)",
     )
+
+    lint = commands.add_parser(
+        "lint",
+        help="run the project's AST invariant linter (rules RA101-RA106: "
+        "concurrency, cache and hydration contracts)",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        default=None,
+        help="files or directories to lint (default: src/repro, benchmarks, examples)",
+    )
+    lint.add_argument(
+        "--json", action="store_true", help="emit findings as a JSON report"
+    )
+    lint.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help="JSON baseline of accepted findings (each entry needs a justification)",
+    )
+    lint.add_argument(
+        "--write-baseline",
+        default=None,
+        metavar="PATH",
+        help="write the current findings as a baseline skeleton and exit 0",
+    )
+    lint.add_argument(
+        "--explain",
+        default=None,
+        metavar="RULE",
+        help="print a rule's rationale plus a minimal bad/good example (e.g. RA104)",
+    )
     return parser
 
 
@@ -330,6 +363,63 @@ def command_compact(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def command_lint(arguments: argparse.Namespace) -> int:
+    """Run the AST invariant linter; exit 0 clean, 1 on live findings."""
+    # Local import: the analysis package is stdlib-only but irrelevant to
+    # every other command's startup path.
+    from pathlib import Path
+
+    from repro.analysis import (
+        ALL_RULES,
+        DEFAULT_SCAN_PATHS,
+        RULES_BY_ID,
+        Baseline,
+        run_lint,
+    )
+
+    if arguments.explain:
+        rule = RULES_BY_ID.get(arguments.explain.upper())
+        if rule is None:
+            raise ReproError(
+                f"unknown rule {arguments.explain!r} "
+                f"(known: {', '.join(sorted(RULES_BY_ID))})"
+            )
+        print(f"{rule.rule_id}: {rule.title}")
+        print()
+        print(rule.rationale)
+        for kind, heading in (("bad", "fails"), ("good", "passes")):
+            example = rule.examples[kind][0]
+            print()
+            print(f"example that {heading} ({example.path}):")
+            for line in example.code.rstrip().splitlines():
+                print(f"    {line}")
+        return 0
+
+    paths = arguments.paths or [
+        path for path in DEFAULT_SCAN_PATHS if os.path.exists(path)
+    ]
+    if not paths:
+        raise ReproError(
+            "nothing to lint: no paths given and no default directories found "
+            "(run from the repository root or pass paths explicitly)"
+        )
+    baseline = (
+        Baseline.load(Path(arguments.baseline)) if arguments.baseline else None
+    )
+    report = run_lint(paths, ALL_RULES, baseline=baseline)
+    if arguments.write_baseline:
+        with open(arguments.write_baseline, "w", encoding="utf-8") as handle:
+            handle.write(Baseline.render(report.findings + report.suppressed))
+        print(
+            f"wrote {len(report.findings) + len(report.suppressed)} entr"
+            f"{'y' if len(report.findings) + len(report.suppressed) == 1 else 'ies'}"
+            f" to {arguments.write_baseline} (fill in the justifications)"
+        )
+        return 0
+    print(report.to_json() if arguments.json else report.render())
+    return 0 if report.ok else 1
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     arguments = parser.parse_args(argv)
@@ -342,6 +432,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return command_batch(arguments)
         if arguments.command == "compact":
             return command_compact(arguments)
+        if arguments.command == "lint":
+            return command_lint(arguments)
         return command_evaluate(arguments)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
