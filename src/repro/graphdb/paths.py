@@ -54,7 +54,7 @@ def bitset_kernel_enabled() -> bool:
 
 
 @contextmanager
-def bitset_kernel_disabled():
+def bitset_kernel_disabled() -> Iterator[None]:
     """Context manager that falls back to the set-based kernel.
 
     Context-local (a :class:`contextvars.ContextVar`), so nested uses and
@@ -78,7 +78,7 @@ def csr_kernel_enabled() -> bool:
 
 
 @contextmanager
-def csr_kernel_disabled():
+def csr_kernel_disabled() -> Iterator[None]:
     """Context manager that falls back to the second-generation bitset kernel.
 
     With the CSR kernel off (but the bitset kernel on) the searches run over
@@ -117,7 +117,7 @@ class _NfaTables:
 
     __slots__ = ("start_mask", "accepting_mask", "accepting_states", "closed")
 
-    def __init__(self, nfa: NFA):
+    def __init__(self, nfa: NFA) -> None:
         closure_masks: List[int] = []
         for state in range(nfa.num_states):
             mask = 0
@@ -160,7 +160,7 @@ class CsrAdjacency:
     __slots__ = ("version", "nodes", "node_id", "num_nodes", "forward", "backward",
                  "_step_masks")
 
-    def __init__(self, db: GraphDatabase):
+    def __init__(self, db: GraphDatabase) -> None:
         self.version = db.version
         self.nodes: List[Node] = sorted(db.nodes, key=repr)
         self.node_id: Dict[Node, int] = {node: index for index, node in enumerate(self.nodes)}
@@ -168,6 +168,7 @@ class CsrAdjacency:
         forward_per_label: Dict[str, List[Tuple[int, int]]] = {}
         backward_per_label: Dict[str, List[Tuple[int, int]]] = {}
         node_id = self.node_id
+        # lint-allow: RA104 (the one-time CSR build for dict-backed databases; snapshots arrive via from_arrays and never reach this constructor)
         for edge in db.edges:
             source_id = node_id[edge.source]
             target_id = node_id[edge.target]
@@ -474,6 +475,7 @@ def _reachable_pairs_bitset(
 def _reverse_adjacency(db: GraphDatabase) -> Dict[Node, Dict[str, List[Node]]]:
     """The ``node -> {label: [predecessors]}`` index of the reversed database."""
     reverse: Dict[Node, Dict[str, List[Node]]] = {}
+    # lint-allow: RA104 (set/bitset oracle arms only — the CSR kernel takes the csr.backward branch before reaching this rebuild)
     for edge in db.edges:
         reverse.setdefault(edge.target, {}).setdefault(edge.label, []).append(edge.source)
     return reverse
@@ -859,6 +861,7 @@ def db_nfa_between(db: GraphDatabase, source: Node, targets: Iterable[Node]) -> 
 
     if source in db.nodes:
         mapping[source] = nfa.start
+    # lint-allow: RA104 (caching-disabled fallback of DatabaseAutomatonView.between; the cached view serves the hot path)
     for edge in db.edges:
         nfa.add_transition(state_of(edge.source), edge.label, state_of(edge.target))
     for target in targets:
