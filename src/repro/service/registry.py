@@ -27,6 +27,7 @@ and cold-loads (mmap + preloaded CSR) each shard on first use.
 from __future__ import annotations
 
 import os
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -68,17 +69,26 @@ class RegisteredDatabase:
 
 
 class DatabaseRegistry:
-    """The service's name → database mapping; load once, share, evict."""
+    """The service's name → database mapping; load once, share, evict.
 
-    def __init__(self, alphabet: Optional[Alphabet] = None):
+    The registry is crossed by threads: :meth:`QueryService.submit` performs
+    first-use loads through ``asyncio.to_thread`` while the event loop keeps
+    reading :meth:`peek`/:meth:`is_current`/:meth:`stats` for admission and
+    telemetry.  All mapping/counter state is therefore declared
+    ``# guarded-by: _lock`` (enforced by lint rule RA102); disk I/O happens
+    *outside* the lock so a slow load never blocks a stats read.
+    """
+
+    def __init__(self, alphabet: Optional[Alphabet] = None) -> None:
         self._alphabet = alphabet
-        self._entries: Dict[str, RegisteredDatabase] = {}
+        self._lock = threading.RLock()
+        self._entries: Dict[str, RegisteredDatabase] = {}  # guarded-by: _lock
         # name -> (path, fmt) declarations whose load is deferred to the
         # first query that resolves the name (snapshot cold-loading).
-        self._pending: Dict[str, Tuple[str, Optional[str]]] = {}
-        self._generation = 0
-        self._loads = 0
-        self._evictions = 0
+        self._pending: Dict[str, Tuple[str, Optional[str]]] = {}  # guarded-by: _lock
+        self._generation = 0  # guarded-by: _lock
+        self._loads = 0  # guarded-by: _lock
+        self._evictions = 0  # guarded-by: _lock
 
     # -- registration ----------------------------------------------------------
 
@@ -86,13 +96,14 @@ class DatabaseRegistry:
         self, name: str, db: GraphDatabase, source: str = "<memory>"
     ) -> RegisteredDatabase:
         """Register (or replace) a shard under ``name``."""
-        self._generation += 1
-        entry = RegisteredDatabase(
-            name=name, db=db, generation=self._generation, source=source
-        )
-        self._entries[name] = entry
-        self._pending.pop(name, None)
-        return entry
+        with self._lock:
+            self._generation += 1
+            entry = RegisteredDatabase(
+                name=name, db=db, generation=self._generation, source=source
+            )
+            self._entries[name] = entry
+            self._pending.pop(name, None)
+            return entry
 
     def register_lazy(self, name: str, path: str, fmt: Optional[str] = None) -> None:
         """Declare a shard whose file is loaded on the first query naming it.
@@ -106,9 +117,10 @@ class DatabaseRegistry:
         the recorded path; a live registration under ``name`` is evicted so
         the next query sees the declared file.
         """
-        if name in self._entries:
-            self.evict(name)
-        self._pending[name] = (str(path), fmt)
+        with self._lock:
+            if name in self._entries:
+                self.evict(name)
+            self._pending[name] = (str(path), fmt)
 
     def load(
         self, name: str, path: str, fmt: Optional[str] = None
@@ -119,20 +131,32 @@ class DatabaseRegistry:
         no-op returning the live entry (the warm caches survive); a
         different path replaces the registration.
         """
-        existing = self._entries.get(name)
-        if existing is not None and existing.source == str(path):
-            return existing
-        self._loads += 1
+        with self._lock:
+            existing = self._entries.get(name)
+            if existing is not None and existing.source == str(path):
+                return existing
+        # Parse outside the lock: a multi-second snapshot load must not
+        # block concurrent peek()/stats() reads from the event loop.
         db = load_database(path, self._alphabet, fmt=fmt)
-        return self.register(name, db, source=str(path))
+        with self._lock:
+            existing = self._entries.get(name)
+            if existing is not None and existing.source == str(path):
+                # Another thread finished the same load while we parsed;
+                # share its entry (and its warm caches) instead of orphaning
+                # that registration with a duplicate generation.
+                return existing
+            self._loads += 1
+            return self.register(name, db, source=str(path))
 
     def peek(self, ref: str) -> Optional[RegisteredDatabase]:
         """The live entry named ``ref``, or ``None`` — never touches the disk."""
-        return self._entries.get(ref)
+        with self._lock:
+            return self._entries.get(ref)
 
     def _load_pending(self, name: str) -> Optional[RegisteredDatabase]:
         """Perform the deferred load of a lazily declared shard, if any."""
-        declaration = self._pending.get(name)
+        with self._lock:
+            declaration = self._pending.get(name)
         if declaration is None:
             return None
         path, fmt = declaration
@@ -153,7 +177,7 @@ class DatabaseRegistry:
         :meth:`peek` first and dispatch the miss to a thread (as
         :meth:`QueryService.submit` does).
         """
-        entry = self._entries.get(ref)
+        entry = self.peek(ref)
         if entry is not None:
             return entry
         entry = self._load_pending(ref)
@@ -166,7 +190,7 @@ class DatabaseRegistry:
         )
 
     def get(self, name: str) -> RegisteredDatabase:
-        entry = self._entries.get(name)
+        entry = self.peek(name)
         if entry is None:
             entry = self._load_pending(name)
         if entry is None:
@@ -185,34 +209,39 @@ class DatabaseRegistry:
         batches admitted against the old entry fail their
         :meth:`is_current` check and are rejected safely by the workers.
         """
-        pending = self._pending.pop(name, None) is not None
-        entry = self._entries.pop(name, None)
-        if entry is None:
-            if pending:
-                # An unloaded lazy declaration has no caches to invalidate,
-                # but dropping it is still an eviction of the name.
-                self._evictions += 1
-            return pending
-        self._evictions += 1
+        with self._lock:
+            pending = self._pending.pop(name, None) is not None
+            entry = self._entries.pop(name, None)
+            if entry is None:
+                if pending:
+                    # An unloaded lazy declaration has no caches to invalidate,
+                    # but dropping it is still an eviction of the name.
+                    self._evictions += 1
+                return pending
+            self._evictions += 1
         invalidate_cache(entry.db)
         return True
 
     def is_current(self, entry: RegisteredDatabase) -> bool:
         """Whether ``entry`` is still the live registration of its name."""
-        current = self._entries.get(entry.name)
+        with self._lock:
+            current = self._entries.get(entry.name)
         return current is not None and current.generation == entry.generation
 
     # -- inspection -------------------------------------------------------------
 
     def names(self) -> List[str]:
         """All addressable shard names, loaded and lazily declared alike."""
-        return sorted(set(self._entries) | set(self._pending))
+        with self._lock:
+            return sorted(set(self._entries) | set(self._pending))
 
     def __contains__(self, name: object) -> bool:
-        return name in self._entries or name in self._pending
+        with self._lock:
+            return name in self._entries or name in self._pending
 
     def __len__(self) -> int:
-        return len(set(self._entries) | set(self._pending))
+        with self._lock:
+            return len(set(self._entries) | set(self._pending))
 
     def cache_stats(self, name: str) -> Dict[str, Dict[str, Optional[int]]]:
         """The shard's reachability-cache counters (see ``graphdb.cache``)."""
@@ -223,10 +252,21 @@ class DatabaseRegistry:
 
         Lazily declared shards that have not been cold-loaded yet appear
         with ``pending=True`` and their declared source; no disk I/O happens
-        here.
+        here.  The whole report is taken under the registry lock (a shard
+        count from before an eviction must not be paired with a table from
+        after it — found by lint rule RA102 during bring-up).
         """
-        shards = {}
-        for name, entry in sorted(self._entries.items()):
+        with self._lock:
+            entries = sorted(self._entries.items())
+            pending = sorted(self._pending.items())
+            report: Dict[str, object] = {
+                "registered": len(self._entries),
+                "pending": len(self._pending),
+                "loads": self._loads,
+                "evictions": self._evictions,
+            }
+        shards: Dict[str, Dict[str, object]] = {}
+        for name, entry in entries:
             totals = cache_stats(entry.db)["totals"]
             shards[name] = {
                 "generation": entry.generation,
@@ -238,12 +278,7 @@ class DatabaseRegistry:
                 "cache_misses": totals["misses"],
                 "cache_entries": totals["entries"],
             }
-        for name, (path, _fmt) in sorted(self._pending.items()):
+        for name, (path, _fmt) in pending:
             shards[name] = {"source": path, "pending": True}
-        return {
-            "registered": len(self._entries),
-            "pending": len(self._pending),
-            "loads": self._loads,
-            "evictions": self._evictions,
-            "shards": shards,
-        }
+        report["shards"] = shards
+        return report
