@@ -40,7 +40,7 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 from contextvars import ContextVar
-from typing import Dict, FrozenSet, Hashable, Iterable, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, Optional, Sequence, Set, Tuple
 
 Node = Hashable
 
@@ -53,7 +53,7 @@ def planner_v2_enabled() -> bool:
 
 
 @contextmanager
-def planner_v2_disabled():
+def planner_v2_disabled() -> Iterator[None]:
     """Context manager reverting new plans to the v1 heuristics.
 
     The A/B oracle arm: inside the context, ``size_hint`` costs, the

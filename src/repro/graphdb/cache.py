@@ -58,7 +58,21 @@ import weakref
 from collections import OrderedDict, deque
 from contextlib import contextmanager
 from contextvars import ContextVar
-from typing import Callable, Dict, Hashable, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
 
 from repro.automata.nfa import EPSILON_LABEL, NFA, intersect_all
 from repro.graphdb.database import GraphDatabase, Node
@@ -74,7 +88,14 @@ from repro.graphdb.paths import (
 )
 from repro.graphdb.stats import GraphStatistics
 
-Fingerprint = Tuple
+if TYPE_CHECKING:  # runtime import stays local to relation() (circularity)
+    from repro.engine.joins import EdgeRelation
+
+Fingerprint = Tuple[Hashable, ...]
+
+#: What :meth:`ReachabilityIndex.relation` hands the join machinery: a lazy
+#: CSR-backed relation (third-generation kernel) or an eager pair set.
+JoinRelation = Union["EdgeRelation", "LazyRelation"]
 
 #: Default LRU capacity of each individual cache of a :class:`ReachabilityIndex`.
 DEFAULT_CACHE_CAPACITY = 4096
@@ -111,14 +132,14 @@ class LRUCache:
 
     __slots__ = ("_data", "capacity", "hits", "misses", "evictions")
 
-    def __init__(self, capacity: Optional[int] = None):
-        self._data: "OrderedDict" = OrderedDict()
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
         self.capacity = capacity
         self.hits = 0
         self.misses = 0
         self.evictions = 0
 
-    def get(self, key, default=None):
+    def get(self, key: Hashable, default: Any = None) -> Any:
         value = self._data.get(key, _MISSING)
         if value is _MISSING:
             self.misses += 1
@@ -127,7 +148,7 @@ class LRUCache:
         self._data.move_to_end(key)
         return value
 
-    def peek(self, key, default=None):
+    def peek(self, key: Hashable, default: Any = None) -> Any:
         """Uncounted lookup (still refreshes recency on a hit)."""
         value = self._data.get(key, _MISSING)
         if value is _MISSING:
@@ -135,7 +156,7 @@ class LRUCache:
         self._data.move_to_end(key)
         return value
 
-    def put(self, key, value) -> None:
+    def put(self, key: Hashable, value: Any) -> None:
         self._data[key] = value
         self._data.move_to_end(key)
         if self.capacity is not None:
@@ -178,7 +199,7 @@ def set_cache_capacity(capacity: Optional[int]) -> None:
 
 
 @contextmanager
-def cache_capacity(capacity: Optional[int]):
+def cache_capacity(capacity: Optional[int]) -> Iterator[None]:
     """Context manager overriding the LRU capacity for indexes created inside."""
     token = _CAPACITY_OVERRIDE.set(capacity)
     try:
@@ -205,7 +226,7 @@ class DatabaseAutomatonView:
 
     __slots__ = ("_base", "_state_of", "_dead")
 
-    def __init__(self, db: GraphDatabase):
+    def __init__(self, db: GraphDatabase) -> None:
         base = NFA()
         self._dead = base.start
         state_of: Dict[Node, int] = {}
@@ -284,7 +305,7 @@ class SynchronisationProduct:
         "_shortest",
     )
 
-    def __init__(self, db: GraphDatabase, unit_nfas: Sequence[NFA]):
+    def __init__(self, db: GraphDatabase, unit_nfas: Sequence[NFA]) -> None:
         # Weak: this object lives in a per-database cache; a strong
         # reference back would keep the database alive forever.
         self._db_ref = weakref.ref(db)
@@ -528,7 +549,7 @@ class _OrderedProduct:
 
     __slots__ = ("_product", "_order")
 
-    def __init__(self, product: SynchronisationProduct, order: Sequence[int]):
+    def __init__(self, product: SynchronisationProduct, order: Sequence[int]) -> None:
         self._product = product
         # ``None`` marks the identity permutation (the overwhelmingly common
         # single-track case), skipping the re-alignment on every query.
@@ -564,7 +585,7 @@ class SynchronisationProductCache:
 
     __slots__ = ("_lru",)
 
-    def __init__(self, capacity: Optional[int] = None):
+    def __init__(self, capacity: Optional[int] = None) -> None:
         self._lru = LRUCache(capacity if capacity is not None else _current_capacity())
 
     def product(self, db: GraphDatabase, unit_nfas: Sequence[NFA]) -> _OrderedProduct:
@@ -596,7 +617,7 @@ def product_cache_enabled() -> bool:
 
 
 @contextmanager
-def product_cache_disabled():
+def product_cache_disabled() -> Iterator[None]:
     """Context manager bypassing the synchronisation-product cache.
 
     With the product cache off (but caching otherwise on) the engines fall
@@ -634,7 +655,7 @@ class _LazyRowStore:
 
     __slots__ = ("rows", "cols", "pairs")
 
-    def __init__(self):
+    def __init__(self) -> None:
         self.rows: Dict[int, frozenset] = {}  # source id -> frozen target nodes
         self.cols: Dict[int, frozenset] = {}  # target id -> frozen source nodes
         self.pairs: Optional[Set[Tuple[Node, Node]]] = None
@@ -840,7 +861,7 @@ class ReachabilityIndex:
         "capacity",
     )
 
-    def __init__(self, db: GraphDatabase, capacity: Optional[int] = None):
+    def __init__(self, db: GraphDatabase, capacity: Optional[int] = None) -> None:
         # Weak back-reference: the registry below maps db -> index weakly,
         # and a strong reference here would keep every database (and its
         # O(|V|^2) pair caches) alive for the process lifetime.
@@ -1080,7 +1101,7 @@ class ReachabilityIndex:
         self._stats_preloaded += 1
         return True
 
-    def relation(self, nfa: NFA):
+    def relation(self, nfa: NFA) -> "JoinRelation":
         """The cached join relation of ``nfa``.
 
         With the CSR kernel active this is a :class:`LazyRelation` — rows
@@ -1295,7 +1316,7 @@ def cache_stats(db: Optional[GraphDatabase] = None) -> Dict[str, Dict[str, Optio
 
 
 @contextmanager
-def caching_disabled():
+def caching_disabled() -> Iterator[None]:
     """Context manager that bypasses the shared cache (for benchmarks).
 
     Backed by a :class:`contextvars.ContextVar`, so nested uses restore the

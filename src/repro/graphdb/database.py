@@ -12,7 +12,7 @@ from __future__ import annotations
 import json
 from collections import defaultdict
 from dataclasses import dataclass
-from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, Hashable, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.core.alphabet import Alphabet
 from repro.core.errors import AlphabetError, EvaluationError
@@ -28,7 +28,7 @@ class Edge:
     label: str
     target: Node
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[Hashable]:
         return iter((self.source, self.label, self.target))
 
 
@@ -48,7 +48,7 @@ class GraphDatabase:
         "__weakref__",
     )
 
-    def __init__(self, alphabet: Optional[Alphabet] = None):
+    def __init__(self, alphabet: Optional[Alphabet] = None) -> None:
         self._nodes: Set[Node] = set()
         self._edges: List[Edge] = []
         self._forward: Dict[Node, List[Tuple[str, Node]]] = defaultdict(list)
@@ -255,7 +255,7 @@ class GraphDatabase:
 
     # -- conversions --------------------------------------------------------------------
 
-    def to_networkx(self):
+    def to_networkx(self) -> "Any":
         """Export as a ``networkx.MultiDiGraph`` with ``label`` edge attributes."""
         import networkx as nx
 

@@ -54,7 +54,7 @@ import sys
 import zlib
 from array import array
 from pathlib import Path
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.core.alphabet import Alphabet
 from repro.core.errors import AlphabetError
@@ -291,23 +291,23 @@ class SnapshotDatabase(GraphDatabase):
         self._hydrate()
         return self._edges
 
-    def successors(self, node: Node):
+    def successors(self, node: Node) -> Sequence[Tuple[str, Node]]:
         self._hydrate()
         return super().successors(node)
 
-    def predecessors(self, node: Node):
+    def predecessors(self, node: Node) -> Sequence[Tuple[str, Node]]:
         self._hydrate()
         return super().predecessors(node)
 
-    def successors_by_label(self, node: Node, label: str):
+    def successors_by_label(self, node: Node, label: str) -> Sequence[Node]:
         self._hydrate()
         return super().successors_by_label(node, label)
 
-    def labelled_successors(self, node: Node):
+    def labelled_successors(self, node: Node) -> Dict[str, List[Node]]:
         self._hydrate()
         return super().labelled_successors(node)
 
-    def edges_by_label(self, label: str):
+    def edges_by_label(self, label: str) -> Sequence[Tuple[Node, Node]]:
         self._hydrate()
         return super().edges_by_label(label)
 
@@ -329,11 +329,11 @@ class SnapshotDatabase(GraphDatabase):
         self._hydrate()
         return super().add_edge(source, label, target)
 
-    def add_word_path(self, source: Node, word: str, target: Node, prefix: str = "_p"):
+    def add_word_path(self, source: Node, word: str, target: Node, prefix: str = "_p") -> List[Node]:
         self._hydrate()
         return super().add_word_path(source, word, target, prefix)
 
-    def to_networkx(self):
+    def to_networkx(self) -> "Any":
         self._hydrate()
         return super().to_networkx()
 
@@ -341,7 +341,7 @@ class SnapshotDatabase(GraphDatabase):
         self._hydrate()
         return super().to_json()
 
-    def relabel(self):
+    def relabel(self) -> Tuple[GraphDatabase, Dict[Node, int]]:
         self._hydrate()
         return super().relabel()
 

@@ -25,12 +25,21 @@ from __future__ import annotations
 import asyncio
 import time
 from collections import deque
-from typing import Deque, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Tuple
 
 from repro.core.errors import ReproError
 from repro.queries.cxrpq import CXRPQ
 from repro.service.registry import DatabaseRegistry, RegisteredDatabase
-from repro.service.requests import QueryRequest
+from repro.service.requests import Fingerprint, QueryRequest
+
+if TYPE_CHECKING:
+    from repro.engine.results import EvaluationResult
+
+#: The dedup identity of one evaluation: (shard name, registration
+#: generation, database version, canonical query fingerprint — semantics
+#: included).  RA103's sibling contract at the service layer: the version
+#: component is what keeps deduplicated answers honest across mutation.
+TicketKey = Tuple[str, int, int, Fingerprint]
 
 
 class AdmissionQueueFull(ReproError):
@@ -55,7 +64,7 @@ class Ticket:
 
     def __init__(
         self,
-        key: Tuple,
+        key: TicketKey,
         entry: RegisteredDatabase,
         query: CXRPQ,
         generic_path_bound: Optional[int],
@@ -64,7 +73,9 @@ class Ticket:
         self.entry = entry
         self.query = query
         self.generic_path_bound = generic_path_bound
-        self.future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self.future: "asyncio.Future[Optional[EvaluationResult]]" = (
+            asyncio.get_running_loop().create_future()
+        )
         self.enqueued_at = time.perf_counter()
         #: Set by the worker when the evaluation actually starts.
         self.started_at: Optional[float] = None
@@ -92,7 +103,7 @@ class QueryBroker:
         self.dedup = dedup
         self._queues: Dict[str, Deque[Ticket]] = {}
         self._shard_order: Deque[str] = deque()
-        self._inflight: Dict[Tuple, Ticket] = {}
+        self._inflight: Dict[TicketKey, Ticket] = {}
         self._pending = 0
         self._closed = False
         self._wake = asyncio.Event()

@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple, Union
+from typing import Any, Dict, Hashable, List, Optional, Tuple, Union
 
 from repro.core.errors import ReproError
 from repro.queries.cxrpq import CXRPQ
@@ -40,6 +40,12 @@ from repro.regex.parser import parse_xregex
 
 class RequestFormatError(ReproError):
     """Raised when a JSONL request line cannot be parsed or validated."""
+
+
+#: The canonical, hashable identity of a query + its evaluation semantics
+#: (see :meth:`QuerySpec.fingerprint`): canonical edge triples, output
+#: variables, image bound, generic path bound.
+Fingerprint = Tuple[Hashable, ...]
 
 
 @dataclass(frozen=True)
@@ -59,7 +65,7 @@ class QuerySpec:
     generic_path_bound: Optional[int] = None
     #: Memoised :meth:`fingerprint` (parsing the edges is the costly part);
     #: excluded from equality/repr so specs still compare by content.
-    _fingerprint: Optional[Tuple] = field(
+    _fingerprint: Optional["Fingerprint"] = field(
         default=None, init=False, repr=False, compare=False
     )
 
@@ -76,7 +82,7 @@ class QuerySpec:
             image_bound=self.image_bound,
         )
 
-    def fingerprint(self, query: Optional[CXRPQ] = None) -> Tuple:
+    def fingerprint(self, query: Optional[CXRPQ] = None) -> "Fingerprint":
         """A canonical, hashable identity of the query and its semantics.
 
         Computed over the *parsed* edge xregexes (canonical ``to_string``
@@ -227,7 +233,7 @@ class ServiceResult:
     ok: bool
     request_id: Optional[str] = None
     boolean: Optional[bool] = None
-    tuples: Optional[List[Tuple]] = None
+    tuples: Optional[List[Tuple[Hashable, ...]]] = None
     error: Optional[str] = None
     deduplicated: bool = False
     queue_wait_s: float = 0.0
