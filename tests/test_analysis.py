@@ -1,0 +1,390 @@
+"""Tests for :mod:`repro.analysis` — the AST invariant linter.
+
+Three layers:
+
+* the **fixture corpus**: every rule embeds ≥2 bad and ≥2 good snippets
+  (the same corpus ``repro lint --explain`` prints); each bad snippet must
+  fire the rule and each good snippet must stay quiet;
+* the **engine**: inline ``# lint-allow`` pragmas (justification required),
+  baseline round-trips (justification required), JSON reports, path scoping;
+* the **meta-test**: ``repro lint`` runs clean on this repository itself —
+  the acceptance bar every future PR is held to.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.analysis import (
+    ALL_RULES,
+    DEFAULT_SCAN_PATHS,
+    RULES_BY_ID,
+    Baseline,
+    LintError,
+    SourceFile,
+    lint_source,
+    run_lint,
+)
+from repro.cli import main
+
+REPO_ROOT = Path(repro.__file__).resolve().parents[2]
+
+RULE_IDS = sorted(RULES_BY_ID)
+
+
+def _findings_for(rule, example):
+    return lint_source(example.code, rule, example.path)
+
+
+# ---------------------------------------------------------------------------
+# Fixture corpus: every rule fires on its bad snippets, stays quiet on good
+# ---------------------------------------------------------------------------
+
+
+class TestFixtureCorpus:
+    @pytest.mark.parametrize("rule_id", RULE_IDS)
+    def test_corpus_shape(self, rule_id):
+        """≥2 bad and ≥2 good snippets per rule (the acceptance floor)."""
+        rule = RULES_BY_ID[rule_id]
+        assert len(rule.examples["bad"]) >= 2
+        assert len(rule.examples["good"]) >= 2
+        assert rule.rationale.strip()
+        assert rule.title.strip()
+
+    @pytest.mark.parametrize("rule_id", RULE_IDS)
+    def test_bad_examples_fire(self, rule_id):
+        rule = RULES_BY_ID[rule_id]
+        for example in rule.examples["bad"]:
+            findings = _findings_for(rule, example)
+            assert findings, f"{rule_id} stayed quiet on a bad snippet"
+            assert all(finding.rule == rule_id for finding in findings)
+            assert all(finding.path == example.path for finding in findings)
+            assert all(finding.line >= 1 for finding in findings)
+
+    @pytest.mark.parametrize("rule_id", RULE_IDS)
+    def test_good_examples_stay_quiet(self, rule_id):
+        rule = RULES_BY_ID[rule_id]
+        for example in rule.examples["good"]:
+            findings = _findings_for(rule, example)
+            assert not findings, f"{rule_id} fired on a good snippet: {findings}"
+
+    @pytest.mark.parametrize("rule_id", RULE_IDS)
+    def test_rules_are_path_scoped(self, rule_id):
+        """Outside its blast radius a rule never fires — bad snippets
+        relocated to an unrelated module are ignored (RA103/RA105 apply
+        repo-wide except tests/, so they use a tests/ path instead)."""
+        rule = RULES_BY_ID[rule_id]
+        elsewhere = "tests/fixture_far_away.py"
+        for example in rule.examples["bad"]:
+            assert lint_source(example.code, rule, elsewhere) == []
+
+
+# ---------------------------------------------------------------------------
+# Inline pragmas
+# ---------------------------------------------------------------------------
+
+
+class TestInlinePragmas:
+    def _suppress_on_finding_lines(self, rule, example, pragma):
+        findings = _findings_for(rule, example)
+        lines = example.code.splitlines()
+        for finding in findings:
+            lines[finding.line - 1] += f"  {pragma}"
+        return lint_source("\n".join(lines) + "\n", rule, example.path)
+
+    @pytest.mark.parametrize("rule_id", RULE_IDS)
+    def test_justified_pragma_suppresses(self, rule_id):
+        rule = RULES_BY_ID[rule_id]
+        example = rule.examples["bad"][0]
+        remaining = self._suppress_on_finding_lines(
+            rule, example, f"# lint-allow: {rule_id} (tested exception)"
+        )
+        assert remaining == []
+
+    @pytest.mark.parametrize("rule_id", RULE_IDS)
+    def test_pragma_without_justification_does_not_suppress(self, rule_id):
+        rule = RULES_BY_ID[rule_id]
+        example = rule.examples["bad"][0]
+        remaining = self._suppress_on_finding_lines(
+            rule, example, f"# lint-allow: {rule_id}"
+        )
+        assert remaining, "a justification-less pragma must not suppress"
+
+    def test_pragma_for_another_rule_does_not_suppress(self):
+        rule = RULES_BY_ID["RA104"]
+        example = rule.examples["bad"][0]
+        remaining = self._suppress_on_finding_lines(
+            rule, example, "# lint-allow: RA101 (wrong rule)"
+        )
+        assert remaining
+
+    def test_comment_line_pragma_covers_the_next_line(self):
+        code = (
+            "import time\n"
+            "\n"
+            "async def handle(request):\n"
+            "    # lint-allow: RA101 (fixture exercising comment-line pragmas)\n"
+            "    time.sleep(0.01)\n"
+        )
+        assert lint_source(code, RULES_BY_ID["RA101"], "src/repro/service/f.py") == []
+
+
+# ---------------------------------------------------------------------------
+# Rule-specific behaviour beyond the corpus
+# ---------------------------------------------------------------------------
+
+
+class TestRuleBehaviour:
+    def test_ra101_nested_sync_def_is_not_flagged(self):
+        code = (
+            "import time\n"
+            "\n"
+            "async def outer():\n"
+            "    def blocking():\n"
+            "        time.sleep(1)\n"
+            "    return blocking\n"
+        )
+        assert lint_source(code, RULES_BY_ID["RA101"], "src/repro/service/f.py") == []
+
+    def test_ra102_closure_is_checked_lock_free(self):
+        code = (
+            "import threading\n"
+            "\n"
+            "class Counter:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "        self._hits = 0  # guarded-by: _lock\n"
+            "\n"
+            "    def deferred(self):\n"
+            "        with self._lock:\n"
+            "            return lambda: self._hits\n"
+        )
+        findings = lint_source(code, RULES_BY_ID["RA102"], "src/repro/service/f.py")
+        assert len(findings) == 1
+        assert "outside" in findings[0].message
+
+    def test_ra102_async_with_counts_as_holding_the_lock(self):
+        code = (
+            "import asyncio\n"
+            "\n"
+            "class Pool:\n"
+            "    def __init__(self):\n"
+            "        self._lock = asyncio.Lock()\n"
+            "        self._live = []  # guarded-by: _lock\n"
+            "\n"
+            "    async def drain(self):\n"
+            "        async with self._lock:\n"
+            "            return list(self._live)\n"
+        )
+        assert lint_source(code, RULES_BY_ID["RA102"], "src/repro/service/f.py") == []
+
+    def test_ra105_discovers_contextvars_defined_in_the_scan_set(self):
+        defining = SourceFile(
+            "src/repro/graphdb/fixture_flags.py",
+            "from contextvars import ContextVar\n\n_NEW_FLAG = ContextVar('new')\n",
+        )
+        offender = (
+            "from repro.graphdb.fixture_flags import _NEW_FLAG\n"
+            "\n"
+            "def stomp():\n"
+            "    _NEW_FLAG.set(False)\n"
+        )
+        findings = lint_source(
+            offender,
+            RULES_BY_ID["RA105"],
+            "src/repro/engine/fixture.py",
+            extra_sources=[defining],
+        )
+        assert len(findings) == 1
+        assert "_NEW_FLAG" in findings[0].message
+
+    def test_ra105_defining_module_may_set_its_own_flag(self):
+        code = (
+            "from contextvars import ContextVar\n"
+            "from contextlib import contextmanager\n"
+            "\n"
+            "_MY_FLAG = ContextVar('mine', default=True)\n"
+            "\n"
+            "@contextmanager\n"
+            "def my_flag_disabled():\n"
+            "    token = _MY_FLAG.set(False)\n"
+            "    try:\n"
+            "        yield\n"
+            "    finally:\n"
+            "        _MY_FLAG.reset(token)\n"
+        )
+        assert lint_source(code, RULES_BY_ID["RA105"], "src/repro/graphdb/f.py") == []
+
+    def test_ra106_copy_clears_the_taint_then_rebinding_restores_it(self):
+        code = (
+            "def churn(relation, node):\n"
+            "    rows = relation.targets_of(node)\n"
+            "    rows = set(rows)\n"
+            "    rows.add(node)\n"
+            "    rows = relation.targets_of(node)\n"
+            "    rows.add(node)\n"
+            "    return rows\n"
+        )
+        findings = lint_source(code, RULES_BY_ID["RA106"], "src/repro/engine/f.py")
+        assert [finding.line for finding in findings] == [6]
+
+
+# ---------------------------------------------------------------------------
+# Engine: baselines, reports, file scanning
+# ---------------------------------------------------------------------------
+
+
+def _plant_violation(tmp_path: Path) -> Path:
+    root = tmp_path / "repo"
+    target = root / "src" / "repro" / "service" / "handlers.py"
+    target.parent.mkdir(parents=True)
+    target.write_text(
+        "import time\n\nasync def handle(request):\n    time.sleep(0.01)\n",
+        encoding="utf-8",
+    )
+    return root
+
+
+class TestEngine:
+    def test_run_lint_finds_planted_violation(self, tmp_path):
+        root = _plant_violation(tmp_path)
+        report = run_lint(["src"], ALL_RULES, root=root)
+        assert not report.ok
+        assert report.files_scanned == 1
+        assert [finding.rule for finding in report.findings] == ["RA101"]
+        assert report.findings[0].path == "src/repro/service/handlers.py"
+
+    def test_json_report_shape(self, tmp_path):
+        root = _plant_violation(tmp_path)
+        report = run_lint(["src"], ALL_RULES, root=root)
+        payload = json.loads(report.to_json())
+        assert payload["ok"] is False
+        assert payload["files_scanned"] == 1
+        (finding,) = payload["findings"]
+        assert finding["rule"] == "RA101"
+        assert finding["line"] == 4
+        assert payload["suppressed"] == []
+
+    def test_baseline_round_trip(self, tmp_path):
+        root = _plant_violation(tmp_path)
+        report = run_lint(["src"], ALL_RULES, root=root)
+
+        skeleton = tmp_path / "baseline.json"
+        skeleton.write_text(Baseline.render(report.findings), encoding="utf-8")
+        # A skeleton has empty justifications: loading must refuse it.
+        with pytest.raises(LintError, match="justification"):
+            Baseline.load(skeleton)
+
+        payload = json.loads(skeleton.read_text(encoding="utf-8"))
+        for entry in payload["findings"]:
+            entry["justification"] = "legacy handler, migration tracked"
+        skeleton.write_text(json.dumps(payload), encoding="utf-8")
+
+        baseline = Baseline.load(skeleton)
+        suppressed = run_lint(["src"], ALL_RULES, root=root, baseline=baseline)
+        assert suppressed.ok
+        assert [finding.rule for finding in suppressed.suppressed] == ["RA101"]
+
+    def test_baseline_matching_ignores_line_drift(self, tmp_path):
+        root = _plant_violation(tmp_path)
+        report = run_lint(["src"], ALL_RULES, root=root)
+        entry = dict(report.findings[0].to_payload(), justification="known")
+        entry["line"] = 999  # drifted — must still match by (rule, path, message)
+        baseline = Baseline(entries=[entry])
+        assert baseline.suppresses(report.findings[0])
+
+    def test_malformed_baseline_is_a_loud_error(self, tmp_path):
+        bad = tmp_path / "baseline.json"
+        bad.write_text('{"findings": [{"rule": "RA101"}]}', encoding="utf-8")
+        with pytest.raises(LintError):
+            Baseline.load(bad)
+        bad.write_text("not json", encoding="utf-8")
+        with pytest.raises(LintError):
+            Baseline.load(bad)
+
+    def test_missing_path_is_a_loud_error(self, tmp_path):
+        with pytest.raises(LintError, match="no such file"):
+            run_lint(["nowhere"], ALL_RULES, root=tmp_path)
+
+    def test_syntax_error_is_a_loud_error(self, tmp_path):
+        root = tmp_path / "repo"
+        root.mkdir()
+        (root / "broken.py").write_text("def (:\n", encoding="utf-8")
+        with pytest.raises(LintError, match="cannot parse"):
+            run_lint(["broken.py"], ALL_RULES, root=root)
+
+
+# ---------------------------------------------------------------------------
+# CLI: repro lint
+# ---------------------------------------------------------------------------
+
+
+class TestCli:
+    def test_lint_exit_codes_and_json(self, tmp_path, monkeypatch, capsys):
+        root = _plant_violation(tmp_path)
+        monkeypatch.chdir(root)
+        assert main(["lint"]) == 1
+        out = capsys.readouterr().out
+        assert "RA101" in out
+
+        assert main(["lint", "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+
+    def test_lint_write_baseline_then_clean(self, tmp_path, monkeypatch, capsys):
+        root = _plant_violation(tmp_path)
+        monkeypatch.chdir(root)
+        assert main(["lint", "--write-baseline", "lint-baseline.json"]) == 0
+        capsys.readouterr()
+        payload = json.loads(
+            (root / "lint-baseline.json").read_text(encoding="utf-8")
+        )
+        for entry in payload["findings"]:
+            entry["justification"] = "accepted during bring-up"
+        (root / "lint-baseline.json").write_text(json.dumps(payload), encoding="utf-8")
+        assert main(["lint", "--baseline", "lint-baseline.json"]) == 0
+        assert "baselined" in capsys.readouterr().out
+
+    def test_lint_nothing_to_lint_is_an_error(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        assert main(["lint"]) == 1
+        assert "nothing to lint" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("rule_id", RULE_IDS)
+    def test_explain_prints_rationale_and_examples(self, rule_id, capsys):
+        assert main(["lint", "--explain", rule_id.lower()]) == 0
+        out = capsys.readouterr().out
+        rule = RULES_BY_ID[rule_id]
+        assert out.startswith(f"{rule_id}: {rule.title}")
+        assert rule.rationale in out
+        assert "example that fails" in out
+        assert "example that passes" in out
+
+    def test_explain_unknown_rule_is_an_error(self, capsys):
+        assert main(["lint", "--explain", "RA999"]) == 1
+        err = capsys.readouterr().err
+        assert "unknown rule" in err
+        assert "RA101" in err  # the error names the known rules
+
+
+# ---------------------------------------------------------------------------
+# Meta: the repository itself is clean
+# ---------------------------------------------------------------------------
+
+
+class TestRepositoryIsClean:
+    def test_repro_lint_runs_clean_on_this_repo(self, monkeypatch, capsys):
+        """The acceptance bar: the linter passes on the code that ships it."""
+        monkeypatch.chdir(REPO_ROOT)
+        code = main(["lint"])
+        output = capsys.readouterr().out
+        assert code == 0, f"repro lint found violations:\n{output}"
+        assert "clean" in output
+
+    def test_default_scan_paths_exist_here(self):
+        present = [path for path in DEFAULT_SCAN_PATHS if (REPO_ROOT / path).is_dir()]
+        assert "src/repro" in present
