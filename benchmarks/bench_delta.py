@@ -1,0 +1,291 @@
+"""E-DELTA — delta-proportional refresh: apply_delta vs full parse+build.
+
+The live-graph stack (:mod:`repro.graphdb.delta`, ``repro ingest``) claims
+that refreshing a serving shard after a small edge delta costs work
+proportional to the **delta**, not the graph.  This benchmark measures that
+claim on a large generated graph with a <= 5% edge delta:
+
+* **rebuild** — the old refresh path: re-parse the full mutated graph from
+  text (``load_database``) and answer the first query, which builds the CSR
+  adjacency from scratch;
+* **delta** — the live path: ``apply_delta`` on the already-serving
+  snapshot database (the overlay merge touches only the delta's labels,
+  untouched labels stay zero-copy) followed by the same first query, which
+  finds the overlay pre-seeded in the version-keyed cache.
+
+Answers are asserted identical across arms before any timing is reported,
+and the delta arm is additionally asserted to have performed **zero** CSR
+cache misses — if the overlay ever silently rebuilt or hydrated, the
+benchmark fails rather than reporting a hollow win.
+
+Run ``python -m benchmarks.bench_delta --smoke`` for the CI-gated variant
+(the delta refresh must not be slower than the rebuild); the full run gates
+at >= 5x.  ``--json PATH`` dumps a machine-readable artifact (CI uploads it
+as ``BENCH_pr8.json``).
+"""
+
+import json
+import os
+import random
+import sys
+import tempfile
+import time
+from collections import Counter
+
+from repro.automata.nfa import NFA
+from repro.core.alphabet import Alphabet
+from repro.graphdb.cache import cache_stats
+from repro.graphdb.database import GraphDatabase
+from repro.graphdb.delta import EdgeDelta
+from repro.graphdb.generators import random_graph
+from repro.graphdb.io import load_database, save_edge_list
+from repro.graphdb.paths import reachable_from
+from repro.graphdb.storage import load_snapshot, save_snapshot
+from repro.regex.parser import parse_xregex
+
+from benchmarks.common import print_table
+
+ABC = Alphabet("abc")
+
+#: (num_nodes, num_edges) of the generated graph.
+FULL_SHAPE = (20000, 60000)
+SMOKE_SHAPE = (4000, 12000)
+
+#: Fraction of the edge set the delta touches (half removals, half adds).
+DELTA_FRACTION = 0.05
+
+#: Refreshes per arm; the per-arm time is the best sweep (load noise on
+#: shared CI runners is one-sided).
+REPEATS = 3
+
+#: The full run must show at least this refresh speedup.
+FULL_MARGIN = 5.0
+#: The smoke gate only demands "not slower" (CI runners are noisy).
+SMOKE_MARGIN = 1.0
+
+#: The first-answer query after the refresh: two bounded hops from one
+#: source, so kernel time is negligible against the refresh cost under
+#: measurement.
+FIRST_ANSWER_PATTERN = "(a|b|c)(a|b|c)"
+
+
+def build_delta(db, rng):
+    """A <= ``DELTA_FRACTION`` edge delta: removals of existing arcs plus
+    additions among existing and a few brand-new nodes."""
+    triples = [tuple(edge) for edge in db.edges]
+    budget = max(2, int(len(triples) * DELTA_FRACTION))
+    removals = [
+        triples[index]
+        for index in rng.sample(range(len(triples)), budget // 2)
+    ]
+    nodes = sorted(db.nodes, key=repr)
+    additions = []
+    for index in range(budget - len(removals)):
+        source = rng.choice(nodes)
+        target = (
+            f"fresh_{index}" if index < 8 else rng.choice(nodes)
+        )
+        additions.append((source, rng.choice("abc"), target))
+    return EdgeDelta(additions, removals)
+
+
+def mutated_copy(db, delta):
+    """A from-scratch build of ``db`` with ``delta`` applied (rebuild arm)."""
+    pending = Counter(delta.removals)
+    mutated = GraphDatabase()
+    for node in db.nodes:
+        mutated.add_node(node)
+    for edge in db.edges:
+        triple = tuple(edge)
+        if pending.get(triple, 0) > 0:
+            pending[triple] -= 1
+            continue
+        mutated.add_edge(*triple)
+    assert not +pending, "delta removals missing from the base graph"
+    for source, label, target in delta.additions:
+        mutated.add_edge(source, label, target)
+    return mutated
+
+
+def build_files(directory, shape, seed=23):
+    """Write ``base.rgsnap`` plus the mutated graph as ``mutated.edges``.
+
+    Returns the two paths, the delta, and a source node whose first-answer
+    query is non-empty on the mutated graph (so the equality assertion
+    across arms is not vacuous).
+    """
+    num_nodes, num_edges = shape
+    rng = random.Random(seed)
+    generated = random_graph(num_nodes, num_edges, ABC, seed=seed, ensure_connected=True)
+    base = GraphDatabase.from_edges(
+        (str(source), label, str(target)) for source, label, target in generated.edges
+    )
+    snapshot_path = os.path.join(directory, "base.rgsnap")
+    save_snapshot(base, snapshot_path)
+    delta = build_delta(base, rng)
+    mutated = mutated_copy(base, delta)
+    edges_path = os.path.join(directory, "mutated.edges")
+    save_edge_list(mutated, edges_path)
+    source = next(
+        str(node) for node in range(num_nodes) if first_answer(mutated, str(node))
+    )
+    return snapshot_path, edges_path, delta, source
+
+
+def first_answer(db, source):
+    """The first post-refresh answer (a point reachability query)."""
+    nfa = NFA.from_regex(parse_xregex(FIRST_ANSWER_PATTERN), ABC)
+    return sorted(reachable_from(db, nfa, source), key=repr)
+
+
+def run_rebuild_arm(edges_path, source):
+    """One full refresh-by-rebuild: re-parse the mutated text, first query."""
+    start = time.perf_counter()
+    db = load_database(edges_path)
+    refreshed_at = time.perf_counter()
+    answer = first_answer(db, source)
+    finished = time.perf_counter()
+    csr = cache_stats(db)["csr"]
+    assert csr["misses"] == 1, "the rebuild arm should build the CSR arrays once"
+    return {
+        "total_s": finished - start,
+        "refresh_s": refreshed_at - start,
+        "answer_s": finished - refreshed_at,
+        "answer": answer,
+    }
+
+
+def run_delta_arm(snapshot_path, delta, source):
+    """One live refresh: ``apply_delta`` on the serving shard, first query.
+
+    The base load is *not* timed — it models the shard that is already
+    serving when the delta arrives.
+    """
+    db = load_snapshot(snapshot_path)
+    start = time.perf_counter()
+    db.apply_delta(delta.additions, delta.removals)
+    refreshed_at = time.perf_counter()
+    answer = first_answer(db, source)
+    finished = time.perf_counter()
+    csr = cache_stats(db)["csr"]
+    assert csr["preloaded"] == 2, "base + overlay must both be pre-seeded"
+    assert csr["misses"] == 0, "the delta arm rebuilt the CSR adjacency"
+    assert not db.hydrated, "the delta arm hydrated the dictionary indexes"
+    return {
+        "total_s": finished - start,
+        "refresh_s": refreshed_at - start,
+        "answer_s": finished - refreshed_at,
+        "answer": answer,
+    }
+
+
+def run_arms(shape):
+    with tempfile.TemporaryDirectory() as directory:
+        snapshot_path, edges_path, delta, source = build_files(directory, shape)
+        sizes = {
+            "rgsnap_bytes": os.path.getsize(snapshot_path),
+            "edges_bytes": os.path.getsize(edges_path),
+            "delta_adds": len(delta.additions),
+            "delta_removes": len(delta.removals),
+        }
+        rebuild_runs = [run_rebuild_arm(edges_path, source) for _ in range(REPEATS)]
+        delta_runs = [
+            run_delta_arm(snapshot_path, delta, source) for _ in range(REPEATS)
+        ]
+    reference = rebuild_runs[0]["answer"]
+    assert reference, "the first-answer query matched nothing; workload is degenerate"
+    for run in rebuild_runs + delta_runs:
+        assert run["answer"] == reference, "arms disagree on the first answer"
+    rebuild = min(rebuild_runs, key=lambda run: run["total_s"])
+    refreshed = min(delta_runs, key=lambda run: run["total_s"])
+    return [("rebuild", rebuild), ("delta", refreshed)], sizes
+
+
+HEADER = ["arm", "refresh+answer (ms)", "refresh (ms)", "first answer (ms)", "vs rebuild"]
+TITLE = "Live graphs — refresh after a <=5% edge delta, apply_delta vs full rebuild"
+
+
+def build_rows(arms):
+    rebuild_total = arms[0][1]["total_s"]
+    rows = []
+    for name, run in arms:
+        rows.append(
+            [
+                name,
+                f"{run['total_s'] * 1000:.1f}",
+                f"{run['refresh_s'] * 1000:.1f}",
+                f"{run['answer_s'] * 1000:.1f}",
+                f"{rebuild_total / run['total_s']:.2f}x",
+            ]
+        )
+    return rows
+
+
+def main(argv):
+    smoke = "--smoke" in argv
+    json_path = None
+    if "--json" in argv:
+        position = argv.index("--json")
+        if position + 1 >= len(argv) or argv[position + 1].startswith("-"):
+            print("usage: bench_delta [--smoke] [--json PATH]", file=sys.stderr)
+            return 2
+        json_path = argv[position + 1]
+    shape = SMOKE_SHAPE if smoke else FULL_SHAPE
+    margin = SMOKE_MARGIN if smoke else FULL_MARGIN
+    # Timing sweeps: shared CI runners are noisy, so the gate passes if any
+    # sweep lands inside the margin (a real regression fails all of them).
+    attempts = 3 if smoke else 1
+    for attempt in range(attempts):
+        arms, sizes = run_arms(shape)
+        ratio = arms[0][1]["total_s"] / arms[1][1]["total_s"]
+        if not smoke or ratio >= margin:
+            break
+        print(
+            f"[smoke gate] delta refresh {ratio:.2f}x vs rebuild on attempt "
+            f"{attempt + 1}; re-measuring"
+        )
+    print_table(TITLE, HEADER, build_rows(arms))
+    num_nodes, num_edges = shape
+    print(
+        f"\n[workload] {num_nodes} nodes / {num_edges} edges; delta "
+        f"+{sizes['delta_adds']}/-{sizes['delta_removes']} "
+        f"({(sizes['delta_adds'] + sizes['delta_removes']) / num_edges:.1%} of edges); "
+        f"best of {REPEATS} refreshes"
+    )
+    if json_path is not None:
+        # Written before the gate, so the CI artifact survives a failing run.
+        payload = {
+            "workload": {"nodes": num_nodes, "edges": num_edges, **sizes},
+            "arms": [
+                {
+                    "name": name,
+                    "total_s": run["total_s"],
+                    "refresh_s": run["refresh_s"],
+                    "answer_s": run["answer_s"],
+                }
+                for name, run in arms
+            ],
+            "speedup": ratio,
+            "margin": margin,
+            "smoke": smoke,
+        }
+        with open(json_path, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"[artifact] wrote {json_path}")
+    assert ratio >= margin, (
+        f"delta refresh is only {ratio:.2f}x over full parse+build "
+        f"(required >= {margin:.1f}x): "
+        f"{arms[1][1]['total_s'] * 1000:.1f} ms vs {arms[0][1]['total_s'] * 1000:.1f} ms"
+    )
+    print(f"\nOK ({ratio:.1f}x)" + (" (smoke)" if smoke else ""))
+    return 0
+
+
+def test_delta_refresh(benchmark):
+    arms, _sizes = benchmark.pedantic(lambda: run_arms(FULL_SHAPE), rounds=1, iterations=1)
+    print_table(TITLE, HEADER, build_rows(arms))
+    assert arms[0][1]["total_s"] / arms[1][1]["total_s"] >= FULL_MARGIN
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -6,8 +6,9 @@ the kernels need, and the dictionaries only materialise if something walks
 ``db.edges`` or calls ``_ingest_edges``.  That hydration is a full
 parse-scale rebuild — exactly the cost the snapshot format exists to avoid —
 so the contract is that the query hot path (``graphdb/paths.py``, the
-``engine/`` join machinery, everything under ``service/``) never triggers
-it.  The oracle kernels that *do* need the dictionaries (bitset/set arms
+snapshot/delta machinery itself (``graphdb/storage.py``,
+``graphdb/delta.py``), the ``engine/`` join machinery, everything under
+``service/`` and the CLI entry points) never triggers it.  The oracle kernels that *do* need the dictionaries (bitset/set arms
 used for differential testing) carry an explicit
 ``# lint-allow: RA104 (...)`` justification; anything else reaching for
 ``db.edges`` or ``_ingest_edges`` in those modules is a performance
@@ -40,7 +41,8 @@ class Ra104(Rule):
         "Snapshot databases (.rgsnap) answer CSR-kernel queries straight "
         "off the mmap; their per-edge dictionary indexes hydrate lazily and "
         "cost a full parse-scale rebuild. Iterating db.edges or calling "
-        "_ingest_edges from graphdb/paths.py, engine/ or service/ forces "
+        "_ingest_edges from graphdb/paths.py, graphdb/storage.py, "
+        "graphdb/delta.py, cli.py, engine/ or service/ forces "
         "that rebuild onto the query hot path, silently discarding the "
         "snapshot backend's cold-start win. Oracle kernels that need the "
         "dictionaries by design carry a '# lint-allow: RA104 (reason)' "
@@ -92,6 +94,9 @@ class Ra104(Rule):
         anchored = "/" + path
         return (
             anchored.endswith("graphdb/paths.py")
+            or anchored.endswith("graphdb/storage.py")
+            or anchored.endswith("graphdb/delta.py")
+            or anchored.endswith("repro/cli.py")
             or "/engine/" in anchored
             or "/service/" in anchored
         )

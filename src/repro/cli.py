@@ -6,6 +6,7 @@ Usage examples::
     python -m repro.cli evaluate graph.edges --edge "x w{a|b} y" --edge "y &w z" --output x z
     python -m repro.cli evaluate graph.json  --edge "x a+b y" --boolean --image-bound 2
     python -m repro.cli compact graph.edges graph.rgsnap
+    python -m repro.cli ingest graph.rgsnap changes.delta
     python -m repro.cli batch requests.jsonl --database social=social.rgsnap
     python -m repro.cli serve --database social=social.edges < requests.jsonl
 
@@ -23,6 +24,11 @@ of requests and prints the responses in input order.
 format of :mod:`repro.graphdb.storage`; every command that takes a graph
 file accepts snapshots, and ``serve``/``batch`` cold-load snapshot shards
 lazily on the first query that names them.
+
+``ingest`` appends an edge-delta segment (add/remove edge lists, see
+:mod:`repro.graphdb.delta` for the text format) to an existing snapshot
+without rewriting its base sections; re-running ``compact`` on the snapshot
+folds the accumulated deltas back into a fresh base.
 """
 
 from __future__ import annotations
@@ -36,8 +42,9 @@ from typing import List, Optional, Sequence, TextIO
 from repro.core.errors import ReproError
 from repro.engine.engine import evaluate
 from repro.graphdb.cache import cache_stats, database_statistics
+from repro.graphdb.delta import load_delta_file
 from repro.graphdb.io import load_database
-from repro.graphdb.storage import save_snapshot
+from repro.graphdb.storage import append_delta, load_snapshot, save_snapshot
 from repro.queries.cxrpq import CXRPQ
 from repro.regex import properties as props
 from repro.regex.parser import parse_xregex
@@ -169,6 +176,18 @@ def build_parser() -> argparse.ArgumentParser:
         dest="stats",
         action="store_false",
         help="write a stats-less snapshot (byte-identical to the pre-stats format)",
+    )
+
+    ingest = commands.add_parser(
+        "ingest",
+        help="append an edge delta to a .rgsnap snapshot without rewriting its "
+        "base sections (live-graph mutation; fold with 'compact' later)",
+    )
+    ingest.add_argument("snapshot", help="path to an existing .rgsnap snapshot")
+    ingest.add_argument(
+        "delta",
+        help="path to an edge-delta text file: one '[+|-] source label target' "
+        "operation per line ('#' comments allowed; '+' is the default)",
     )
 
     lint = commands.add_parser(
@@ -359,7 +378,34 @@ def command_compact(arguments: argparse.Namespace) -> int:
     written = os.path.getsize(arguments.output)
     print(f"input    : {arguments.input} ({db.num_nodes()} nodes, {db.num_edges()} edges)")
     print(f"snapshot : {arguments.output} ({written} bytes)")
+    folded = getattr(db, "applied_deltas", 0)
+    if folded:
+        # Delta-bearing input: the overlay CSR is what was just serialised,
+        # so the new snapshot is a fresh base with no trailing segments.
+        print(f"deltas   : folded {folded} segment(s) into the new base")
     print(f"stats    : {statistics.describe() if statistics else '(none)'}")
+    return 0
+
+
+def command_ingest(arguments: argparse.Namespace) -> int:
+    """Append an edge-delta segment to an existing ``.rgsnap`` snapshot."""
+    delta = load_delta_file(arguments.delta)
+    if not delta:
+        raise ReproError(
+            f"delta file {arguments.delta} contains no edge operations"
+        )
+    # Validate before touching the file: loading applies any existing
+    # segments, and applying the new delta on top raises DeltaFormatError
+    # (e.g. a removal the current graph does not hold) without the snapshot
+    # ever seeing a bad segment.
+    db = load_snapshot(arguments.snapshot)
+    segments = db.applied_deltas
+    db.apply_delta(delta.additions, delta.removals)
+    append_delta(arguments.snapshot, delta)
+    written = os.path.getsize(arguments.snapshot)
+    print(f"snapshot : {arguments.snapshot} ({written} bytes, {segments + 1} delta segment(s))")
+    print(f"delta    : +{len(delta.additions)} / -{len(delta.removals)} edge(s)")
+    print(f"graph    : {db.num_nodes()} nodes, {db.num_edges()} edges after apply")
     return 0
 
 
@@ -432,6 +478,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return command_batch(arguments)
         if arguments.command == "compact":
             return command_compact(arguments)
+        if arguments.command == "ingest":
+            return command_ingest(arguments)
         if arguments.command == "lint":
             return command_lint(arguments)
         return command_evaluate(arguments)

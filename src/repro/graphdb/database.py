@@ -101,6 +101,46 @@ class GraphDatabase:
         self._version += 1
         return edge
 
+    def remove_edge(self, source: Node, label: str, target: Node) -> None:
+        """Remove **one** occurrence of the arc ``(source, label, target)``.
+
+        Databases are multigraphs, so parallel duplicates of the same triple
+        are removed one at a time; the membership index only forgets the
+        triple once the last occurrence is gone.  Nodes are never removed —
+        an endpoint left without arcs stays as an isolated node, exactly as
+        if it had been declared via :meth:`add_node`.  Raises
+        :class:`ValueError` if no such arc exists (edge deltas validate
+        against the live graph before mutating, see
+        :mod:`repro.graphdb.delta`).
+        """
+        triple = (source, label, target)
+        if triple not in self._edge_set:
+            raise ValueError(
+                f"cannot remove missing edge {source!r} -{label}-> {target!r}"
+            )
+        for position, edge in enumerate(self._edges):
+            if edge.source == source and edge.label == label and edge.target == target:
+                del self._edges[position]
+                break
+        self._forward[source].remove((label, target))
+        if not self._forward[source]:
+            del self._forward[source]
+        self._backward[target].remove((label, source))
+        if not self._backward[target]:
+            del self._backward[target]
+        self._by_label[label].remove((source, target))
+        if not self._by_label[label]:
+            del self._by_label[label]
+        targets = self._forward_by_label[source][label]
+        targets.remove(target)
+        if not targets:
+            del self._forward_by_label[source][label]
+            if not self._forward_by_label[source]:
+                del self._forward_by_label[source]
+        if (source, target) not in self._by_label.get(label, ()):
+            self._edge_set.discard(triple)
+        self._version += 1
+
     def _ingest_edges(self, triples: Iterable[Tuple[Node, str, Node]]) -> None:
         """Bulk-append already-validated edges without bumping the version.
 

@@ -1,0 +1,328 @@
+"""Edge deltas over immutable CSR snapshots: parse, validate, overlay.
+
+The ``.rgsnap`` base payload is immutable by design — zero-copy mmap loading
+depends on it.  Live graphs mutate anyway, so mutations travel as
+:class:`EdgeDelta` batches (edges to add, edges to remove) that are appended
+to the snapshot file as self-describing segments
+(:func:`repro.graphdb.storage.append_delta`) and folded into the serving
+representation by :func:`overlay_csr`: a **delta overlay** that answers
+every :class:`~repro.graphdb.paths.CsrAdjacency`-shaped query as
+``base ∪ additions ∖ removals``.
+
+The overlay *is* a :class:`CsrAdjacency` (built via
+:meth:`~repro.graphdb.paths.CsrAdjacency.from_arrays`), so every kernel
+generation, :class:`~repro.graphdb.cache.LazyRelation`, the statistics
+builder and the snapshot serialiser consume it unchanged.  Cost is kept
+proportional to what the delta touches, not to the graph:
+
+* labels the delta does not mention keep the **base arrays untouched**
+  (zero-copy memoryview casts into the mmap) — they are only re-boxed when
+  the delta introduces new nodes, and even then the ``indices`` array is
+  shared as-is;
+* labels the delta does touch are re-merged in one pass over that label's
+  arcs plus the delta — never a per-edge re-parse, never a dictionary-index
+  hydration of the base database.
+
+Delta semantics (also the contract of the on-disk segment format):
+**removals are matched against the pre-delta graph** — each removal drops
+exactly one occurrence of its triple (multigraph duplicates survive until
+the last occurrence goes) and it is a :class:`DeltaFormatError` if no
+occurrence exists; **additions are applied afterwards** and may introduce
+new nodes.  Removing an edge added by the same delta is therefore an error,
+not a no-op.
+
+The text format accepted by ``repro ingest`` is one operation per line::
+
+    # comments and blank lines are ignored
+    + alice a bob      # add an arc (the leading '+' is optional)
+    carol b dave       # add, shorthand
+    - alice a bob      # remove one occurrence of an existing arc
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple, Union
+
+from repro.graphdb.database import Node
+from repro.graphdb.io import GraphFormatError
+from repro.graphdb.paths import CsrAdjacency
+
+#: One edge mutation operand: ``(source, label, target)``.
+Triple = Tuple[Node, str, Node]
+
+_PathLike = Union[str, Path]
+
+
+class DeltaFormatError(GraphFormatError):
+    """Raised when an edge delta cannot be parsed or applied to its base."""
+
+
+class EdgeDelta:
+    """One batch of edge mutations: removals first, then additions."""
+
+    __slots__ = ("additions", "removals")
+
+    def __init__(
+        self,
+        additions: Sequence[Triple] = (),
+        removals: Sequence[Triple] = (),
+    ) -> None:
+        self.additions: Tuple[Triple, ...] = tuple(
+            (source, label, target) for source, label, target in additions
+        )
+        self.removals: Tuple[Triple, ...] = tuple(
+            (source, label, target) for source, label, target in removals
+        )
+
+    def __bool__(self) -> bool:
+        return bool(self.additions or self.removals)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, EdgeDelta):
+            return NotImplemented
+        return self.additions == other.additions and self.removals == other.removals
+
+    def __repr__(self) -> str:
+        return f"EdgeDelta(+{len(self.additions)}/-{len(self.removals)})"
+
+
+def parse_delta_text(text: str) -> EdgeDelta:
+    """Parse the ``repro ingest`` text format (see the module docstring)."""
+    additions: List[Triple] = []
+    removals: List[Triple] = []
+    for number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        operation = "+"
+        if parts[0] in ("+", "-"):
+            operation = parts[0]
+            parts = parts[1:]
+        if len(parts) != 3:
+            raise DeltaFormatError(
+                f"delta line {number}: expected '[+|-] source label target', "
+                f"got {line!r}"
+            )
+        source, label, target = parts
+        if len(label) != 1:
+            raise DeltaFormatError(
+                f"delta line {number}: edge labels must be single symbols, "
+                f"got {label!r}"
+            )
+        (additions if operation == "+" else removals).append((source, label, target))
+    return EdgeDelta(additions, removals)
+
+
+def load_delta_file(path: _PathLike) -> EdgeDelta:
+    """Load an edge-delta text file (the ``repro ingest`` input)."""
+    try:
+        text = Path(path).read_text(encoding="utf-8")
+    except OSError as error:
+        raise DeltaFormatError(f"cannot read delta file {path}: {error}") from error
+    try:
+        return parse_delta_text(text)
+    except DeltaFormatError as error:
+        raise DeltaFormatError(f"{path}: {error}") from error
+
+
+# ---------------------------------------------------------------------------
+# The CSR overlay
+# ---------------------------------------------------------------------------
+
+#: One label's CSR entry: ``(indptr, indices)``.
+_CsrEntry = Tuple[Sequence[int], Sequence[int]]
+
+
+def _as_list(values: Sequence[int]) -> List[int]:
+    """Materialise an array section as a plain list (C-speed for casts)."""
+    if hasattr(values, "tolist"):
+        return list(values.tolist())  # type: ignore[attr-defined]
+    return list(values)
+
+
+def _merge_label(
+    entry: _CsrEntry,
+    additions: Sequence[Tuple[int, int]],
+    removals: "Counter[Tuple[int, int]]",
+    old_num_nodes: int,
+    new_num_nodes: int,
+    label: str,
+) -> _CsrEntry:
+    """Rebuild one label's ``(indptr, indices)`` as base ∪ adds ∖ removes.
+
+    One pass over this label's arcs plus the delta; untouched labels never
+    reach here (see :func:`overlay_csr`).  Leftover removals — triples the
+    base holds fewer occurrences of than the delta removes — are an error.
+    """
+    base_indptr, base_indices = entry
+    adds_by_source: Dict[int, List[int]] = {}
+    for source_id, target_id in additions:
+        adds_by_source.setdefault(source_id, []).append(target_id)
+    # Removals grouped per source: only the (few) sources the delta
+    # actually touches pay a per-arc Python pass — the runs of untouched
+    # sources in between are bulk-copied with C-level slice operations, so
+    # the merge cost is O(delta + touched arcs), with the unavoidable
+    # full-array copies done at memcpy-like speed.
+    removes_by_source: Dict[int, "Counter[int]"] = {}
+    for (source_id, target_id), count in removals.items():
+        removes_by_source.setdefault(source_id, Counter())[target_id] = count
+    indptr = [0] * (new_num_nodes + 1)
+    indices: List[int] = []
+
+    def copy_untouched(begin: int, end: int) -> None:
+        """Bulk-copy the arc slices of the untouched sources ``[begin, end)``."""
+        if begin >= end:
+            return
+        start, stop = base_indptr[begin], base_indptr[end]
+        shift = len(indices) - start
+        if stop > start:
+            indices.extend(base_indices[start:stop])
+        if shift:
+            indptr[begin + 1 : end + 1] = [
+                value + shift for value in base_indptr[begin + 1 : end + 1]
+            ]
+        else:
+            indptr[begin + 1 : end + 1] = base_indptr[begin + 1 : end + 1]
+
+    # Sorted: removal sources are always base nodes (< old_num_nodes, they
+    # are validated against the base node table), addition sources may be
+    # appended new nodes — those all sort behind the base range.
+    touched_sources = sorted(set(adds_by_source) | set(removes_by_source))
+    cursor = 0
+    for source_id in touched_sources:
+        if source_id >= old_num_nodes:
+            break
+        copy_untouched(cursor, source_id)
+        pending = removes_by_source.get(source_id)
+        start, stop = base_indptr[source_id], base_indptr[source_id + 1]
+        if pending is None:
+            if stop > start:
+                indices.extend(base_indices[start:stop])
+        else:
+            for position in range(start, stop):
+                target_id = base_indices[position]
+                if pending.get(target_id, 0) > 0:
+                    pending[target_id] -= 1
+                    continue
+                indices.append(target_id)
+        appended = adds_by_source.get(source_id)
+        if appended is not None:
+            indices.extend(appended)
+        indptr[source_id + 1] = len(indices)
+        cursor = source_id + 1
+    copy_untouched(cursor, old_num_nodes)
+    for source_id in range(old_num_nodes, new_num_nodes):
+        appended = adds_by_source.get(source_id)
+        if appended is not None:
+            indices.extend(appended)
+        indptr[source_id + 1] = len(indices)
+    unmatched = sum(
+        count
+        for counter in removes_by_source.values()
+        for count in counter.values()
+        if count > 0
+    )
+    if unmatched:
+        raise DeltaFormatError(
+            f"delta removes {unmatched} occurrence(s) of {label!r}-labelled "
+            "edges that the base graph does not hold"
+        )
+    return indptr, indices
+
+
+def overlay_csr(
+    base: CsrAdjacency,
+    additions: Sequence[Triple],
+    removals: Sequence[Triple],
+    version: int,
+) -> CsrAdjacency:
+    """The delta overlay of ``base``: a CSR adjacency of base ∪ adds ∖ removes.
+
+    ``version`` must be the owning database's version counter *after* the
+    delta is accounted for, so the overlay slots into the version-keyed
+    caches (:meth:`repro.graphdb.cache.ReachabilityIndex.preload_csr`)
+    exactly like a storage-loaded snapshot.  Raises
+    :class:`DeltaFormatError` when a removal references a node or an edge
+    occurrence the base graph does not hold.
+    """
+    nodes: List[Node] = list(base.nodes)
+    node_id: Dict[Node, int] = dict(base.node_id)
+    fresh = sorted(
+        {
+            endpoint
+            for source, _label, target in additions
+            for endpoint in (source, target)
+            if endpoint not in node_id
+        },
+        key=repr,
+    )
+    for node in fresh:
+        node_id[node] = len(nodes)
+        nodes.append(node)
+    old_num_nodes = base.num_nodes
+    new_num_nodes = len(nodes)
+
+    adds_forward: Dict[str, List[Tuple[int, int]]] = {}
+    adds_backward: Dict[str, List[Tuple[int, int]]] = {}
+    for source, label, target in additions:
+        source_id, target_id = node_id[source], node_id[target]
+        adds_forward.setdefault(label, []).append((source_id, target_id))
+        adds_backward.setdefault(label, []).append((target_id, source_id))
+    removes_forward: Dict[str, "Counter[Tuple[int, int]]"] = {}
+    removes_backward: Dict[str, "Counter[Tuple[int, int]]"] = {}
+    for source, label, target in removals:
+        if source not in base.node_id or target not in base.node_id:
+            missing = source if source not in base.node_id else target
+            raise DeltaFormatError(
+                f"delta removes an edge at unknown node {missing!r}"
+            )
+        if label not in base.forward:
+            raise DeltaFormatError(
+                f"delta removes edges of a label the base graph never uses: "
+                f"{label!r}"
+            )
+        source_id, target_id = base.node_id[source], base.node_id[target]
+        removes_forward.setdefault(label, Counter())[(source_id, target_id)] += 1
+        removes_backward.setdefault(label, Counter())[(target_id, source_id)] += 1
+
+    touched = set(adds_forward) | set(removes_forward)
+    forward: Dict[str, _CsrEntry] = {}
+    backward: Dict[str, _CsrEntry] = {}
+    empty_entry: _CsrEntry = ([0] * (old_num_nodes + 1), [])
+    for label in set(base.forward) | touched:
+        if label not in touched:
+            # Untouched label: share the base arrays zero-copy; only the
+            # indptr needs re-boxing (extension) when new nodes exist.
+            fwd, bwd = base.forward[label], base.backward[label]
+            if new_num_nodes == old_num_nodes:
+                forward[label], backward[label] = fwd, bwd
+            else:
+                extension = [len(fwd[1])] * (new_num_nodes - old_num_nodes)
+                forward[label] = (_as_list(fwd[0]) + extension, fwd[1])
+                backward[label] = (_as_list(bwd[0]) + extension, bwd[1])
+            continue
+        merged_forward = _merge_label(
+            base.forward.get(label, empty_entry),
+            adds_forward.get(label, ()),
+            removes_forward.get(label, Counter()),
+            old_num_nodes,
+            new_num_nodes,
+            label,
+        )
+        merged_backward = _merge_label(
+            base.backward.get(label, empty_entry),
+            adds_backward.get(label, ()),
+            removes_backward.get(label, Counter()),
+            old_num_nodes,
+            new_num_nodes,
+            label,
+        )
+        if merged_forward[1] or merged_backward[1]:
+            forward[label] = merged_forward
+            backward[label] = merged_backward
+        # A label whose last arc was removed disappears entirely, exactly
+        # as if the adjacency had been rebuilt from the surviving edges.
+    return CsrAdjacency.from_arrays(version, nodes, forward, backward)

@@ -24,6 +24,14 @@ File layout (all integers little-endian, array sections 4-byte aligned)::
     optional sections, gated by header flag bits:
              FLAG_STATS    stats length u32 · statistics blob, padded
                            (:meth:`repro.graphdb.stats.GraphStatistics.to_payload`)
+    delta    zero or more edge-delta segments appended **after** the payload
+    segments (``FLAG_DELTA``), each carrying its own checksum:
+             magic ``DLT1`` · add count u32 · remove count u32
+             segment crc32 u32 · segment payload length u64
+             adds    lengths u32[3·count] · utf-8 blob, padded
+             removes lengths u32[3·count] · utf-8 blob, padded
+             (``source label target`` string triples, removals matched
+             against the pre-delta graph — see :mod:`repro.graphdb.delta`)
 
 Schema guarantees: the magic bytes never change; ``schema_version`` is
 bumped whenever the payload layout does, and a reader refuses versions newer
@@ -35,6 +43,16 @@ future writer this reader cannot interpret — are refused loudly.  The crc32
 covers the whole payload, so a flipped bit or a truncated file fails loudly
 with :class:`~repro.graphdb.io.GraphFormatError` instead of producing a
 subtly wrong graph.
+
+Edge-delta segments (``FLAG_DELTA``) make the snapshot a **live graph**:
+:func:`append_delta` appends a checksummed segment and then flips the
+header flag bit — the base payload (and its crc) is never rewritten, so an
+interrupted append leaves either a loadable old file (flag not yet set;
+unannounced trailing bytes are ignored and reclaimed by the next append) or
+a loadable new one.  Loading applies the segments in order through
+:meth:`SnapshotDatabase.apply_delta`, so the served graph is the base CSR ∪
+additions ∖ removals at a delta-proportional cost; ``repro compact`` on a
+delta-bearing snapshot folds everything back into a fresh flags-0 base.
 
 Loading constructs a :class:`SnapshotDatabase`: its node set is populated
 eagerly (cheap, one string table), its CSR adjacency is wrapped **directly
@@ -53,6 +71,7 @@ import struct
 import sys
 import zlib
 from array import array
+from collections import Counter
 from pathlib import Path
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
@@ -65,6 +84,7 @@ from repro.graphdb.cache import (
     reachability_index,
 )
 from repro.graphdb.database import Edge, GraphDatabase, Node
+from repro.graphdb.delta import DeltaFormatError, EdgeDelta, Triple, overlay_csr
 from repro.graphdb.io import SNAPSHOT_MAGIC, GraphFormatError
 from repro.graphdb.paths import CsrAdjacency
 from repro.graphdb.stats import (
@@ -82,12 +102,25 @@ SCHEMA_VERSION = 1
 #: CSR arrays (see :mod:`repro.graphdb.stats`).
 FLAG_STATS = 1 << 0
 
+#: Header flag: checksummed edge-delta segments follow the payload (see
+#: :mod:`repro.graphdb.delta` and :func:`append_delta`).
+FLAG_DELTA = 1 << 1
+
 #: Every flag bit this reader understands; unknown bits are refused.
-_KNOWN_FLAGS = FLAG_STATS
+_KNOWN_FLAGS = FLAG_STATS | FLAG_DELTA
 
 # magic 8s · schema u16 · flags u16 · itemsize u32 · num_nodes u64 ·
 # num_edges u64 · num_labels u32 · payload crc32 u32 · payload length u64
 _HEADER = struct.Struct("<8sHHIQQIIQ")
+
+#: Byte offset of the header ``flags`` field (magic 8s · schema u16), used
+#: by :func:`append_delta` to announce a freshly appended segment.
+_FLAGS_OFFSET = 10
+
+# Per-segment delta header: magic 4s · add count u32 · remove count u32 ·
+# segment payload crc32 u32 · segment payload length u64 (24 bytes, aligned).
+_DELTA_MAGIC = b"DLT1"
+_DELTA_HEADER = struct.Struct("<4sIIIQ")
 
 #: The array typecode with a 4-byte item on this platform (``None`` on
 #: exotic builds, which fall back to ``struct`` decoding).
@@ -189,6 +222,27 @@ def _read_strings(
 # ---------------------------------------------------------------------------
 
 
+def _unmatched_removals(
+    db: GraphDatabase, removals: Sequence[Triple]
+) -> Optional[Triple]:
+    """The first removal a hydrated graph holds too few occurrences of.
+
+    Multiset semantics: each removal consumes one occurrence, so removing a
+    parallel duplicate twice is fine exactly when two occurrences exist.
+    Only called on hydrated databases — unhydrated snapshots validate inside
+    :func:`repro.graphdb.delta.overlay_csr` instead.
+    """
+    by_label: Dict[str, "Counter[Tuple[Node, Node]]"] = {}
+    for source, label, target in removals:
+        by_label.setdefault(label, Counter())[(source, target)] += 1
+    for label, needed in by_label.items():
+        available = Counter(db.edges_by_label(label))
+        for (source, target), count in needed.items():
+            if available.get((source, target), 0) < count:
+                return (source, label, target)
+    return None
+
+
 class SnapshotDatabase(GraphDatabase):
     """A database loaded from a snapshot, with lazily hydrated edge indexes.
 
@@ -202,7 +256,7 @@ class SnapshotDatabase(GraphDatabase):
     cache keyed by the version) stays valid across it.
     """
 
-    __slots__ = ("_snapshot_csr", "_hydrated", "_snapshot_buffer")
+    __slots__ = ("_snapshot_csr", "_hydrated", "_snapshot_buffer", "_applied_deltas")
 
     def __init__(
         self,
@@ -220,6 +274,7 @@ class SnapshotDatabase(GraphDatabase):
             self._version, nodes, forward, backward
         )
         self._hydrated = False
+        self._applied_deltas = 0
         # Keeps the mmap (or bytes) owning the array sections alive for
         # exactly as long as the database that indexes into them.
         self._snapshot_buffer = buffer
@@ -236,6 +291,75 @@ class SnapshotDatabase(GraphDatabase):
         """The CSR adjacency wrapped over the snapshot's array sections."""
         return self._snapshot_csr
 
+    @property
+    def applied_deltas(self) -> int:
+        """How many edge-delta batches have been applied overlay-style."""
+        return self._applied_deltas
+
+    # -- live mutation (delta-proportional, hydration-free) -----------------------
+
+    def apply_delta(
+        self, additions: Sequence[Triple] = (), removals: Sequence[Triple] = ()
+    ) -> None:
+        """Apply one edge-delta batch: removals first, then additions.
+
+        On an unhydrated snapshot this is the **delta-proportional refresh
+        path**: the current CSR (base or a previous overlay) is merged with
+        the delta via :func:`repro.graphdb.delta.overlay_csr` — untouched
+        labels keep their zero-copy arrays — the version counter is bumped
+        so every version-keyed cache invalidates, and the overlay is
+        pre-seeded into the shared reachability index so the next query
+        finds it in place instead of hydrating the dictionary indexes and
+        rebuilding from the edge list.  A later :meth:`_hydrate` replays
+        the overlay, so the dictionary views match the mutated graph.
+
+        On a hydrated database the same batch routes through
+        :meth:`remove_edge`/:meth:`add_edge` (validated all-or-nothing
+        first), keeping both representations semantically identical.
+
+        Raises :class:`~repro.graphdb.delta.DeltaFormatError` when a
+        removal references an edge occurrence the live graph does not hold,
+        and the usual :class:`~repro.core.errors.AlphabetError` for
+        malformed addition labels.
+        """
+        additions = tuple((source, label, target) for source, label, target in additions)
+        removals = tuple((source, label, target) for source, label, target in removals)
+        for _source, label, _target in additions:
+            if not isinstance(label, str) or len(label) != 1:
+                raise AlphabetError(
+                    f"edge labels must be single symbols, got {label!r}"
+                )
+            if self._alphabet is not None and label not in self._alphabet:
+                raise AlphabetError(
+                    f"label {label!r} is not in the declared alphabet"
+                )
+        if self._hydrated:
+            missing = _unmatched_removals(self, removals)
+            if missing is not None:
+                source, label, target = missing
+                raise DeltaFormatError(
+                    f"delta removes more occurrences of "
+                    f"{source!r} -{label}-> {target!r} than the graph holds"
+                )
+            for source, label, target in removals:
+                self.remove_edge(source, label, target)
+            for source, label, target in additions:
+                self.add_edge(source, label, target)
+            self._applied_deltas += 1
+            return
+        overlay = overlay_csr(
+            self._snapshot_csr, additions, removals, self._version + 1
+        )
+        for source, _label, target in additions:
+            self._nodes.add(source)
+            self._nodes.add(target)
+        self._version += 1
+        self._snapshot_csr = overlay
+        self._applied_deltas += 1
+        # Seed the overlay exactly like a storage-loaded CSR: the next
+        # query's cache lookup hits it instead of paying a full rebuild.
+        preload_csr(self, overlay)
+
     def _hydrate(self) -> None:
         if self._hydrated:
             return
@@ -251,6 +375,7 @@ class SnapshotDatabase(GraphDatabase):
                         yield source, label, nodes[indices[position]]
 
         try:
+            # lint-allow: RA104 (this IS the one deliberate hydration point: lazy materialisation of the dictionary indexes from the CSR arrays)
             self._ingest_edges(triples())
         except BaseException:
             # All-or-nothing: a failure mid-ingestion (e.g. MemoryError)
@@ -328,6 +453,13 @@ class SnapshotDatabase(GraphDatabase):
     def add_edge(self, source: Node, label: str, target: Node) -> Edge:
         self._hydrate()
         return super().add_edge(source, label, target)
+
+    def remove_edge(self, source: Node, label: str, target: Node) -> None:
+        # Single-edge removal is the dictionary-level mutation API; batch
+        # mutations should go through apply_delta, which stays on the CSR
+        # overlay and never hydrates.
+        self._hydrate()
+        super().remove_edge(source, label, target)
 
     def add_word_path(self, source: Node, word: str, target: Node, prefix: str = "_p") -> List[Node]:
         self._hydrate()
@@ -430,6 +562,137 @@ def dump_snapshot_bytes(
     return header + payload
 
 
+# ---------------------------------------------------------------------------
+# Edge-delta segments (FLAG_DELTA)
+# ---------------------------------------------------------------------------
+
+
+def _strings_section(values: Sequence[str]) -> bytes:
+    """A length-prefixed UTF-8 string table (the :func:`_read_strings` shape)."""
+    encoded = [value.encode("utf-8") for value in values]
+    return _pack_u32(len(value) for value in encoded) + _pack_blob(b"".join(encoded))
+
+
+def _encode_delta_segment(delta: EdgeDelta) -> bytes:
+    """Serialise one edge-delta batch as a self-describing segment."""
+    payload = _strings_section(
+        [str(field) for triple in delta.additions for field in triple]
+    ) + _strings_section(
+        [str(field) for triple in delta.removals for field in triple]
+    )
+    header = _DELTA_HEADER.pack(
+        _DELTA_MAGIC,
+        len(delta.additions),
+        len(delta.removals),
+        zlib.crc32(payload) & 0xFFFFFFFF,
+        len(payload),
+    )
+    return header + payload
+
+
+def _grouped_triples(flat: Sequence[str], kind: str) -> List[Triple]:
+    if len(flat) % 3:  # pragma: no cover - counts come from the segment header
+        raise GraphFormatError(
+            f"inconsistent snapshot: a delta segment's {kind} table is not "
+            "made of triples"
+        )
+    return [
+        (flat[position], flat[position + 1], flat[position + 2])
+        for position in range(0, len(flat), 3)
+    ]
+
+
+def _read_delta_segments(view: memoryview, offset: int) -> List[EdgeDelta]:
+    """Parse every delta segment between ``offset`` and the end of the file."""
+    segments: List[EdgeDelta] = []
+    while offset < len(view):
+        if len(view) - offset < _DELTA_HEADER.size:
+            raise GraphFormatError(
+                "truncated snapshot: a delta segment header is cut short"
+            )
+        magic, add_count, remove_count, segment_crc, segment_length = (
+            _DELTA_HEADER.unpack(view[offset : offset + _DELTA_HEADER.size])
+        )
+        if magic != _DELTA_MAGIC:
+            raise GraphFormatError(
+                "inconsistent snapshot: bad delta segment magic bytes"
+            )
+        offset += _DELTA_HEADER.size
+        if len(view) - offset < segment_length:
+            raise GraphFormatError(
+                "truncated snapshot: a delta segment payload is cut short"
+            )
+        payload = view[offset : offset + segment_length]
+        if zlib.crc32(payload) & 0xFFFFFFFF != segment_crc:
+            raise GraphFormatError(
+                "delta segment checksum mismatch: the file is corrupted"
+            )
+        additions_flat, cursor = _read_strings(payload, 0, 3 * add_count)
+        removals_flat, cursor = _read_strings(payload, cursor, 3 * remove_count)
+        segments.append(
+            EdgeDelta(
+                _grouped_triples(additions_flat, "additions"),
+                _grouped_triples(removals_flat, "removals"),
+            )
+        )
+        offset += segment_length
+    return segments
+
+
+def append_delta(path: PathLike, delta: EdgeDelta) -> None:
+    """Append one edge-delta segment to an existing ``.rgsnap`` file.
+
+    The base payload is **never rewritten**: the segment (with its own
+    crc32) is appended after the existing contents and only then is the
+    header's ``FLAG_DELTA`` bit flipped to announce it.  A crash between
+    the two steps leaves unannounced trailing bytes that every reader
+    ignores and the next append reclaims, so the file on disk is loadable
+    at every instant.  Validation of the delta *against the graph* is the
+    caller's job (``repro ingest`` applies it in memory first); this
+    function only guards the container format.
+    """
+    segment = _encode_delta_segment(delta)
+    try:
+        handle = open(path, "r+b")
+    except OSError as error:
+        raise GraphFormatError(f"cannot open snapshot {path}: {error}") from error
+    with handle:
+        header = handle.read(_HEADER.size)
+        if len(header) < _HEADER.size:
+            raise GraphFormatError(
+                f"{path}: truncated snapshot: the file is shorter than the header"
+            )
+        magic, schema, flags, item_size, _nodes, _edges, _labels, _crc, payload_length = (
+            _HEADER.unpack(header)
+        )
+        if magic != SNAPSHOT_MAGIC:
+            raise GraphFormatError(f"{path}: not an .rgsnap snapshot (bad magic bytes)")
+        if schema > SCHEMA_VERSION or schema < 1:
+            raise GraphFormatError(
+                f"{path}: cannot append a delta to snapshot schema version {schema}"
+            )
+        if flags & ~_KNOWN_FLAGS:
+            raise GraphFormatError(
+                f"{path}: snapshot uses unknown flag bits "
+                f"0x{flags & ~_KNOWN_FLAGS:x}; upgrade repro to modify it"
+            )
+        if item_size != 4:
+            raise GraphFormatError(
+                f"{path}: unsupported snapshot array item size {item_size}"
+            )
+        if not flags & FLAG_DELTA:
+            # Reclaim unannounced trailing bytes (an append that crashed
+            # before flipping the flag): the next segment must start where
+            # the announced contents end.
+            handle.truncate(_HEADER.size + payload_length)
+        handle.seek(0, 2)
+        handle.write(segment)
+        handle.flush()
+        if not flags & FLAG_DELTA:
+            handle.seek(_FLAGS_OFFSET)
+            handle.write(struct.pack("<H", flags | FLAG_DELTA))
+
+
 def load_snapshot_bytes(
     buffer, alphabet: Optional[Alphabet] = None
 ) -> SnapshotDatabase:
@@ -519,7 +782,24 @@ def load_snapshot_bytes(
                 "inconsistent snapshot: the statistics section disagrees with "
                 "the header node/edge counts"
             )
+    deltas: List[EdgeDelta] = []
+    if flags & FLAG_DELTA:
+        deltas = _read_delta_segments(view, _HEADER.size + payload_length)
+        if not deltas:
+            raise GraphFormatError(
+                "inconsistent snapshot: FLAG_DELTA is set but no delta "
+                "segments follow the payload"
+            )
     db = SnapshotDatabase(names, forward, backward, alphabet=alphabet, buffer=buffer)
+    if deltas:
+        # Apply the mutation log in order: each batch builds a CSR overlay
+        # (base ∪ additions ∖ removals) at delta-proportional cost, bumps
+        # the version and pre-seeds the overlay — the stored statistics
+        # describe the base graph, so they are *not* preloaded here and the
+        # planner recomputes from the overlay on demand.
+        for delta in deltas:
+            db.apply_delta(delta.additions, delta.removals)
+        return db
     preload_csr(db, db.snapshot_csr)
     if statistics is not None:
         # Stamp the block with the freshly constructed database's version so

@@ -15,6 +15,7 @@ from repro.service.broker import AdmissionQueueFull, QueryBroker, Ticket
 from repro.service.registry import (
     DatabaseEvictedError,
     DatabaseRegistry,
+    PendingRefresh,
     RegisteredDatabase,
     UnknownDatabaseError,
 )
@@ -37,6 +38,7 @@ __all__ = [
     "DatabaseEvictedError",
     "DatabaseRegistry",
     "EvaluationWorkerPool",
+    "PendingRefresh",
     "QueryBroker",
     "QueryRequest",
     "QueryService",

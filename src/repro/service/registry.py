@@ -22,6 +22,17 @@ the path is recorded but nothing touches the disk until the first query
 resolves the name.  ``repro serve``/``repro batch`` use this for ``.rgsnap``
 snapshot shards, so a server fronting many persisted graphs starts instantly
 and cold-loads (mmap + preloaded CSR) each shard on first use.
+
+Live graphs refresh through :meth:`DatabaseRegistry.begin_refresh` /
+:meth:`DatabaseRegistry.swap`: the next generation is built in the
+background (disk I/O outside the lock, the current generation keeps
+serving), then swapped in atomically.  Unlike :meth:`register` — whose
+replacement semantics *invalidate* the old generation — a swap **retires**
+it: in-flight batches admitted against the old entry still pass
+:meth:`is_serviceable` and finish against the graph they were admitted to,
+while every request admitted after the swap resolves the new generation.
+The retired entry is released when the next swap or eviction of the name
+displaces it.
 """
 
 from __future__ import annotations
@@ -68,6 +79,24 @@ class RegisteredDatabase:
         return self.db.version
 
 
+@dataclass(frozen=True)
+class PendingRefresh:
+    """A next-generation build, loaded but not yet serving.
+
+    Produced by :meth:`DatabaseRegistry.begin_refresh` (typically on a
+    worker thread) and handed to :meth:`DatabaseRegistry.swap`, which is the
+    only step that touches the live mapping.  ``replaces`` records the
+    generation that was current when the refresh began — purely diagnostic;
+    the swap always installs over whatever is live at swap time (last swap
+    wins, exactly like re-registration).
+    """
+
+    name: str
+    db: GraphDatabase = field(repr=False)
+    source: str
+    replaces: Optional[int] = None
+
+
 class DatabaseRegistry:
     """The service's name → database mapping; load once, share, evict.
 
@@ -89,6 +118,12 @@ class DatabaseRegistry:
         self._generation = 0  # guarded-by: _lock
         self._loads = 0  # guarded-by: _lock
         self._evictions = 0  # guarded-by: _lock
+        # name -> the generation retired by the last swap of that name; its
+        # in-flight batches may still complete (is_serviceable), new work
+        # cannot be admitted against it (peek/resolve only see _entries).
+        self._retired: Dict[str, RegisteredDatabase] = {}  # guarded-by: _lock
+        self._swaps = 0  # guarded-by: _lock
+        self._refreshes = 0  # guarded-by: _lock
 
     # -- registration ----------------------------------------------------------
 
@@ -147,6 +182,80 @@ class DatabaseRegistry:
                 return existing
             self._loads += 1
             return self.register(name, db, source=str(path))
+
+    # -- background refresh and atomic swap --------------------------------------
+
+    def begin_refresh(
+        self,
+        name: str,
+        path: Optional[str] = None,
+        fmt: Optional[str] = None,
+        db: Optional[GraphDatabase] = None,
+    ) -> PendingRefresh:
+        """Build the next generation of ``name`` without touching the live entry.
+
+        The file load (the expensive part — for ``.rgsnap`` shards possibly
+        a delta-bearing snapshot that has grown since the last load) happens
+        **outside the lock**, so the current generation keeps serving
+        queries and telemetry unthrottled while the replacement parses.
+        With no explicit ``path`` the live entry's source (or the lazy
+        declaration) is re-read, which is the ingest-refresh loop: ``repro
+        ingest`` appends deltas to the file, ``begin_refresh`` picks them
+        up.  Passing ``db`` skips the disk entirely (an in-memory build).
+        Nothing becomes visible until :meth:`swap`.
+        """
+        with self._lock:
+            entry = self._entries.get(name)
+            declaration = self._pending.get(name)
+            self._refreshes += 1
+            replaces = entry.generation if entry is not None else None
+        if db is not None:
+            source = str(path) if path is not None else "<memory>"
+            return PendingRefresh(name=name, db=db, source=source, replaces=replaces)
+        if path is None:
+            if entry is not None and entry.source != "<memory>":
+                path = entry.source
+            elif declaration is not None:
+                path, fmt = declaration
+            else:
+                raise UnknownDatabaseError(
+                    f"cannot refresh {name!r}: no path given and no "
+                    "file-backed registration or declaration to re-read"
+                )
+        loaded = load_database(path, self._alphabet, fmt=fmt)
+        return PendingRefresh(name=name, db=loaded, source=str(path), replaces=replaces)
+
+    def swap(self, pending: PendingRefresh) -> RegisteredDatabase:
+        """Atomically install a :class:`PendingRefresh` as the live generation.
+
+        The previous live entry is **retired**, not invalidated: batches
+        already admitted against it still pass :meth:`is_serviceable` and
+        finish against the graph they were admitted to, while every
+        admission after this call resolves the new generation (their dedup
+        keys differ by generation, so answers never cross the swap).  One
+        retired generation is kept per name — the next swap displaces it
+        and reclaims its caches; :meth:`evict` drops both live and retired.
+        """
+        with self._lock:
+            old = self._entries.get(pending.name)
+            displaced = self._retired.pop(pending.name, None)
+            self._generation += 1
+            entry = RegisteredDatabase(
+                name=pending.name,
+                db=pending.db,
+                generation=self._generation,
+                source=pending.source,
+            )
+            self._entries[pending.name] = entry
+            self._pending.pop(pending.name, None)
+            if old is not None:
+                self._retired[pending.name] = old
+            self._swaps += 1
+        if displaced is not None and displaced.db is not entry.db and (
+            old is None or displaced.db is not old.db
+        ):
+            invalidate_cache(displaced.db)
+        return entry
 
     def peek(self, ref: str) -> Optional[RegisteredDatabase]:
         """The live entry named ``ref``, or ``None`` — never touches the disk."""
@@ -207,26 +316,44 @@ class DatabaseRegistry:
         The shared reachability index of the evicted database is
         invalidated so its memory is reclaimable immediately; in-flight
         batches admitted against the old entry fail their
-        :meth:`is_current` check and are rejected safely by the workers.
+        :meth:`is_serviceable` check and are rejected safely by the
+        workers.  Eviction drops the whole name: the live entry, any lazy
+        declaration, and the generation retired by the last :meth:`swap`.
         """
         with self._lock:
             pending = self._pending.pop(name, None) is not None
+            retired = self._retired.pop(name, None)
             entry = self._entries.pop(name, None)
-            if entry is None:
-                if pending:
-                    # An unloaded lazy declaration has no caches to invalidate,
-                    # but dropping it is still an eviction of the name.
-                    self._evictions += 1
-                return pending
-            self._evictions += 1
-        invalidate_cache(entry.db)
-        return True
+            if entry is not None or pending or retired is not None:
+                self._evictions += 1
+        if retired is not None and (entry is None or retired.db is not entry.db):
+            invalidate_cache(retired.db)
+        if entry is not None:
+            invalidate_cache(entry.db)
+        return entry is not None or pending or retired is not None
 
     def is_current(self, entry: RegisteredDatabase) -> bool:
         """Whether ``entry`` is still the live registration of its name."""
         with self._lock:
             current = self._entries.get(entry.name)
         return current is not None and current.generation == entry.generation
+
+    def is_serviceable(self, entry: RegisteredDatabase) -> bool:
+        """Whether in-flight work admitted against ``entry`` may still complete.
+
+        Current entries are serviceable, and so is the one generation per
+        name retired by the last :meth:`swap` — that is the whole point of
+        swap versus re-registration: a batch admitted moments before the
+        swap finishes against the graph it was admitted to instead of
+        failing with :class:`DatabaseEvictedError`.  Evicted and
+        swap-displaced generations are not serviceable.
+        """
+        with self._lock:
+            current = self._entries.get(entry.name)
+            if current is not None and current.generation == entry.generation:
+                return True
+            retired = self._retired.get(entry.name)
+        return retired is not None and retired.generation == entry.generation
 
     # -- inspection -------------------------------------------------------------
 
@@ -264,6 +391,9 @@ class DatabaseRegistry:
                 "pending": len(self._pending),
                 "loads": self._loads,
                 "evictions": self._evictions,
+                "refreshes": self._refreshes,
+                "swaps": self._swaps,
+                "retired": len(self._retired),
             }
         shards: Dict[str, Dict[str, object]] = {}
         for name, entry in entries:

@@ -33,7 +33,7 @@ from repro.core.alphabet import Alphabet
 from repro.core.errors import ReproError
 from repro.engine.engine import can_evaluate
 from repro.service.broker import AdmissionQueueFull, QueryBroker
-from repro.service.registry import DatabaseRegistry
+from repro.service.registry import DatabaseRegistry, RegisteredDatabase
 from repro.service.requests import QueryRequest, RequestFormatError, ServiceResult
 from repro.service.workers import EvaluationWorkerPool
 
@@ -240,6 +240,26 @@ class QueryService:
             for line in lines
         ]
         return list(await asyncio.gather(*tasks))
+
+    # -- live-graph refresh ------------------------------------------------------
+
+    async def refresh(
+        self, name: str, *, path: Optional[str] = None, fmt: Optional[str] = None
+    ) -> "RegisteredDatabase":
+        """Rebuild shard ``name`` in the background and swap it in atomically.
+
+        The next generation is loaded on a thread
+        (:meth:`DatabaseRegistry.begin_refresh` re-reads the shard's source —
+        typically a ``.rgsnap`` file that ``repro ingest`` has appended
+        deltas to), while the event loop keeps admitting and completing
+        requests against the current generation.  The swap retires the old
+        generation rather than evicting it, so batches already in flight
+        finish against the graph they were admitted to.
+        """
+        pending = await asyncio.to_thread(
+            self.registry.begin_refresh, name, path, fmt
+        )
+        return self.registry.swap(pending)
 
     # -- inspection --------------------------------------------------------------
 

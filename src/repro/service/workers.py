@@ -96,14 +96,14 @@ class EvaluationWorkerPool:
 
     async def _run_batch(self, shard: str, tickets: List[Ticket]) -> None:
         async with self._shard_lock(shard):
-            # A batch is keyed by shard *name*, so after a re-registration it
-            # can mix tickets of several generations: check liveness per
-            # ticket, not per batch, or a request admitted against the
-            # current registration would be spuriously failed because it was
-            # batched behind an older-generation ticket.
+            # A batch is keyed by shard *name*, so after a re-registration or
+            # a generation swap it can mix tickets of several generations:
+            # check liveness per ticket, not per batch, or a request admitted
+            # against the current registration would be spuriously failed
+            # because it was batched behind an older-generation ticket.
             live: List[Ticket] = []
             for ticket in tickets:
-                if self._registry.is_current(ticket.entry):
+                if self._registry.is_serviceable(ticket.entry):
                     live.append(ticket)
                     continue
                 self._finish(
@@ -116,15 +116,24 @@ class EvaluationWorkerPool:
                 self.evicted += 1
             if not live:
                 return
-            # All live tickets of one shard share the single current
-            # registration (only one generation is current per name).
-            entry = live[0].entry
-            if self._use_threads:
-                outcomes = await asyncio.to_thread(self._evaluate_batch, entry, live)
-            else:
-                outcomes = self._evaluate_batch(entry, live)
-            for ticket, (result, exception) in zip(live, outcomes):
-                self._finish(ticket, result=result, exception=exception)
+            # Serviceable tickets can span two generations (the retired one
+            # plus the current one, across a swap): evaluate each generation's
+            # run against the entry it was admitted to, so in-flight work
+            # finishes on the graph it saw at admission time.
+            groups: List[List[Ticket]] = []
+            for ticket in live:
+                if groups and groups[-1][0].entry.generation == ticket.entry.generation:
+                    groups[-1].append(ticket)
+                else:
+                    groups.append([ticket])
+            for group in groups:
+                entry = group[0].entry
+                if self._use_threads:
+                    outcomes = await asyncio.to_thread(self._evaluate_batch, entry, group)
+                else:
+                    outcomes = self._evaluate_batch(entry, group)
+                for ticket, (result, exception) in zip(group, outcomes):
+                    self._finish(ticket, result=result, exception=exception)
 
     def _evaluate_batch(
         self, entry: RegisteredDatabase, tickets: List[Ticket]

@@ -96,6 +96,49 @@ def snapshot_round_trip(db: GraphDatabase):
     return load_snapshot_bytes(dump_snapshot_bytes(db))
 
 
+def snapshot_with_deltas(db: GraphDatabase, deltas, directory):
+    """Write ``db`` as a snapshot file, append delta segments, load it back.
+
+    The on-disk path of the live-graph flow: base written once, each delta
+    appended without rewriting the base sections, and the loader applying
+    them overlay-style.  Returns the loaded :class:`SnapshotDatabase`.
+    """
+    from pathlib import Path
+
+    from repro.graphdb.storage import append_delta, load_snapshot, save_snapshot
+
+    path = Path(directory) / "delta_base.rgsnap"
+    save_snapshot(db, path)
+    for delta in deltas:
+        append_delta(path, delta)
+    return load_snapshot(path)
+
+
+def rebuilt_with_delta(db: GraphDatabase, additions, removals) -> GraphDatabase:
+    """A from-scratch rebuild of ``db`` with a delta applied (the oracle arm).
+
+    Mirrors the delta contract by construction: each removal drops one
+    occurrence of its triple from the original edge multiset, additions are
+    appended afterwards, and nodes are never removed (emptied endpoints
+    survive as isolated nodes).
+    """
+    from collections import Counter
+
+    pending = Counter((source, label, target) for source, label, target in removals)
+    rebuilt = GraphDatabase()
+    for node in db.nodes:
+        rebuilt.add_node(node)
+    for source, label, target in db.edges:
+        if pending.get((source, label, target), 0) > 0:
+            pending[(source, label, target)] -= 1
+            continue
+        rebuilt.add_edge(source, label, target)
+    assert not +pending, f"delta removals not present in the base graph: {+pending}"
+    for source, label, target in additions:
+        rebuilt.add_edge(source, label, target)
+    return rebuilt
+
+
 def edge_multiset(db: GraphDatabase) -> List[Tuple]:
     """The sorted multiset of ``(source, label, target)`` triples."""
     return sorted((tuple(edge) for edge in db.edges), key=repr)

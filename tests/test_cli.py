@@ -175,3 +175,51 @@ class TestCompact:
         # A stats-less snapshot still answers queries identically.
         assert main(["evaluate", str(plain), "--edge", "x (a|b)+ y", "--boolean"]) == 0
         assert "satisfied: True" in capsys.readouterr().out
+
+
+class TestIngest:
+    @pytest.fixture()
+    def snapshot_file(self, graph_file, tmp_path):
+        target = tmp_path / "live.rgsnap"
+        assert main(["compact", graph_file, str(target)]) == 0
+        return str(target)
+
+    def test_ingest_appends_and_compact_folds(self, snapshot_file, tmp_path, capsys):
+        delta = tmp_path / "ops.delta"
+        delta.write_text("+ n4 a n5\n- n1 b n3\n", encoding="utf-8")
+        assert main(["ingest", snapshot_file, str(delta)]) == 0
+        output = capsys.readouterr().out
+        assert "1 delta segment(s)" in output
+        assert "+1 / -1 edge(s)" in output
+        # The mutated graph serves directly off the appended snapshot.
+        assert main(
+            ["evaluate", snapshot_file, "--edge", "x a y", "--output", "x", "y"]
+        ) == 0
+        answers = capsys.readouterr().out
+        assert "('n4', 'n5')" in answers
+        # Folding writes a fresh base and says so.
+        folded = tmp_path / "folded.rgsnap"
+        assert main(["compact", snapshot_file, str(folded)]) == 0
+        assert "folded 1 segment(s)" in capsys.readouterr().out
+        assert main(
+            ["evaluate", str(folded), "--edge", "x a y", "--output", "x", "y"]
+        ) == 0
+        assert "('n4', 'n5')" in capsys.readouterr().out
+
+    def test_ingest_rejects_bad_removals_without_touching_the_file(
+        self, snapshot_file, tmp_path, capsys
+    ):
+        from pathlib import Path
+
+        delta = tmp_path / "bad.delta"
+        delta.write_text("- n1 c n4\n", encoding="utf-8")
+        before = Path(snapshot_file).read_bytes()
+        assert main(["ingest", snapshot_file, str(delta)]) == 1
+        assert "error:" in capsys.readouterr().err
+        assert Path(snapshot_file).read_bytes() == before
+
+    def test_ingest_rejects_an_empty_delta(self, snapshot_file, tmp_path, capsys):
+        delta = tmp_path / "empty.delta"
+        delta.write_text("# nothing to do\n", encoding="utf-8")
+        assert main(["ingest", snapshot_file, str(delta)]) == 1
+        assert "no edge operations" in capsys.readouterr().err

@@ -48,7 +48,9 @@ from helpers import (
     REGEX_POOL,
     assert_same_database,
     compiled,
+    rebuilt_with_delta,
     snapshot_round_trip,
+    snapshot_with_deltas,
     stringified,
 )
 
@@ -159,6 +161,92 @@ class TestEngineDifferential:
                         f"engine arm {name!r} diverges on {template}: "
                         f"{signature} != {reference}"
                     )
+
+
+class TestDeltaDifferential:
+    """The delta arm: base + appended delta segments versus a from-scratch
+    rebuild of the mutated graph.
+
+    The overlay answers must be **byte-identical** to rebuilding the mutated
+    graph from its edges, across every kernel arm and both planner arms —
+    the overlay is not a new semantics, just a cheaper way to reach the same
+    graph.
+    """
+
+    def mutated_case(self, db, rng):
+        """A deterministic delta for ``db``: ~15% removals plus additions.
+
+        The additions deliberately include a brand-new node and a parallel
+        duplicate of a surviving edge; one removal targets a multigraph
+        triple so the one-occurrence semantics is exercised.
+        """
+        from repro.graphdb.delta import EdgeDelta
+
+        triples = sorted((tuple(edge) for edge in db.edges), key=repr)
+        removals = [
+            triples[index]
+            for index in rng.sample(
+                range(len(triples)), max(1, len(triples) // 7)
+            )
+        ]
+        survivors = [triple for triple in triples if triple not in removals]
+        keep = survivors[0] if survivors else triples[-1]
+        nodes = sorted(db.nodes, key=repr)
+        additions = [
+            (nodes[0], "c", "fresh_node"),
+            ("fresh_node", "a", nodes[-1]),
+            keep,  # parallel duplicate of a surviving arc
+        ]
+        return EdgeDelta(additions, removals)
+
+    def test_overlay_matches_from_scratch_rebuild_across_arms(self, tmp_path):
+        rng = random.Random(42180)
+        cases = 0
+        for index, db in enumerate(case_graphs()[:4]):
+            delta = self.mutated_case(db, rng)
+            case_dir = tmp_path / str(index)
+            case_dir.mkdir()
+            overlay = snapshot_with_deltas(db, [delta], case_dir)
+            rebuilt = rebuilt_with_delta(db, delta.additions, delta.removals)
+            assert_same_database(rebuilt, overlay)
+            for template in QUERY_TEMPLATES:
+                query = build_query(template)
+                has_output = bool(query.output_variables)
+                signatures = {}
+                for planner_name, planner_arm in PLANNER_ARMS:
+                    invalidate_cache(rebuilt)
+                    invalidate_cache(overlay)
+                    with planner_arm():
+                        for name, arm in KERNEL_ARMS:
+                            with arm():
+                                signatures[f"rebuild:{name}/{planner_name}"] = (
+                                    answer_signature(evaluate(query, rebuilt), has_output)
+                                )
+                                signatures[f"overlay:{name}/{planner_name}"] = (
+                                    answer_signature(evaluate(query, overlay), has_output)
+                                )
+                reference = signatures["rebuild:sets/planner-v2"]
+                for name, signature in signatures.items():
+                    assert signature == reference, (
+                        f"delta arm {name!r} diverges on {template}: "
+                        f"{signature} != {reference}"
+                    )
+                cases += 1
+        assert cases >= 16
+
+    def test_overlay_refresh_stays_on_the_preloaded_csr(self, tmp_path):
+        """The delta arm must not pay hydration or a CSR rebuild."""
+        from repro.graphdb.delta import EdgeDelta
+
+        db = stringified(random_graph(12, 30, ABC, seed=9))
+        triple = tuple(next(iter(db.edges)))
+        delta = EdgeDelta([("n0", "a", "delta_node")], [triple])
+        overlay = snapshot_with_deltas(db, [delta], tmp_path)
+        reachable_pairs(overlay, compiled("(a|b)+"))
+        stats = cache_stats(overlay)["csr"]
+        assert stats["preloaded"] == 1, "each applied delta preloads its overlay"
+        assert stats["misses"] == 0, "the delta arm rebuilt the CSR arrays"
+        assert not overlay.hydrated
 
 
 class TestPlannerDifferential:

@@ -156,6 +156,107 @@ class TestRegistry:
         stats = registry.cache_stats("g")
         assert "totals" in stats and "nfa_tables" in stats
 
+    def test_concurrent_lazy_loads_share_one_entry(self, tmp_path, monkeypatch):
+        """Double-checked locking in ``load()``: many threads racing the same
+        lazy declaration must share one entry, one load, one generation."""
+        import threading
+
+        import repro.service.registry as registry_module
+
+        path = tmp_path / "g.edges"
+        save_edge_list(small_db(), path)
+        real_load = registry_module.load_database
+
+        def slow_load(*args, **kwargs):
+            # Widen the race window so every thread reaches the parse phase
+            # before the first registration lands.
+            time.sleep(0.05)
+            return real_load(*args, **kwargs)
+
+        monkeypatch.setattr(registry_module, "load_database", slow_load)
+        registry = DatabaseRegistry()
+        registry.register_lazy("g", str(path))
+        barrier = threading.Barrier(8)
+        entries, failures = [], []
+
+        def resolve():
+            barrier.wait()
+            try:
+                entries.append(registry.resolve("g"))
+            except Exception as error:  # pragma: no cover - diagnostic only
+                failures.append(error)
+
+        threads = [threading.Thread(target=resolve) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not failures
+        assert len(entries) == 8
+        assert len({entry.generation for entry in entries}) == 1
+        assert all(entry.db is entries[0].db for entry in entries)
+        stats = registry.stats()
+        assert stats["loads"] == 1, "concurrent identical loads must coalesce"
+        assert registry.peek("g").generation == entries[0].generation
+
+    def test_swap_retires_exactly_one_generation(self):
+        registry = DatabaseRegistry()
+        first = registry.register("g", small_db())
+        second = registry.swap(registry.begin_refresh("g", db=small_db()))
+        # The swapped-out generation is retired, not dead: in-flight work
+        # may finish against it, but it is no longer current.
+        assert not registry.is_current(first)
+        assert registry.is_serviceable(first)
+        assert registry.is_current(second)
+        assert registry.peek("g") is second
+        third = registry.swap(registry.begin_refresh("g", db=small_db()))
+        assert not registry.is_serviceable(first), "a second swap displaces it"
+        assert registry.is_serviceable(second)
+        assert registry.is_serviceable(third)
+        stats = registry.stats()
+        assert stats["swaps"] == 2
+        assert stats["refreshes"] == 2
+        assert stats["retired"] == 1
+        assert registry.evict("g")
+        assert not registry.is_serviceable(second)
+        assert not registry.is_serviceable(third)
+        assert registry.stats()["retired"] == 0
+
+    def test_register_still_invalidates_not_retires(self):
+        """Plain re-registration keeps its replacement semantics: the old
+        generation is not serviceable (only ``swap`` retires)."""
+        registry = DatabaseRegistry()
+        first = registry.register("g", small_db())
+        registry.register("g", small_db())
+        assert not registry.is_current(first)
+        assert not registry.is_serviceable(first)
+
+    def test_begin_refresh_rereads_the_source_file(self, tmp_path):
+        path = tmp_path / "g.edges"
+        save_edge_list(small_db(), path)
+        registry = DatabaseRegistry()
+        entry = registry.load("g", str(path))
+        assert entry.db.num_edges() == 4
+        grown = small_db()
+        grown.add_edge("n4", "a", "n5")
+        save_edge_list(grown, path)
+        pending = registry.begin_refresh("g")
+        assert pending.replaces == entry.generation
+        # Nothing visible until the swap: the live entry still serves.
+        assert registry.peek("g") is entry
+        swapped = registry.swap(pending)
+        assert registry.peek("g") is swapped
+        assert swapped.db.num_edges() == 5
+        assert swapped.source == str(path)
+
+    def test_begin_refresh_without_source_is_refused(self):
+        registry = DatabaseRegistry()
+        registry.register("g", small_db())  # source "<memory>"
+        with pytest.raises(UnknownDatabaseError):
+            registry.begin_refresh("g")
+        with pytest.raises(UnknownDatabaseError):
+            registry.begin_refresh("never-registered")
+
 
 # ---------------------------------------------------------------------------
 # Broker: admission, dedup, batching
@@ -323,6 +424,70 @@ class TestService:
             assert pool.stats()["evicted"] == 1
 
         run(scenario())
+
+    def test_in_flight_batch_finishes_on_old_generation_across_swap(self):
+        """The acceptance scenario: a request admitted before ``swap`` must
+        evaluate against the generation it was admitted to, while a request
+        admitted after the swap sees the new graph — both succeed."""
+
+        async def scenario():
+            registry = DatabaseRegistry()
+            old_entry = registry.register("g", small_db())
+            broker = QueryBroker(max_pending=8, batch_size=4)
+            spec = output_spec("a")
+            in_flight, _ = broker.submit(
+                QueryRequest("g", spec), old_entry, spec.to_query()
+            )
+            # The background rebuild lands while the first ticket is still
+            # queued: a disjoint graph so the answers identify the arm.
+            replacement = GraphDatabase.from_edges([("m1", "a", "m2")])
+            new_entry = registry.swap(registry.begin_refresh("g", db=replacement))
+            after_swap, _ = broker.submit(
+                QueryRequest("g", spec), new_entry, spec.to_query()
+            )
+            pool = EvaluationWorkerPool(
+                broker, registry, concurrency=1, use_threads=False
+            )
+            pool.start()
+            broker.close()
+            await pool.join()
+            old_tuples = sorted(in_flight.future.result().tuples)
+            new_tuples = sorted(after_swap.future.result().tuples)
+            assert old_tuples == [("n1", "n2"), ("n2", "n3")], (
+                "the in-flight request must answer from the old generation"
+            )
+            assert new_tuples == [("m1", "m2")], (
+                "the post-swap request must answer from the new generation"
+            )
+            assert pool.stats()["evicted"] == 0, "a swap strands no tickets"
+            assert registry.stats()["swaps"] == 1
+
+        run(scenario())
+
+    def test_service_refresh_swaps_between_submissions(self, tmp_path):
+        path = tmp_path / "g.edges"
+        save_edge_list(small_db(), path)
+
+        async def scenario():
+            registry = DatabaseRegistry()
+            registry.load("g", str(path))
+            async with QueryService(registry, use_threads=False) as service:
+                request = QueryRequest("g", output_spec("a"))
+                before = await service.submit(request)
+                grown = small_db()
+                grown.add_edge("n3", "a", "n5")
+                save_edge_list(grown, path)
+                await service.refresh("g")
+                after = await service.submit(request)
+                return before, after, service.stats()
+
+        before, after, stats = run(scenario())
+        assert before.ok and sorted(before.tuples) == [("n1", "n2"), ("n2", "n3")]
+        assert after.ok and ("n3", "n5") in after.tuples
+        registry_stats = stats["registry"]
+        assert registry_stats["swaps"] == 1
+        assert registry_stats["refreshes"] == 1
+        assert registry_stats["retired"] == 1
 
     def test_eviction_surfaces_as_error_envelope(self):
         registry = DatabaseRegistry()
