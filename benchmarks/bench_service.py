@@ -27,15 +27,27 @@ Run ``python -m benchmarks.bench_service --smoke`` for the CI-gated variant
 (the dedup arm must beat the naive arm and must actually deduplicate);
 ``--json PATH`` dumps a machine-readable artifact (CI uploads it as
 ``BENCH_pr4.json``).
+
+**The scaling arm** (``--scaling``, PR 9) measures the multi-process tier
+instead: the same snapshot-backed workload of unique CPU-bound queries runs
+through ``pool="process"`` with 1, 2 and 4 worker processes, answers are
+asserted identical to the in-process tier's, and the per-arm throughput is
+dumped to ``BENCH_pr9.json``.  The gates are core-aware — on a multi-core
+runner 4 workers must at least match 1 worker (smoke) and reach ≥2× in the
+full run; on fewer cores the ratios are reported informationally (worker
+processes cannot scale past the physical cores).
 """
 
 import asyncio
 import json
+import os
 import sys
+import tempfile
 import time
 
 from repro.engine.engine import evaluate
 from repro.graphdb.cache import invalidate_cache
+from repro.graphdb.storage import save_snapshot
 from repro.service import DatabaseRegistry, QueryRequest, QueryService, QuerySpec
 from repro.workloads import random_workload
 
@@ -204,6 +216,8 @@ def build_rows(requests, arms):
 
 
 def main(argv):
+    if "--scaling" in argv:
+        return main_scaling(argv)
     smoke = "--smoke" in argv
     json_path = None
     if "--json" in argv:
@@ -273,6 +287,189 @@ def main(argv):
             f"{dedup_time * 1000:.1f} ms vs {naive_time * 1000:.1f} ms"
         )
     print("\nOK" + (" (smoke)" if smoke else ""))
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# The scaling arm: process workers 1/2/4 over snapshot-backed shards (PR 9)
+# ---------------------------------------------------------------------------
+
+#: (database count, nodes per database) of the scaling workload.
+SCALING_FULL_SHAPE = (4, 96)
+SCALING_SMOKE_SHAPE = (4, 48)
+SCALING_WORKERS = (1, 2, 4)
+
+#: Unique CPU-bound patterns — one request per (shard, pattern), all with
+#: output variables so every evaluation does real join work, and all with
+#: distinct fingerprints so neither dedup nor a warm cache can stand in for
+#: kernel throughput.
+SCALING_PATTERNS = [
+    "(a|b)*c",
+    "(b|c)*a",
+    "(c|a)*b",
+    "a(b|c)*",
+    "b(c|a)*",
+    "c(a|b)*",
+    "(ab)*c",
+    "(bc)*a",
+    "(ca)*b",
+    "a*(b|c)",
+    "b*(c|a)",
+    "c*(a|b)",
+]
+
+
+def build_scaling_workload(shape, snapshot_dir, seed=29):
+    """``(registry, requests)`` over *file-backed* shards (worker processes
+    must be able to mmap-load every shard themselves)."""
+    databases, nodes = shape
+    registry = DatabaseRegistry()
+    names = []
+    for index in range(databases):
+        name = f"shard{index}"
+        db = random_workload(
+            nodes, alphabet_symbols="abc", edge_factor=2.2, seed=seed + index
+        )
+        path = os.path.join(snapshot_dir, f"{name}.rgsnap")
+        save_snapshot(db, path)
+        registry.load(name, path)
+        names.append(name)
+    requests = []
+    for pattern_index, pattern in enumerate(SCALING_PATTERNS):
+        spec = QuerySpec(edges=(("x", pattern, "y"),), output_variables=("x", "y"))
+        for name in names:
+            requests.append(
+                QueryRequest(
+                    database=name, spec=spec, request_id=f"s{pattern_index}.{name}"
+                )
+            )
+    return registry, requests
+
+
+def _run_tier(registry, requests, **service_options):
+    """One timed pass: pool startup excluded (spawn cost is warmup, not
+    steady-state throughput), batch wall-clock and answers returned."""
+    service = QueryService(
+        registry,
+        max_pending=max(16, len(requests)),
+        dedup=False,
+        **service_options,
+    )
+
+    async def run():
+        async with service:
+            start = time.perf_counter()
+            results = await service.run_batch(requests)
+            return time.perf_counter() - start, results
+
+    elapsed, results = asyncio.run(run())
+    for result in results:
+        assert result.ok, f"scaling arm failed a request: {result.error}"
+    answers = [
+        (
+            result.boolean,
+            None
+            if result.tuples is None
+            else tuple(tuple(row) for row in result.tuples),
+        )
+        for result in results
+    ]
+    return elapsed, answers, service.stats()
+
+
+def run_scaling_arms(shape, snapshot_dir):
+    registry, requests = build_scaling_workload(shape, snapshot_dir)
+    # The in-process tier is the answer reference (and the 0-process row).
+    thread_time, thread_answers, _ = _run_tier(registry, requests, concurrency=2)
+    arms = [("thread", 0, thread_time)]
+    for workers in SCALING_WORKERS:
+        elapsed, answers, stats = _run_tier(
+            registry, requests, concurrency=workers, pool="process"
+        )
+        assert answers == thread_answers, (
+            f"process tier ({workers} workers) answers diverge from the "
+            "in-process tier"
+        )
+        counters = stats["workers"]
+        assert counters["deaths"] == 0, "a worker died during the benchmark"
+        assert counters["completed"] == len(requests)
+        arms.append((f"process-{workers}", workers, elapsed))
+    return requests, arms
+
+
+SCALING_HEADER = ["arm", "workers", "time (ms)", "req/s", "vs 1 worker"]
+SCALING_TITLE = "Process-pool scaling — snapshot-backed shards, unique queries"
+
+
+def main_scaling(argv):
+    smoke = "--smoke" in argv
+    json_path = None
+    if "--json" in argv:
+        position = argv.index("--json")
+        if position + 1 >= len(argv) or argv[position + 1].startswith("-"):
+            print(
+                "usage: bench_service --scaling [--smoke] [--json PATH]",
+                file=sys.stderr,
+            )
+            return 2
+        json_path = argv[position + 1]
+    shape = SCALING_SMOKE_SHAPE if smoke else SCALING_FULL_SHAPE
+    cores = os.cpu_count() or 1
+    with tempfile.TemporaryDirectory(prefix="bench-procpool-") as snapshot_dir:
+        requests, arms = run_scaling_arms(shape, snapshot_dir)
+    times = {name: elapsed for name, _workers, elapsed in arms}
+    base = times["process-1"]
+    rows = [
+        [
+            name,
+            str(workers) if workers else "-",
+            f"{elapsed * 1000:.1f}",
+            f"{len(requests) / elapsed:.0f}",
+            f"{base / elapsed:.2f}x",
+        ]
+        for name, workers, elapsed in arms
+    ]
+    print_table(SCALING_TITLE, SCALING_HEADER, rows)
+    databases, nodes = shape
+    print(
+        f"\n[workload] {len(requests)} unique requests over {databases} "
+        f"snapshot shards ({nodes} nodes each), {cores} cpu core(s) available"
+    )
+    if json_path is not None:
+        # Written before the gates, so the CI artifact survives a failing run.
+        payload = {
+            "workload": {
+                "databases": databases,
+                "nodes": nodes,
+                "requests": len(requests),
+                "cores": cores,
+            },
+            "arms": [
+                {"name": name, "workers": workers, "seconds": elapsed}
+                for name, workers, elapsed in arms
+            ],
+            "smoke": smoke,
+        }
+        with open(json_path, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"[artifact] wrote {json_path}")
+    speedup = base / times["process-4"]
+    # Worker processes cannot scale past physical cores: the gates engage
+    # only where the hardware allows the claimed parallelism.
+    if cores >= 4 and not smoke:
+        assert speedup >= 2.0, (
+            f"4 process workers only {speedup:.2f}x over 1 on {cores} cores "
+            "(expected >= 2x)"
+        )
+    elif cores >= 2:
+        assert times["process-4"] <= base * 1.10, (
+            f"4 process workers slower than 1 on {cores} cores: "
+            f"{times['process-4'] * 1000:.1f} ms vs {base * 1000:.1f} ms"
+        )
+    else:
+        print(f"[gate] skipped: {cores} core(s) cannot exercise scaling")
+    print(f"\n4-worker speedup over 1 worker: {speedup:.2f}x")
+    print("OK" + (" (smoke)" if smoke else ""))
     return 0
 
 

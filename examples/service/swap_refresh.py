@@ -8,9 +8,15 @@ from the new generation.  The swap must strand nothing: every envelope of
 the in-flight burst comes back ``ok`` — tickets admitted before the swap
 finish against the retired generation.
 
+With ``--workers N`` the same scenario runs on the multi-process tier
+(``pool="process"``): the burst is claimed by worker processes that
+mmap-load the shard by path, and the swap must still strand nothing —
+retired-generation tickets stay serviceable while the claim queue drains.
+
 Usage::
 
     PYTHONPATH=src python examples/service/swap_refresh.py live.rgsnap
+    PYTHONPATH=src python examples/service/swap_refresh.py live.rgsnap --workers 2
 """
 
 import asyncio
@@ -19,11 +25,15 @@ import sys
 from repro.service import DatabaseRegistry, QueryRequest, QueryService, QuerySpec
 
 
-async def smoke(path: str) -> int:
+async def smoke(path: str, workers: int = 0) -> int:
     registry = DatabaseRegistry()
     registry.register_lazy("smoke", path)
     spec = QuerySpec(edges=(("x", "(a|b)*c", "y"),), output_variables=("x", "y"))
-    async with QueryService(registry) as service:
+    if workers:
+        service = QueryService(registry, concurrency=workers, pool="process")
+    else:
+        service = QueryService(registry)
+    async with service:
         before = await service.submit(QueryRequest("smoke", spec))
         assert before.ok, before.error
         in_flight = [
@@ -41,15 +51,29 @@ async def smoke(path: str) -> int:
         stats = service.stats()["registry"]
         assert stats["swaps"] == 1 and stats["refreshes"] == 1, stats
         assert stats["retired"] == 1, stats
+        if workers:
+            pool = service.stats()["workers"]
+            assert not pool["broken"] and pool["deaths"] == 0, pool
+    tier = f"{workers} process worker(s)" if workers else "in-process tier"
     print(
-        f"swap smoke ok: generation {entry.generation} serving, "
+        f"swap smoke ok ({tier}): generation {entry.generation} serving, "
         f"{len(burst)} in-flight request(s) completed across the swap"
     )
     return 0
 
 
 if __name__ == "__main__":
-    if len(sys.argv) != 2:
-        print("usage: swap_refresh.py <shard.rgsnap>", file=sys.stderr)
+    arguments = sys.argv[1:]
+    worker_count = 0
+    if "--workers" in arguments:
+        position = arguments.index("--workers")
+        try:
+            worker_count = int(arguments[position + 1])
+        except (IndexError, ValueError):
+            print("--workers needs an integer", file=sys.stderr)
+            sys.exit(2)
+        del arguments[position : position + 2]
+    if len(arguments) != 1:
+        print("usage: swap_refresh.py <shard.rgsnap> [--workers N]", file=sys.stderr)
         sys.exit(2)
-    sys.exit(asyncio.run(smoke(sys.argv[1])))
+    sys.exit(asyncio.run(smoke(arguments[0], worker_count)))

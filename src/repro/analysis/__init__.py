@@ -11,6 +11,7 @@ RA103    cache internals owned by ``graphdb/cache.py``; keys version-scoped
 RA104    snapshot hot paths never force dictionary-index hydration
 RA105    ContextVar kill-switches ``.set()`` only in their defining module
 RA106    shared frozen relation rows are copied before mutation
+RA107    only declared picklable messages cross the procpool IPC boundary
 =======  ==================================================================
 
 Stdlib-only (``ast``), so the checks run wherever the package runs.

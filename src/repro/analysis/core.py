@@ -155,11 +155,17 @@ def receiver_name(node: ast.expr) -> Optional[str]:
 class Project:
     """The cross-file pass: facts a single-file rule cannot see alone.
 
-    Currently collects where every module-level :class:`~contextvars.ContextVar`
-    is *defined* (``NAME = ContextVar(...)`` or the annotated form), merged
+    Collects where every module-level :class:`~contextvars.ContextVar` is
+    *defined* (``NAME = ContextVar(...)`` or the annotated form), merged
     with the known kill-switch set, so RA105 can tell a module toggling its
     own flag (legal, inside its context manager) from a module reaching into
     another's (illegal everywhere but ``tests/``).
+
+    Also collects the procpool IPC message vocabulary for RA107: the names
+    listed in the ``MESSAGE_TYPES`` tuple of any ``procpool/messages.py``
+    in the scan set (plus module-level ``Union`` aliases over those names,
+    such as ``Message``), merged with the known set so the rule still
+    engages when the messages module is outside the scanned paths.
     """
 
     #: The kill-switches the repository has grown so far, by defining module.
@@ -175,15 +181,78 @@ class Project:
         "_PLANNER_V2": "src/repro/engine/planner.py",
     }
 
+    #: The declared picklable IPC message vocabulary (see
+    #: ``repro/service/procpool/messages.py``), used as the fallback when
+    #: that module is outside the scan set.  ``Message`` is the published
+    #: union alias over the concrete types.
+    KNOWN_MESSAGE_TYPES: Tuple[str, ...] = (
+        "ClaimRequest",
+        "WorkItem",
+        "WorkResult",
+        "WorkerShutdown",
+        "WorkerStats",
+        "Message",
+    )
+
     def __init__(self, sources: Sequence[SourceFile]) -> None:
         self.sources = list(sources)
         #: ContextVar name -> module paths defining it.
         self.contextvars: Dict[str, Set[str]] = {
             name: {path} for name, path in self.KNOWN_CONTEXTVARS.items()
         }
+        #: Names allowed across the procpool IPC boundary (RA107).
+        self.message_types: Set[str] = set(self.KNOWN_MESSAGE_TYPES)
         for source in self.sources:
             for name in _module_level_contextvars(source.tree):
                 self.contextvars.setdefault(name, set()).add(source.path)
+            if source.path.endswith("procpool/messages.py"):
+                self.message_types.update(_declared_message_types(source.tree))
+
+
+def _declared_message_types(tree: ast.Module) -> Set[str]:
+    """The IPC vocabulary a ``procpool/messages.py`` module declares.
+
+    Reads the ``MESSAGE_TYPES`` tuple/list of class names, then adds every
+    module-level ``X = Union[...]`` alias whose members are all declared
+    types (the published "some message" annotation).
+    """
+    declared: Set[str] = set()
+    aliases: List[Tuple[str, Set[str]]] = []
+    for statement in tree.body:
+        value: Optional[ast.expr] = None
+        targets: List[ast.expr] = []
+        if isinstance(statement, ast.Assign):
+            value, targets = statement.value, list(statement.targets)
+        elif isinstance(statement, ast.AnnAssign) and statement.value is not None:
+            value, targets = statement.value, [statement.target]
+        if value is None:
+            continue
+        names = {
+            target.id for target in targets if isinstance(target, ast.Name)
+        }
+        if "MESSAGE_TYPES" in names and isinstance(value, (ast.Tuple, ast.List)):
+            for element in value.elts:
+                element_name = terminal_name(element)
+                if element_name is not None:
+                    declared.add(element_name)
+        elif (
+            isinstance(value, ast.Subscript)
+            and terminal_name(value.value) == "Union"
+            and isinstance(value.slice, ast.Tuple)
+        ):
+            members = {
+                name
+                for name in (
+                    terminal_name(element) for element in value.slice.elts
+                )
+                if name is not None
+            }
+            for alias in names:
+                aliases.append((alias, members))
+    for alias, members in aliases:
+        if members and members <= declared:
+            declared.add(alias)
+    return declared
 
 
 def _module_level_contextvars(tree: ast.Module) -> Iterator[str]:

@@ -16,9 +16,10 @@ from repro.analysis.rules.ra103 import RULE as RA103
 from repro.analysis.rules.ra104 import RULE as RA104
 from repro.analysis.rules.ra105 import RULE as RA105
 from repro.analysis.rules.ra106 import RULE as RA106
+from repro.analysis.rules.ra107 import RULE as RA107
 
 #: Every shipped rule, in id order.
-ALL_RULES: List[Rule] = [RA101, RA102, RA103, RA104, RA105, RA106]
+ALL_RULES: List[Rule] = [RA101, RA102, RA103, RA104, RA105, RA106, RA107]
 
 #: Rule id -> rule, for ``repro lint --explain``.
 RULES_BY_ID: Dict[str, Rule] = {rule.rule_id: rule for rule in ALL_RULES}

@@ -1,0 +1,309 @@
+"""RA107 — only declared picklable message types cross the procpool IPC boundary.
+
+The multi-process tier (``service/procpool/``) moves work between the
+supervisor process and its worker processes over pipes.  Everything sent is
+pickled — so a payload holding a live :class:`GraphDatabase`, an asyncio
+future, a lock or a pipe handle either fails to pickle, or worse, pickles
+into a *copy* that silently diverges from the parent's object (a database
+"shared" by value, a future no one will ever resolve).  The contract is
+therefore nominal: every payload of a ``.send()`` / ``.put()`` inside the
+procpool package must be an instance of a message type declared in
+``messages.MESSAGE_TYPES`` (shards travel as snapshot *paths*, queries as
+wire payloads, answers as plain tuples), and the message dataclasses
+themselves must not smuggle live handles in their fields.  This rule checks
+both ends mechanically: send-sites must trace to a declared message type
+(constructor call, parameter or variable annotated with one, or a local
+helper whose return annotation is one), and field annotations in
+``messages.py`` must stay clear of known live-handle types.  Raw
+``send_bytes`` of a literal is exempt — that is the supervisor's self-notify
+nudge, not a work payload.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Union
+
+from repro.analysis.core import (
+    Example,
+    Finding,
+    Project,
+    Rule,
+    SourceFile,
+    terminal_name,
+)
+
+#: Method names that push a payload across a process boundary.
+_SEND_METHODS = {"send", "put", "put_nowait"}
+
+#: Types that carry process-local identity and must never appear in a
+#: message dataclass field annotation.
+_LIVE_HANDLE_TYPES = {
+    "GraphDatabase",
+    "SnapshotDatabase",
+    "Future",
+    "Task",
+    "Lock",
+    "RLock",
+    "Condition",
+    "Event",
+    "Semaphore",
+    "Connection",
+    "Pipe",
+    "Queue",
+    "Process",
+    "Thread",
+    "Ticket",
+    "AbstractEventLoop",
+}
+
+_FunctionDef = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+def _annotation_names(annotation: Optional[ast.expr]) -> Set[str]:
+    """Every terminal name mentioned by an annotation expression."""
+    if annotation is None:
+        return set()
+    names: Set[str] = set()
+    if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
+        # String annotations ("WorkItem") appear under deferred evaluation.
+        try:
+            annotation = ast.parse(annotation.value, mode="eval").body
+        except SyntaxError:
+            return names
+    for node in ast.walk(annotation):
+        name = terminal_name(node) if isinstance(node, (ast.Name, ast.Attribute)) else None
+        if name is not None:
+            names.add(name)
+    return names
+
+
+def _returns_message(function: Optional[_FunctionDef], allowed: Set[str]) -> bool:
+    return function is not None and bool(
+        _annotation_names(function.returns) & allowed
+    )
+
+
+class Ra107(Rule):
+    rule_id = "RA107"
+    title = "undeclared object crossing the procpool IPC boundary"
+    rationale = (
+        "Everything the process tier sends between supervisor and worker "
+        "processes is pickled. A live GraphDatabase, future, lock or pipe "
+        "handle in a payload either fails to pickle or — worse — arrives "
+        "as a silent copy: a database 'shared' by value, a future nobody "
+        "will resolve. The boundary therefore speaks only the frozen "
+        "message dataclasses declared in procpool/messages.py "
+        "(MESSAGE_TYPES): shards travel as snapshot paths, queries as "
+        "wire payloads, answers as plain tuples. Every .send()/.put() "
+        "payload must trace to a declared message type, and the message "
+        "dataclasses must not smuggle live handles in their fields."
+    )
+    examples = {
+        "bad": [
+            Example(
+                code=(
+                    "def push_work(conn, db, spec):\n"
+                    "    # a live database handle would be pickled by value\n"
+                    "    conn.send({'db': db, 'spec': spec})\n"
+                ),
+                path="src/repro/service/procpool/fixture.py",
+            ),
+            Example(
+                code=(
+                    "from dataclasses import dataclass\n"
+                    "\n"
+                    "from repro.graphdb.database import GraphDatabase\n"
+                    "\n"
+                    "@dataclass(frozen=True)\n"
+                    "class WorkItem:\n"
+                    "    db: GraphDatabase  # live handle in a message field\n"
+                    "    spec: dict\n"
+                    "\n"
+                    "MESSAGE_TYPES = (WorkItem,)\n"
+                ),
+                path="src/repro/service/procpool/messages.py",
+            ),
+        ],
+        "good": [
+            Example(
+                code=(
+                    "from repro.service.procpool.messages import WorkItem\n"
+                    "\n"
+                    "def push_work(conn, path, spec):\n"
+                    "    conn.send(WorkItem(item_id=('s', 1, 0, 'fp', 1), "
+                    "shard='s', path=path, fmt=None, spec=spec))\n"
+                ),
+                path="src/repro/service/procpool/fixture.py",
+            ),
+            Example(
+                code=(
+                    "from repro.service.procpool.messages import WorkItem, WorkResult\n"
+                    "\n"
+                    "def _execute(item: WorkItem) -> WorkResult:\n"
+                    "    return WorkResult(item_id=item.item_id, worker_id=1, ok=True)\n"
+                    "\n"
+                    "def loop(conn, item: WorkItem):\n"
+                    "    result = _execute(item)\n"
+                    "    conn.send(result)\n"
+                ),
+                path="src/repro/service/procpool/worker_fixture.py",
+            ),
+        ],
+    }
+
+    def applies(self, path: str) -> bool:
+        anchored = "/" + path
+        return "/procpool/" in anchored and not anchored.startswith("/tests/")
+
+    def check(self, source: SourceFile, project: Project) -> Iterator[Finding]:
+        allowed = set(project.message_types)
+        yield from self._check_message_fields(source)
+        functions: Dict[str, _FunctionDef] = {}
+        for node in ast.walk(source.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                functions.setdefault(node.name, node)
+        for function in functions.values():
+            yield from self._check_sends(source, function, functions, allowed)
+        # Module-level sends (rare, but the boundary contract is total).
+        yield from self._check_sends(source, None, functions, allowed)
+
+    # -- send-site tracing --------------------------------------------------------
+
+    def _check_sends(
+        self,
+        source: SourceFile,
+        function: Optional[_FunctionDef],
+        functions: Dict[str, _FunctionDef],
+        allowed: Set[str],
+    ) -> Iterator[Finding]:
+        if function is not None:
+            body: List[ast.stmt] = list(function.body)
+        else:
+            body = [
+                statement
+                for statement in source.tree.body
+                if not isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef))
+            ]
+        bindings = self._local_bindings(function, body, functions, allowed)
+        for statement in body:
+            for node in ast.walk(statement):
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and node is not function:
+                    continue  # nested defs get their own pass
+                if not isinstance(node, ast.Call):
+                    continue
+                method = (
+                    node.func.attr if isinstance(node.func, ast.Attribute) else None
+                )
+                if method == "send_bytes":
+                    payload = node.args[0] if node.args else None
+                    if not (
+                        isinstance(payload, ast.Constant)
+                        and isinstance(payload.value, bytes)
+                    ):
+                        yield self.finding(
+                            source,
+                            node.lineno,
+                            "send_bytes() across the procpool boundary must "
+                            "carry a literal nudge, not computed data — use a "
+                            "declared message type for payloads",
+                        )
+                    continue
+                if method not in _SEND_METHODS or not node.args:
+                    continue
+                if self._payload_ok(node.args[0], bindings, functions, allowed):
+                    continue
+                yield self.finding(
+                    source,
+                    node.lineno,
+                    f".{method}() payload is not a declared picklable message "
+                    "type (MESSAGE_TYPES in procpool/messages.py) — live "
+                    "databases, futures and locks must not cross the IPC "
+                    "boundary; send paths, wire payloads and plain values "
+                    "wrapped in a message dataclass",
+                )
+
+    def _local_bindings(
+        self,
+        function: Optional[_FunctionDef],
+        body: List[ast.stmt],
+        functions: Dict[str, _FunctionDef],
+        allowed: Set[str],
+    ) -> Set[str]:
+        """Names in scope that provably hold a declared message type."""
+        bindings: Set[str] = set()
+        if function is not None:
+            arguments = function.args
+            for argument in (
+                *arguments.posonlyargs,
+                *arguments.args,
+                *arguments.kwonlyargs,
+            ):
+                if _annotation_names(argument.annotation) & allowed:
+                    bindings.add(argument.arg)
+        for statement in body:
+            for node in ast.walk(statement):
+                value: Optional[ast.expr] = None
+                targets: List[ast.expr] = []
+                if isinstance(node, ast.Assign):
+                    value, targets = node.value, list(node.targets)
+                elif isinstance(node, ast.AnnAssign):
+                    if _annotation_names(node.annotation) & allowed and isinstance(
+                        node.target, ast.Name
+                    ):
+                        bindings.add(node.target.id)
+                    continue
+                if value is None or not isinstance(value, ast.Call):
+                    continue
+                callee = terminal_name(value.func)
+                if callee is None:
+                    continue
+                if callee in allowed or _returns_message(
+                    functions.get(callee), allowed
+                ):
+                    for target in targets:
+                        if isinstance(target, ast.Name):
+                            bindings.add(target.id)
+        return bindings
+
+    def _payload_ok(
+        self,
+        payload: ast.expr,
+        bindings: Set[str],
+        functions: Dict[str, _FunctionDef],
+        allowed: Set[str],
+    ) -> bool:
+        if isinstance(payload, ast.Call):
+            callee = terminal_name(payload.func)
+            return callee is not None and (
+                callee in allowed
+                or _returns_message(functions.get(callee), allowed)
+            )
+        if isinstance(payload, ast.Name):
+            return payload.id in bindings
+        return False
+
+    # -- message field hygiene -----------------------------------------------------
+
+    def _check_message_fields(self, source: SourceFile) -> Iterator[Finding]:
+        if not source.path.endswith("procpool/messages.py"):
+            return
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            for statement in node.body:
+                if not isinstance(statement, ast.AnnAssign):
+                    continue
+                live = _annotation_names(statement.annotation) & _LIVE_HANDLE_TYPES
+                if live:
+                    yield self.finding(
+                        source,
+                        statement.lineno,
+                        f"message field of {node.name} is annotated with a "
+                        f"live-handle type ({', '.join(sorted(live))}) — "
+                        "messages must carry only plain picklable values "
+                        "(paths, numbers, strings, tuples, dicts)",
+                    )
+
+
+RULE = Ra107()

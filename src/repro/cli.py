@@ -8,6 +8,7 @@ Usage examples::
     python -m repro.cli compact graph.edges graph.rgsnap
     python -m repro.cli ingest graph.rgsnap changes.delta
     python -m repro.cli batch requests.jsonl --database social=social.rgsnap
+    python -m repro.cli batch requests.jsonl --database social=social.rgsnap --workers 4
     python -m repro.cli serve --database social=social.edges < requests.jsonl
 
 Each ``--edge`` takes three whitespace-separated fields: the source node
@@ -118,6 +119,15 @@ def build_parser() -> argparse.ArgumentParser:
         )
         command.add_argument("--concurrency", type=int, default=2, help="worker count")
         command.add_argument(
+            "--workers",
+            type=int,
+            default=None,
+            metavar="N",
+            help="serve through N worker *processes* pulling from a crash-safe "
+            "claim queue (the multi-process tier; shards must be file-backed, "
+            "e.g. .rgsnap snapshots); default: in-process asyncio workers",
+        )
+        command.add_argument(
             "--batch-size", type=int, default=8, help="maximum tickets per shard batch"
         )
         command.add_argument(
@@ -192,8 +202,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     lint = commands.add_parser(
         "lint",
-        help="run the project's AST invariant linter (rules RA101-RA106: "
-        "concurrency, cache and hydration contracts)",
+        help="run the project's AST invariant linter (rules RA101-RA107: "
+        "concurrency, cache, hydration and IPC-boundary contracts)",
     )
     lint.add_argument(
         "paths",
@@ -275,6 +285,9 @@ def _build_service(arguments: argparse.Namespace) -> QueryService:
     for option in ("concurrency", "batch_size", "max_pending"):
         if getattr(arguments, option) < 1:
             raise ReproError(f"--{option.replace('_', '-')} must be at least 1")
+    workers = getattr(arguments, "workers", None)
+    if workers is not None and workers < 1:
+        raise ReproError("--workers must be at least 1")
     registry = DatabaseRegistry()
     for declaration in arguments.databases:
         name, separator, path = declaration.partition("=")
@@ -292,10 +305,14 @@ def _build_service(arguments: argparse.Namespace) -> QueryService:
             registry.load(name, path)
     return QueryService(
         registry,
-        concurrency=arguments.concurrency,
+        # --workers N selects the multi-process tier (N worker processes
+        # pulling from the claim queue); without it the in-process asyncio
+        # tier serves with --concurrency workers.
+        concurrency=workers if workers is not None else arguments.concurrency,
         max_pending=arguments.max_pending,
         batch_size=arguments.batch_size,
         dedup=not arguments.no_dedup,
+        pool="process" if workers is not None else "thread",
     )
 
 

@@ -9,6 +9,12 @@ per-shard locking around the non-thread-safe index
 (:class:`EvaluationWorkerPool`).  :class:`QueryService` ties the three
 together; ``repro serve`` / ``repro batch`` expose them as a JSON-lines
 protocol on stdin/stdout.
+
+Two evaluation tiers sit behind the same broker: the in-process asyncio
+pool above, and the multi-process tier of :mod:`repro.service.procpool`
+(``QueryService(pool="process")`` / ``repro batch --workers N``), where N
+worker processes mmap the same ``.rgsnap`` shards and pull work from a
+crash-safe claim queue — GIL-free throughput with identical envelopes.
 """
 
 from repro.service.broker import AdmissionQueueFull, QueryBroker, Ticket
@@ -25,8 +31,16 @@ from repro.service.requests import (
     RequestFormatError,
     ServiceResult,
 )
+from repro.service.procpool import (
+    ClaimQueue,
+    ProcessEvaluationPool,
+    ProcessPoolBrokenError,
+    ProcessPoolError,
+    ProcessPoolSupervisor,
+)
 from repro.service.service import QueryService, serve_batch
 from repro.service.telemetry import (
+    aggregate_cache_stats,
     render_cache_stats,
     render_planner_stats,
     render_service_stats,
@@ -35,10 +49,15 @@ from repro.service.workers import EvaluationWorkerPool
 
 __all__ = [
     "AdmissionQueueFull",
+    "ClaimQueue",
     "DatabaseEvictedError",
     "DatabaseRegistry",
     "EvaluationWorkerPool",
     "PendingRefresh",
+    "ProcessEvaluationPool",
+    "ProcessPoolBrokenError",
+    "ProcessPoolError",
+    "ProcessPoolSupervisor",
     "QueryBroker",
     "QueryRequest",
     "QueryService",
@@ -48,6 +67,7 @@ __all__ = [
     "ServiceResult",
     "Ticket",
     "UnknownDatabaseError",
+    "aggregate_cache_stats",
     "render_cache_stats",
     "render_planner_stats",
     "render_service_stats",

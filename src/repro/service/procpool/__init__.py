@@ -1,0 +1,61 @@
+"""Multi-process evaluation tier over shared ``.rgsnap`` snapshots.
+
+The in-process tier (:mod:`repro.service.workers`) escapes the event loop
+but not the GIL: its kernel calls still time-share one interpreter.  This
+package escapes the GIL too — N worker *processes* mmap the same read-only
+snapshot shards (the OS page cache shares the CSR bytes, so N workers cost
+one copy) and pull work from a claim queue:
+
+=============================================  ==================================
+:mod:`~repro.service.procpool.messages`        the picklable IPC vocabulary
+                                               (lint rule RA107's contract)
+:mod:`~repro.service.procpool.claims`          atomic claim + lease + idempotent
+                                               completion (crash recovery)
+:mod:`~repro.service.procpool.worker`          the worker-process pull loop
+:mod:`~repro.service.procpool.supervisor`      spawn/monitor/requeue/respawn
+                                               with a restart budget
+:mod:`~repro.service.procpool.pool`            the event-loop adapter behind
+                                               ``QueryService(pool="process")``
+=============================================  ==================================
+
+The tier guarantees *at-least-once execution, exactly-once completion*: a
+worker killed mid-item (SIGKILL included) has its claims requeued and
+re-run, and if the original turns out to have been stuck rather than dead,
+its late completion is dropped as a duplicate.
+"""
+
+from repro.service.procpool.claims import Claim, ClaimQueue
+from repro.service.procpool.messages import (
+    MESSAGE_TYPES,
+    CacheReport,
+    ClaimRequest,
+    ItemId,
+    WorkerShutdown,
+    WorkerStats,
+    WorkItem,
+    WorkResult,
+)
+from repro.service.procpool.pool import ProcessEvaluationPool, ProcessPoolError
+from repro.service.procpool.supervisor import (
+    ProcessPoolBrokenError,
+    ProcessPoolSupervisor,
+)
+from repro.service.procpool.worker import worker_main
+
+__all__ = [
+    "CacheReport",
+    "Claim",
+    "ClaimQueue",
+    "ClaimRequest",
+    "ItemId",
+    "MESSAGE_TYPES",
+    "ProcessEvaluationPool",
+    "ProcessPoolBrokenError",
+    "ProcessPoolError",
+    "ProcessPoolSupervisor",
+    "WorkItem",
+    "WorkResult",
+    "WorkerShutdown",
+    "WorkerStats",
+    "worker_main",
+]

@@ -1,0 +1,229 @@
+"""The claim queue: atomic claim with lease, idempotent completion.
+
+This is the arbiter of the pull-based worker protocol (the role MongoDB's
+``findOneAndUpdate`` plays in the pod-worker architecture the tier is
+modelled on): workers *ask* for work, and the queue hands each offered
+item to exactly one claimant at a time.  Three properties make the tier
+crash-safe:
+
+* **atomic claim** — :meth:`ClaimQueue.claim` moves an item from pending
+  to claimed under one lock, recording the claimant and a lease deadline;
+  two workers can never hold the same item;
+* **lease + requeue** — a claim that outlives its lease
+  (:meth:`expire`), or whose worker is detected dead
+  (:meth:`release_worker`), goes back to the *front* of the pending queue
+  and will be claimed again;
+* **idempotent completion** — completions are keyed by item id
+  (:meth:`complete`); the first one wins, and a late duplicate — the
+  original worker was merely stuck, not dead, and finished after its item
+  was requeued and re-run — is dropped as a no-op.  Requeue-then-complete
+  therefore yields *at-least-once execution, exactly-once completion*.
+
+Shard affinity rides on the claim: a worker advertises the snapshot paths
+it has already loaded, and :meth:`claim` prefers (FIFO within the
+preference) a pending item for one of those shards, keeping per-process
+caches hot without any pinning.
+
+The queue itself lives in the supervisor process and is crossed by the
+dispatcher thread and the event loop (offers), hence the lock discipline
+(RA102).  Workers reach it only through messages.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Set, Tuple
+
+from repro.service.procpool.messages import ItemId, WorkItem
+
+
+@dataclass
+class Claim:
+    """One outstanding claim: the item, who holds it, and until when."""
+
+    item: WorkItem
+    worker_id: int
+    deadline: float
+
+
+class ClaimQueue:
+    """Pending/claimed/completed bookkeeping with lease-based recovery."""
+
+    def __init__(self, *, lease_s: float = 30.0) -> None:
+        if lease_s <= 0:
+            raise ValueError("lease_s must be positive")
+        self.lease_s = lease_s
+        self._lock = threading.Lock()
+        self._pending: Deque[WorkItem] = deque()  # guarded-by: _lock
+        self._claims: Dict[ItemId, Claim] = {}  # guarded-by: _lock
+        self._completed: Set[ItemId] = set()  # guarded-by: _lock
+        # counters
+        self._offered = 0  # guarded-by: _lock
+        self._claimed = 0  # guarded-by: _lock
+        self._finished = 0  # guarded-by: _lock
+        self._duplicates = 0  # guarded-by: _lock
+        self._requeued = 0  # guarded-by: _lock
+        self._expired = 0  # guarded-by: _lock
+        self._affinity_hits = 0  # guarded-by: _lock
+        self._affinity_misses = 0  # guarded-by: _lock
+
+    # -- offer / claim ----------------------------------------------------------
+
+    def offer(self, item: WorkItem) -> None:
+        """Queue one evaluation for some worker to claim."""
+        with self._lock:
+            self._pending.append(item)
+            self._offered += 1
+
+    def claim(
+        self, worker_id: int, loaded: Tuple[str, ...], now: float
+    ) -> Optional[WorkItem]:
+        """Atomically claim the best pending item for ``worker_id``, if any.
+
+        Preference order: the oldest pending item whose snapshot path the
+        worker has already loaded (affinity), else the oldest pending item
+        outright.  The claim records ``now + lease_s`` as the deadline;
+        :meth:`expire` requeues it if no completion arrives in time.
+        """
+        have = set(loaded)
+        with self._lock:
+            if not self._pending:
+                return None
+            chosen: Optional[int] = None
+            if have:
+                for position, candidate in enumerate(self._pending):
+                    if candidate.path in have:
+                        chosen = position
+                        break
+            if chosen is None:
+                item = self._pending.popleft()
+            else:
+                item = self._pending[chosen]
+                del self._pending[chosen]
+            if item.path in have:
+                self._affinity_hits += 1
+            else:
+                self._affinity_misses += 1
+            self._claims[item.item_id] = Claim(
+                item=item, worker_id=worker_id, deadline=now + self.lease_s
+            )
+            self._claimed += 1
+            return item
+
+    # -- completion -------------------------------------------------------------
+
+    def complete(self, item_id: ItemId, worker_id: int) -> bool:
+        """Record a completion event; returns whether it was the *first* one.
+
+        Idempotent by item id: a duplicate (the stuck-but-alive original
+        claimant finishing after its item was requeued and re-run) returns
+        ``False`` and changes nothing except the duplicate counter — the
+        caller must deliver the result only on ``True``.  A first
+        completion also removes any requeued pending copy of the item, so
+        a crash-recovery re-run that lost the race is cancelled instead of
+        being executed for nothing.
+        """
+        with self._lock:
+            if item_id in self._completed:
+                self._duplicates += 1
+                return False
+            self._completed.add(item_id)
+            self._claims.pop(item_id, None)
+            for position, candidate in enumerate(self._pending):
+                if candidate.item_id == item_id:
+                    del self._pending[position]
+                    break
+            self._finished += 1
+            return True
+
+    # -- crash recovery ---------------------------------------------------------
+
+    def release_worker(self, worker_id: int) -> List[WorkItem]:
+        """Requeue every claimed-but-uncompleted item of a dead worker.
+
+        Items go to the *front* of the pending queue (they have already
+        waited one full service attempt).  Returns the requeued items.
+        """
+        with self._lock:
+            stranded = [
+                claim.item
+                for claim in self._claims.values()
+                if claim.worker_id == worker_id
+            ]
+            for item in stranded:
+                del self._claims[item.item_id]
+                self._pending.appendleft(item)
+            self._requeued += len(stranded)
+            return stranded
+
+    def expire(self, now: float) -> List[WorkItem]:
+        """Requeue every claim whose lease deadline has passed.
+
+        The claimant may be stuck rather than dead; if it eventually
+        completes, :meth:`complete` drops the late event as a duplicate.
+        """
+        with self._lock:
+            overdue = [
+                claim.item
+                for claim in self._claims.values()
+                if claim.deadline <= now
+            ]
+            for item in overdue:
+                del self._claims[item.item_id]
+                self._pending.appendleft(item)
+            self._expired += len(overdue)
+            self._requeued += len(overdue)
+            return overdue
+
+    def drain(self) -> List[WorkItem]:
+        """Abort: remove every pending and claimed item, marking them completed.
+
+        Used when the pool goes irrecoverably broken (restart budget
+        exhausted, no live workers): the caller fails the drained items'
+        futures, and marking them completed here means a zombie worker's
+        late result for any of them is dropped as a duplicate instead of
+        resurrecting a future that was already failed.
+        """
+        with self._lock:
+            items = list(self._pending)
+            items.extend(claim.item for claim in self._claims.values())
+            self._pending.clear()
+            self._claims.clear()
+            for item in items:
+                self._completed.add(item.item_id)
+            return items
+
+    # -- inspection -------------------------------------------------------------
+
+    def outstanding(self) -> int:
+        """Items offered but not yet completed (pending + claimed)."""
+        with self._lock:
+            return len(self._pending) + len(self._claims)
+
+    def pending_paths(self) -> Set[str]:
+        """The snapshot paths with pending work (affinity-aware granting)."""
+        with self._lock:
+            return {item.path for item in self._pending}
+
+    def claimed_by(self, worker_id: int) -> int:
+        with self._lock:
+            return sum(
+                1 for claim in self._claims.values() if claim.worker_id == worker_id
+            )
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "offered": self._offered,
+                "claimed": self._claimed,
+                "completed": self._finished,
+                "duplicate_completions": self._duplicates,
+                "requeued": self._requeued,
+                "expired_leases": self._expired,
+                "affinity_hits": self._affinity_hits,
+                "affinity_misses": self._affinity_misses,
+                "pending": len(self._pending),
+                "claimed_now": len(self._claims),
+            }

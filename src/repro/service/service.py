@@ -27,12 +27,13 @@ from __future__ import annotations
 import asyncio
 import json
 import time
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Union
 
 from repro.core.alphabet import Alphabet
 from repro.core.errors import ReproError
 from repro.engine.engine import can_evaluate
 from repro.service.broker import AdmissionQueueFull, QueryBroker
+from repro.service.procpool.pool import ProcessEvaluationPool
 from repro.service.registry import DatabaseRegistry, RegisteredDatabase
 from repro.service.requests import QueryRequest, RequestFormatError, ServiceResult
 from repro.service.workers import EvaluationWorkerPool
@@ -50,15 +51,26 @@ class QueryService:
         batch_size: int = 8,
         dedup: bool = True,
         use_threads: bool = True,
+        pool: str = "thread",
+        lease_s: float = 30.0,
+        restart_budget: Optional[int] = None,
+        start_method: str = "spawn",
         alphabet: Optional[Alphabet] = None,
     ):
+        if pool not in ("thread", "process"):
+            raise ValueError(f"pool must be 'thread' or 'process', got {pool!r}")
         self.registry = registry if registry is not None else DatabaseRegistry(alphabet)
         self._broker_options = dict(
             max_pending=max_pending, batch_size=batch_size, dedup=dedup
         )
+        self._pool_kind = pool
         self._pool_options = dict(concurrency=concurrency, use_threads=use_threads)
+        self._concurrency = concurrency
+        self._lease_s = lease_s
+        self._restart_budget = restart_budget
+        self._start_method = start_method
         self._broker: Optional[QueryBroker] = None
-        self._pool: Optional[EvaluationWorkerPool] = None
+        self._pool: Optional[Union[EvaluationWorkerPool, ProcessEvaluationPool]] = None
         self._running = False
         # Serialises first-use path loads: without it two concurrent
         # requests for the same unregistered path would both load and the
@@ -74,13 +86,29 @@ class QueryService:
         return self._running
 
     def start(self) -> None:
-        """Create the broker and spawn the worker tasks (loop required)."""
+        """Create the broker and spawn the worker tier (loop required).
+
+        ``pool="thread"`` spawns the in-process asyncio tier;
+        ``pool="process"`` spawns ``concurrency`` worker *processes* pulling
+        from a claim queue (see :mod:`repro.service.procpool`) — same broker,
+        same envelopes, GIL-free kernel throughput.
+        """
         if self._running:
             raise RuntimeError("the query service is already running")
         self._broker = QueryBroker(**self._broker_options)
-        self._pool = EvaluationWorkerPool(
-            self._broker, self.registry, **self._pool_options
-        )
+        if self._pool_kind == "process":
+            self._pool = ProcessEvaluationPool(
+                self._broker,
+                self.registry,
+                workers=self._concurrency,
+                lease_s=self._lease_s,
+                restart_budget=self._restart_budget,
+                start_method=self._start_method,
+            )
+        else:
+            self._pool = EvaluationWorkerPool(
+                self._broker, self.registry, **self._pool_options
+            )
         self._pool.start()
         self._running = True
 
@@ -265,13 +293,19 @@ class QueryService:
 
     def stats(self) -> Dict[str, object]:
         """Broker, worker and per-shard registry/cache telemetry."""
-        return {
+        report: Dict[str, object] = {
+            "pool": self._pool_kind,
             "broker": self._broker.stats() if self._broker else {},
             "workers": self._pool.stats() if self._pool else {},
             "registry": self.registry.stats(),
             "completed": self.completed,
             "failed": self.failed,
         }
+        if isinstance(self._pool, ProcessEvaluationPool):
+            # One cache_stats() report per worker process; the renderer
+            # aggregates them (sum counters, max capacities).
+            report["worker_caches"] = self._pool.worker_cache_stats()
+        return report
 
 
 def serve_batch(

@@ -8,7 +8,7 @@ are formatted (and therefore eyeballed and diffed) identically.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro.engine.planner import planner_stats
 
@@ -16,6 +16,40 @@ from repro.engine.planner import planner_stats
 #: the ``csr`` and ``stats`` caches (blocks seeded from persistent
 #: storage); caches without a counter render it as ``-``.
 _COUNTERS = ("hits", "misses", "evictions", "entries", "capacity", "preloaded")
+
+#: Counters that describe a *bound* rather than an amount: aggregating
+#: per-worker reports takes their maximum (the workers share one configured
+#: capacity; summing it would invent capacity that does not exist).
+_CAPACITY_COUNTERS = frozenset({"capacity"})
+
+
+def aggregate_cache_stats(
+    reports: Sequence[Dict[str, Dict[str, Optional[int]]]],
+) -> Dict[str, Dict[str, Optional[int]]]:
+    """Fold per-worker ``cache_stats()`` reports into one combined report.
+
+    The process tier produces one report per worker process (each worker
+    counts only its own hits/misses); the fleet-wide picture sums the
+    event counters and takes the maximum of capacity-style counters.  A
+    counter absent (or ``None``) in every report stays ``None`` — the
+    renderer shows it as ``-`` exactly like a single-process report would.
+    """
+    combined: Dict[str, Dict[str, Optional[int]]] = {}
+    for report in reports:
+        for name, entry in report.items():
+            slot = combined.setdefault(name, {})
+            for counter, value in entry.items():
+                if value is None:
+                    slot.setdefault(counter, None)
+                    continue
+                current = slot.get(counter)
+                if current is None:
+                    slot[counter] = value
+                elif counter in _CAPACITY_COUNTERS:
+                    slot[counter] = max(current, value)
+                else:
+                    slot[counter] = current + value
+    return combined
 
 
 def render_planner_stats(
@@ -36,14 +70,24 @@ def render_planner_stats(
 
 
 def render_cache_stats(
-    stats: Dict[str, Dict[str, Optional[int]]], title: str = "cache stats"
+    stats: Union[
+        Dict[str, Dict[str, Optional[int]]],
+        Sequence[Dict[str, Dict[str, Optional[int]]]],
+    ],
+    title: str = "cache stats",
 ) -> str:
     """A small aligned text table of ``repro.graphdb.cache.cache_stats()`` output.
 
-    ``totals`` is always printed last; the other caches keep their reported
-    order.  Returns a string (no printing) so callers can route it to
-    stdout, stderr or a log uniformly.
+    Accepts either one report or a *list* of per-worker reports (the
+    process tier emits one per worker process); a list is folded through
+    :func:`aggregate_cache_stats` — event counters summed, capacities
+    maxed — so ``--stats`` reads the same for both tiers.  ``totals`` is
+    always printed last; the other caches keep their reported order.
+    Returns a string (no printing) so callers can route it to stdout,
+    stderr or a log uniformly.
     """
+    if not isinstance(stats, dict):
+        stats = aggregate_cache_stats(stats)
     names = [name for name in stats if name != "totals"]
     if "totals" in stats:
         names.append("totals")
@@ -77,6 +121,9 @@ def render_cache_stats(
 def render_service_stats(stats: Dict[str, object]) -> str:
     """A readable multi-section dump of ``QueryService.stats()``."""
     lines = ["[service stats]"]
+    pool = stats.get("pool")
+    if pool:
+        lines.append(f"pool    : {pool}")
     for section in ("broker", "workers"):
         payload = stats.get(section, {})
         pairs = ", ".join(f"{key}={value}" for key, value in sorted(payload.items()))
@@ -93,6 +140,23 @@ def render_service_stats(stats: Dict[str, object]) -> str:
     for name, shard in sorted(registry.get("shards", {}).items()):
         pairs = ", ".join(f"{key}={value}" for key, value in sorted(shard.items()))
         lines.append(f"  shard {name}: {pairs}")
+    worker_caches = stats.get("worker_caches")
+    if isinstance(worker_caches, list) and worker_caches:
+        # Process tier: each worker process counted its own cache traffic;
+        # report the aggregated totals plus the per-worker breakdown.
+        combined = aggregate_cache_stats(worker_caches).get("totals", {})
+        pairs = ", ".join(
+            f"{key}={'-' if value is None else value}"
+            for key, value in sorted(combined.items())
+        )
+        lines.append(f"worker caches ({len(worker_caches)} processes): {pairs}")
+        for position, report in enumerate(worker_caches):
+            totals = report.get("totals", {})
+            pairs = ", ".join(
+                f"{key}={'-' if value is None else value}"
+                for key, value in sorted(totals.items())
+            )
+            lines.append(f"  worker[{position}]: {pairs}")
     lines.append(
         "planner : "
         + ", ".join(f"{key}={value}" for key, value in sorted(planner_stats().items()))

@@ -232,6 +232,70 @@ class TestRuleBehaviour:
         findings = lint_source(code, RULES_BY_ID["RA106"], "src/repro/engine/f.py")
         assert [finding.line for finding in findings] == [6]
 
+    def test_ra107_discovers_message_types_from_the_scan_set(self):
+        """A type declared in MESSAGE_TYPES of a scanned procpool/messages.py
+        is allowed as a payload; an undeclared sibling class is not."""
+        declaring = SourceFile(
+            "src/repro/service/procpool/messages.py",
+            "from dataclasses import dataclass\n"
+            "\n"
+            "@dataclass(frozen=True)\n"
+            "class Ping:\n"
+            "    seq: int\n"
+            "\n"
+            "@dataclass(frozen=True)\n"
+            "class Rogue:\n"
+            "    seq: int\n"
+            "\n"
+            "MESSAGE_TYPES = (Ping,)\n",
+        )
+        code = (
+            "from repro.service.procpool.messages import Ping, Rogue\n"
+            "\n"
+            "def nudge(conn):\n"
+            "    conn.send(Ping(seq=1))\n"
+            "    conn.send(Rogue(seq=2))\n"
+        )
+        findings = lint_source(
+            code,
+            RULES_BY_ID["RA107"],
+            "src/repro/service/procpool/fixture.py",
+            extra_sources=[declaring],
+        )
+        assert [finding.line for finding in findings] == [5]
+
+    def test_ra107_traces_helper_return_annotations(self):
+        """``result = helper(...)`` then ``conn.send(result)`` passes when the
+        helper's return annotation is a declared message type (the worker
+        loop's shape), and fires when the annotation is missing."""
+        annotated = (
+            "from repro.service.procpool.messages import WorkResult\n"
+            "\n"
+            "def _build(ok: bool) -> WorkResult:\n"
+            "    return WorkResult(item_id=('s', 1, 0, 'fp', 1), worker_id=1, ok=ok)\n"
+            "\n"
+            "def loop(conn):\n"
+            "    result = _build(True)\n"
+            "    conn.send(result)\n"
+        )
+        path = "src/repro/service/procpool/fixture.py"
+        assert lint_source(annotated, RULES_BY_ID["RA107"], path) == []
+        bare = annotated.replace(" -> WorkResult", "")
+        findings = lint_source(bare, RULES_BY_ID["RA107"], path)
+        assert len(findings) == 1
+        assert ".send()" in findings[0].message
+
+    def test_ra107_send_bytes_literal_nudge_only(self):
+        """send_bytes is the supervisor's self-notify channel: a bytes
+        literal passes, computed data must use a declared message type."""
+        path = "src/repro/service/procpool/fixture.py"
+        nudge = "def wake(pipe):\n    pipe.send_bytes(b'!')\n"
+        assert lint_source(nudge, RULES_BY_ID["RA107"], path) == []
+        smuggle = "def wake(pipe, payload):\n    pipe.send_bytes(payload)\n"
+        findings = lint_source(smuggle, RULES_BY_ID["RA107"], path)
+        assert len(findings) == 1
+        assert "send_bytes" in findings[0].message
+
 
 # ---------------------------------------------------------------------------
 # Engine: baselines, reports, file scanning
