@@ -3,9 +3,10 @@
 The PR 4 serving layer (:mod:`repro.service`) claims that the per-database
 cache machinery only pays off when many queries hit the same database
 object, and that a broker with shard affinity plus in-flight deduplication
-delivers exactly that.  This benchmark measures the claim on a
-multi-database request stream (≥4 shards, duplicated queries interleaved
-round-robin across shards — the access pattern of a fan-out front-end):
+delivers exactly that.  This benchmark measures the claim on the
+``service-dedup`` scenarios of :mod:`repro.workloads.registry` — a
+multi-database request stream (≥4 shards, a Zipf-skewed hot-key query mix
+round-robined across shards — the access pattern of a fan-out front-end):
 
 * **naive** — one-at-a-time sequential evaluation in arrival order, with the
   shard's cache invalidated before every request: the stateless-handler
@@ -29,10 +30,10 @@ Run ``python -m benchmarks.bench_service --smoke`` for the CI-gated variant
 ``BENCH_pr4.json``).
 
 **The scaling arm** (``--scaling``, PR 9) measures the multi-process tier
-instead: the same snapshot-backed workload of unique CPU-bound queries runs
-through ``pool="process"`` with 1, 2 and 4 worker processes, answers are
-asserted identical to the in-process tier's, and the per-arm throughput is
-dumped to ``BENCH_pr9.json``.  The gates are core-aware — on a multi-core
+instead: the ``service-scaling`` scenario's snapshot-backed workload of
+unique CPU-bound queries runs through ``pool="process"`` with 1, 2 and 4
+worker processes, answers are asserted identical to the in-process tier's,
+and the per-arm throughput is dumped to ``BENCH_pr9.json``.  The gates are core-aware — on a multi-core
 runner 4 workers must at least match 1 worker (smoke) and reach ≥2× in the
 full run; on fewer cores the ratios are reported informationally (worker
 processes cannot scale past the physical cores).
@@ -48,54 +49,29 @@ import time
 from repro.engine.engine import evaluate
 from repro.graphdb.cache import invalidate_cache
 from repro.graphdb.storage import save_snapshot
-from repro.service import DatabaseRegistry, QueryRequest, QueryService, QuerySpec
-from repro.workloads import random_workload
+from repro.service import DatabaseRegistry, QueryService
 
-from benchmarks.common import print_table
+from benchmarks.common import cached_scenario, print_table
 
-#: (database count, nodes per database, repetitions of each unique query)
-FULL_SHAPE = (6, 56, 4)
-SMOKE_SHAPE = (4, 30, 3)
+#: The registry scenarios behind each CI-gated arm (see
+#: ``repro.workloads.registry``): hot-key-skew traffic round-robined over
+#: many uniform shards — heavy in-flight duplication, the dedup regime.
+FULL_SCENARIO = "service-dedup"
+SMOKE_SCENARIO = "service-dedup-smoke"
 #: The smoke gate: the dedup arm must finish within this factor of naive.
 SMOKE_MARGIN = 1.0
 
-#: Unique query templates submitted against every shard (surface syntax).
-QUERY_TEMPLATES = [
-    QuerySpec(edges=(("x", "w{a|b}", "y"), ("y", "&w", "z"))),
-    QuerySpec(edges=(("x", "w{a|b}c*", "y"), ("y", "&w|c", "z"))),
-    QuerySpec(edges=(("x", "(a|b)*c", "y"),), output_variables=("x",)),
-]
 
+def build_workload(scenario_name):
+    """``(workload, registry, requests)`` realised from a registry scenario.
 
-def build_workload(shape, seed=23):
-    """``(registry, requests)`` — duplicated queries interleaved across shards."""
-    databases, nodes, repetitions = shape
-    registry = DatabaseRegistry()
-    names = []
-    for index in range(databases):
-        name = f"shard{index}"
-        registry.register(
-            name,
-            random_workload(
-                nodes, alphabet_symbols="abc", edge_factor=2.2, seed=seed + index
-            ),
-        )
-        names.append(name)
-    requests = []
-    # Arrival order: round-robin over shards per (template, repetition), so
-    # consecutive requests almost never share a shard — the worst case for a
-    # naive handler, the intended case for affinity batching.
-    for template_index, template in enumerate(QUERY_TEMPLATES):
-        for repetition in range(repetitions):
-            for name in names:
-                requests.append(
-                    QueryRequest(
-                        database=name,
-                        spec=template,
-                        request_id=f"q{template_index}.{repetition}.{name}",
-                    )
-                )
-    return registry, requests
+    The scenario's Zipf-skewed hot-key mix duplicates a handful of query
+    fingerprints across shards in arrival order — the worst case for a
+    naive handler, the intended case for affinity batching and dedup.
+    """
+    workload = cached_scenario(scenario_name)
+    requests = [timed.request for timed in workload.requests]
+    return workload, workload.build_registry(), requests
 
 
 def _answer(spec, result):
@@ -171,8 +147,8 @@ def _service_answers_match(spec_answers, service_answers):
     return True
 
 
-def run_arms(shape):
-    registry, requests = build_workload(shape)
+def run_arms(scenario_name):
+    _workload, registry, requests = build_workload(scenario_name)
     naive_time, naive_answers, naive_counters = run_naive(registry, requests)
     affinity_time, affinity_answers, affinity_counters = run_service(
         registry, requests, dedup=False
@@ -226,13 +202,13 @@ def main(argv):
             print("usage: bench_service [--smoke] [--json PATH]", file=sys.stderr)
             return 2
         json_path = argv[position + 1]
-    shape = SMOKE_SHAPE if smoke else FULL_SHAPE
+    scenario_name = SMOKE_SCENARIO if smoke else FULL_SCENARIO
     # Timing sweeps: shared CI runners are noisy at smoke scale, so the gate
     # passes if *any* sweep lands inside the margin (a real scheduling
     # regression fails all of them).
     attempts = 3 if smoke else 1
     for attempt in range(attempts):
-        requests, arms = run_arms(shape)
+        requests, arms = run_arms(scenario_name)
         naive_time = arms[0][1]
         dedup_time = arms[2][1]
         if not smoke or dedup_time <= naive_time * SMOKE_MARGIN:
@@ -243,21 +219,26 @@ def main(argv):
         )
     rows = build_rows(requests, arms)
     print_table(TITLE, HEADER, rows)
-    databases, nodes, repetitions = shape
+    config = cached_scenario(scenario_name).config
+    unique = len(
+        {
+            (request.database, json.dumps(request.spec.to_payload(), sort_keys=True))
+            for request in requests
+        }
+    )
     print(
-        f"\n[workload] {len(requests)} requests over {databases} databases "
-        f"({nodes} nodes each), every query repeated {repetitions}x, "
-        "arrival order interleaved round-robin across shards"
+        f"\n[workload] scenario {config.name!r}: {len(requests)} requests "
+        f"({unique} unique) over {config.shards} {config.graph_family} shards "
+        f"({config.scale} nodes each), {config.query_mix} mix, seed {config.seed}"
     )
     dedup_counters = arms[2][2]
     if json_path is not None:
         # Written before the gates, so the CI artifact survives a failing run.
         payload = {
             "workload": {
-                "databases": databases,
-                "nodes": nodes,
-                "repetitions": repetitions,
+                "scenario": config.to_payload(),
                 "requests": len(requests),
+                "unique_requests": unique,
             },
             "arms": [
                 {"name": name, "seconds": elapsed, **counters}
@@ -294,55 +275,25 @@ def main(argv):
 # The scaling arm: process workers 1/2/4 over snapshot-backed shards (PR 9)
 # ---------------------------------------------------------------------------
 
-#: (database count, nodes per database) of the scaling workload.
-SCALING_FULL_SHAPE = (4, 96)
-SCALING_SMOKE_SHAPE = (4, 48)
+#: The registry scenarios behind the scaling arms: a long-tail-unique mix
+#: (structurally distinct patterns, all with output variables) over uniform
+#: shards — every request does fresh kernel work, so neither dedup nor a
+#: warm cache can stand in for kernel throughput.
+SCALING_FULL_SCENARIO = "service-scaling"
+SCALING_SMOKE_SCENARIO = "service-scaling-smoke"
 SCALING_WORKERS = (1, 2, 4)
 
-#: Unique CPU-bound patterns — one request per (shard, pattern), all with
-#: output variables so every evaluation does real join work, and all with
-#: distinct fingerprints so neither dedup nor a warm cache can stand in for
-#: kernel throughput.
-SCALING_PATTERNS = [
-    "(a|b)*c",
-    "(b|c)*a",
-    "(c|a)*b",
-    "a(b|c)*",
-    "b(c|a)*",
-    "c(a|b)*",
-    "(ab)*c",
-    "(bc)*a",
-    "(ca)*b",
-    "a*(b|c)",
-    "b*(c|a)",
-    "c*(a|b)",
-]
 
-
-def build_scaling_workload(shape, snapshot_dir, seed=29):
+def build_scaling_workload(scenario_name, snapshot_dir):
     """``(registry, requests)`` over *file-backed* shards (worker processes
     must be able to mmap-load every shard themselves)."""
-    databases, nodes = shape
+    workload = cached_scenario(scenario_name)
     registry = DatabaseRegistry()
-    names = []
-    for index in range(databases):
-        name = f"shard{index}"
-        db = random_workload(
-            nodes, alphabet_symbols="abc", edge_factor=2.2, seed=seed + index
-        )
+    for name, db in workload.databases:
         path = os.path.join(snapshot_dir, f"{name}.rgsnap")
         save_snapshot(db, path)
         registry.load(name, path)
-        names.append(name)
-    requests = []
-    for pattern_index, pattern in enumerate(SCALING_PATTERNS):
-        spec = QuerySpec(edges=(("x", pattern, "y"),), output_variables=("x", "y"))
-        for name in names:
-            requests.append(
-                QueryRequest(
-                    database=name, spec=spec, request_id=f"s{pattern_index}.{name}"
-                )
-            )
+    requests = [timed.request for timed in workload.requests]
     return registry, requests
 
 
@@ -377,8 +328,8 @@ def _run_tier(registry, requests, **service_options):
     return elapsed, answers, service.stats()
 
 
-def run_scaling_arms(shape, snapshot_dir):
-    registry, requests = build_scaling_workload(shape, snapshot_dir)
+def run_scaling_arms(scenario_name, snapshot_dir):
+    registry, requests = build_scaling_workload(scenario_name, snapshot_dir)
     # The in-process tier is the answer reference (and the 0-process row).
     thread_time, thread_answers, _ = _run_tier(registry, requests, concurrency=2)
     arms = [("thread", 0, thread_time)]
@@ -413,10 +364,10 @@ def main_scaling(argv):
             )
             return 2
         json_path = argv[position + 1]
-    shape = SCALING_SMOKE_SHAPE if smoke else SCALING_FULL_SHAPE
+    scenario_name = SCALING_SMOKE_SCENARIO if smoke else SCALING_FULL_SCENARIO
     cores = os.cpu_count() or 1
     with tempfile.TemporaryDirectory(prefix="bench-procpool-") as snapshot_dir:
-        requests, arms = run_scaling_arms(shape, snapshot_dir)
+        requests, arms = run_scaling_arms(scenario_name, snapshot_dir)
     times = {name: elapsed for name, _workers, elapsed in arms}
     base = times["process-1"]
     rows = [
@@ -430,17 +381,17 @@ def main_scaling(argv):
         for name, workers, elapsed in arms
     ]
     print_table(SCALING_TITLE, SCALING_HEADER, rows)
-    databases, nodes = shape
+    config = cached_scenario(scenario_name).config
     print(
-        f"\n[workload] {len(requests)} unique requests over {databases} "
-        f"snapshot shards ({nodes} nodes each), {cores} cpu core(s) available"
+        f"\n[workload] scenario {config.name!r}: {len(requests)} unique "
+        f"requests over {config.shards} snapshot shards ({config.scale} nodes "
+        f"each), {cores} cpu core(s) available"
     )
     if json_path is not None:
         # Written before the gates, so the CI artifact survives a failing run.
         payload = {
             "workload": {
-                "databases": databases,
-                "nodes": nodes,
+                "scenario": config.to_payload(),
                 "requests": len(requests),
                 "cores": cores,
             },
@@ -475,7 +426,7 @@ def main_scaling(argv):
 
 def test_service_throughput(benchmark):
     requests, arms = benchmark.pedantic(
-        lambda: run_arms(FULL_SHAPE), rounds=1, iterations=1
+        lambda: run_arms(FULL_SCENARIO), rounds=1, iterations=1
     )
     print_table(TITLE, HEADER, build_rows(requests, arms))
     naive_time, dedup_time = arms[0][1], arms[2][1]

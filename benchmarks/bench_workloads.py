@@ -1,0 +1,179 @@
+"""E-WORKLOADS — per-scenario latency distributions over the registry.
+
+PR 10's workload registry (:mod:`repro.workloads.registry`) freezes one
+config per scenario: graph family × scale × query mix × arrival pattern ×
+seed.  This benchmark drives every *diversity* scenario (the families and
+mixes beyond the uniform serving workloads) through a live
+:class:`~repro.service.QueryService` via the trace-replay machinery —
+honouring each scenario's recorded arrival offsets — and reports the
+latency distribution (p50/p95/p99/max), queue wait and throughput per
+scenario.
+
+Two gates run before any timing is reported:
+
+* **determinism** — every scenario is realised twice from its frozen
+  config and the two realisations must be byte-identical (same shard edge
+  lists, same request JSONL, same offsets); a drifting generator fails
+  here, not in a downstream artifact diff;
+* **completeness** — every replayed request must come back ``ok``.
+
+Run ``python -m benchmarks.bench_workloads --smoke`` for the CI variant
+(scenarios scaled down via :func:`repro.workloads.scaled`); ``--json PATH``
+dumps the per-scenario distributions (CI uploads it as ``BENCH_pr10.json``).
+"""
+
+import asyncio
+import json
+import sys
+import time
+
+from repro.service import LatencyReport, QueryService, TraceRecord, replay
+from repro.workloads import get_scenario, realise, scaled
+
+from benchmarks.common import print_table
+
+#: The diversity scenarios measured here (the ``service-*`` scenarios are
+#: CI-gated by ``bench_service``; re-timing them would double-count).
+SCENARIOS = (
+    "scale-free-hotkey",
+    "scale-free-longtail",
+    "temporal-mixed",
+    "deep-chain-longtail",
+    "dense-cluster-hotkey",
+)
+
+#: Smoke runs shrink every scenario to this many requests (graphs are small
+#: enough to keep at full scale, so the family topology stays intact).
+SMOKE_REQUESTS = 16
+
+#: Replay timing compression: the registry's arrival rates are dense enough
+#: that evaluation, not pacing, dominates — but smoke runs still compress.
+FULL_SPEEDUP = 1.0
+SMOKE_SPEEDUP = 10.0
+
+
+def _assert_deterministic(config):
+    """Realise ``config`` twice; the realisations must be byte-identical."""
+    first, second = realise(config), realise(config)
+    for (name_a, db_a), (name_b, db_b) in zip(first.databases, second.databases):
+        assert name_a == name_b
+        edges_a = sorted((str(s), str(l), str(t)) for s, l, t in db_a.edges)
+        edges_b = sorted((str(s), str(l), str(t)) for s, l, t in db_b.edges)
+        assert edges_a == edges_b, (
+            f"scenario {config.name!r}: shard {name_a} edges drift between "
+            "realisations"
+        )
+    assert first.request_lines() == second.request_lines(), (
+        f"scenario {config.name!r}: request stream drifts between realisations"
+    )
+    offsets_a = [timed.offset_s for timed in first.requests]
+    offsets_b = [timed.offset_s for timed in second.requests]
+    assert offsets_a == offsets_b, (
+        f"scenario {config.name!r}: arrival offsets drift between realisations"
+    )
+    return first
+
+
+def run_scenario(config, *, speedup):
+    """Replay one realised scenario through a live service; return the report."""
+    workload = _assert_deterministic(config)
+    records = [
+        TraceRecord(offset_s=timed.offset_s, request=timed.request)
+        for timed in workload.requests
+    ]
+    service = QueryService(
+        workload.build_registry(),
+        concurrency=2,
+        max_pending=max(16, len(records)),
+    )
+
+    async def run():
+        async with service:
+            return await replay(service, records, speedup=speedup)
+
+    start = time.perf_counter()
+    replayed, wall_s = asyncio.run(run())
+    _total = time.perf_counter() - start
+    report = LatencyReport.from_replay(replayed, wall_s)
+    assert report.failed == 0, (
+        f"scenario {config.name!r}: {report.failed} request(s) failed"
+    )
+    return report
+
+
+HEADER = [
+    "scenario",
+    "family",
+    "mix",
+    "arrivals",
+    "req",
+    "p50 (ms)",
+    "p95 (ms)",
+    "p99 (ms)",
+    "req/s",
+]
+TITLE = "Workload registry — per-scenario latency distributions (replayed timing)"
+
+
+def main(argv):
+    smoke = "--smoke" in argv
+    json_path = None
+    if "--json" in argv:
+        position = argv.index("--json")
+        if position + 1 >= len(argv) or argv[position + 1].startswith("-"):
+            print("usage: bench_workloads [--smoke] [--json PATH]", file=sys.stderr)
+            return 2
+        json_path = argv[position + 1]
+    speedup = SMOKE_SPEEDUP if smoke else FULL_SPEEDUP
+    rows = []
+    scenarios_payload = []
+    for name in SCENARIOS:
+        config = get_scenario(name)
+        if smoke:
+            config = scaled(
+                config, num_requests=min(SMOKE_REQUESTS, config.num_requests)
+            )
+        report = run_scenario(config, speedup=speedup)
+        rows.append(
+            [
+                config.name,
+                config.graph_family,
+                config.query_mix,
+                config.arrival_pattern,
+                report.requests,
+                f"{report.latency_p50_s * 1000:.2f}",
+                f"{report.latency_p95_s * 1000:.2f}",
+                f"{report.latency_p99_s * 1000:.2f}",
+                f"{report.throughput_rps:.0f}",
+            ]
+        )
+        scenarios_payload.append(
+            {"scenario": config.to_payload(), **report.to_payload()}
+        )
+    print_table(TITLE, HEADER, rows)
+    print(
+        f"\n[replay] arrival offsets honoured at {speedup:g}x compression; "
+        "determinism asserted by double realisation per scenario"
+    )
+    if json_path is not None:
+        payload = {"speedup": speedup, "smoke": smoke, "scenarios": scenarios_payload}
+        with open(json_path, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"[artifact] wrote {json_path}")
+    print("\nOK" + (" (smoke)" if smoke else ""))
+    return 0
+
+
+def test_workload_latency(benchmark):
+    def run_all():
+        return [
+            run_scenario(get_scenario(name), speedup=FULL_SPEEDUP)
+            for name in SCENARIOS
+        ]
+
+    reports = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    assert all(report.failed == 0 for report in reports)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

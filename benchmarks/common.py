@@ -39,6 +39,20 @@ def boolean_version(query):
 
 
 @lru_cache(maxsize=None)
+def cached_scenario(name: str):
+    """Realise a registered workload scenario once per session.
+
+    Realisation is deterministic (same name → byte-identical graphs and
+    request stream), so caching only saves the generation cost; arms that
+    mutate shard caches must invalidate them per run, as the service
+    benchmarks already do.
+    """
+    from repro.workloads import get_scenario, realise
+
+    return realise(get_scenario(name))
+
+
+@lru_cache(maxsize=None)
 def cached_random_db(num_nodes: int, seed: int = 0, symbols: str = "abc", edge_factor: float = 2.0):
     """Cache random databases across benchmark rounds."""
     from repro.workloads import random_workload

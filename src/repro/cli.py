@@ -51,10 +51,14 @@ from repro.regex import properties as props
 from repro.regex.parser import parse_xregex
 from repro.service import (
     DatabaseRegistry,
+    LatencyReport,
     QueryRequest,
     QueryService,
+    TraceWriter,
+    load_trace,
     render_cache_stats,
     render_service_stats,
+    replay,
 )
 
 
@@ -148,12 +152,47 @@ def build_parser() -> argparse.ArgumentParser:
         "serve", help="serve JSONL query requests from stdin (responses on stdout)"
     )
     add_service_arguments(serve)
+    serve.add_argument(
+        "--record",
+        default=None,
+        metavar="PATH",
+        help="capture every served request to a JSONL trace (payload, arrival "
+        "offset, shard, answer) for later 'repro replay'",
+    )
 
     batch = commands.add_parser(
         "batch", help="evaluate a JSONL request file; responses in input order"
     )
     batch.add_argument("requests", help="path to a JSON-lines request file")
     add_service_arguments(batch)
+
+    replay_cmd = commands.add_parser(
+        "replay",
+        help="re-run a recorded JSONL trace against a live service with its "
+        "original timing; reports p50/p95/p99 latency and verifies answers",
+    )
+    replay_cmd.add_argument("trace", help="path to a trace recorded by 'serve --record'")
+    add_service_arguments(replay_cmd)
+    replay_cmd.add_argument(
+        "--speedup",
+        type=float,
+        default=1.0,
+        metavar="F",
+        help="compress the recorded inter-arrival timing by this factor "
+        "(default 1.0: replay in real time)",
+    )
+    replay_cmd.add_argument(
+        "--json",
+        dest="json_report",
+        default=None,
+        metavar="PATH",
+        help="also write the latency report as JSON",
+    )
+    replay_cmd.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip comparing replayed answers against the recorded ones",
+    )
 
     compact = commands.add_parser(
         "compact",
@@ -316,19 +355,49 @@ def _build_service(arguments: argparse.Namespace) -> QueryService:
     )
 
 
+def _trace_recorder(writer: TraceWriter, offset_s: float, line: str):
+    """A done-callback that appends one trace record for a served line.
+
+    The raw line is re-parsed into a request payload at completion time (off
+    the admission hot path); lines that never parsed into a request are not
+    recorded — they cannot be replayed faithfully, and their rejection
+    envelopes already went to the client.
+    """
+
+    def record(task: "asyncio.Task") -> None:
+        if task.cancelled():
+            return
+        try:
+            request = QueryRequest.from_json(line)
+        except ReproError:
+            return
+        writer.record(offset_s, request, task.result())
+
+    return record
+
+
 def command_serve(arguments: argparse.Namespace, in_stream: Optional[TextIO] = None) -> int:
     """The stdin/stdout JSON-lines request loop (no network dependency).
 
     Responses are written as their evaluations complete — possibly out of
     order across databases — and carry the request ``id`` for correlation;
     submission applies backpressure once ``--max-pending`` is reached.
+    ``--record PATH`` additionally captures every served request (payload,
+    arrival offset, shard, answer) as a JSONL trace for ``repro replay``.
     """
     service = _build_service(arguments)
     stream = in_stream if in_stream is not None else sys.stdin
+    record_path = getattr(arguments, "record", None)
+    record_handle = (
+        open(record_path, "w", encoding="utf-8") if record_path else None
+    )
+    writer = TraceWriter(record_handle) if record_handle is not None else None
 
     async def run() -> None:
         async with service:
             tasks = set()
+            loop = asyncio.get_running_loop()
+            started = loop.time()
 
             def emit(task: "asyncio.Task") -> None:
                 tasks.discard(task)
@@ -344,6 +413,10 @@ def command_serve(arguments: argparse.Namespace, in_stream: Optional[TextIO] = N
                 line = line.strip()
                 if not line:
                     continue
+                # The arrival offset is stamped at read time, before any
+                # backpressure wait: a replay must reproduce the client's
+                # arrival pattern, not the server's admission delays.
+                arrival_s = loop.time() - started
                 # Backpressure must bound the *task set*, not just the
                 # broker queue: stop reading new lines while max-pending
                 # submissions are already in flight, or a piped request
@@ -352,14 +425,76 @@ def command_serve(arguments: argparse.Namespace, in_stream: Optional[TextIO] = N
                     await asyncio.wait(tasks, return_when=asyncio.FIRST_COMPLETED)
                 task = asyncio.create_task(service.submit_line(line, overflow="wait"))
                 tasks.add(task)
+                if writer is not None:
+                    task.add_done_callback(_trace_recorder(writer, arrival_s, line))
                 task.add_done_callback(emit)
             if tasks:
                 await asyncio.gather(*tasks)
         if arguments.stats:
             print(render_service_stats(service.stats()), file=sys.stderr)
 
-    asyncio.run(run())
+    try:
+        asyncio.run(run())
+    finally:
+        if record_handle is not None:
+            record_handle.close()
+    if writer is not None:
+        print(
+            f"recorded {writer.recorded} request(s) to {record_path}",
+            file=sys.stderr,
+        )
     return 0
+
+
+def command_replay(arguments: argparse.Namespace) -> int:
+    """Re-run a recorded trace with its original (compressed) timing.
+
+    Prints the latency-distribution report; exits non-zero if any replayed
+    envelope failed or any answer diverged from the recorded one.
+    """
+    import json as json_module
+    from dataclasses import replace as dc_replace
+
+    if arguments.speedup <= 0:
+        raise ReproError("--speedup must be positive")
+    records = load_trace(arguments.trace)
+    if arguments.no_verify:
+        records = [dc_replace(record, answer=None) for record in records]
+    service = _build_service(arguments)
+
+    async def run():
+        async with service:
+            return await replay(service, records, speedup=arguments.speedup)
+
+    replayed, wall_s = asyncio.run(run())
+    report = LatencyReport.from_replay(replayed, wall_s)
+    tiers = "process" if getattr(arguments, "workers", None) is not None else "thread"
+    print(
+        report.render(
+            title=f"replay {arguments.trace} ({tiers} tier, "
+            f"speedup {arguments.speedup:g}x)"
+        )
+    )
+    for item in replayed:
+        if item.matched is False:
+            print(
+                f"answer mismatch: request {item.record.request.request_id!r} "
+                f"on {item.record.request.database!r}",
+                file=sys.stderr,
+            )
+    if arguments.json_report:
+        payload = {
+            "trace": arguments.trace,
+            "speedup": arguments.speedup,
+            "pool": tiers,
+            **report.to_payload(),
+        }
+        with open(arguments.json_report, "w", encoding="utf-8") as handle:
+            json_module.dump(payload, handle, indent=2)
+        print(f"[artifact] wrote {arguments.json_report}", file=sys.stderr)
+    if arguments.stats:
+        print(render_service_stats(service.stats()), file=sys.stderr)
+    return 0 if report.failed == 0 and report.mismatched == 0 else 1
 
 
 def command_batch(arguments: argparse.Namespace) -> int:
@@ -493,6 +628,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return command_serve(arguments)
         if arguments.command == "batch":
             return command_batch(arguments)
+        if arguments.command == "replay":
+            return command_replay(arguments)
         if arguments.command == "compact":
             return command_compact(arguments)
         if arguments.command == "ingest":

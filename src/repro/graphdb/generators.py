@@ -289,6 +289,157 @@ def deep_chain(
     return db
 
 
+def scale_free_graph(
+    num_nodes: int,
+    alphabet: Optional[Alphabet] = None,
+    edges_per_node: int = 2,
+    seed: int = 0,
+) -> GraphDatabase:
+    """A degree-skewed graph grown by preferential attachment (hot-key family).
+
+    Each new node attaches ``edges_per_node`` labelled arcs whose far
+    endpoint is sampled proportionally to current degree (the classic
+    rich-get-richer construction), alternating direction so both in- and
+    out-hubs emerge.  The result is the skewed-degree regime the uniform
+    :func:`random_graph` never produces: a few hub nodes touch a large
+    fraction of all edges, so per-source row caches and eviction paths see
+    genuinely hot keys.  Node names are strings (``n0`` …), matching the
+    on-disk formats.
+    """
+    if num_nodes < 2:
+        raise ValueError("scale_free_graph needs at least 2 nodes")
+    if alphabet is None:
+        alphabet = Alphabet("abc")
+    rng = random.Random(seed)
+    symbols = list(alphabet)
+    db = GraphDatabase(alphabet)
+    names = [f"n{index}" for index in range(num_nodes)]
+    for name in names:
+        db.add_node(name)
+    db.add_edge(names[0], symbols[0], names[1])
+    # One endpoint entry per edge endpoint: sampling uniformly from this
+    # list IS degree-proportional sampling.
+    endpoints: List[Node] = [names[0], names[1]]
+    for index in range(2, num_nodes):
+        source = names[index]
+        for arc in range(max(1, edges_per_node)):
+            target = endpoints[rng.randrange(len(endpoints))]
+            if target == source:
+                target = names[rng.randrange(index)]
+            label = symbols[rng.randrange(len(symbols))]
+            if arc % 2 == 0:
+                db.add_edge(source, label, target)
+            else:
+                db.add_edge(target, label, source)
+            endpoints.append(source)
+            endpoints.append(target)
+    return db
+
+
+def temporal_layered_graph(
+    num_nodes: int,
+    ticks: int = 4,
+    alphabet: Optional[Alphabet] = None,
+    seed: int = 0,
+    edges_per_node: int = 2,
+) -> GraphDatabase:
+    """A time-layered graph: one copy of a base node set per tick.
+
+    Every base entity ``u`` appears once per tick as ``t{k}_u``; arcs within
+    a tick carry the first two alphabet symbols (events at that time), and
+    every entity advances to its next-tick copy via the *last* symbol (time
+    passing).  Long paths therefore interleave event symbols with forced
+    tick advances — the temporal-join shape that layer-free random graphs
+    cannot express.  Deterministic in ``seed``; string node names.
+    """
+    if ticks < 2:
+        raise ValueError("temporal_layered_graph needs at least 2 ticks")
+    if alphabet is None:
+        alphabet = Alphabet("abc")
+    symbols = list(alphabet)
+    if len(symbols) < 2:
+        raise ValueError("temporal_layered_graph needs an alphabet of >= 2 symbols")
+    event_symbols, tick_symbol = symbols[:-1], symbols[-1]
+    width = max(2, num_nodes // ticks)
+    rng = random.Random(seed)
+    db = GraphDatabase(alphabet)
+    layers = [
+        [f"t{tick}_u{entity}" for entity in range(width)] for tick in range(ticks)
+    ]
+    for layer in layers:
+        for node in layer:
+            db.add_node(node)
+    for tick in range(ticks):
+        for position, node in enumerate(layers[tick]):
+            if tick + 1 < ticks:
+                db.add_edge(node, tick_symbol, layers[tick + 1][position])
+            for _ in range(edges_per_node):
+                other = rng.randrange(width)
+                if other == position and width > 1:
+                    other = (other + 1) % width
+                db.add_edge(
+                    node,
+                    event_symbols[rng.randrange(len(event_symbols))],
+                    layers[tick][other],
+                )
+    return db
+
+
+def dense_cluster_graph(
+    num_nodes: int,
+    cluster_size: int = 8,
+    alphabet: Optional[Alphabet] = None,
+    intra_density: float = 0.5,
+    seed: int = 0,
+) -> GraphDatabase:
+    """Dense clusters joined by sparse bridges (the community-structure family).
+
+    Nodes split into clusters of ``cluster_size``; inside a cluster each
+    ordered pair carries an arc with probability ``intra_density`` labelled
+    by one of the first alphabet symbols, so within-cluster reachability
+    relations are near-quadratic.  Exactly one bridge arc (the last symbol)
+    links each cluster to the next, so cross-cluster paths are forced
+    through rare selective edges — the regime where planner edge-selection
+    and semi-join pruning matter most.  Deterministic in ``seed``; string
+    node names.
+    """
+    if num_nodes < 2:
+        raise ValueError("dense_cluster_graph needs at least 2 nodes")
+    if cluster_size < 2:
+        raise ValueError("dense_cluster_graph needs clusters of at least 2 nodes")
+    if alphabet is None:
+        alphabet = Alphabet("abc")
+    symbols = list(alphabet)
+    if len(symbols) < 2:
+        raise ValueError("dense_cluster_graph needs an alphabet of >= 2 symbols")
+    intra_symbols, bridge_symbol = symbols[:-1], symbols[-1]
+    rng = random.Random(seed)
+    db = GraphDatabase(alphabet)
+    clusters: List[List[Node]] = []
+    for start in range(0, num_nodes, cluster_size):
+        members: List[Node] = [
+            f"k{len(clusters)}_n{offset}"
+            for offset in range(min(cluster_size, num_nodes - start))
+        ]
+        for node in members:
+            db.add_node(node)
+        clusters.append(members)
+    for members in clusters:
+        for source in members:
+            for target in members:
+                if source != target and rng.random() < intra_density:
+                    db.add_edge(
+                        source,
+                        intra_symbols[rng.randrange(len(intra_symbols))],
+                        target,
+                    )
+    for position, members in enumerate(clusters):
+        if len(clusters) > 1:
+            nxt = clusters[(position + 1) % len(clusters)]
+            db.add_edge(members[0], bridge_symbol, nxt[0])
+    return db
+
+
 def layered_graph(
     layers: int,
     width: int,

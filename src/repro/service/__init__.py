@@ -39,6 +39,15 @@ from repro.service.procpool import (
     ProcessPoolSupervisor,
 )
 from repro.service.service import QueryService, serve_batch
+from repro.service.trace import (
+    LatencyReport,
+    ReplayedRequest,
+    TraceFormatError,
+    TraceRecord,
+    TraceWriter,
+    load_trace,
+    replay,
+)
 from repro.service.telemetry import (
     aggregate_cache_stats,
     render_cache_stats,
@@ -53,6 +62,11 @@ __all__ = [
     "DatabaseEvictedError",
     "DatabaseRegistry",
     "EvaluationWorkerPool",
+    "LatencyReport",
+    "ReplayedRequest",
+    "TraceFormatError",
+    "TraceRecord",
+    "TraceWriter",
     "PendingRefresh",
     "ProcessEvaluationPool",
     "ProcessPoolBrokenError",
@@ -68,6 +82,8 @@ __all__ = [
     "Ticket",
     "UnknownDatabaseError",
     "aggregate_cache_stats",
+    "load_trace",
+    "replay",
     "render_cache_stats",
     "render_planner_stats",
     "render_service_stats",

@@ -1,4 +1,11 @@
-"""Parameterised workloads used by the benchmark harness (see EXPERIMENTS.md)."""
+"""Parameterised workloads: per-experiment builders plus the scenario registry.
+
+:mod:`repro.workloads.builders` holds the paper-experiment builders (one per
+experiment of EXPERIMENTS.md); :mod:`repro.workloads.registry` holds the
+declarative benchmark-scenario registry — named frozen configs (graph family
+× scale × query mix × arrival pattern × seed) that realise deterministically
+into shard graphs and timed request streams.
+"""
 
 from repro.workloads.builders import (
     genealogy_workload,
@@ -10,13 +17,39 @@ from repro.workloads.builders import (
     vsf_fl_scaling_query,
     bounded_scaling_query,
 )
+from repro.workloads.registry import (
+    ARRIVAL_PATTERNS,
+    GRAPH_FAMILIES,
+    QUERY_MIXES,
+    REGISTRY,
+    RealizedWorkload,
+    TimedRequest,
+    WorkloadConfig,
+    WorkloadConfigError,
+    get_scenario,
+    realise,
+    scaled,
+    scenario_names,
+)
 
 __all__ = [
+    "ARRIVAL_PATTERNS",
+    "GRAPH_FAMILIES",
+    "QUERY_MIXES",
+    "REGISTRY",
+    "RealizedWorkload",
+    "TimedRequest",
+    "WorkloadConfig",
+    "WorkloadConfigError",
     "genealogy_workload",
+    "get_scenario",
     "message_workload",
     "random_workload",
     "nfa_intersection_workload",
     "hitting_set_workload",
+    "realise",
+    "scaled",
+    "scenario_names",
     "vsf_scaling_query",
     "vsf_fl_scaling_query",
     "bounded_scaling_query",

@@ -10,7 +10,7 @@ from repro.core.alphabet import Alphabet
 from repro.automata.nfa import NFA
 from repro.engine.planner import planner_v2_disabled
 from repro.graphdb.database import GraphDatabase
-from repro.graphdb.generators import random_graph
+from repro.graphdb.generators import random_graph, scale_free_graph
 from repro.graphdb.paths import bitset_kernel_disabled, csr_kernel_disabled
 from repro.graphdb.storage import dump_snapshot_bytes, load_snapshot_bytes
 from repro.regex import syntax as rx
@@ -39,11 +39,16 @@ REGEX_POOL = [
     "(a|bc)*",
 ]
 
-#: ``(num_nodes, num_edges)`` shapes of the random equivalence databases.
+#: ``(family, num_nodes, num_edges)`` shapes of the random equivalence
+#: databases.  ``uniform`` draws endpoints uniformly; ``hot-key-skew`` uses
+#: preferential attachment, so a few hub nodes carry most of the degree —
+#: the regime in which per-node caches actually churn (see
+#: ``tests/test_cache.py::TestSkewedEviction``).
 DB_SHAPES = [
-    (6, 10),
-    (12, 30),
-    (20, 55),
+    ("uniform", 6, 10),
+    ("uniform", 12, 30),
+    ("uniform", 20, 55),
+    ("hot-key-skew", 16, 44),
 ]
 
 #: Every kernel arm as ``(name, context-manager factory)``: the default CSR
@@ -68,11 +73,22 @@ def compiled(pattern: str) -> NFA:
     return NFA.from_regex(parse_xregex(pattern), ABC)
 
 
+def skewed_graph(num_nodes: int, num_edges: int, seed: int = 0) -> GraphDatabase:
+    """A degree-skewed (preferential-attachment) equivalence database."""
+    edges_per_node = max(1, round(num_edges / max(1, num_nodes)))
+    return scale_free_graph(
+        num_nodes, ABC, edges_per_node=edges_per_node, seed=seed
+    )
+
+
 def databases():
     """The shared random equivalence databases (deterministic seeds)."""
-    for num_nodes, num_edges in DB_SHAPES:
+    for family, num_nodes, num_edges in DB_SHAPES:
         for seed in (0, 1, 2):
-            yield random_graph(num_nodes, num_edges, ABC, seed=seed)
+            if family == "hot-key-skew":
+                yield skewed_graph(num_nodes, num_edges, seed=seed)
+            else:
+                yield random_graph(num_nodes, num_edges, ABC, seed=seed)
 
 
 def stringified(db: GraphDatabase) -> GraphDatabase:

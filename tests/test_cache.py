@@ -454,6 +454,46 @@ class TestNfaTablesMemo:
         assert index.stats()["nfa_tables"]["misses"] == 2
 
 
+class TestSkewedEviction:
+    """Regression: the hot-key-skew DB_SHAPES family must actually churn the
+    bounded caches.
+
+    On the old uniform-only shapes the suite never drove ``nfa_tables`` or
+    ``lazy_rows`` past capacity, so their eviction counters sat at zero and
+    the eviction paths went untested.  A degree-skewed graph under a
+    many-fingerprint workload at small capacity must move both counters.
+    """
+
+    def test_eviction_counters_move_on_skewed_traffic(self):
+        from helpers import skewed_graph
+
+        db = skewed_graph(16, 44, seed=0)
+        invalidate_cache(db)
+        patterns = [
+            "a", "b", "c", "a*", "b*", "c*",
+            "a+b", "b+c", "c+a", "(a|b)+", "(b|c)+", "ab*c",
+        ]
+        hubs = sorted(db.nodes)[:6]
+        with cache_capacity(2):
+            index = reachability_index(db)
+            for pattern in patterns:
+                nfa = compiled(pattern)
+                index.nfa_tables(nfa)
+                relation = index.relation(nfa)
+                for node in hubs:
+                    relation.targets_of(node)
+        stats = cache_stats(db)
+        # 12 distinct fingerprints through a capacity-2 tables memo...
+        assert stats["nfa_tables"]["evictions"] > 0, (
+            "the nfa_tables eviction path never fired"
+        )
+        # ...and 12 x 6 lazy rows through a capacity-8 row store.
+        assert stats["lazy_rows"]["evictions"] > 0, (
+            "the lazy_rows eviction path never fired"
+        )
+        invalidate_cache(db)
+
+
 class TestLazyRowStoreSharing:
     def test_rows_survive_relation_eviction(self):
         db = chain_db()

@@ -5,6 +5,7 @@ from repro.automata.nfa import NFA
 from repro.graphdb.generators import (
     cycle_database,
     deep_chain,
+    dense_cluster_graph,
     genealogy_graph,
     layered_graph,
     message_network,
@@ -12,6 +13,8 @@ from repro.graphdb.generators import (
     path_database,
     random_graph,
     random_nfa,
+    scale_free_graph,
+    temporal_layered_graph,
     two_path_database,
 )
 
@@ -104,6 +107,116 @@ class TestDeepChain:
 
         with pytest.raises(ValueError):
             deep_chain(1)
+
+
+class TestScaleFreeGraph:
+    def test_shape_and_determinism(self):
+        first = scale_free_graph(24, seed=6)
+        second = scale_free_graph(24, seed=6)
+        assert first.num_nodes() == 24
+        # Seed edge plus edges_per_node arcs for every later node.
+        assert first.num_edges() == 1 + 2 * 22
+        assert sorted(map(tuple, first.edges)) == sorted(map(tuple, second.edges))
+        assert sorted(map(tuple, first.edges)) != sorted(
+            map(tuple, scale_free_graph(24, seed=7).edges)
+        )
+
+    def test_degree_distribution_is_skewed(self):
+        db = scale_free_graph(60, seed=1)
+        degree = {}
+        for source, _label, target in db.edges:
+            degree[source] = degree.get(source, 0) + 1
+            degree[target] = degree.get(target, 0) + 1
+        mean = sum(degree.values()) / len(degree)
+        # Preferential attachment concentrates degree on early hubs; a
+        # uniform graph's max degree hugs the mean instead.
+        assert max(degree.values()) >= 3 * mean
+
+    def test_string_node_names(self):
+        db = scale_free_graph(8, seed=0)
+        assert all(isinstance(node, str) for node in db.nodes)
+
+    def test_rejects_degenerate_sizes(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            scale_free_graph(1)
+
+
+class TestTemporalLayeredGraph:
+    def test_tick_advance_edges_use_the_last_symbol(self):
+        db = temporal_layered_graph(12, ticks=3, seed=2)
+        width = max(2, 12 // 3)
+        # Every entity advances tick-by-tick on the reserved symbol.
+        advances = [edge for edge in db.edges if edge.label == "c"]
+        assert len(advances) == width * 2  # (ticks - 1) tick boundaries
+        assert all(
+            edge.source.startswith("t") and edge.target.startswith("t")
+            for edge in advances
+        )
+        # Event edges never carry the tick symbol.
+        assert all(
+            edge.label in ("a", "b") for edge in db.edges if edge not in advances
+        )
+
+    def test_event_edges_stay_within_their_tick(self):
+        db = temporal_layered_graph(12, ticks=3, seed=2)
+        for source, label, target in db.edges:
+            source_tick = source.split("_")[0]
+            target_tick = target.split("_")[0]
+            if label == "c":
+                assert target_tick == f"t{int(source_tick[1:]) + 1}"
+            else:
+                assert source_tick == target_tick
+
+    def test_deterministic_in_seed(self):
+        left = temporal_layered_graph(16, ticks=4, seed=3)
+        right = temporal_layered_graph(16, ticks=4, seed=3)
+        assert sorted(map(tuple, left.edges)) == sorted(map(tuple, right.edges))
+
+    def test_rejects_degenerate_parameters(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            temporal_layered_graph(8, ticks=1)
+        with pytest.raises(ValueError):
+            temporal_layered_graph(8, alphabet=Alphabet("a"))
+
+
+class TestDenseClusterGraph:
+    def test_clusters_joined_by_single_bridges(self):
+        db = dense_cluster_graph(16, cluster_size=8, seed=4)
+        bridges = [edge for edge in db.edges if edge.label == "c"]
+        # One bridge per cluster, in a ring.
+        assert len(bridges) == 2
+        assert {(edge.source, edge.target) for edge in bridges} == {
+            ("k0_n0", "k1_n0"),
+            ("k1_n0", "k0_n0"),
+        }
+
+    def test_intra_cluster_edges_never_cross_clusters(self):
+        db = dense_cluster_graph(24, cluster_size=8, seed=4)
+        for source, label, target in db.edges:
+            if label != "c":
+                assert source.split("_")[0] == target.split("_")[0]
+
+    def test_density_controls_edge_count(self):
+        sparse = dense_cluster_graph(16, cluster_size=8, intra_density=0.2, seed=5)
+        dense = dense_cluster_graph(16, cluster_size=8, intra_density=0.9, seed=5)
+        assert dense.num_edges() > sparse.num_edges()
+
+    def test_deterministic_in_seed(self):
+        left = dense_cluster_graph(20, seed=6)
+        right = dense_cluster_graph(20, seed=6)
+        assert sorted(map(tuple, left.edges)) == sorted(map(tuple, right.edges))
+
+    def test_rejects_degenerate_parameters(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            dense_cluster_graph(1)
+        with pytest.raises(ValueError):
+            dense_cluster_graph(8, cluster_size=1)
 
 
 class TestAutomatonConversions:

@@ -36,6 +36,8 @@ from repro.graphdb.generators import (
     deep_chain,
     layered_graph,
     random_graph,
+    scale_free_graph,
+    temporal_layered_graph,
 )
 from repro.graphdb.paths import reachable_pairs
 from repro.queries.cxrpq import CXRPQ
@@ -76,6 +78,11 @@ def case_graphs():
             graphs.append(random_graph(num_nodes, num_edges, ABC, seed=seed))
     graphs.append(layered_graph(3, 4, ABC, seed=5))
     graphs.append(cycle_database("abcab"))
+    # The PR 10 workload families: degree-skewed hubs (preferential
+    # attachment) and tick-stamped temporal layers — topologies whose cache
+    # and traversal behaviour differs sharply from the uniform graphs above.
+    graphs.append(scale_free_graph(14, ABC, seed=8))
+    graphs.append(temporal_layered_graph(12, ticks=3, alphabet=ABC, seed=8))
     return [stringified(graph) for graph in graphs]
 
 
